@@ -1,0 +1,147 @@
+// EXP-7 (ablation) — the design choices DESIGN.md calls out:
+//
+//  A. Section-3 model optimizations (redundant-arc elimination and
+//     never-alive-pair elimination): effect on intLP size and B&B effort.
+//     The paper presents them as noteworthy refinements; this quantifies
+//     them on the reconstructed corpus.
+//  B. Greedy-k refinement passes: phase 2 of the heuristic re-picks
+//     killers while the antichain improves. How much optimality does each
+//     pass buy, and what does it cost?
+//
+// Usage: bench_ablation [--quick]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/greedy_k.hpp"
+#include "core/rs_exact.hpp"
+#include "core/rs_ilp.hpp"
+#include "ddg/generators.hpp"
+#include "ddg/kernels.hpp"
+#include "support/random.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+void ablate_ilp_optimizations(bool quick) {
+  std::puts("A. section-3 intLP optimizations (on vs off)");
+  rs::support::Table table({"instance", "vars on", "vars off", "cons on",
+                            "cons off", "nodes on", "nodes off", "ms on",
+                            "ms off"});
+  rs::support::Rng rng(31);
+  const auto model = rs::ddg::superscalar_model();
+  std::vector<std::pair<std::string, rs::ddg::Ddg>> instances;
+  for (const char* k : {"lin-ddot", "lin-dscal", "liv-loop5"}) {
+    instances.emplace_back(k, rs::ddg::build_kernel(k, model));
+  }
+  for (int i = 0; i < (quick ? 2 : 4); ++i) {
+    rs::ddg::RandomDagParams p;
+    p.n_ops = 7;
+    instances.emplace_back("rand7-" + std::to_string(i),
+                           rs::ddg::random_dag(rng, model, p));
+  }
+
+  double speedup_sum = 0;
+  int speedup_count = 0;
+  for (const auto& [name, dag] : instances) {
+    const rs::core::TypeContext ctx(dag, rs::ddg::kFloatReg);
+    rs::core::RsIlpOptions on;
+    on.mip.time_limit_seconds = quick ? 20 : 60;
+    rs::core::RsIlpOptions off = on;
+    off.eliminate_redundant_arcs = false;
+    off.eliminate_never_alive_pairs = false;
+
+    rs::support::Timer t1;
+    const auto r_on = rs::core::rs_ilp(ctx, on);
+    const double ms_on = t1.millis();
+    rs::support::Timer t2;
+    const auto r_off = rs::core::rs_ilp(ctx, off);
+    const double ms_off = t2.millis();
+    if (r_on.proven && r_off.proven && r_on.rs != r_off.rs) {
+      std::printf("!! optimization changed the optimum on %s\n", name.c_str());
+    }
+    if (r_on.proven && r_off.proven && ms_on > 0.1) {
+      speedup_sum += ms_off / ms_on;
+      ++speedup_count;
+    }
+    table.add_row({name, std::to_string(r_on.stats.variables),
+                   std::to_string(r_off.stats.variables),
+                   std::to_string(r_on.stats.constraints),
+                   std::to_string(r_off.stats.constraints),
+                   std::to_string(r_on.nodes), std::to_string(r_off.nodes),
+                   rs::support::fmt_double(ms_on, 1),
+                   rs::support::fmt_double(ms_off, 1)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  if (speedup_count) {
+    std::printf("geometric-mean-free average solve speedup from the "
+                "optimizations: %.2fx over %d instances\n\n",
+                speedup_sum / speedup_count, speedup_count);
+  }
+}
+
+void ablate_greedy_refinement(bool quick) {
+  std::puts("B. greedy-k refinement passes (0 = pure greedy construction)");
+  rs::support::Table table({"passes", "exact matches", "avg error",
+                            "max error", "avg ms"});
+  rs::support::Rng seed_rng(47);
+  const auto model = rs::ddg::superscalar_model();
+  std::vector<rs::ddg::Ddg> dags;
+  for (const auto& [name, dag] : rs::ddg::kernel_corpus(model)) {
+    dags.push_back(dag);
+  }
+  for (int i = 0; i < (quick ? 8 : 24); ++i) {
+    rs::ddg::RandomDagParams p;
+    p.n_ops = 10 + (i % 5);
+    dags.push_back(rs::ddg::random_dag(seed_rng, model, p));
+  }
+  // Reference optima.
+  std::vector<int> optimum(dags.size(), -1);
+  for (std::size_t i = 0; i < dags.size(); ++i) {
+    const rs::core::TypeContext ctx(dags[i], rs::ddg::kFloatReg);
+    rs::core::RsExactOptions opts;
+    opts.time_limit_seconds = quick ? 5 : 20;
+    const auto r = rs::core::rs_exact(ctx, opts);
+    if (r.proven) optimum[i] = r.rs;
+  }
+
+  for (const int passes : {0, 1, 2, 3, 5}) {
+    int exact = 0, usable = 0, max_err = 0;
+    double err_sum = 0, ms_sum = 0;
+    for (std::size_t i = 0; i < dags.size(); ++i) {
+      if (optimum[i] < 0) continue;
+      const rs::core::TypeContext ctx(dags[i], rs::ddg::kFloatReg);
+      rs::core::GreedyOptions gopts;
+      gopts.refine_passes = passes;
+      rs::support::Timer t;
+      const auto est = rs::core::greedy_k(ctx, gopts);
+      ms_sum += t.millis();
+      ++usable;
+      const int err = optimum[i] - est.rs;
+      err_sum += err;
+      max_err = std::max(max_err, err);
+      if (err == 0) ++exact;
+    }
+    table.add_row({std::to_string(passes),
+                   rs::support::fmt_percent(exact, usable),
+                   rs::support::fmt_double(err_sum / std::max(usable, 1), 3),
+                   std::to_string(max_err),
+                   rs::support::fmt_double(ms_sum / std::max(usable, 1), 2)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--quick")) quick = true;
+  }
+  std::puts("EXP-7: ablations of the library's design choices");
+  std::puts("=================================================");
+  ablate_ilp_optimizations(quick);
+  ablate_greedy_refinement(quick);
+  return 0;
+}

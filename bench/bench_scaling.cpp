@@ -1,0 +1,129 @@
+// EXP-5 — Solve-time scaling (google-benchmark).
+//
+// Backs two of the paper's observations: exact solving is expensive
+// ("from many seconds to many days" on CPLEX) while the heuristics stay
+// polynomial, and the full figure-1 pipeline is cheap enough for a
+// compiler pass when driven by the heuristics.
+#include <benchmark/benchmark.h>
+
+#include "core/greedy_k.hpp"
+#include "core/reduce.hpp"
+#include "core/rs_exact.hpp"
+#include "core/rs_ilp.hpp"
+#include "core/saturation.hpp"
+#include "ddg/generators.hpp"
+#include "ddg/kernels.hpp"
+#include "graph/antichain.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+rs::ddg::Ddg make_dag(int n, std::uint64_t seed) {
+  rs::support::Rng rng(seed);
+  rs::ddg::RandomDagParams p;
+  p.n_ops = n;
+  return rs::ddg::random_dag(rng, rs::ddg::superscalar_model(), p);
+}
+
+void BM_GreedyK(benchmark::State& state) {
+  const auto d = make_dag(static_cast<int>(state.range(0)), 1001);
+  const rs::core::TypeContext ctx(d, rs::ddg::kFloatReg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs::core::greedy_k(ctx).rs);
+  }
+}
+BENCHMARK(BM_GreedyK)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RsExactCombinatorial(benchmark::State& state) {
+  const auto d = make_dag(static_cast<int>(state.range(0)), 1002);
+  const rs::core::TypeContext ctx(d, rs::ddg::kFloatReg);
+  rs::core::RsExactOptions opts;
+  opts.time_limit_seconds = 60;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs::core::rs_exact(ctx, opts).rs);
+  }
+}
+BENCHMARK(BM_RsExactCombinatorial)->Arg(8)->Arg(12)->Arg(16)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RsIlp(benchmark::State& state) {
+  const auto d = make_dag(static_cast<int>(state.range(0)), 1003);
+  const rs::core::TypeContext ctx(d, rs::ddg::kFloatReg);
+  rs::core::RsIlpOptions opts;
+  opts.mip.time_limit_seconds = 60;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs::core::rs_ilp(ctx, opts).rs);
+  }
+}
+BENCHMARK(BM_RsIlp)->Arg(5)->Arg(6)->Arg(7)->Unit(benchmark::kMillisecond);
+
+void BM_RsModelBuildOnly(benchmark::State& state) {
+  const auto d = make_dag(static_cast<int>(state.range(0)), 1004);
+  const rs::core::TypeContext ctx(d, rs::ddg::kFloatReg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs::core::rs_model_stats(ctx).variables);
+  }
+}
+BENCHMARK(BM_RsModelBuildOnly)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MaximumAntichain(benchmark::State& state) {
+  const auto d = make_dag(static_cast<int>(state.range(0)), 1005);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rs::graph::maximum_antichain_of_dag(d.graph()).size);
+  }
+}
+BENCHMARK(BM_MaximumAntichain)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ReduceGreedy(benchmark::State& state) {
+  const auto d = make_dag(static_cast<int>(state.range(0)), 1006);
+  const rs::core::TypeContext ctx(d, rs::ddg::kFloatReg);
+  const int rs_value = rs::core::greedy_k(ctx).rs;
+  if (rs_value < 3) {
+    state.SkipWithError("instance too small");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rs::core::reduce_greedy(ctx, rs_value - 1).status);
+  }
+}
+BENCHMARK(BM_ReduceGreedy)->Arg(12)->Arg(16)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullPipelineHeuristic(benchmark::State& state) {
+  // The figure-1 pass as a compiler would run it: heuristic engines,
+  // verification on, realistic register files (16 int / 16 float).
+  const auto d = make_dag(static_cast<int>(state.range(0)), 1007);
+  rs::core::PipelineOptions opts;
+  opts.analyze.engine = rs::core::RsEngine::Greedy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rs::core::ensure_limits(d, {16, 16}, opts).success);
+  }
+}
+BENCHMARK(BM_FullPipelineHeuristic)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KernelAnalysis(benchmark::State& state) {
+  // Exact RS over the whole reconstructed kernel corpus (per iteration).
+  const auto corpus = rs::ddg::kernel_corpus(rs::ddg::superscalar_model());
+  rs::core::RsExactOptions opts;
+  opts.time_limit_seconds = 60;
+  for (auto _ : state) {
+    int total = 0;
+    for (const auto& [name, dag] : corpus) {
+      const rs::core::TypeContext ctx(dag, rs::ddg::kFloatReg);
+      total += rs::core::rs_exact(ctx, opts).rs;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_KernelAnalysis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// The full early-register-pressure pipeline of figure 1, end to end, on a
+// real loop body (Livermore loop 7):
+//
+//   DDG -> RS analysis -> RS reduction -> register-blind list scheduling
+//       -> linear-scan register allocation
+//
+// The punchline the paper argues for: after the RS pass, the scheduler can
+// chase ILP without ever thinking about registers, and the allocator is
+// still guaranteed to succeed without spill code.
+#include <cstdio>
+
+#include "core/saturation.hpp"
+#include "ddg/kernels.hpp"
+#include "graph/paths.hpp"
+#include "sched/lifetime.hpp"
+#include "sched/list_sched.hpp"
+
+int main() {
+  using namespace rs;
+
+  const ddg::Ddg dag = ddg::liv_loop7(ddg::superscalar_model());
+  std::printf("kernel: %s — %d ops, %d arcs, critical path %lld\n",
+              dag.name().c_str(), dag.op_count(), dag.graph().edge_count(),
+              static_cast<long long>(graph::critical_path(dag.graph())));
+
+  // Target machine: 4-issue, 12 int / 10 float registers.
+  const std::vector<int> regfile = {12, 10};
+  sched::Resources machine;
+  machine.issue_width = 4;
+
+  // --- RS analysis -------------------------------------------------------
+  const core::SaturationReport rs_report = core::analyze(dag);
+  for (const auto& t : rs_report.per_type) {
+    std::printf("RS(type %d) = %d vs %d available -> %s\n", t.type, t.rs,
+                regfile[t.type],
+                t.rs <= regfile[t.type] ? "free" : "must reduce");
+  }
+
+  // --- RS reduction where needed ----------------------------------------
+  const core::PipelineResult safe = core::ensure_limits(dag, regfile);
+  if (!safe.success) {
+    std::printf("pipeline reports: %s\n", safe.note.c_str());
+    return 1;
+  }
+  for (ddg::RegType t = 0; t < dag.type_count(); ++t) {
+    const auto& r = safe.per_type[t];
+    if (r.arcs_added > 0) {
+      std::printf("type %d: %d serialization arc(s), ILP loss %lld cycle(s)\n",
+                  t, r.arcs_added, static_cast<long long>(r.ilp_loss()));
+    }
+  }
+
+  // --- register-blind scheduling ----------------------------------------
+  const sched::Schedule sigma = sched::list_schedule(safe.out, machine);
+  std::printf("\nlist schedule makespan: %lld cycles\n",
+              static_cast<long long>(sched::makespan(safe.out, sigma)));
+
+  // --- allocation (guaranteed to fit) ------------------------------------
+  for (ddg::RegType t = 0; t < dag.type_count(); ++t) {
+    const int need = sched::register_need(safe.out, t, sigma);
+    const sched::Allocation alloc = sched::allocate(safe.out, t, sigma);
+    std::printf("type %d: MAXLIVE %d, allocated %d register(s), budget %d %s\n",
+                t, need, alloc.registers_used, regfile[t],
+                alloc.registers_used <= regfile[t] ? "[ok]" : "[BUG]");
+    if (alloc.registers_used > regfile[t]) return 1;
+  }
+
+  std::puts("\nno spill code needed — the RS pass made register constraints "
+            "vanish before scheduling, as the paper promises.");
+  return 0;
+}

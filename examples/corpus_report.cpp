@@ -1,0 +1,52 @@
+// Survey tool: print the reconstructed kernel corpus with per-kernel
+// register-pressure facts, optionally dumping one kernel as DOT or as the
+// text DDG format.
+//
+//   $ ./examples/corpus_report                 # table over the corpus
+//   $ ./examples/corpus_report --dot lin-ddot  # Graphviz of one kernel
+//   $ ./examples/corpus_report --text fir8     # text DDG of one kernel
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/greedy_k.hpp"
+#include "core/rs_exact.hpp"
+#include "ddg/io.hpp"
+#include "ddg/kernels.hpp"
+#include "graph/paths.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rs;
+
+  if (argc == 3 &&
+      (!std::strcmp(argv[1], "--dot") || !std::strcmp(argv[1], "--text"))) {
+    const ddg::Ddg dag = ddg::build_kernel(argv[2], ddg::superscalar_model());
+    std::fputs(!std::strcmp(argv[1], "--dot") ? dag.to_dot().c_str()
+                                              : ddg::to_text(dag).c_str(),
+               stdout);
+    return 0;
+  }
+
+  support::Table table({"kernel", "model", "ops", "arcs", "fvalues", "CP",
+                        "RS* (greedy)", "RS (exact)", "proven"});
+  for (const auto& model : {ddg::superscalar_model(), ddg::vliw_model()}) {
+    for (const auto& [name, dag] : ddg::kernel_corpus(model)) {
+      const core::TypeContext ctx(dag, ddg::kFloatReg);
+      const core::RsEstimate greedy = core::greedy_k(ctx);
+      core::RsExactOptions opts;
+      opts.time_limit_seconds = 20;
+      const core::RsExactResult exact = core::rs_exact(ctx, opts);
+      table.add_row({name, model.name(), std::to_string(dag.op_count()),
+                     std::to_string(dag.graph().edge_count()),
+                     std::to_string(ctx.value_count()),
+                     std::to_string(graph::critical_path(dag.graph())),
+                     std::to_string(greedy.rs), std::to_string(exact.rs),
+                     exact.proven ? "yes" : "budget"});
+    }
+  }
+  std::puts("reconstructed benchmark corpus (see DESIGN.md substitution 2)");
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts("\ntip: --dot <kernel> or --text <kernel> dumps one DDG.");
+  return 0;
+}

@@ -1,0 +1,160 @@
+#include "cfg/cfg.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/digraph.hpp"
+#include "graph/topo.hpp"
+#include "support/assert.hpp"
+
+namespace rs::cfg {
+
+namespace {
+
+/// Backward liveness over an acyclic CFG: one reverse-topological pass
+/// reaches the fixpoint (no loops by construction).
+void compute_liveness(std::vector<Block>& blocks) {
+  const int n = static_cast<int>(blocks.size());
+  graph::Digraph g(n);
+  for (int b = 0; b < n; ++b) {
+    for (const int s : blocks[b].successors) g.add_edge(b, s, 0);
+  }
+  const auto order = graph::topo_order(g);
+  RS_REQUIRE(order.has_value(), "control-flow graph must be acyclic");
+
+  // Per block: upward-exposed uses and definitions.
+  std::vector<std::set<std::string>> uses(n), defs(n);
+  for (int b = 0; b < n; ++b) {
+    std::set<std::string> defined;
+    for (const Statement& st : blocks[b].statements) {
+      for (const std::string& op : st.operands) {
+        if (!defined.count(op)) uses[b].insert(op);
+      }
+      if (!st.result.empty()) defined.insert(st.result);
+    }
+    defs[b] = std::move(defined);
+  }
+
+  std::vector<std::set<std::string>> live_out(n), live_in(n);
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const int b = *it;
+    for (const int s : blocks[b].successors) {
+      live_out[b].insert(live_in[s].begin(), live_in[s].end());
+    }
+    live_in[b] = uses[b];
+    for (const std::string& v : live_out[b]) {
+      if (!defs[b].count(v)) live_in[b].insert(v);
+    }
+  }
+  for (int b = 0; b < n; ++b) {
+    blocks[b].live_in.assign(live_in[b].begin(), live_in[b].end());
+    blocks[b].live_out.assign(live_out[b].begin(), live_out[b].end());
+  }
+}
+
+}  // namespace
+
+int Program::add_block(std::string name) {
+  Block b;
+  b.name = std::move(name);
+  blocks_.push_back(std::move(b));
+  return static_cast<int>(blocks_.size()) - 1;
+}
+
+void Program::add_edge(int from, int to) {
+  RS_REQUIRE(from >= 0 && from < static_cast<int>(blocks_.size()) &&
+                 to >= 0 && to < static_cast<int>(blocks_.size()),
+             "CFG edge endpoint out of range");
+  blocks_[from].successors.push_back(to);
+}
+
+void Program::def(int block, std::string result, ddg::OpClass cls,
+                  ddg::RegType type, std::vector<std::string> operands) {
+  RS_REQUIRE(block >= 0 && block < static_cast<int>(blocks_.size()),
+             "unknown block");
+  RS_REQUIRE(!result.empty(), "definition needs a result name");
+  blocks_[block].statements.push_back(
+      Statement{std::move(result), cls, type, std::move(operands)});
+}
+
+void Program::use(int block, ddg::OpClass cls,
+                  std::vector<std::string> operands) {
+  RS_REQUIRE(block >= 0 && block < static_cast<int>(blocks_.size()),
+             "unknown block");
+  blocks_[block].statements.push_back(Statement{"", cls, 0, std::move(operands)});
+}
+
+Cfg Program::build() const {
+  Cfg cfg(machine_);
+  cfg.blocks_ = blocks_;
+
+  // Value type registry: a name may be defined at most once per program
+  // (SSA-ish; the restriction keeps entry-value types unambiguous).
+  for (const Block& b : cfg.blocks_) {
+    for (const Statement& st : b.statements) {
+      if (st.result.empty()) continue;
+      RS_REQUIRE(!cfg.value_types_.count(st.result),
+                 "value defined twice: " + st.result);
+      cfg.value_types_[st.result] = st.type;
+    }
+  }
+  compute_liveness(cfg.blocks_);
+  // Program inputs (live-in at some block, defined nowhere) default to the
+  // int type unless first consumed by a float-ish reader; keep explicit:
+  // register them as int values so expansion can type their entry ops.
+  for (const Block& b : cfg.blocks_) {
+    for (const std::string& v : b.live_in) {
+      if (!cfg.value_types_.count(v)) {
+        cfg.value_types_[v] = ddg::kIntReg;
+      }
+    }
+  }
+  return cfg;
+}
+
+ddg::RegType Cfg::type_of(const std::string& value) const {
+  const auto it = value_types_.find(value);
+  RS_REQUIRE(it != value_types_.end(), "unknown value: " + value);
+  return it->second;
+}
+
+ddg::Ddg Cfg::expand_block(int b) const {
+  RS_REQUIRE(b >= 0 && b < block_count(), "block index out of range");
+  const Block& blk = blocks_[b];
+  ddg::KernelBuilder kb(machine_, blk.name);
+  std::map<std::string, ddg::NodeId> def_node;
+
+  // Entry values: latency-0 definitions (the paper's inserted entry
+  // values), one per live-in name.
+  for (const std::string& v : blk.live_in) {
+    def_node[v] = kb.live_in(type_of(v), "in." + v);
+  }
+  // Body statements in program order.
+  int sink_id = 0;
+  for (const Statement& st : blk.statements) {
+    std::vector<ddg::NodeId> ops;
+    for (const std::string& name : st.operands) {
+      const auto it = def_node.find(name);
+      RS_REQUIRE(it != def_node.end(),
+                 "operand not available in block: " + name);
+      ops.push_back(it->second);
+    }
+    if (st.result.empty()) {
+      const ddg::NodeId v =
+          kb.sink_n(st.cls, "sink." + std::to_string(sink_id++), ops);
+      (void)v;
+    } else {
+      def_node[st.result] = kb.op_n(st.cls, st.type, st.result, ops);
+    }
+  }
+  // Exit values: an explicit end-of-block consumer per live-out name (the
+  // paper's inserted exit values), keeping them alive through the block.
+  for (const std::string& v : blk.live_out) {
+    const auto it = def_node.find(v);
+    RS_REQUIRE(it != def_node.end(), "live-out value not defined: " + v);
+    kb.sink_n(ddg::OpClass::Nop, "out." + v, {it->second});
+  }
+  return kb.build();
+}
+
+}  // namespace rs::cfg

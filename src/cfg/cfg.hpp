@@ -1,0 +1,100 @@
+// Acyclic control-flow graphs of basic blocks (section 6, "In the case of
+// a global scheduler", and the conclusion: "global RS of an acyclic CFG is
+// brought back to RS in DAGs by inserting entry and exit values with the
+// corresponding flow arcs").
+//
+// A Program is built from named SSA-ish values: each block defines values
+// by name and may read names defined earlier in the block, in a
+// predecessor block, or nowhere (program inputs). Liveness analysis
+// determines per-block entry/exit values; expansion materializes each
+// block as a standalone DDG with latency-0 entry definitions and exit
+// consumers, ready for the per-DAG RS machinery.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ddg/builder.hpp"
+#include "ddg/ddg.hpp"
+#include "ddg/machine.hpp"
+
+namespace rs::cfg {
+
+/// One recorded statement of a block.
+struct Statement {
+  std::string result;   // empty for pure sinks (stores, compares)
+  ddg::OpClass cls = ddg::OpClass::IntAlu;
+  ddg::RegType type = 0;  // type of the result value
+  std::vector<std::string> operands;
+};
+
+struct Block {
+  std::string name;
+  std::vector<Statement> statements;
+  std::vector<int> successors;
+  // Filled by liveness():
+  std::vector<std::string> live_in;   // sorted
+  std::vector<std::string> live_out;  // sorted
+};
+
+class Program;
+
+/// An analyzed CFG: blocks with liveness, ready for expansion.
+class Cfg {
+ public:
+  int block_count() const { return static_cast<int>(blocks_.size()); }
+  const Block& block(int b) const { return blocks_[b]; }
+  const ddg::MachineModel& machine() const { return machine_; }
+  int type_count() const { return ddg::kRegTypeCount; }
+
+  /// The register type of a named value (defined anywhere in the program
+  /// or appearing as a program input). Inputs default to the type they are
+  /// first consumed as.
+  ddg::RegType type_of(const std::string& value) const;
+
+  /// Materializes block b as a standalone, normalized DDG: entry values
+  /// become latency-0 definitions, exit values gain an explicit
+  /// end-of-block consumer (so they stay live through the block).
+  ddg::Ddg expand_block(int b) const;
+
+ private:
+  friend class Program;
+  explicit Cfg(ddg::MachineModel machine) : machine_(std::move(machine)) {}
+
+  ddg::MachineModel machine_;
+  std::vector<Block> blocks_;
+  std::map<std::string, ddg::RegType> value_types_;
+};
+
+/// Builder for Cfg. Usage:
+///   Program p(superscalar_model());
+///   int entry = p.add_block("entry"); ...
+///   p.def(entry, "x", OpClass::Load, kFloatReg, {"ptr"});
+///   p.add_edge(entry, then_block); ...
+///   Cfg cfg = p.build();
+class Program {
+ public:
+  explicit Program(const ddg::MachineModel& machine) : machine_(machine) {}
+
+  int add_block(std::string name);
+  /// CFG arc; the final graph must be acyclic (checked in build()).
+  void add_edge(int from, int to);
+
+  /// Value-producing statement. Operand names must be defined earlier in
+  /// the block, in some other block, or become program inputs.
+  void def(int block, std::string result, ddg::OpClass cls, ddg::RegType type,
+           std::vector<std::string> operands);
+  /// Pure consumer (store/branch-style).
+  void use(int block, ddg::OpClass cls, std::vector<std::string> operands);
+
+  /// Runs liveness, validates acyclicity and name consistency, and
+  /// returns the analyzed CFG. Throws PreconditionError on violations.
+  Cfg build() const;
+
+ private:
+  ddg::MachineModel machine_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace rs::cfg

@@ -1,0 +1,54 @@
+#include "cfg/global_rs.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace rs::cfg {
+
+GlobalReport analyze(const Cfg& cfg, const core::AnalyzeOptions& opts) {
+  GlobalReport report;
+  report.global_rs.assign(cfg.type_count(), 0);
+  for (int b = 0; b < cfg.block_count(); ++b) {
+    const ddg::Ddg dag = cfg.expand_block(b);
+    const core::SaturationReport block_report = core::analyze(dag, opts);
+    BlockSaturation bs;
+    bs.block = cfg.block(b).name;
+    bs.per_type = block_report.per_type;
+    for (int t = 0; t < cfg.type_count(); ++t) {
+      report.global_rs[t] = std::max(report.global_rs[t],
+                                     block_report.per_type[t].rs);
+      report.all_proven = report.all_proven && block_report.per_type[t].proven;
+    }
+    report.blocks.push_back(std::move(bs));
+  }
+  return report;
+}
+
+GlobalReduceResult ensure_limits(const Cfg& cfg, const std::vector<int>& limits,
+                                 int move_margin,
+                                 const core::PipelineOptions& opts) {
+  RS_REQUIRE(static_cast<int>(limits.size()) == cfg.type_count(),
+             "one limit per register type");
+  RS_REQUIRE(move_margin >= 0, "negative move margin");
+  std::vector<int> effective(limits.size());
+  for (std::size_t t = 0; t < limits.size(); ++t) {
+    effective[t] = limits[t] - move_margin;
+    RS_REQUIRE(effective[t] >= 1,
+               "register file too small for the move margin");
+  }
+  GlobalReduceResult result;
+  for (int b = 0; b < cfg.block_count(); ++b) {
+    const ddg::Ddg dag = cfg.expand_block(b);
+    core::PipelineResult block_result = core::ensure_limits(dag, effective, opts);
+    if (!block_result.success) {
+      result.success = false;
+      result.note += "block " + cfg.block(b).name + ": " + block_result.note;
+    }
+    result.blocks.push_back(block_result.out);
+    result.details.push_back(std::move(block_result));
+  }
+  return result;
+}
+
+}  // namespace rs::cfg

@@ -1,0 +1,45 @@
+// Global register saturation over an acyclic CFG (section 6).
+//
+// Each block, expanded with its entry/exit values, is an independent DAG;
+// global RS per type is the maximum over blocks. Because a *global*
+// allocation may need one register above MAXLIVE for cross-block moves
+// (the de Werra et al. bound the paper invokes), the reduction entry point
+// takes a `move_margin` subtracted from every limit — the paper's
+// suggestion of "decrementing R so the final allocation cannot exceed R
+// even if move operations have been inserted".
+#pragma once
+
+#include "cfg/cfg.hpp"
+#include "core/saturation.hpp"
+
+namespace rs::cfg {
+
+struct BlockSaturation {
+  std::string block;
+  std::vector<core::TypeSaturation> per_type;
+};
+
+struct GlobalReport {
+  std::vector<BlockSaturation> blocks;
+  /// max over blocks, per type.
+  std::vector<int> global_rs;
+  bool all_proven = true;
+};
+
+/// Computes RS of every expanded block and the global per-type maxima.
+GlobalReport analyze(const Cfg& cfg, const core::AnalyzeOptions& opts = {});
+
+struct GlobalReduceResult {
+  /// Per-block register-safe DDGs (ready for per-block scheduling).
+  std::vector<ddg::Ddg> blocks;
+  std::vector<core::PipelineResult> details;
+  bool success = true;
+  std::string note;
+};
+
+/// Runs the figure-1 pipeline on every block against limits[t]-move_margin.
+GlobalReduceResult ensure_limits(const Cfg& cfg, const std::vector<int>& limits,
+                                 int move_margin = 1,
+                                 const core::PipelineOptions& opts = {});
+
+}  // namespace rs::cfg

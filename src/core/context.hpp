@@ -1,0 +1,55 @@
+// Per-(DDG, register type) analysis context: value indexing, consumer sets,
+// longest paths and potential killers, shared by every RS algorithm.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ddg/ddg.hpp"
+#include "graph/paths.hpp"
+
+namespace rs::core {
+
+/// Immutable precomputation for analyzing one register type of one DDG.
+/// Construction cost: O(V*(V+E)) longest paths + O(V*E) pkill filtering.
+class TypeContext {
+ public:
+  TypeContext(const ddg::Ddg& ddg, ddg::RegType type);
+
+  const ddg::Ddg& ddg() const { return *ddg_; }
+  ddg::RegType type() const { return type_; }
+  const ddg::ValueSet& values() const { return values_; }
+  int value_count() const { return values_.count(); }
+  const graph::LongestPaths& lp() const { return *lp_; }
+
+  /// Cons(u^t) for value index i.
+  const std::vector<ddg::NodeId>& cons(int value_index) const {
+    return cons_[value_index];
+  }
+  /// pkill(u^t) for value index i: consumers not surely-read-before another
+  /// consumer (the maximal elements of Cons under the forced-read order).
+  const std::vector<ddg::NodeId>& pkill(int value_index) const {
+    return pkill_[value_index];
+  }
+
+  ddg::NodeId value_node(int value_index) const {
+    return values_.nodes[value_index];
+  }
+  int index_of(ddg::NodeId v) const { return values_.index_of[v]; }
+
+  /// True when value i is dead before value j is defined in *every*
+  /// schedule: each consumer of i reads no later than j's write
+  /// (lp(u', node_j) >= delta_r(u') - delta_w(node_j) for all u').
+  /// This is the section-3 "never simultaneously alive" test direction.
+  bool surely_dead_before(int i, int j) const;
+
+ private:
+  const ddg::Ddg* ddg_;
+  ddg::RegType type_;
+  ddg::ValueSet values_;
+  std::shared_ptr<const graph::LongestPaths> lp_;
+  std::vector<std::vector<ddg::NodeId>> cons_;
+  std::vector<std::vector<ddg::NodeId>> pkill_;
+};
+
+}  // namespace rs::core

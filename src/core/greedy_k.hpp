@@ -1,0 +1,37 @@
+// Greedy-k-style heuristic for register saturation (the heuristic family of
+// [Touati CC'01] whose near-optimality the paper's section 5 evaluates).
+//
+// Two phases:
+//  1. greedy construction: values in topological order of their definition;
+//     each picks the potential killer with the smallest downstream value
+//     footprint (fewest value definitions reachable from the killer), the
+//     choice that adds the fewest disjoint-value arcs; candidates that
+//     would make G->k cyclic are skipped (a valid choice always exists:
+//     the topologically-last potential killer only adds forward arcs);
+//  2. steepest-ascent refinement: re-pick killers one value at a time while
+//     the maximum antichain improves, within a bounded number of passes.
+//
+// The result is *witnessed*: RS* equals the register need of an actual
+// schedule (the saturating-schedule certificate), so RS* <= RS always.
+#pragma once
+
+#include "core/killing.hpp"
+
+namespace rs::core {
+
+struct GreedyOptions {
+  /// Maximum full refinement passes over all values.
+  int refine_passes = 3;
+};
+
+struct RsEstimate {
+  int rs = 0;                   // witnessed register saturation estimate
+  KillingFunction killing;      // the killing function achieving it
+  std::vector<int> antichain;   // saturating value indices
+  sched::Schedule witness;      // schedule with RN == rs (original DDG)
+};
+
+/// Runs the heuristic. For value-free types returns rs == 0.
+RsEstimate greedy_k(const TypeContext& ctx, const GreedyOptions& opts = {});
+
+}  // namespace rs::core

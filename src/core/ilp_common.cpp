@@ -1,0 +1,97 @@
+#include "core/ilp_common.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "graph/paths.hpp"
+#include "lp/linearize.hpp"
+#include "support/assert.hpp"
+
+namespace rs::core {
+
+IlpSkeleton build_ilp_skeleton(const TypeContext& ctx,
+                               const SkeletonOptions& opts) {
+  const ddg::Ddg& ddg = ctx.ddg();
+  const graph::Digraph& g = ddg.graph();
+  const int n = g.node_count();
+  const int nv = ctx.value_count();
+
+  IlpSkeleton skel;
+  skel.nv = nv;
+  skel.horizon = opts.horizon > 0 ? opts.horizon : sched::worst_case_horizon(g);
+
+  const std::vector<std::int64_t> asap = graph::longest_path_to(g);
+  const std::vector<std::int64_t> lpf = graph::longest_path_from(g);
+
+  lp::Model& m = skel.model;
+  skel.sigma.resize(n);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    const double lo = static_cast<double>(asap[u]);
+    const double hi = static_cast<double>(skel.horizon - lpf[u]);
+    RS_REQUIRE(lo <= hi, "horizon below critical path");
+    skel.sigma[u] = m.add_int(lo, hi, "sigma." + ddg.op(u).name);
+  }
+
+  for (const graph::Edge& e : g.edges()) {
+    if (opts.eliminate_redundant_arcs &&
+        ctx.lp().lp(e.src, e.dst) > e.latency) {
+      continue;
+    }
+    m.add_constraint(
+        lp::LinExpr(skel.sigma[e.dst]) - lp::LinExpr(skel.sigma[e.src]),
+        lp::Sense::GE, static_cast<double>(e.latency),
+        "prec." + std::to_string(e.src) + "." + std::to_string(e.dst));
+  }
+
+  skel.kill.resize(nv);
+  for (int i = 0; i < nv; ++i) {
+    std::vector<lp::LinExpr> reads;
+    for (const ddg::NodeId v : ctx.cons(i)) {
+      lp::LinExpr r = lp::LinExpr(skel.sigma[v]);
+      r.add_constant(static_cast<double>(ddg.op(v).delta_r));
+      reads.push_back(std::move(r));
+    }
+    skel.kill[i] =
+        lp::add_max(m, reads, "k." + ddg.op(ctx.value_node(i)).name);
+  }
+
+  skel.s.assign(nv * std::max(nv - 1, 0) / 2, lp::Var{});
+  for (int i = 0; i < nv; ++i) {
+    for (int j = i + 1; j < nv; ++j) {
+      if (opts.eliminate_never_alive_pairs &&
+          (ctx.surely_dead_before(i, j) || ctx.surely_dead_before(j, i))) {
+        continue;  // s == 0 structurally
+      }
+      const std::string pid = std::to_string(i) + "." + std::to_string(j);
+      const ddg::NodeId ui = ctx.value_node(i);
+      const ddg::NodeId uj = ctx.value_node(j);
+      // a <=> k_i >= def_j + 1 ; b <=> k_j >= def_i + 1 ; s = a AND b.
+      const lp::Var a = m.add_binary("a." + pid);
+      lp::LinExpr ki_minus_defj =
+          lp::LinExpr(skel.kill[i]) - lp::LinExpr(skel.sigma[uj]);
+      ki_minus_defj.add_constant(-static_cast<double>(ddg.op(uj).delta_w));
+      lp::add_iff_ge(m, a, ki_minus_defj, 1.0, "a." + pid);
+      const lp::Var b = m.add_binary("b." + pid);
+      lp::LinExpr kj_minus_defi =
+          lp::LinExpr(skel.kill[j]) - lp::LinExpr(skel.sigma[ui]);
+      kj_minus_defi.add_constant(-static_cast<double>(ddg.op(ui).delta_w));
+      lp::add_iff_ge(m, b, kj_minus_defi, 1.0, "b." + pid);
+      const lp::Var s = m.add_binary("s." + pid);
+      lp::add_and(m, s, a, b, "s." + pid);
+      skel.s[skel.pair_index(i, j)] = s;
+    }
+  }
+  return skel;
+}
+
+sched::Schedule schedule_from_solution(const IlpSkeleton& skel,
+                                       const std::vector<double>& x) {
+  sched::Schedule s;
+  s.time.resize(skel.sigma.size());
+  for (std::size_t u = 0; u < skel.sigma.size(); ++u) {
+    s.time[u] = static_cast<sched::Time>(std::llround(x[skel.sigma[u].id]));
+  }
+  return s;
+}
+
+}  // namespace rs::core

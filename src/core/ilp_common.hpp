@@ -1,0 +1,48 @@
+// Shared skeleton of the paper's intLP formulations (sections 3 and 4):
+// scheduling variables, killing dates, and pairwise interference binaries.
+// rs_ilp.hpp adds the independent-set layer (section 3); reduce_ilp.hpp adds
+// the register-assignment/coloring layer (section 4).
+#pragma once
+
+#include <vector>
+
+#include "core/context.hpp"
+#include "lp/model.hpp"
+#include "sched/schedule.hpp"
+
+namespace rs::core {
+
+struct SkeletonOptions {
+  /// Horizon T; <= 0 selects the paper's T = sum of positive arc latencies.
+  sched::Time horizon = 0;
+  bool eliminate_redundant_arcs = true;     // section-3 optimization 1
+  bool eliminate_never_alive_pairs = true;  // section-3 optimization 2
+};
+
+/// The common model fragment. For a never-alive pair the `s` handle is
+/// invalid (treat s as the constant 0).
+struct IlpSkeleton {
+  lp::Model model;
+  std::vector<lp::Var> sigma;  // per node
+  std::vector<lp::Var> kill;   // per value index
+  std::vector<lp::Var> s;      // per unordered pair, pair_index order
+  sched::Time horizon = 0;
+
+  int nv = 0;
+  int pair_index(int i, int j) const {
+    if (i > j) std::swap(i, j);
+    return i * nv - i * (i + 1) / 2 + (j - i - 1);
+  }
+  bool pair_eliminated(int i, int j) const {
+    return !s[pair_index(i, j)].valid();
+  }
+};
+
+IlpSkeleton build_ilp_skeleton(const TypeContext& ctx,
+                               const SkeletonOptions& opts);
+
+/// Reads a Schedule out of a MIP solution vector.
+sched::Schedule schedule_from_solution(const IlpSkeleton& skel,
+                                       const std::vector<double>& x);
+
+}  // namespace rs::core

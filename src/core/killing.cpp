@@ -1,0 +1,107 @@
+#include "core/killing.hpp"
+
+#include <algorithm>
+
+#include "graph/antichain.hpp"
+#include "graph/paths.hpp"
+#include "graph/topo.hpp"
+#include "graph/transitive.hpp"
+#include "support/assert.hpp"
+
+namespace rs::core {
+
+graph::Digraph killing_extended_graph(const TypeContext& ctx,
+                                      const KillingFunction& k) {
+  RS_REQUIRE(static_cast<int>(k.killer.size()) == ctx.value_count(),
+             "killing function size mismatch");
+  graph::Digraph g(ctx.ddg().graph().node_count());
+  for (const graph::Edge& e : ctx.ddg().graph().edges()) {
+    g.add_edge(e.src, e.dst, e.latency);
+  }
+  for (int i = 0; i < ctx.value_count(); ++i) {
+    const ddg::NodeId killer = k.killer[i];
+    if (killer < 0) continue;
+    for (const ddg::NodeId other : ctx.pkill(i)) {
+      if (other == killer) continue;
+      // Force: read(other) <= read(killer).
+      g.add_edge(other, killer,
+                 ctx.ddg().op(other).delta_r - ctx.ddg().op(killer).delta_r);
+    }
+  }
+  return g;
+}
+
+bool is_valid_killing(const TypeContext& ctx, const KillingFunction& k) {
+  for (int i = 0; i < ctx.value_count(); ++i) {
+    const ddg::NodeId killer = k.killer[i];
+    if (killer < 0) continue;
+    const auto& pk = ctx.pkill(i);
+    if (std::find(pk.begin(), pk.end(), killer) == pk.end()) return false;
+  }
+  return graph::is_dag(killing_extended_graph(ctx, k));
+}
+
+std::optional<graph::Digraph> disjoint_value_dag(const TypeContext& ctx,
+                                                 const KillingFunction& k) {
+  const graph::Digraph ext = killing_extended_graph(ctx, k);
+  if (!graph::is_dag(ext)) return std::nullopt;
+  const graph::LongestPaths lp(ext);
+
+  const int nv = ctx.value_count();
+  graph::Digraph dv(nv);
+  for (int i = 0; i < nv; ++i) {
+    const ddg::NodeId killer = k.killer[i];
+    if (killer < 0) continue;
+    const ddg::Latency dr_killer = ctx.ddg().op(killer).delta_r;
+    for (int j = 0; j < nv; ++j) {
+      if (j == i) continue;
+      const ddg::NodeId vj = ctx.value_node(j);
+      // u_i surely dead before u_j defined:
+      //   sigma(v_j) + dw(v_j) >= sigma(k(u_i)) + dr(k(u_i)) always.
+      if (lp.reaches(killer, vj) &&
+          lp.lp(killer, vj) >= dr_killer - ctx.ddg().op(vj).delta_w) {
+        dv.add_edge(i, j, 0);
+      }
+    }
+  }
+  if (!graph::is_dag(dv)) return std::nullopt;  // degenerate tie cycle
+  return dv;
+}
+
+std::optional<KillingNeed> killing_need(const TypeContext& ctx,
+                                        const KillingFunction& k) {
+  const auto dv = disjoint_value_dag(ctx, k);
+  if (!dv.has_value()) return std::nullopt;
+  const graph::AntichainResult ac = graph::maximum_antichain_of_dag(*dv);
+  KillingNeed need;
+  need.need = ac.size;
+  need.antichain = ac.members;
+  return need;
+}
+
+sched::Schedule saturating_schedule(const TypeContext& ctx,
+                                    const KillingFunction& k,
+                                    const std::vector<int>& antichain) {
+  RS_REQUIRE(k.complete(), "saturating schedule needs a complete killing function");
+  graph::Digraph g = killing_extended_graph(ctx, k);
+  // Pairwise liveness forcing: for every ordered pair (u, v) in the
+  // antichain, v's definition must land strictly before u's kill:
+  //   sigma(k(u)) + dr(k(u)) >= sigma(v) + dw(v) + 1.
+  for (const int iu : antichain) {
+    const ddg::NodeId killer = k.killer[iu];
+    for (const int iv : antichain) {
+      if (iv == iu) continue;
+      const ddg::NodeId vnode = ctx.value_node(iv);
+      if (vnode == killer) continue;  // self-arc; tie handled by offsets
+      g.add_edge(vnode, killer,
+                 ctx.ddg().op(vnode).delta_w - ctx.ddg().op(killer).delta_r + 1);
+    }
+  }
+  RS_REQUIRE(!graph::has_positive_circuit(g),
+             "antichain is not simultaneously realizable (not a DV antichain?)");
+  sched::Schedule s;
+  s.time = graph::longest_path_to(g);
+  return s;
+}
+
+}  // namespace rs::core

@@ -1,0 +1,74 @@
+// Killing functions and the disjoint-value DAG (Touati CC'01, recalled in
+// the paper's sections 1 and 3).
+//
+// A killing function k maps each value u^t to one of its potential killers.
+// The *killing-extended* graph G->k adds arcs (v' -> k(u)) with latency
+// delta_r(v') - delta_r(k(u)) for every other potential killer v', forcing
+// k(u) to be the last reader under every schedule of G->k. k is *valid*
+// when G->k stays acyclic (guarantees both schedulability and a well-formed
+// disjoint-value order).
+//
+// The disjoint-value DAG DV_k has an arc u -> v iff u's value is surely dead
+// before v's is defined:  lp_{G->k}(k(u), v) >= delta_r(k(u)) - delta_w(v).
+// Theorem [CC'01]: sets of values that can be simultaneously alive under
+// schedules of G->k are exactly the antichains of DV_k's reachability
+// order, so RN_k = maximum antichain, and RS = max over valid k of RN_k.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/context.hpp"
+#include "graph/digraph.hpp"
+#include "sched/schedule.hpp"
+
+namespace rs::core {
+
+/// killer[i] = node chosen to kill value i, or -1 while unassigned.
+struct KillingFunction {
+  std::vector<ddg::NodeId> killer;
+
+  explicit KillingFunction(int value_count = 0) : killer(value_count, -1) {}
+  bool complete() const {
+    for (const ddg::NodeId v : killer) {
+      if (v < 0) return false;
+    }
+    return true;
+  }
+};
+
+/// G->k for the assigned prefix of k (unassigned values contribute no
+/// arcs). Arcs from other *potential killers* only — consumers outside
+/// pkill are already forced to read no later than some pkill member.
+graph::Digraph killing_extended_graph(const TypeContext& ctx,
+                                      const KillingFunction& k);
+
+/// True iff every assigned killer is in pkill(u) and G->k is acyclic.
+bool is_valid_killing(const TypeContext& ctx, const KillingFunction& k);
+
+/// DV_k over value indices for the assigned prefix of k. Returns nullopt
+/// when k is invalid (extended graph cyclic or value order degenerate).
+std::optional<graph::Digraph> disjoint_value_dag(const TypeContext& ctx,
+                                                 const KillingFunction& k);
+
+/// Register need of a killing function and a witness antichain.
+struct KillingNeed {
+  int need = 0;
+  std::vector<int> antichain;  // value indices
+};
+
+/// RN_k = maximum antichain of DV_k's reachability order. nullopt when k
+/// is invalid. For partial k this is an *upper bound* on any completion
+/// (more assignments only add DV arcs).
+std::optional<KillingNeed> killing_need(const TypeContext& ctx,
+                                        const KillingFunction& k);
+
+/// Constructs the saturating-schedule certificate: a valid schedule of the
+/// ORIGINAL DDG under which all antichain values are simultaneously alive
+/// (adds pairwise arcs v -> k(u) with latency delta_w(v)-delta_r(k(u))+1 to
+/// G->k, then takes ASAP). The returned schedule witnesses RN >= |antichain|.
+sched::Schedule saturating_schedule(const TypeContext& ctx,
+                                    const KillingFunction& k,
+                                    const std::vector<int>& antichain);
+
+}  // namespace rs::core

@@ -1,0 +1,46 @@
+#include "core/min_reg.hpp"
+
+#include "graph/paths.hpp"
+#include "support/assert.hpp"
+
+namespace rs::core {
+
+MinRegResult minimize_register_need(const TypeContext& ctx,
+                                    sched::Time cp_budget,
+                                    const SrcOptions& opts,
+                                    ArcLatencyMode mode) {
+  MinRegResult result;
+  const sched::Time budget =
+      cp_budget > 0 ? cp_budget : graph::critical_path(ctx.ddg().graph());
+  if (ctx.value_count() == 0) {
+    result.proven = true;
+    result.sigma = sched::asap(ctx.ddg());
+    result.extended = ctx.ddg();
+    result.critical_path = budget;
+    return result;
+  }
+  for (int r = 1; r <= ctx.value_count(); ++r) {
+    SrcSolver solver(ctx, r);
+    SrcResult feas = solver.feasible(budget, 0, opts);
+    result.nodes += feas.nodes;
+    if (feas.status == SrcStatus::LimitHit && !feas.feasible) {
+      result.proven = false;
+      result.min_need = r;  // lower bound only
+      return result;
+    }
+    if (feas.feasible) {
+      result.proven = true;
+      result.min_need = feas.rn;
+      result.sigma = feas.sigma;
+      ExtensionResult ext = extend_by_schedule(ctx, feas.sigma, mode);
+      result.arcs_added = ext.arcs_added;
+      result.critical_path = graph::critical_path(ext.extended.graph());
+      result.extended = std::move(ext.extended);
+      return result;
+    }
+  }
+  RS_CHECK(false);  // r == value_count is always feasible
+  return result;
+}
+
+}  // namespace rs::core

@@ -1,0 +1,117 @@
+#include "core/rs_exact.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace rs::core {
+
+namespace {
+
+struct Search {
+  const TypeContext& ctx;
+  const RsExactOptions& opts;
+  support::Deadline deadline;
+
+  std::vector<int> branch_values;  // value indices with >1 candidate
+  KillingFunction current;
+  RsExactResult best;
+  bool complete = true;
+  long nodes = 0;
+
+  Search(const TypeContext& c, const RsExactOptions& o)
+      : ctx(c), opts(o), deadline(o.time_limit_seconds),
+        current(c.value_count()) {}
+
+  bool limits_hit() {
+    if (deadline.expired()) return true;
+    if (opts.node_limit > 0 && nodes >= opts.node_limit) return true;
+    return false;
+  }
+
+  void accept_leaf() {
+    const auto need = killing_need(ctx, current);
+    if (!need.has_value()) return;  // invalid completion
+    if (need->need > best.rs) {
+      best.rs = need->need;
+      best.killing = current;
+      best.antichain = need->antichain;
+    }
+  }
+
+  void dfs(std::size_t depth) {
+    if (limits_hit()) {
+      complete = false;
+      return;
+    }
+    ++nodes;
+    // Admissible bound: antichain of the partially constrained DV DAG.
+    const auto bound = killing_need(ctx, current);
+    if (!bound.has_value()) return;  // cyclic extension: prune subtree
+    if (bound->need <= best.rs) return;
+
+    if (depth == branch_values.size()) {
+      accept_leaf();
+      return;
+    }
+    const int i = branch_values[depth];
+    for (const ddg::NodeId cand : ctx.pkill(i)) {
+      current.killer[i] = cand;
+      dfs(depth + 1);
+      if (limits_hit()) {
+        complete = false;
+        break;
+      }
+    }
+    current.killer[i] = -1;
+  }
+};
+
+}  // namespace
+
+RsExactResult rs_exact(const TypeContext& ctx, const RsExactOptions& opts) {
+  Search search(ctx, opts);
+  const int nv = ctx.value_count();
+  if (nv == 0) {
+    RsExactResult empty;
+    empty.proven = true;
+    empty.killing = KillingFunction(0);
+    empty.witness = sched::asap(ctx.ddg());
+    return empty;
+  }
+
+  // Forced assignments (single potential killer) are fixed up front;
+  // branching happens only on genuinely free values, most constrained first.
+  for (int i = 0; i < nv; ++i) {
+    if (ctx.pkill(i).size() == 1) {
+      search.current.killer[i] = ctx.pkill(i)[0];
+    } else {
+      search.branch_values.push_back(i);
+    }
+  }
+  std::sort(search.branch_values.begin(), search.branch_values.end(),
+            [&](int a, int b) { return ctx.pkill(a).size() < ctx.pkill(b).size(); });
+
+  if (opts.warm_start) {
+    const RsEstimate greedy = greedy_k(ctx, opts.greedy);
+    search.best.rs = greedy.rs;
+    search.best.killing = greedy.killing;
+    search.best.antichain = greedy.antichain;
+  } else {
+    search.best.rs = 0;
+    search.best.killing = KillingFunction(nv);
+  }
+
+  search.dfs(0);
+
+  RsExactResult result = std::move(search.best);
+  result.proven = search.complete;
+  result.nodes = search.nodes;
+  if (result.killing.complete()) {
+    result.witness = saturating_schedule(ctx, result.killing, result.antichain);
+  }
+  return result;
+}
+
+}  // namespace rs::core

@@ -1,0 +1,40 @@
+// Exact register saturation by combinatorial branch-and-bound over valid
+// killing functions (the search space Theorem [CC'01] reduces RS to).
+//
+// This engine is independent of the section-3 intLP (rs_ilp.hpp); the two
+// cross-validate each other in the test suite. Computing RS is NP-complete,
+// so both carry explicit budgets and report whether optimality was proven.
+//
+// Bounding: for a partially assigned killing function, the maximum
+// antichain of the partial disjoint-value DAG only shrinks as more killers
+// are fixed (arcs only get added), so it is an admissible upper bound.
+#pragma once
+
+#include "core/greedy_k.hpp"
+#include "core/killing.hpp"
+
+namespace rs::core {
+
+struct RsExactOptions {
+  double time_limit_seconds = 30.0;  // <= 0: unlimited
+  long node_limit = 2000000;         // <= 0: unlimited
+  /// Seed the incumbent with the greedy heuristic (recommended).
+  bool warm_start = true;
+  GreedyOptions greedy;
+};
+
+struct RsExactResult {
+  /// Best register saturation found; equal to RS(G) when proven.
+  int rs = 0;
+  /// True when the search space was exhausted within budget.
+  bool proven = false;
+  KillingFunction killing;
+  std::vector<int> antichain;
+  sched::Schedule witness;  // schedule with RN == rs
+  long nodes = 0;
+};
+
+/// Computes RS_t(G) exactly (subject to budgets).
+RsExactResult rs_exact(const TypeContext& ctx, const RsExactOptions& opts = {});
+
+}  // namespace rs::core

@@ -1,0 +1,101 @@
+#include "core/rs_ilp.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "core/ilp_common.hpp"
+#include "support/assert.hpp"
+
+namespace rs::core {
+
+namespace {
+
+SkeletonOptions to_skeleton(const RsIlpOptions& opts) {
+  SkeletonOptions s;
+  s.horizon = opts.horizon;
+  s.eliminate_redundant_arcs = opts.eliminate_redundant_arcs;
+  s.eliminate_never_alive_pairs = opts.eliminate_never_alive_pairs;
+  return s;
+}
+
+}  // namespace
+
+lp::Model build_rs_model(const TypeContext& ctx, const RsIlpOptions& opts,
+                         std::vector<lp::Var>* sigma_vars,
+                         std::vector<lp::Var>* x_vars) {
+  IlpSkeleton skel = build_ilp_skeleton(ctx, to_skeleton(opts));
+  lp::Model& m = skel.model;
+  const int nv = ctx.value_count();
+
+  // Independent-set layer (section 3): x_u picks members of a maximum
+  // clique of the interference graph == independent set of its complement.
+  std::vector<lp::Var> x(nv);
+  for (int i = 0; i < nv; ++i) {
+    x[i] = m.add_binary("x." + ctx.ddg().op(ctx.value_node(i)).name);
+  }
+  for (int i = 0; i < nv; ++i) {
+    for (int j = i + 1; j < nv; ++j) {
+      const std::string pid = std::to_string(i) + "." + std::to_string(j);
+      lp::LinExpr c = lp::LinExpr(x[i]) + lp::LinExpr(x[j]);
+      if (!skel.pair_eliminated(i, j)) {
+        // s = 0 ==> x_i + x_j <= 1 (linear form: x_i + x_j - s <= 1).
+        c.add(skel.s[skel.pair_index(i, j)], -1.0);
+      }
+      m.add_constraint(c, lp::Sense::LE, 1.0, "is." + pid);
+    }
+  }
+
+  lp::LinExpr objective;
+  for (int i = 0; i < nv; ++i) objective.add(x[i], 1.0);
+  m.set_objective(objective, /*maximize=*/true);
+
+  if (sigma_vars) *sigma_vars = skel.sigma;
+  if (x_vars) *x_vars = x;
+  return std::move(skel.model);
+}
+
+RsIlpStats rs_model_stats(const TypeContext& ctx, const RsIlpOptions& opts) {
+  const lp::Model m = build_rs_model(ctx, opts);
+  RsIlpStats s;
+  s.variables = m.var_count();
+  s.integer_variables = m.integer_var_count();
+  s.constraints = m.constraint_count();
+  s.n_nodes = ctx.ddg().graph().node_count();
+  s.m_arcs = ctx.ddg().graph().edge_count();
+  s.n_values = ctx.value_count();
+  return s;
+}
+
+RsIlpResult rs_ilp(const TypeContext& ctx, const RsIlpOptions& opts) {
+  RsIlpResult result;
+  if (ctx.value_count() == 0) {
+    result.status = lp::MipStatus::Optimal;
+    result.proven = true;
+    result.witness = sched::asap(ctx.ddg());
+    return result;
+  }
+  std::vector<lp::Var> sigma;
+  const lp::Model model = build_rs_model(ctx, opts, &sigma);
+  result.stats.variables = model.var_count();
+  result.stats.integer_variables = model.integer_var_count();
+  result.stats.constraints = model.constraint_count();
+  result.stats.n_nodes = ctx.ddg().graph().node_count();
+  result.stats.m_arcs = ctx.ddg().graph().edge_count();
+  result.stats.n_values = ctx.value_count();
+
+  const lp::MipResult mip = lp::solve_mip(model, opts.mip);
+  result.status = mip.status;
+  result.nodes = mip.nodes;
+  result.proven = mip.status == lp::MipStatus::Optimal;
+  if (mip.has_solution()) {
+    result.rs = static_cast<int>(std::llround(mip.objective));
+    result.witness.time.resize(ctx.ddg().op_count());
+    for (graph::NodeId u = 0; u < ctx.ddg().op_count(); ++u) {
+      result.witness.time[u] =
+          static_cast<sched::Time>(std::llround(mip.x[sigma[u].id]));
+    }
+  }
+  return result;
+}
+
+}  // namespace rs::core

@@ -1,0 +1,68 @@
+// The paper's section-3 intLP for computing register saturation exactly.
+//
+// Variables (n = |V| nodes, m = |E| arcs, values of the analyzed type):
+//   sigma_u   integer issue times, bounded by [ASAP, T - ALAP-distance];
+//   k_u       killing date of each value = max over consumers of
+//             sigma_v + delta_r(v)   (linearized per thesis [15]);
+//   a,b,s     three binaries per value pair: s <=> lifetimes interfere;
+//   x_u       one binary per value: membership in an independent set of the
+//             complement interference graph H'.
+// Constraints: precedence, killing-date max, interference equivalences,
+// and x_u + x_v <= 1 + s_uv;   objective: maximize sum x_u.
+// Totals: O(n^2) integer variables and O(m + n^2) constraints — the size
+// claim the paper makes against the literature (EXP-3 measures this).
+//
+// Both section-3 optimizations are implemented and switchable:
+//   (1) scheduling constraints of transitively redundant arcs are dropped;
+//   (2) value pairs that can never be simultaneously alive skip their
+//       interference binaries entirely (s fixed to 0).
+#pragma once
+
+#include "core/context.hpp"
+#include "lp/branch_bound.hpp"
+#include "lp/model.hpp"
+#include "sched/schedule.hpp"
+
+namespace rs::core {
+
+struct RsIlpOptions {
+  /// Worst-case schedule horizon T; <= 0 selects the paper's default
+  /// T = sum of positive arc latencies (no-ILP sequential bound).
+  sched::Time horizon = 0;
+  bool eliminate_redundant_arcs = true;   // section-3 optimization 1
+  bool eliminate_never_alive_pairs = true;  // section-3 optimization 2
+  lp::MipOptions mip;
+};
+
+/// Size accounting for EXP-3.
+struct RsIlpStats {
+  int variables = 0;
+  int integer_variables = 0;
+  int constraints = 0;
+  int n_nodes = 0;  // DAG nodes n
+  int m_arcs = 0;   // DAG arcs m
+  int n_values = 0;
+};
+
+/// Builds the section-3 model. `sigma_vars`/`x_vars` (optional) receive the
+/// variable handles for schedule extraction.
+lp::Model build_rs_model(const TypeContext& ctx, const RsIlpOptions& opts,
+                         std::vector<lp::Var>* sigma_vars = nullptr,
+                         std::vector<lp::Var>* x_vars = nullptr);
+
+/// Computes model size without solving (EXP-3 sweeps large DAGs).
+RsIlpStats rs_model_stats(const TypeContext& ctx, const RsIlpOptions& opts = {});
+
+struct RsIlpResult {
+  lp::MipStatus status = lp::MipStatus::Unknown;
+  int rs = 0;                  // objective value when solved
+  bool proven = false;         // status == Optimal
+  sched::Schedule witness;     // saturating schedule from sigma_u
+  RsIlpStats stats;
+  long nodes = 0;
+};
+
+/// Solves the section-3 intLP with the embedded branch-and-bound solver.
+RsIlpResult rs_ilp(const TypeContext& ctx, const RsIlpOptions& opts = {});
+
+}  // namespace rs::core

@@ -1,0 +1,131 @@
+#include "core/saturation.hpp"
+
+#include "core/greedy_k.hpp"
+#include "core/rs_exact.hpp"
+#include "core/rs_ilp.hpp"
+#include "graph/paths.hpp"
+#include "support/assert.hpp"
+
+namespace rs::core {
+
+bool SaturationReport::fits(const std::vector<int>& limits) const {
+  RS_REQUIRE(limits.size() == per_type.size(), "one limit per register type");
+  for (std::size_t t = 0; t < per_type.size(); ++t) {
+    if (per_type[t].rs > limits[t]) return false;
+  }
+  return true;
+}
+
+SaturationReport analyze(const ddg::Ddg& ddg, const AnalyzeOptions& opts) {
+  SaturationReport report;
+  for (ddg::RegType t = 0; t < ddg.type_count(); ++t) {
+    TypeContext ctx(ddg, t);
+    TypeSaturation ts;
+    ts.type = t;
+    ts.value_count = ctx.value_count();
+    switch (opts.engine) {
+      case RsEngine::Greedy: {
+        const RsEstimate est = greedy_k(ctx, opts.greedy);
+        ts.rs = est.rs;
+        ts.proven = false;
+        ts.witness = est.witness;
+        break;
+      }
+      case RsEngine::ExactCombinatorial: {
+        RsExactOptions ropts;
+        ropts.time_limit_seconds = opts.time_limit_seconds;
+        ropts.greedy = opts.greedy;
+        const RsExactResult res = rs_exact(ctx, ropts);
+        ts.rs = res.rs;
+        ts.proven = res.proven;
+        ts.witness = res.witness;
+        break;
+      }
+      case RsEngine::ExactIlp: {
+        RsIlpOptions iopts;
+        iopts.mip.time_limit_seconds = opts.time_limit_seconds;
+        const RsIlpResult res = rs_ilp(ctx, iopts);
+        ts.rs = res.rs;
+        ts.proven = res.proven;
+        ts.witness = res.witness;
+        break;
+      }
+    }
+    report.per_type.push_back(std::move(ts));
+  }
+  return report;
+}
+
+PipelineResult ensure_limits(const ddg::Ddg& ddg, const std::vector<int>& limits,
+                             const PipelineOptions& opts) {
+  RS_REQUIRE(static_cast<int>(limits.size()) == ddg.type_count(),
+             "one register limit per type");
+  PipelineResult result{ddg, {}, true, {}};
+
+  for (ddg::RegType t = 0; t < ddg.type_count(); ++t) {
+    RS_REQUIRE(limits[t] >= 1, "need at least one register per type");
+    // Fast path (start of section 3): |V_{R,t}| <= R_t bounds RS trivially.
+    {
+      const ddg::ValueSet vs(result.out, t);
+      if (vs.count() <= limits[t]) {
+        ReduceResult skip;
+        skip.status = ReduceStatus::AlreadyFits;
+        skip.achieved_rs = vs.count();
+        skip.original_cp = graph::critical_path(result.out.graph());
+        skip.critical_path = skip.original_cp;
+        result.per_type.push_back(std::move(skip));
+        continue;
+      }
+    }
+    ReduceOptions ropts = opts.reduce;
+    TypeContext ctx(result.out, t);
+    ReduceResult red = opts.exact_reduction
+                           ? reduce_optimal(ctx, limits[t], ropts)
+                           : reduce_greedy(ctx, limits[t], ropts);
+
+    if (opts.verify && !opts.exact_reduction &&
+        red.status == ReduceStatus::Reduced) {
+      // The serialization heuristic stops on its own (lower-bound) RS
+      // estimate; confirm with the exact engine and tighten if needed.
+      for (int extra = 0; extra < 4; ++extra) {
+        TypeContext vctx(*red.extended, t);
+        RsExactOptions vopts;
+        vopts.time_limit_seconds = opts.analyze.time_limit_seconds;
+        const RsExactResult verify = rs_exact(vctx, vopts);
+        if (verify.rs <= limits[t]) {
+          red.achieved_rs = verify.rs;
+          break;
+        }
+        ReduceOptions tighter = ropts;
+        tighter.rs_upper = verify.rs;
+        ReduceResult again = reduce_greedy(vctx, limits[t], tighter);
+        again.original_cp = red.original_cp;
+        again.arcs_added += red.arcs_added;
+        red = std::move(again);
+        if (red.status != ReduceStatus::Reduced) break;
+      }
+    }
+
+    switch (red.status) {
+      case ReduceStatus::AlreadyFits:
+      case ReduceStatus::Reduced:
+        RS_CHECK(red.extended.has_value());
+        result.out = *red.extended;
+        break;
+      case ReduceStatus::SpillNeeded:
+        result.success = false;
+        result.note += "type " + std::to_string(t) +
+                       ": spilling unavoidable within limits; ";
+        break;
+      case ReduceStatus::LimitHit:
+        result.success = false;
+        result.note += "type " + std::to_string(t) +
+                       ": reduction budget exhausted; ";
+        break;
+    }
+    result.per_type.push_back(std::move(red));
+  }
+  return result;
+}
+
+}  // namespace rs::core

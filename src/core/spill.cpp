@@ -1,0 +1,139 @@
+#include "core/spill.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/greedy_k.hpp"
+#include "graph/paths.hpp"
+#include "sched/schedule.hpp"
+#include "support/assert.hpp"
+
+namespace rs::core {
+
+ddg::Ddg split_value(const TypeContext& ctx, int value_index,
+                     const std::vector<ddg::NodeId>& late_consumers) {
+  RS_REQUIRE(!late_consumers.empty(), "need at least one late consumer");
+  const ddg::Ddg& src = ctx.ddg();
+  const ddg::NodeId u = ctx.value_node(value_index);
+  const ddg::RegType t = ctx.type();
+  const std::set<ddg::NodeId> late(late_consumers.begin(),
+                                   late_consumers.end());
+  for (const ddg::NodeId c : late) {
+    const auto& cons = ctx.cons(value_index);
+    RS_REQUIRE(std::find(cons.begin(), cons.end(), c) != cons.end(),
+               "late consumer does not read this value");
+  }
+
+  // Rebuild: same ops, then a store and a reload; flow arcs to late
+  // consumers are redirected through the reload.
+  ddg::Ddg out(src.type_count(), src.name() + "+spill");
+  for (ddg::NodeId v = 0; v < src.op_count(); ++v) {
+    ddg::Operation op = src.op(v);
+    op.writes.clear();
+    const ddg::NodeId nv = out.add_op(op);
+    RS_CHECK(nv == v);
+    for (const ddg::RegType wt : src.op(v).writes) out.mark_writes(v, wt);
+  }
+  // Store and reload timing: classic memory round trip.
+  ddg::Operation store;
+  store.name = src.op(u).name + ".spill";
+  store.cls = ddg::OpClass::Store;
+  store.latency = 1;
+  ddg::Operation reload;
+  reload.name = src.op(u).name + ".reload";
+  reload.cls = ddg::OpClass::Load;
+  reload.latency = 3;
+  // Match the machine style of the source op (visible offsets if any).
+  reload.delta_r = 0;
+  reload.delta_w = src.op(u).delta_w > 0 ? reload.latency - 1 : 0;
+  const ddg::NodeId s = out.add_op(store);
+  const ddg::NodeId l = out.add_op(reload);
+  out.mark_writes(l, t);
+
+  for (graph::EdgeId e = 0; e < src.graph().edge_count(); ++e) {
+    const graph::Edge& ed = src.graph().edge(e);
+    const ddg::EdgeAttr& attr = src.edge_attr(e);
+    const bool redirect = attr.kind == ddg::EdgeKind::Flow && attr.type == t &&
+                          ed.src == u && late.count(ed.dst) > 0;
+    if (!redirect) {
+      if (attr.kind == ddg::EdgeKind::Flow) {
+        out.add_flow(ed.src, ed.dst, attr.type, ed.latency);
+      } else {
+        out.add_serial(ed.src, ed.dst, ed.latency);
+      }
+      continue;
+    }
+    // Late consumer now reads the reloaded value.
+    out.add_flow(l, ed.dst, t,
+                 std::max<ddg::Latency>(reload.latency,
+                                        reload.delta_w + 1 -
+                                            src.op(ed.dst).delta_r));
+  }
+  // The store consumes the original value; the reload follows the store.
+  out.add_flow(u, s, t,
+               std::max<ddg::Latency>(src.op(u).latency,
+                                      src.op(u).delta_w + 1));
+  out.add_serial(s, l, store.latency);
+  out.validate();
+  return out;
+}
+
+SpillResult spill_and_reduce(const TypeContext& ctx, int R,
+                             const SpillOptions& opts) {
+  SpillResult result;
+  result.out = ctx.ddg();
+  for (int round = 0; round <= opts.max_spills; ++round) {
+    const TypeContext cur(result.out, ctx.type());
+    const ReduceResult red = reduce_greedy(cur, R, opts.reduce);
+    if (red.status == ReduceStatus::AlreadyFits ||
+        red.status == ReduceStatus::Reduced) {
+      result.status = red.status;
+      result.achieved_rs = red.achieved_rs;
+      result.critical_path = red.critical_path;
+      result.out = *red.extended;
+      return result;
+    }
+    if (red.status == ReduceStatus::LimitHit || round == opts.max_spills) {
+      result.status = red.status;
+      result.critical_path = graph::critical_path(result.out.graph());
+      return result;
+    }
+    // SpillNeeded: split the saturating value with the most consumers
+    // (ties: smallest index, for determinism). Late set: the last half of
+    // its consumers in ASAP order (at least one).
+    const RsEstimate est = greedy_k(cur, opts.reduce.greedy);
+    int chosen = -1;
+    std::size_t best_consumers = 0;
+    for (const int i : est.antichain) {
+      const std::size_t n_cons = cur.cons(i).size();
+      if (chosen < 0 || n_cons > best_consumers) {
+        chosen = i;
+        best_consumers = n_cons;
+      }
+    }
+    if (chosen < 0) {  // no antichain? nothing sensible left to do
+      result.status = ReduceStatus::SpillNeeded;
+      result.critical_path = graph::critical_path(result.out.graph());
+      return result;
+    }
+    std::vector<ddg::NodeId> consumers = cur.cons(chosen);
+    const sched::Schedule asap = sched::asap(result.out);
+    std::sort(consumers.begin(), consumers.end(),
+              [&](ddg::NodeId a, ddg::NodeId b) {
+                if (asap.time[a] != asap.time[b]) {
+                  return asap.time[a] < asap.time[b];
+                }
+                return a < b;
+              });
+    const std::size_t split = std::max<std::size_t>(1, consumers.size() / 2);
+    const std::vector<ddg::NodeId> late(consumers.begin() + split,
+                                        consumers.end());
+    const std::vector<ddg::NodeId> late_or_last =
+        late.empty() ? std::vector<ddg::NodeId>{consumers.back()} : late;
+    result.out = split_value(cur, chosen, late_or_last);
+    ++result.spills_inserted;
+  }
+  return result;
+}
+
+}  // namespace rs::core

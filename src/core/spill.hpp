@@ -1,0 +1,45 @@
+// DDG-level spill insertion — the paper's stated future work (section 7):
+// "the minimal spill code insertion in data dependence graphs ... must be
+// taken into account at the data dependence graph level in order to break
+// this iterative problem".
+//
+// When RS reduction reports SpillNeeded, this pass splits a value's
+// lifetime at the graph level: a store consumes the value early, a reload
+// redefines it for the late consumers. Pressure drops *for every schedule*
+// (the two fragments are serialized through memory), so reduction can be
+// re-attempted on the rewritten DAG — no schedule-then-spill-then-
+// reschedule iteration.
+#pragma once
+
+#include "core/context.hpp"
+#include "core/reduce.hpp"
+
+namespace rs::core {
+
+struct SpillOptions {
+  /// Cap on inserted store/reload pairs before giving up.
+  int max_spills = 8;
+  ReduceOptions reduce;
+};
+
+struct SpillResult {
+  ddg::Ddg out;              // rewritten (and possibly reduced) DDG
+  int spills_inserted = 0;   // store/reload pairs added
+  ReduceStatus status = ReduceStatus::LimitHit;
+  int achieved_rs = 0;       // witnessed RS of `out` for the target type
+  sched::Time critical_path = 0;
+};
+
+/// Splits the lifetime of value `value_index`: its consumers at or after
+/// the split keep reading a fresh reload; a store consumes the original.
+/// `late_consumers` must be a non-empty subset of the value's consumers.
+ddg::Ddg split_value(const TypeContext& ctx, int value_index,
+                     const std::vector<ddg::NodeId>& late_consumers);
+
+/// Iteratively spills (heuristic choice: the antichain value with the
+/// most consumers) and re-runs greedy reduction until RS_t <= R or the
+/// spill budget is exhausted.
+SpillResult spill_and_reduce(const TypeContext& ctx, int R,
+                             const SpillOptions& opts = {});
+
+}  // namespace rs::core

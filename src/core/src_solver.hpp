@@ -1,0 +1,73 @@
+// Exact solver for the SRC problem (Definition 4.3): does a schedule exist
+// with register need <= R and total time <= P? — plus the two optimization
+// modes the section-4 reduction needs:
+//   * minimum makespan subject to RN <= R  (the intLP's "minimize sigma_bot");
+//   * the paper's decrement loop, i.e. lexicographically maximize the
+//     achieved register need (<= R), then minimize makespan.
+//
+// Search: depth-first assignment of issue times in a fixed topological
+// order within [earliest-from-predecessors, P - LongestPathFrom] windows.
+// Pruning uses a monotone lower bound on the register need of any
+// completion: each already-defined value certainly lives until the larger
+// of its already-scheduled reads and the earliest possible issue of its
+// unscheduled consumers, and those forced intervals only grow as the
+// schedule completes. For VLIW targets an optional leaf filter rejects
+// schedules whose Theorem-4.2 arc set would create a circuit (the paper's
+// topological-sort-existence requirement).
+#pragma once
+
+#include <functional>
+
+#include "core/context.hpp"
+#include "sched/schedule.hpp"
+
+namespace rs::core {
+
+struct SrcOptions {
+  double time_limit_seconds = 20.0;  // <= 0: unlimited
+  long node_limit = 5000000;         // <= 0: unlimited
+  /// Extra cycles beyond the critical path explored before giving up on
+  /// feasibility (bounds the makespan search).
+  sched::Time slack_limit = 64;
+  /// Reject leaves whose induced extension would not admit a topological
+  /// sort (only meaningful when delta_w offsets are visible — VLIW/EPIC).
+  std::function<bool(const sched::Schedule&)> leaf_filter;
+};
+
+enum class SrcStatus {
+  Proven,     // answer is exact
+  LimitHit,   // budget exhausted; result is a bound / best-so-far
+};
+
+struct SrcResult {
+  bool feasible = false;
+  sched::Schedule sigma;       // witness when feasible
+  sched::Time makespan = 0;    // sigma(⊥) of the witness
+  int rn = 0;                  // register need of the witness
+  SrcStatus status = SrcStatus::Proven;
+  long nodes = 0;
+};
+
+class SrcSolver {
+ public:
+  /// R: available registers of ctx's type.
+  SrcSolver(const TypeContext& ctx, int R);
+
+  /// Is there sigma with RN <= R, sigma(⊥) <= P, and (if rn_target > 0)
+  /// RN >= rn_target?
+  SrcResult feasible(sched::Time P, int rn_target, const SrcOptions& opts);
+
+  /// Minimum sigma(⊥) subject to RN <= R; searches P upward from the
+  /// critical path to CP + slack_limit.
+  SrcResult minimize_makespan(const SrcOptions& opts);
+
+  /// Paper's decrement loop: largest achievable RN <= R (starting from
+  /// rs_upper), then minimum makespan at that RN.
+  SrcResult reduce_lexicographic(int rs_upper, const SrcOptions& opts);
+
+ private:
+  const TypeContext& ctx_;
+  int R_;
+};
+
+}  // namespace rs::core

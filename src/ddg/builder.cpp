@@ -1,0 +1,80 @@
+#include "ddg/builder.hpp"
+
+#include "support/assert.hpp"
+
+namespace rs::ddg {
+
+KernelBuilder::KernelBuilder(const MachineModel& model, std::string kernel_name)
+    : model_(model), ddg_(kRegTypeCount, std::move(kernel_name)) {}
+
+NodeId KernelBuilder::live_in(RegType t, std::string name) {
+  Operation op = model_.make_op(OpClass::Nop, std::move(name));
+  // Live-ins are available immediately; they still occupy a register from
+  // time 0 until their last read, which is exactly the semantics wanted.
+  op.latency = 0;
+  const NodeId v = ddg_.add_op(std::move(op));
+  ddg_.mark_writes(v, t);
+  return v;
+}
+
+RegType KernelBuilder::operand_type(NodeId v) const {
+  const Operation& o = ddg_.op(v);
+  if (o.writes_type(kFloatReg)) return kFloatReg;
+  RS_REQUIRE(o.writes_type(kIntReg), "operand defines no value: " + o.name);
+  return kIntReg;
+}
+
+ddg::Latency KernelBuilder::flow_latency(NodeId src, NodeId dst) const {
+  // Producer latency, raised so the consumer's read lands strictly after
+  // the write (zero-latency live-ins would otherwise read stale registers).
+  return std::max<Latency>(
+      ddg_.op(src).latency,
+      ddg_.op(src).delta_w + 1 - ddg_.op(dst).delta_r);
+}
+
+NodeId KernelBuilder::op(OpClass cls, RegType wt, std::string name,
+                         std::initializer_list<NodeId> operands) {
+  return op_n(cls, wt, std::move(name), std::vector<NodeId>(operands));
+}
+
+NodeId KernelBuilder::sink(OpClass cls, std::string name,
+                           std::initializer_list<NodeId> operands) {
+  return sink_n(cls, std::move(name), std::vector<NodeId>(operands));
+}
+
+NodeId KernelBuilder::op_n(OpClass cls, RegType wt, std::string name,
+                           const std::vector<NodeId>& operands) {
+  const NodeId v = ddg_.add_op(model_.make_op(cls, std::move(name)));
+  ddg_.mark_writes(v, wt);
+  for (const NodeId src : operands) {
+    const RegType t = operand_type(src);
+    ddg_.add_flow(src, v, t, flow_latency(src, v));
+  }
+  return v;
+}
+
+NodeId KernelBuilder::sink_n(OpClass cls, std::string name,
+                             const std::vector<NodeId>& operands) {
+  const NodeId v = ddg_.add_op(model_.make_op(cls, std::move(name)));
+  for (const NodeId src : operands) {
+    const RegType t = operand_type(src);
+    ddg_.add_flow(src, v, t, flow_latency(src, v));
+  }
+  return v;
+}
+
+void KernelBuilder::serial(NodeId src, NodeId dst, Latency latency) {
+  ddg_.add_serial(src, dst, latency);
+}
+
+Ddg KernelBuilder::build() const {
+  ddg_.validate();
+  return ddg_.normalized();
+}
+
+Ddg KernelBuilder::build_raw() const {
+  ddg_.validate();
+  return ddg_;
+}
+
+}  // namespace rs::ddg

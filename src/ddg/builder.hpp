@@ -1,0 +1,85 @@
+// Small IR-style builder for writing loop-body DDGs by hand (the kernel
+// corpus) and programmatically (generators). Flow-arc latencies default to
+// the producer's latency under the active machine model.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+
+#include "ddg/ddg.hpp"
+#include "ddg/machine.hpp"
+
+namespace rs::ddg {
+
+class KernelBuilder {
+ public:
+  KernelBuilder(const MachineModel& model, std::string kernel_name);
+
+  /// Live-in value of the given type (modeled as a latency-0 definition;
+  /// see DESIGN.md: DAG-level analysis needs every value defined in-graph).
+  NodeId live_in(RegType t, std::string name);
+
+  /// Generic n-ary operation writing one value of type `wt`; flow arcs are
+  /// added from each operand (operand type inferred from its definition:
+  /// prefer float if the producer writes float, else int).
+  NodeId op(OpClass cls, RegType wt, std::string name,
+            std::initializer_list<NodeId> operands);
+
+  /// Operation writing nothing (e.g. store): consumes operands only.
+  NodeId sink(OpClass cls, std::string name,
+              std::initializer_list<NodeId> operands);
+
+  /// Vector-operand variants (for programmatic construction, e.g. CFG
+  /// block expansion).
+  NodeId op_n(OpClass cls, RegType wt, std::string name,
+              const std::vector<NodeId>& operands);
+  NodeId sink_n(OpClass cls, std::string name,
+                const std::vector<NodeId>& operands);
+
+  // Typed conveniences (float value producers).
+  NodeId fload(std::string name, NodeId addr) {
+    return op(OpClass::Load, kFloatReg, std::move(name), {addr});
+  }
+  NodeId fadd(std::string name, NodeId a, NodeId b) {
+    return op(OpClass::FpAdd, kFloatReg, std::move(name), {a, b});
+  }
+  NodeId fmul(std::string name, NodeId a, NodeId b) {
+    return op(OpClass::FpMul, kFloatReg, std::move(name), {a, b});
+  }
+  NodeId fdiv(std::string name, NodeId a, NodeId b) {
+    return op(OpClass::FpDiv, kFloatReg, std::move(name), {a, b});
+  }
+  NodeId flong(std::string name, NodeId a) {
+    return op(OpClass::FpLong, kFloatReg, std::move(name), {a});
+  }
+  // Integer producers.
+  NodeId iadd(std::string name, NodeId a) {
+    return op(OpClass::IntAlu, kIntReg, std::move(name), {a});
+  }
+  NodeId iadd2(std::string name, NodeId a, NodeId b) {
+    return op(OpClass::IntAlu, kIntReg, std::move(name), {a, b});
+  }
+  NodeId store(std::string name, NodeId addr, NodeId value) {
+    return sink(OpClass::Store, std::move(name), {addr, value});
+  }
+
+  /// Adds an extra serial dependence (e.g. store ordering).
+  void serial(NodeId src, NodeId dst, Latency latency);
+
+  /// Finishes: validates and returns the *normalized* DDG (with ⊥).
+  Ddg build() const;
+
+  /// Finishes without normalization (tests that exercise normalized()).
+  Ddg build_raw() const;
+
+  const MachineModel& model() const { return model_; }
+
+ private:
+  RegType operand_type(NodeId v) const;
+  Latency flow_latency(NodeId src, NodeId dst) const;
+
+  MachineModel model_;
+  Ddg ddg_;
+};
+
+}  // namespace rs::ddg

@@ -1,0 +1,167 @@
+#include "ddg/ddg.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/topo.hpp"
+#include "support/assert.hpp"
+
+namespace rs::ddg {
+
+const char* op_class_name(OpClass c) {
+  switch (c) {
+    case OpClass::IntAlu: return "ialu";
+    case OpClass::Load: return "load";
+    case OpClass::Store: return "store";
+    case OpClass::FpAdd: return "fadd";
+    case OpClass::FpMul: return "fmul";
+    case OpClass::FpDiv: return "fdiv";
+    case OpClass::FpLong: return "flong";
+    case OpClass::Branchy: return "br";
+    case OpClass::Nop: return "nop";
+  }
+  return "?";
+}
+
+bool Operation::writes_type(RegType t) const {
+  return std::find(writes.begin(), writes.end(), t) != writes.end();
+}
+
+Ddg::Ddg(int reg_type_count, std::string name)
+    : name_(std::move(name)), type_count_(reg_type_count) {
+  RS_REQUIRE(reg_type_count >= 1, "need at least one register type");
+}
+
+NodeId Ddg::add_op(Operation op) {
+  for (const RegType t : op.writes) {
+    RS_REQUIRE(t >= 0 && t < type_count_, "op writes unknown register type");
+  }
+  RS_REQUIRE(op.latency >= 0 && op.delta_r >= 0 && op.delta_w >= 0,
+             "negative operation timing attribute");
+  ops_.push_back(std::move(op));
+  const NodeId v = graph_.add_node();
+  RS_CHECK(v == op_count() - 1);
+  return v;
+}
+
+void Ddg::mark_writes(NodeId u, RegType t) {
+  RS_REQUIRE(t >= 0 && t < type_count_, "unknown register type");
+  RS_REQUIRE(!ops_[u].writes_type(t),
+             "operation already writes this type (one value per type)");
+  ops_[u].writes.push_back(t);
+}
+
+graph::EdgeId Ddg::add_flow(NodeId src, NodeId dst, RegType t, Latency latency) {
+  RS_REQUIRE(t >= 0 && t < type_count_, "unknown register type");
+  RS_REQUIRE(ops_[src].writes_type(t),
+             "flow arc from an operation that does not write this type");
+  const graph::EdgeId e = graph_.add_edge(src, dst, latency);
+  attrs_.push_back(EdgeAttr{EdgeKind::Flow, t});
+  return e;
+}
+
+graph::EdgeId Ddg::add_serial(NodeId src, NodeId dst, Latency latency) {
+  const graph::EdgeId e = graph_.add_edge(src, dst, latency);
+  attrs_.push_back(EdgeAttr{EdgeKind::Serial, -1});
+  return e;
+}
+
+std::vector<NodeId> Ddg::values_of_type(RegType t) const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < op_count(); ++v) {
+    if (ops_[v].writes_type(t)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<NodeId> Ddg::consumers(NodeId u, RegType t) const {
+  std::vector<NodeId> out;
+  for (const graph::EdgeId e : graph_.out_edges(u)) {
+    if (attrs_[e].kind == EdgeKind::Flow && attrs_[e].type == t) {
+      out.push_back(graph_.edge(e).dst);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Ddg Ddg::normalized() const {
+  if (bottom_.has_value()) return *this;
+  Ddg result = *this;
+  Operation bot;
+  bot.name = "_bot";
+  bot.cls = OpClass::Nop;
+  bot.latency = 0;
+  const NodeId b = result.add_op(bot);
+  result.bottom_ = b;
+  // Exit values flow into ⊥ so Cons is never empty. The arc latency is the
+  // source operation's latency (section 2), raised where needed so ⊥'s
+  // read still lands strictly after the write (zero-latency live-ins).
+  std::vector<bool> has_flow_to_bottom(result.op_count(), false);
+  for (RegType t = 0; t < type_count_; ++t) {
+    for (const NodeId u : values_of_type(t)) {
+      if (consumers(u, t).empty()) {
+        result.add_flow(u, b, t,
+                        std::max<Latency>(ops_[u].latency, ops_[u].delta_w + 1));
+        has_flow_to_bottom[u] = true;
+      }
+    }
+  }
+  // Serial arc from every other node, latency = source operation latency
+  // (section 2). Skipped where a flow arc already orders the pair.
+  for (NodeId v = 0; v < op_count(); ++v) {
+    if (!has_flow_to_bottom[v]) result.add_serial(v, b, ops_[v].latency);
+  }
+  return result;
+}
+
+void Ddg::validate() const {
+  RS_REQUIRE(graph::is_dag(graph_), "DDG must be acyclic");
+  for (graph::EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    const EdgeAttr& a = attrs_[e];
+    if (a.kind != EdgeKind::Flow) continue;
+    const graph::Edge& ed = graph_.edge(e);
+    RS_REQUIRE(ops_[ed.src].writes_type(a.type), "flow arc without a defined value");
+    // Strict availability (section 2: a value written at cycle c is
+    // readable from c+1): the consumer's read must land strictly after the
+    // write, delta(e) + delta_r(dst) >= delta_w(src) + 1. Equality would
+    // hand the consumer the register's *previous* content.
+    RS_REQUIRE(ed.latency + ops_[ed.dst].delta_r >= ops_[ed.src].delta_w + 1,
+               "flow latency lets a read see a stale register: " +
+                   ops_[ed.src].name + " -> " + ops_[ed.dst].name);
+  }
+}
+
+std::string Ddg::to_dot() const {
+  std::ostringstream os;
+  os << "digraph \"" << name_ << "\" {\n";
+  for (NodeId v = 0; v < op_count(); ++v) {
+    const Operation& o = ops_[v];
+    os << "  n" << v << " [label=\"" << o.name;
+    if (!o.writes.empty()) {
+      os << "\\nw:";
+      for (const RegType t : o.writes) os << ' ' << t;
+    }
+    os << "\"";
+    if (!o.writes.empty()) os << ", style=bold";
+    os << "];\n";
+  }
+  for (graph::EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    const graph::Edge& ed = graph_.edge(e);
+    os << "  n" << ed.src << " -> n" << ed.dst << " [label=\"" << ed.latency
+       << "\"";
+    if (attrs_[e].kind == EdgeKind::Flow) os << ", style=bold";
+    else os << ", style=dashed";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+ValueSet::ValueSet(const Ddg& ddg, RegType t)
+    : type(t), nodes(ddg.values_of_type(t)), index_of(ddg.op_count(), -1) {
+  for (int i = 0; i < count(); ++i) index_of[nodes[i]] = i;
+}
+
+}  // namespace rs::ddg

@@ -1,0 +1,137 @@
+// Data dependence graph (DDG) model from section 2 of the paper.
+//
+// G = (V, E, delta): operations, arcs with latencies. Register-relevant
+// structure on top of the plain digraph:
+//  * a set T of register types (int, float, ...);
+//  * V_{R,t}: operations writing a value of type t (at most one per type);
+//  * E_{R,t}: flow arcs through a value of type t; Cons(u^t) = readers;
+//  * per-operation read/write delays delta_r / delta_w (visible pipeline
+//    offsets on VLIW/EPIC; both zero on superscalar).
+// A DDG can be *normalized*: a bottom node (the paper's ⊥) absorbs exit
+// values through flow arcs and is forced last via serial arcs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace rs::ddg {
+
+using graph::NodeId;
+using Latency = std::int64_t;
+
+/// Register type index (the paper's t in T). Dense from 0.
+using RegType = int;
+
+/// Broad operation classes; machine models map these to latencies/offsets.
+enum class OpClass {
+  IntAlu,
+  Load,
+  Store,
+  FpAdd,
+  FpMul,
+  FpDiv,
+  FpLong,   // sqrt/exp/trig-style long-latency ops
+  Branchy,  // compare/select style
+  Nop,      // structural (e.g. the bottom node)
+};
+
+/// Returns a printable name for an operation class.
+const char* op_class_name(OpClass c);
+
+struct Operation {
+  std::string name;
+  OpClass cls = OpClass::IntAlu;
+  Latency latency = 1;  // generic def-use latency, used for ⊥ serial arcs
+  Latency delta_r = 0;  // read offset from issue time
+  Latency delta_w = 0;  // write offset from issue time
+  /// Register types this operation defines a value of (at most one each).
+  std::vector<RegType> writes;
+
+  bool writes_type(RegType t) const;
+};
+
+enum class EdgeKind { Flow, Serial };
+
+/// Register-aware attributes of one arc of the underlying digraph.
+struct EdgeAttr {
+  EdgeKind kind = EdgeKind::Serial;
+  RegType type = -1;  // consumed type for Flow arcs, -1 for Serial
+};
+
+/// The DDG: a weighted digraph plus register structure.
+class Ddg {
+ public:
+  explicit Ddg(int reg_type_count = 1, std::string name = "ddg");
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  int type_count() const { return type_count_; }
+  int op_count() const { return static_cast<int>(ops_.size()); }
+
+  NodeId add_op(Operation op);
+  const Operation& op(NodeId v) const { return ops_[v]; }
+
+  /// Declares that u writes a value of type t. At most one per (op, type) —
+  /// the paper's model restriction (section 2, footnote 2).
+  void mark_writes(NodeId u, RegType t);
+
+  /// Flow dependence: dst consumes the type-t value of src.
+  /// Requires src to write type t.
+  graph::EdgeId add_flow(NodeId src, NodeId dst, RegType t, Latency latency);
+
+  /// Serial (non-value) precedence arc.
+  graph::EdgeId add_serial(NodeId src, NodeId dst, Latency latency);
+
+  const graph::Digraph& graph() const { return graph_; }
+  const EdgeAttr& edge_attr(graph::EdgeId e) const { return attrs_[e]; }
+
+  /// Operations defining a value of type t, in ascending node order.
+  /// This ordering defines the dense "value index" every core algorithm
+  /// uses; see ValueSet.
+  std::vector<NodeId> values_of_type(RegType t) const;
+
+  /// Cons(u^t): consumers of u's type-t value, deduplicated, ascending.
+  std::vector<NodeId> consumers(NodeId u, RegType t) const;
+
+  /// Bottom node if this DDG has been normalized.
+  std::optional<NodeId> bottom() const { return bottom_; }
+
+  /// Returns a normalized copy: adds ⊥ absorbing exit values (flow arcs
+  /// from unconsumed values) and serial arcs node->⊥ with the source
+  /// operation's latency, exactly as in section 2. Idempotent.
+  Ddg normalized() const;
+
+  /// Structural sanity: underlying graph is a DAG; flow arcs reference
+  /// declared values; every flow latency keeps lifetimes non-degenerate
+  /// (delta(e) + delta_r(dst) >= delta_w(src)). Throws on violation.
+  void validate() const;
+
+  /// Graphviz dump (debugging / documentation).
+  std::string to_dot() const;
+
+ private:
+  std::string name_;
+  int type_count_;
+  graph::Digraph graph_;
+  std::vector<Operation> ops_;
+  std::vector<EdgeAttr> attrs_;
+  std::optional<NodeId> bottom_;
+};
+
+/// Dense indexing of the type-t values of a DDG.
+struct ValueSet {
+  ValueSet(const Ddg& ddg, RegType t);
+
+  RegType type;
+  std::vector<NodeId> nodes;    // value index -> defining op
+  std::vector<int> index_of;    // op -> value index, -1 when not a value
+
+  int count() const { return static_cast<int>(nodes.size()); }
+};
+
+}  // namespace rs::ddg

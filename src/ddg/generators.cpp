@@ -1,0 +1,143 @@
+#include "ddg/generators.hpp"
+
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace rs::ddg {
+
+namespace {
+
+OpClass random_value_class(support::Rng& rng) {
+  switch (rng.next_int(0, 4)) {
+    case 0: return OpClass::Load;
+    case 1: return OpClass::FpAdd;
+    case 2: return OpClass::FpMul;
+    case 3: return OpClass::IntAlu;
+    default: return OpClass::FpAdd;
+  }
+}
+
+}  // namespace
+
+Ddg random_dag(support::Rng& rng, const MachineModel& model,
+               const RandomDagParams& params) {
+  RS_REQUIRE(params.n_ops >= 1, "need at least one op");
+  Ddg ddg(kRegTypeCount, "random-dag");
+  std::vector<NodeId> nodes;
+  std::vector<bool> is_value;
+  for (int i = 0; i < params.n_ops; ++i) {
+    const bool value = rng.next_bool(params.value_prob);
+    const OpClass cls = value ? random_value_class(rng) : OpClass::Store;
+    const NodeId v = ddg.add_op(model.make_op(cls, "n" + std::to_string(i)));
+    if (value) {
+      ddg.mark_writes(v, cls == OpClass::IntAlu ? kIntReg : kFloatReg);
+    }
+    nodes.push_back(v);
+    is_value.push_back(value);
+  }
+  std::vector<bool> connected(params.n_ops, false);
+  for (int i = 0; i < params.n_ops; ++i) {
+    for (int j = i + 1; j < params.n_ops; ++j) {
+      if (!rng.next_bool(params.edge_prob)) continue;
+      if (is_value[i] && rng.next_bool(params.flow_prob)) {
+        const RegType t =
+            ddg.op(nodes[i]).writes_type(kFloatReg) ? kFloatReg : kIntReg;
+        ddg.add_flow(nodes[i], nodes[j], t, ddg.op(nodes[i]).latency);
+      } else {
+        ddg.add_serial(nodes[i], nodes[j],
+                       rng.next_int(0, static_cast<int>(ddg.op(nodes[i]).latency)));
+      }
+      connected[i] = connected[j] = true;
+    }
+  }
+  // Chain isolated ops so the DAG is weakly connected (keeps instances
+  // from degenerating into independent singletons).
+  NodeId prev = -1;
+  for (int i = 0; i < params.n_ops; ++i) {
+    if (connected[i]) {
+      prev = nodes[i];
+      continue;
+    }
+    if (prev >= 0) ddg.add_serial(prev, nodes[i], 0);
+    prev = nodes[i];
+  }
+  ddg.validate();
+  return ddg.normalized();
+}
+
+Ddg random_layered(support::Rng& rng, const MachineModel& model,
+                   const LayeredDagParams& params) {
+  RS_REQUIRE(params.layers >= 1 && params.min_width >= 1 &&
+                 params.max_width >= params.min_width,
+             "bad layered parameters");
+  Ddg ddg(kRegTypeCount, "random-layered");
+  std::vector<std::vector<NodeId>> layers;
+  for (int l = 0; l < params.layers; ++l) {
+    const int width = rng.next_int(params.min_width, params.max_width);
+    std::vector<NodeId> layer;
+    for (int i = 0; i < width; ++i) {
+      const OpClass cls = l == 0 ? OpClass::Load
+                                 : (rng.next_bool(0.5) ? OpClass::FpAdd
+                                                       : OpClass::FpMul);
+      const NodeId v = ddg.add_op(model.make_op(
+          cls, "l" + std::to_string(l) + "n" + std::to_string(i)));
+      ddg.mark_writes(v, kFloatReg);
+      layer.push_back(v);
+    }
+    layers.push_back(std::move(layer));
+  }
+  for (int l = 0; l + 1 < params.layers; ++l) {
+    for (const NodeId u : layers[l]) {
+      bool any = false;
+      for (const NodeId v : layers[l + 1]) {
+        if (rng.next_bool(params.edge_prob)) {
+          ddg.add_flow(u, v, kFloatReg, ddg.op(u).latency);
+          any = true;
+        }
+      }
+      if (!any) {  // keep every value consumed by the next layer
+        const NodeId v =
+            layers[l + 1][rng.next_below(layers[l + 1].size())];
+        ddg.add_flow(u, v, kFloatReg, ddg.op(u).latency);
+      }
+    }
+  }
+  ddg.validate();
+  return ddg.normalized();
+}
+
+Ddg random_expression_tree(support::Rng& rng, const MachineModel& model,
+                           int leaves) {
+  RS_REQUIRE(leaves >= 1, "need at least one leaf");
+  Ddg ddg(kRegTypeCount, "random-tree");
+  std::vector<NodeId> frontier;
+  for (int i = 0; i < leaves; ++i) {
+    const NodeId v =
+        ddg.add_op(model.make_op(OpClass::Load, "leaf" + std::to_string(i)));
+    ddg.mark_writes(v, kFloatReg);
+    frontier.push_back(v);
+  }
+  int id = 0;
+  while (frontier.size() > 1) {
+    // Combine two random frontier nodes.
+    const std::size_t i = rng.next_below(frontier.size());
+    const NodeId a = frontier[i];
+    frontier.erase(frontier.begin() + static_cast<std::ptrdiff_t>(i));
+    const std::size_t j = rng.next_below(frontier.size());
+    const NodeId b = frontier[j];
+    frontier.erase(frontier.begin() + static_cast<std::ptrdiff_t>(j));
+    const OpClass cls = rng.next_bool(0.5) ? OpClass::FpAdd : OpClass::FpMul;
+    const NodeId v =
+        ddg.add_op(model.make_op(cls, "t" + std::to_string(id++)));
+    ddg.mark_writes(v, kFloatReg);
+    ddg.add_flow(a, v, kFloatReg, ddg.op(a).latency);
+    ddg.add_flow(b, v, kFloatReg, ddg.op(b).latency);
+    frontier.push_back(v);
+  }
+  ddg.validate();
+  return ddg.normalized();
+}
+
+}  // namespace rs::ddg

@@ -1,0 +1,47 @@
+// Synthetic DDG generators for property tests and scaling benches.
+// All generators are deterministic in the supplied Rng.
+#pragma once
+
+#include "ddg/ddg.hpp"
+#include "ddg/machine.hpp"
+#include "support/random.hpp"
+
+namespace rs::ddg {
+
+struct RandomDagParams {
+  int n_ops = 12;
+  /// Probability of an arc between each forward-ordered op pair.
+  double edge_prob = 0.25;
+  /// Fraction of ops that define a float value (the rest are stores/flow
+  /// sinks or int address arithmetic).
+  double value_prob = 0.75;
+  /// Probability that a forward arc from a value-writing op is a flow arc
+  /// (consumption) rather than a plain serial dependence.
+  double flow_prob = 0.85;
+};
+
+/// Erdos-Renyi-style DAG over a random topological order. Guarantees
+/// weak connectivity by chaining otherwise-isolated ops with serial arcs.
+/// Result is normalized (has ⊥).
+Ddg random_dag(support::Rng& rng, const MachineModel& model,
+               const RandomDagParams& params);
+
+struct LayeredDagParams {
+  int layers = 4;
+  int min_width = 2;
+  int max_width = 4;
+  /// Probability of a flow arc from each node of layer i to each of i+1.
+  double edge_prob = 0.5;
+};
+
+/// Layered DAG (values flow between adjacent layers), the classic shape of
+/// unrolled arithmetic pipelines. Result is normalized.
+Ddg random_layered(support::Rng& rng, const MachineModel& model,
+                   const LayeredDagParams& params);
+
+/// Random binary expression tree with `leaves` leaf loads reduced by
+/// FpAdd/FpMul ops. Result is normalized.
+Ddg random_expression_tree(support::Rng& rng, const MachineModel& model,
+                           int leaves);
+
+}  // namespace rs::ddg

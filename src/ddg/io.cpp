@@ -1,0 +1,149 @@
+#include "ddg/io.hpp"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace rs::ddg {
+
+namespace {
+
+OpClass class_from_name(const std::string& s, int line) {
+  for (int c = 0; c <= static_cast<int>(OpClass::Nop); ++c) {
+    if (s == op_class_name(static_cast<OpClass>(c))) {
+      return static_cast<OpClass>(c);
+    }
+  }
+  RS_REQUIRE(false, "line " + std::to_string(line) + ": unknown op class " + s);
+  return OpClass::Nop;
+}
+
+/// Splits "key=value" tokens; returns value for key or throws.
+std::string field(const std::vector<std::string>& tokens,
+                  const std::string& key, int line) {
+  for (const std::string& t : tokens) {
+    if (t.rfind(key + "=", 0) == 0) return t.substr(key.size() + 1);
+  }
+  RS_REQUIRE(false, "line " + std::to_string(line) + ": missing " + key + "=");
+  return {};
+}
+
+bool has_field(const std::vector<std::string>& tokens, const std::string& key) {
+  for (const std::string& t : tokens) {
+    if (t.rfind(key + "=", 0) == 0) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> tokens;
+  std::string t;
+  while (is >> t) tokens.push_back(t);
+  return tokens;
+}
+
+}  // namespace
+
+std::string to_text(const Ddg& ddg) {
+  std::ostringstream os;
+  os << "ddg " << ddg.name() << " types=" << ddg.type_count() << '\n';
+  for (NodeId v = 0; v < ddg.op_count(); ++v) {
+    const Operation& o = ddg.op(v);
+    os << "op " << o.name << " class=" << op_class_name(o.cls)
+       << " lat=" << o.latency << " dr=" << o.delta_r << " dw=" << o.delta_w;
+    if (!o.writes.empty()) {
+      os << " writes=";
+      for (std::size_t i = 0; i < o.writes.size(); ++i) {
+        os << (i ? "," : "") << o.writes[i];
+      }
+    }
+    os << '\n';
+  }
+  const graph::Digraph& g = ddg.graph();
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    const graph::Edge& ed = g.edge(e);
+    const EdgeAttr& a = ddg.edge_attr(e);
+    if (a.kind == EdgeKind::Flow) {
+      os << "flow " << ddg.op(ed.src).name << ' ' << ddg.op(ed.dst).name
+         << " type=" << a.type << " lat=" << ed.latency << '\n';
+    } else {
+      os << "serial " << ddg.op(ed.src).name << ' ' << ddg.op(ed.dst).name
+         << " lat=" << ed.latency << '\n';
+    }
+  }
+  return os.str();
+}
+
+Ddg from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  std::optional<Ddg> ddg;
+  std::map<std::string, NodeId> by_name;
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& kind = tokens[0];
+
+    if (kind == "ddg") {
+      RS_REQUIRE(tokens.size() >= 3, "line " + std::to_string(lineno) +
+                                         ": expected 'ddg <name> types=<k>'");
+      ddg.emplace(std::stoi(field(tokens, "types", lineno)), tokens[1]);
+      continue;
+    }
+    RS_REQUIRE(ddg.has_value(),
+               "line " + std::to_string(lineno) + ": 'ddg' header missing");
+
+    if (kind == "op") {
+      RS_REQUIRE(tokens.size() >= 2,
+                 "line " + std::to_string(lineno) + ": op needs a name");
+      const std::string& name = tokens[1];
+      RS_REQUIRE(!by_name.count(name),
+                 "line " + std::to_string(lineno) + ": duplicate op " + name);
+      Operation op;
+      op.name = name;
+      op.cls = class_from_name(field(tokens, "class", lineno), lineno);
+      op.latency = std::stoll(field(tokens, "lat", lineno));
+      op.delta_r = std::stoll(field(tokens, "dr", lineno));
+      op.delta_w = std::stoll(field(tokens, "dw", lineno));
+      const NodeId v = ddg->add_op(std::move(op));
+      if (has_field(tokens, "writes")) {
+        std::istringstream ws(field(tokens, "writes", lineno));
+        std::string t;
+        while (std::getline(ws, t, ',')) {
+          ddg->mark_writes(v, std::stoi(t));
+        }
+      }
+      by_name[name] = v;
+    } else if (kind == "flow" || kind == "serial") {
+      RS_REQUIRE(tokens.size() >= 3, "line " + std::to_string(lineno) +
+                                         ": arc needs source and target");
+      const auto src = by_name.find(tokens[1]);
+      const auto dst = by_name.find(tokens[2]);
+      RS_REQUIRE(src != by_name.end() && dst != by_name.end(),
+                 "line " + std::to_string(lineno) + ": unknown op in arc");
+      const Latency lat = std::stoll(field(tokens, "lat", lineno));
+      if (kind == "flow") {
+        ddg->add_flow(src->second, dst->second,
+                      std::stoi(field(tokens, "type", lineno)), lat);
+      } else {
+        ddg->add_serial(src->second, dst->second, lat);
+      }
+    } else {
+      RS_REQUIRE(false, "line " + std::to_string(lineno) +
+                            ": unknown directive " + kind);
+    }
+  }
+  RS_REQUIRE(ddg.has_value(), "empty DDG text");
+  ddg->validate();
+  return *ddg;
+}
+
+}  // namespace rs::ddg

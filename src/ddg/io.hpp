@@ -1,0 +1,25 @@
+// Plain-text DDG serialization, so corpora can be saved, diffed and loaded
+// by downstream users without recompiling. Format (one item per line):
+//
+//   ddg <name> types=<k>
+//   op <name> class=<cls> lat=<n> dr=<n> dw=<n> [writes=<t>[,<t>...]]
+//   flow <src-op-name> <dst-op-name> type=<t> lat=<n>
+//   serial <src-op-name> <dst-op-name> lat=<n>
+//
+// '#' starts a comment; blank lines are ignored.
+#pragma once
+
+#include <string>
+
+#include "ddg/ddg.hpp"
+
+namespace rs::ddg {
+
+/// Serializes a DDG to the text format above.
+std::string to_text(const Ddg& ddg);
+
+/// Parses the text format. Throws rs::support::PreconditionError with a
+/// line-numbered message on malformed input.
+Ddg from_text(const std::string& text);
+
+}  // namespace rs::ddg

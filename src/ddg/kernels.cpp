@@ -1,0 +1,687 @@
+#include "ddg/kernels.hpp"
+
+#include "ddg/builder.hpp"
+#include "support/assert.hpp"
+
+namespace rs::ddg {
+
+Ddg lin_ddot(const MachineModel& m) {
+  // do i: dtemp = dtemp + dx(i)*dy(i)
+  KernelBuilder b(m, "lin-ddot");
+  const auto acc = b.live_in(kFloatReg, "acc.in");
+  const auto xp = b.live_in(kIntReg, "xp.in");
+  const auto yp = b.live_in(kIntReg, "yp.in");
+  const auto lx = b.fload("ld.x", xp);
+  const auto ly = b.fload("ld.y", yp);
+  const auto mul = b.fmul("mul", lx, ly);
+  b.fadd("acc.out", acc, mul);
+  b.iadd("xp.out", xp);
+  b.iadd("yp.out", yp);
+  return b.build();
+}
+
+Ddg lin_daxpy(const MachineModel& m) {
+  // do i: dy(i) = dy(i) + da*dx(i)
+  KernelBuilder b(m, "lin-daxpy");
+  const auto da = b.live_in(kFloatReg, "da.in");
+  const auto xp = b.live_in(kIntReg, "xp.in");
+  const auto yp = b.live_in(kIntReg, "yp.in");
+  const auto lx = b.fload("ld.x", xp);
+  const auto ly = b.fload("ld.y", yp);
+  const auto mul = b.fmul("mul", da, lx);
+  const auto sum = b.fadd("add", ly, mul);
+  b.store("st.y", yp, sum);
+  b.iadd("xp.out", xp);
+  b.iadd("yp.out", yp);
+  return b.build();
+}
+
+Ddg lin_dscal(const MachineModel& m) {
+  // do i: dx(i) = da*dx(i)
+  KernelBuilder b(m, "lin-dscal");
+  const auto da = b.live_in(kFloatReg, "da.in");
+  const auto xp = b.live_in(kIntReg, "xp.in");
+  const auto lx = b.fload("ld.x", xp);
+  const auto mul = b.fmul("mul", da, lx);
+  b.store("st.x", xp, mul);
+  b.iadd("xp.out", xp);
+  return b.build();
+}
+
+Ddg liv_loop1(const MachineModel& m) {
+  // x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])
+  KernelBuilder b(m, "liv-loop1");
+  const auto q = b.live_in(kFloatReg, "q.in");
+  const auto r = b.live_in(kFloatReg, "r.in");
+  const auto t = b.live_in(kFloatReg, "t.in");
+  const auto xp = b.live_in(kIntReg, "xp.in");
+  const auto yp = b.live_in(kIntReg, "yp.in");
+  const auto zp = b.live_in(kIntReg, "zp.in");
+  const auto a10 = b.iadd("addr.z10", zp);
+  const auto a11 = b.iadd("addr.z11", zp);
+  const auto ly = b.fload("ld.y", yp);
+  const auto lz10 = b.fload("ld.z10", a10);
+  const auto lz11 = b.fload("ld.z11", a11);
+  const auto m1 = b.fmul("mul.rz", r, lz10);
+  const auto m2 = b.fmul("mul.tz", t, lz11);
+  const auto s1 = b.fadd("add.inner", m1, m2);
+  const auto m3 = b.fmul("mul.y", ly, s1);
+  const auto s2 = b.fadd("add.q", q, m3);
+  b.store("st.x", xp, s2);
+  b.iadd("xp.out", xp);
+  b.iadd("yp.out", yp);
+  b.iadd("zp.out", zp);
+  return b.build();
+}
+
+Ddg liv_loop5(const MachineModel& m) {
+  // x[i] = z[i]*(y[i] - x[i-1])   (recurrence cut: x[i-1] is live-in)
+  KernelBuilder b(m, "liv-loop5");
+  const auto xprev = b.live_in(kFloatReg, "xprev.in");
+  const auto yp = b.live_in(kIntReg, "yp.in");
+  const auto zp = b.live_in(kIntReg, "zp.in");
+  const auto xp = b.live_in(kIntReg, "xp.in");
+  const auto ly = b.fload("ld.y", yp);
+  const auto lz = b.fload("ld.z", zp);
+  const auto sub = b.fadd("sub", ly, xprev);
+  const auto mul = b.fmul("mul", lz, sub);
+  b.store("st.x", xp, mul);
+  b.iadd("yp.out", yp);
+  b.iadd("zp.out", zp);
+  b.iadd("xp.out", xp);
+  return b.build();
+}
+
+Ddg liv_loop7(const MachineModel& m) {
+  // x[k] = u[k] + r*(z[k] + r*y[k])
+  //      + t*(u[k+3] + r*(u[k+2] + r*u[k+1])
+  //      + t*(u[k+6] + r*(u[k+5] + r*u[k+4])))
+  KernelBuilder b(m, "liv-loop7");
+  const auto r = b.live_in(kFloatReg, "r.in");
+  const auto t = b.live_in(kFloatReg, "t.in");
+  const auto up = b.live_in(kIntReg, "up.in");
+  const auto xp = b.live_in(kIntReg, "xp.in");
+  const auto yp = b.live_in(kIntReg, "yp.in");
+  const auto zp = b.live_in(kIntReg, "zp.in");
+  const auto lu0 = b.fload("ld.u0", up);
+  const auto lz = b.fload("ld.z", zp);
+  const auto ly = b.fload("ld.y", yp);
+  const auto a1 = b.iadd("addr.u1", up);
+  const auto a2 = b.iadd("addr.u2", up);
+  const auto a3 = b.iadd("addr.u3", up);
+  const auto a4 = b.iadd("addr.u4", up);
+  const auto a5 = b.iadd("addr.u5", up);
+  const auto a6 = b.iadd("addr.u6", up);
+  const auto lu1 = b.fload("ld.u1", a1);
+  const auto lu2 = b.fload("ld.u2", a2);
+  const auto lu3 = b.fload("ld.u3", a3);
+  const auto lu4 = b.fload("ld.u4", a4);
+  const auto lu5 = b.fload("ld.u5", a5);
+  const auto lu6 = b.fload("ld.u6", a6);
+  // innermost triple 2: u[k+4..6]
+  const auto p1 = b.fmul("mul.ru4", r, lu4);
+  const auto q1 = b.fadd("add.u5", lu5, p1);
+  const auto p2 = b.fmul("mul.rq1", r, q1);
+  const auto q2 = b.fadd("add.u6", lu6, p2);
+  // triple 1: u[k+1..3]
+  const auto p3 = b.fmul("mul.ru1", r, lu1);
+  const auto q3 = b.fadd("add.u2", lu2, p3);
+  const auto p4 = b.fmul("mul.rq3", r, q3);
+  const auto q4 = b.fadd("add.u3", lu3, p4);
+  const auto p5 = b.fmul("mul.tq2", t, q2);
+  const auto q5 = b.fadd("add.q4q2", q4, p5);
+  const auto p6 = b.fmul("mul.tq5", t, q5);
+  // head: u[k] + r*(z[k] + r*y[k])
+  const auto p7 = b.fmul("mul.ry", r, ly);
+  const auto q6 = b.fadd("add.z", lz, p7);
+  const auto p8 = b.fmul("mul.rq6", r, q6);
+  const auto q7 = b.fadd("add.u0", lu0, p8);
+  const auto q8 = b.fadd("add.final", q7, p6);
+  b.store("st.x", xp, q8);
+  b.iadd("up.out", up);
+  b.iadd("xp.out", xp);
+  return b.build();
+}
+
+Ddg liv_loop23(const MachineModel& m) {
+  // qa = za[j+1][k]*zr[j][k] + za[j-1][k]*zb[j][k]
+  //    + za[j][k+1]*zu[j][k] + za[j][k-1]*zv[j][k] + zz[j][k]
+  // za[j][k] += 0.175*(qa - za[j][k])
+  KernelBuilder b(m, "liv-loop23");
+  const auto c = b.live_in(kFloatReg, "c0175.in");
+  const auto zap = b.live_in(kIntReg, "zap.in");
+  const auto zrp = b.live_in(kIntReg, "zrp.in");
+  const auto zbp = b.live_in(kIntReg, "zbp.in");
+  const auto zup = b.live_in(kIntReg, "zup.in");
+  const auto zvp = b.live_in(kIntReg, "zvp.in");
+  const auto zzp = b.live_in(kIntReg, "zzp.in");
+  const auto aj1 = b.iadd("addr.jp1", zap);
+  const auto ajm = b.iadd("addr.jm1", zap);
+  const auto akp = b.iadd("addr.kp1", zap);
+  const auto akm = b.iadd("addr.km1", zap);
+  const auto la1 = b.fload("ld.za.jp1", aj1);
+  const auto la2 = b.fload("ld.za.jm1", ajm);
+  const auto la3 = b.fload("ld.za.kp1", akp);
+  const auto la4 = b.fload("ld.za.km1", akm);
+  const auto la0 = b.fload("ld.za", zap);
+  const auto lr = b.fload("ld.zr", zrp);
+  const auto lb = b.fload("ld.zb", zbp);
+  const auto lu = b.fload("ld.zu", zup);
+  const auto lv = b.fload("ld.zv", zvp);
+  const auto lz = b.fload("ld.zz", zzp);
+  const auto m1 = b.fmul("mul.r", la1, lr);
+  const auto m2 = b.fmul("mul.b", la2, lb);
+  const auto m3 = b.fmul("mul.u", la3, lu);
+  const auto m4 = b.fmul("mul.v", la4, lv);
+  const auto s1 = b.fadd("add.rb", m1, m2);
+  const auto s2 = b.fadd("add.uv", m3, m4);
+  const auto s3 = b.fadd("add.s1s2", s1, s2);
+  const auto qa = b.fadd("add.zz", s3, lz);
+  const auto d = b.fadd("sub.qa", qa, la0);
+  const auto md = b.fmul("mul.c", c, d);
+  const auto out = b.fadd("add.za", la0, md);
+  b.store("st.za", zap, out);
+  b.iadd("zap.out", zap);
+  return b.build();
+}
+
+Ddg whet_p3(const MachineModel& m) {
+  // Whetstone PA(E1): four cross-coupled updates through T:
+  //   e1 = (e1 + e2 + e3 - e4)*t ; e2 = (e1 + e2 - e3 + e4)*t ; ...
+  KernelBuilder b(m, "whet-p3");
+  const auto t = b.live_in(kFloatReg, "t.in");
+  auto e1 = b.live_in(kFloatReg, "e1.in");
+  auto e2 = b.live_in(kFloatReg, "e2.in");
+  auto e3 = b.live_in(kFloatReg, "e3.in");
+  auto e4 = b.live_in(kFloatReg, "e4.in");
+  {
+    const auto s1 = b.fadd("p3.1a", e1, e2);
+    const auto s2 = b.fadd("p3.1b", s1, e3);
+    const auto s3 = b.fadd("p3.1c", s2, e4);
+    e1 = b.fmul("p3.e1", s3, t);
+  }
+  {
+    const auto s1 = b.fadd("p3.2a", e1, e2);
+    const auto s2 = b.fadd("p3.2b", s1, e3);
+    const auto s3 = b.fadd("p3.2c", s2, e4);
+    e2 = b.fmul("p3.e2", s3, t);
+  }
+  {
+    const auto s1 = b.fadd("p3.3a", e1, e2);
+    const auto s2 = b.fadd("p3.3b", s1, e3);
+    const auto s3 = b.fadd("p3.3c", s2, e4);
+    e3 = b.fmul("p3.e3", s3, t);
+  }
+  {
+    const auto s1 = b.fadd("p3.4a", e1, e2);
+    const auto s2 = b.fadd("p3.4b", s1, e3);
+    const auto s3 = b.fadd("p3.4c", s2, e4);
+    e4 = b.fmul("p3.e4", s3, t);
+  }
+  // e1..e4 are live-out; normalization wires them to ⊥.
+  return b.build();
+}
+
+Ddg whet_p8(const MachineModel& m) {
+  // Whetstone module with transcendental calls:
+  //   x = t*atan(t2*sin(x)*cos(x)/(cos(x+y)+cos(x-y)-1.0))
+  KernelBuilder b(m, "whet-p8");
+  const auto t = b.live_in(kFloatReg, "t.in");
+  const auto t2 = b.live_in(kFloatReg, "t2.in");
+  const auto x = b.live_in(kFloatReg, "x.in");
+  const auto y = b.live_in(kFloatReg, "y.in");
+  const auto sx = b.flong("sin.x", x);
+  const auto cx = b.flong("cos.x", x);
+  const auto xy1 = b.fadd("add.xy", x, y);
+  const auto xy2 = b.fadd("sub.xy", x, y);
+  const auto c1 = b.flong("cos.xy1", xy1);
+  const auto c2 = b.flong("cos.xy2", xy2);
+  const auto num1 = b.fmul("mul.sc", sx, cx);
+  const auto num2 = b.fmul("mul.t2", t2, num1);
+  const auto den1 = b.fadd("add.cc", c1, c2);
+  const auto den2 = b.fadd("sub.1", den1, den1);  // (cos+cos-1): reuse as add
+  const auto div = b.fdiv("div", num2, den2);
+  const auto at = b.flong("atan", div);
+  b.fmul("x.out", t, at);
+  return b.build();
+}
+
+Ddg spec_spice_band(const MachineModel& m) {
+  // SPICE-style banded back-substitution step with a reciprocal:
+  //   x = (b - l1*x1 - l2*x2) / d
+  KernelBuilder b(m, "spec-spice");
+  const auto bp = b.live_in(kIntReg, "bp.in");
+  const auto lp = b.live_in(kIntReg, "lp.in");
+  const auto x1 = b.live_in(kFloatReg, "x1.in");
+  const auto x2 = b.live_in(kFloatReg, "x2.in");
+  const auto d = b.live_in(kFloatReg, "d.in");
+  const auto lb = b.fload("ld.b", bp);
+  const auto ll1 = b.fload("ld.l1", lp);
+  const auto a2 = b.iadd("addr.l2", lp);
+  const auto ll2 = b.fload("ld.l2", a2);
+  const auto m1 = b.fmul("mul.l1", ll1, x1);
+  const auto m2 = b.fmul("mul.l2", ll2, x2);
+  const auto s1 = b.fadd("sub.1", lb, m1);
+  const auto s2 = b.fadd("sub.2", s1, m2);
+  const auto q = b.fdiv("div.d", s2, d);
+  b.store("st.x", bp, q);
+  b.iadd("bp.out", bp);
+  b.iadd("lp.out", lp);
+  return b.build();
+}
+
+Ddg spec_tomcatv_stencil(const MachineModel& m) {
+  // tomcatv-style interior update: two 3-point second differences plus a
+  // cross term, applied to two fields (x and y meshes).
+  KernelBuilder b(m, "spec-tomcatv");
+  const auto xp = b.live_in(kIntReg, "xp.in");
+  const auto yp = b.live_in(kIntReg, "yp.in");
+  const auto w1 = b.live_in(kFloatReg, "aa.in");
+  const auto w2 = b.live_in(kFloatReg, "dd.in");
+  const auto axm = b.iadd("addr.xm", xp);
+  const auto axq = b.iadd("addr.xq", xp);
+  const auto aym = b.iadd("addr.ym", yp);
+  const auto ayq = b.iadd("addr.yq", yp);
+  const auto x0 = b.fload("ld.x0", xp);
+  const auto xm = b.fload("ld.xm", axm);
+  const auto xq = b.fload("ld.xq", axq);
+  const auto y0 = b.fload("ld.y0", yp);
+  const auto ym = b.fload("ld.ym", aym);
+  const auto yq = b.fload("ld.yq", ayq);
+  const auto dx1 = b.fadd("add.xm", xm, xq);
+  const auto dx2 = b.fmul("mul.x2", w1, x0);
+  const auto rx = b.fadd("sub.rx", dx1, dx2);
+  const auto dy1 = b.fadd("add.ym", ym, yq);
+  const auto dy2 = b.fmul("mul.y2", w1, y0);
+  const auto ry = b.fadd("sub.ry", dy1, dy2);
+  const auto cx = b.fmul("mul.cross.x", w2, ry);
+  const auto cy = b.fmul("mul.cross.y", w2, rx);
+  const auto ox = b.fadd("add.out.x", rx, cx);
+  const auto oy = b.fadd("add.out.y", ry, cy);
+  b.store("st.rx", xp, ox);
+  b.store("st.ry", yp, oy);
+  b.iadd("xp.out", xp);
+  b.iadd("yp.out", yp);
+  return b.build();
+}
+
+Ddg spec_dod_fma(const MachineModel& m) {
+  // Two interleaved multiply-accumulate chains sharing loads (typical of
+  // the DoD SpecFP loop bodies used in the paper's corpus family).
+  KernelBuilder b(m, "spec-dod");
+  const auto ap = b.live_in(kIntReg, "ap.in");
+  const auto bp = b.live_in(kIntReg, "bp.in");
+  auto acc1 = b.live_in(kFloatReg, "acc1.in");
+  auto acc2 = b.live_in(kFloatReg, "acc2.in");
+  for (int u = 0; u < 2; ++u) {
+    const auto aa = u == 0 ? ap : b.iadd("addr.a" + std::to_string(u), ap);
+    const auto ab = u == 0 ? bp : b.iadd("addr.b" + std::to_string(u), bp);
+    const auto la = b.fload("ld.a" + std::to_string(u), aa);
+    const auto lb = b.fload("ld.b" + std::to_string(u), ab);
+    const auto mul = b.fmul("mul" + std::to_string(u), la, lb);
+    const auto sq = b.fmul("sq" + std::to_string(u), la, la);
+    acc1 = b.fadd("acc1." + std::to_string(u), acc1, mul);
+    acc2 = b.fadd("acc2." + std::to_string(u), acc2, sq);
+  }
+  b.iadd("ap.out", ap);
+  b.iadd("bp.out", bp);
+  return b.build();
+}
+
+Ddg matmul_unroll4(const MachineModel& m) {
+  // c += a[k]*b[k], k unrolled 4x with a reduction tree.
+  KernelBuilder b(m, "matmul-u4");
+  const auto ap = b.live_in(kIntReg, "ap.in");
+  const auto bp = b.live_in(kIntReg, "bp.in");
+  const auto acc = b.live_in(kFloatReg, "acc.in");
+  std::vector<NodeId> prods;
+  for (int k = 0; k < 4; ++k) {
+    const auto aa = k == 0 ? ap : b.iadd("addr.a" + std::to_string(k), ap);
+    const auto ab = k == 0 ? bp : b.iadd("addr.b" + std::to_string(k), bp);
+    const auto la = b.fload("ld.a" + std::to_string(k), aa);
+    const auto lb = b.fload("ld.b" + std::to_string(k), ab);
+    prods.push_back(b.fmul("mul" + std::to_string(k), la, lb));
+  }
+  const auto s1 = b.fadd("red.1", prods[0], prods[1]);
+  const auto s2 = b.fadd("red.2", prods[2], prods[3]);
+  const auto s3 = b.fadd("red.3", s1, s2);
+  b.fadd("acc.out", acc, s3);
+  b.iadd("ap.out", ap);
+  b.iadd("bp.out", bp);
+  return b.build();
+}
+
+Ddg fir8(const MachineModel& m) {
+  // y = sum_{k<8} c[k]*x[i+k]; coefficients live in registers.
+  KernelBuilder b(m, "fir8");
+  const auto xp = b.live_in(kIntReg, "xp.in");
+  std::vector<NodeId> coef, prod;
+  for (int k = 0; k < 8; ++k) {
+    coef.push_back(b.live_in(kFloatReg, "c" + std::to_string(k) + ".in"));
+  }
+  for (int k = 0; k < 8; ++k) {
+    const auto addr = k == 0 ? xp : b.iadd("addr.x" + std::to_string(k), xp);
+    const auto lx = b.fload("ld.x" + std::to_string(k), addr);
+    prod.push_back(b.fmul("mul" + std::to_string(k), coef[k], lx));
+  }
+  // Balanced adder tree.
+  std::vector<NodeId> level = prod;
+  int stage = 0;
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(b.fadd("red." + std::to_string(stage) + "." +
+                                std::to_string(i / 2),
+                            level[i], level[i + 1]));
+    }
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+    ++stage;
+  }
+  b.store("st.y", xp, level[0]);
+  b.iadd("xp.out", xp);
+  return b.build();
+}
+
+Ddg horner8(const MachineModel& m) {
+  // acc = ((...(c8*x + c7)*x + ...)*x + c0): strictly serial chain.
+  KernelBuilder b(m, "horner8");
+  const auto x = b.live_in(kFloatReg, "x.in");
+  auto acc = b.live_in(kFloatReg, "c8.in");
+  for (int k = 7; k >= 0; --k) {
+    const auto c = b.live_in(kFloatReg, "c" + std::to_string(k) + ".in");
+    const auto mul = b.fmul("mul" + std::to_string(k), acc, x);
+    acc = b.fadd("add" + std::to_string(k), mul, c);
+  }
+  return b.build();
+}
+
+Ddg estrin8(const MachineModel& m) {
+  // Degree-7 Estrin evaluation: pairs (c1*x+c0), x2 = x*x, x4 = x2*x2, ...
+  KernelBuilder b(m, "estrin8");
+  const auto x = b.live_in(kFloatReg, "x.in");
+  std::vector<NodeId> c;
+  for (int k = 0; k < 8; ++k) {
+    c.push_back(b.live_in(kFloatReg, "c" + std::to_string(k) + ".in"));
+  }
+  const auto x2 = b.fmul("x2", x, x);
+  const auto x4 = b.fmul("x4", x2, x2);
+  std::vector<NodeId> pair;
+  for (int k = 0; k < 4; ++k) {
+    const auto mul = b.fmul("p.mul" + std::to_string(k), c[2 * k + 1], x);
+    pair.push_back(b.fadd("p.add" + std::to_string(k), mul, c[2 * k]));
+  }
+  const auto q0m = b.fmul("q0.mul", pair[1], x2);
+  const auto q0 = b.fadd("q0.add", q0m, pair[0]);
+  const auto q1m = b.fmul("q1.mul", pair[3], x2);
+  const auto q1 = b.fadd("q1.add", q1m, pair[2]);
+  const auto rm = b.fmul("r.mul", q1, x4);
+  b.fadd("r.add", rm, q0);
+  return b.build();
+}
+
+Ddg complex_mul2(const MachineModel& m) {
+  // (re,im) = (ar*br - ai*bi, ar*bi + ai*br), two independent pairs.
+  KernelBuilder b(m, "complex-mul2");
+  for (int u = 0; u < 2; ++u) {
+    const std::string s = std::to_string(u);
+    const auto ar = b.live_in(kFloatReg, "ar" + s + ".in");
+    const auto ai = b.live_in(kFloatReg, "ai" + s + ".in");
+    const auto br = b.live_in(kFloatReg, "br" + s + ".in");
+    const auto bi = b.live_in(kFloatReg, "bi" + s + ".in");
+    const auto m1 = b.fmul("rr" + s, ar, br);
+    const auto m2 = b.fmul("ii" + s, ai, bi);
+    const auto m3 = b.fmul("ri" + s, ar, bi);
+    const auto m4 = b.fmul("ir" + s, ai, br);
+    b.fadd("re" + s, m1, m2);
+    b.fadd("im" + s, m3, m4);
+  }
+  return b.build();
+}
+
+Ddg liv_loop2(const MachineModel& m) {
+  // ICCG excerpt (incomplete Cholesky conjugate gradient), one ipntp step:
+  //   x[i] = x[ipnt+i] - v[i]*x[i-1] - v[i+1]*x[i+1]
+  KernelBuilder b(m, "liv-loop2");
+  const auto xp = b.live_in(kIntReg, "xp.in");
+  const auto vp = b.live_in(kIntReg, "vp.in");
+  const auto a1 = b.iadd("addr.xip", xp);
+  const auto a2 = b.iadd("addr.xm1", xp);
+  const auto a3 = b.iadd("addr.xp1", xp);
+  const auto a4 = b.iadd("addr.v1", vp);
+  const auto lxip = b.fload("ld.xip", a1);
+  const auto lxm = b.fload("ld.xm1", a2);
+  const auto lxp1 = b.fload("ld.xp1", a3);
+  const auto lv0 = b.fload("ld.v0", vp);
+  const auto lv1 = b.fload("ld.v1", a4);
+  const auto m1 = b.fmul("mul.vm", lv0, lxm);
+  const auto m2 = b.fmul("mul.vp", lv1, lxp1);
+  const auto s1 = b.fadd("sub.1", lxip, m1);
+  const auto s2 = b.fadd("sub.2", s1, m2);
+  b.store("st.x", xp, s2);
+  b.iadd("xp.out", xp);
+  b.iadd("vp.out", vp);
+  return b.build();
+}
+
+Ddg liv_loop4(const MachineModel& m) {
+  // Banded linear equations inner step: xz[k] -= xz[k-5]*y[k-5] (plus the
+  // running sum the kernel keeps), reconstructed as a fused two-term form.
+  KernelBuilder b(m, "liv-loop4");
+  const auto xp = b.live_in(kIntReg, "xp.in");
+  const auto yp = b.live_in(kIntReg, "yp.in");
+  const auto acc = b.live_in(kFloatReg, "acc.in");
+  const auto am = b.iadd("addr.xm5", xp);
+  const auto lxm = b.fload("ld.xm5", am);
+  const auto ly = b.fload("ld.y", yp);
+  const auto lx = b.fload("ld.x", xp);
+  const auto mul = b.fmul("mul", lxm, ly);
+  const auto sub = b.fadd("sub", lx, mul);
+  b.fadd("acc.out", acc, sub);
+  b.store("st.x", xp, sub);
+  b.iadd("xp.out", xp);
+  b.iadd("yp.out", yp);
+  return b.build();
+}
+
+Ddg liv_loop9(const MachineModel& m) {
+  // Integrate predictors: px[i] = dm28*px[13] + dm27*px[12] + dm26*px[11]
+  //   + dm25*px[10] + dm24*px[9] + dm23*px[8] + dm22*px[7] + c0*(px[4]
+  //   + px[5]) + px[2]   — a wide multiply-accumulate fan-in.
+  KernelBuilder b(m, "liv-loop9");
+  const auto pp = b.live_in(kIntReg, "px.in");
+  const auto c0 = b.live_in(kFloatReg, "c0.in");
+  std::vector<NodeId> dm, px;
+  for (int k = 0; k < 7; ++k) {
+    dm.push_back(b.live_in(kFloatReg, "dm" + std::to_string(22 + k) + ".in"));
+  }
+  for (int k = 0; k < 10; ++k) {
+    const auto addr =
+        k == 0 ? pp : b.iadd("addr.px" + std::to_string(k), pp);
+    px.push_back(b.fload("ld.px" + std::to_string(k), addr));
+  }
+  std::vector<NodeId> prods;
+  for (int k = 0; k < 7; ++k) {
+    prods.push_back(b.fmul("mul" + std::to_string(k), dm[k], px[k]));
+  }
+  const auto pair = b.fadd("add.p45", px[7], px[8]);
+  prods.push_back(b.fmul("mul.c0", c0, pair));
+  prods.push_back(px[9]);
+  NodeId acc = prods[0];
+  for (std::size_t k = 1; k < prods.size(); ++k) {
+    acc = b.fadd("red" + std::to_string(k), acc, prods[k]);
+  }
+  b.store("st.px", pp, acc);
+  b.iadd("px.out", pp);
+  return b.build();
+}
+
+Ddg liv_loop11(const MachineModel& m) {
+  // First sum: x[k] = x[k-1] + y[k]  (recurrence cut at the iteration edge).
+  KernelBuilder b(m, "liv-loop11");
+  const auto xprev = b.live_in(kFloatReg, "xprev.in");
+  const auto yp = b.live_in(kIntReg, "yp.in");
+  const auto xp = b.live_in(kIntReg, "xp.in");
+  const auto ly = b.fload("ld.y", yp);
+  const auto sum = b.fadd("add", xprev, ly);
+  b.store("st.x", xp, sum);
+  b.iadd("yp.out", yp);
+  b.iadd("xp.out", xp);
+  return b.build();
+}
+
+Ddg liv_loop12(const MachineModel& m) {
+  // First difference: x[k] = y[k+1] - y[k].
+  KernelBuilder b(m, "liv-loop12");
+  const auto yp = b.live_in(kIntReg, "yp.in");
+  const auto xp = b.live_in(kIntReg, "xp.in");
+  const auto a1 = b.iadd("addr.y1", yp);
+  const auto ly0 = b.fload("ld.y0", yp);
+  const auto ly1 = b.fload("ld.y1", a1);
+  const auto diff = b.fadd("sub", ly1, ly0);
+  b.store("st.x", xp, diff);
+  b.iadd("yp.out", yp);
+  b.iadd("xp.out", xp);
+  return b.build();
+}
+
+Ddg lin_dgefa_pivot(const MachineModel& m) {
+  // dgefa column step: t = -1/a[k][k]; a[i][k] *= t — a reciprocal feeding
+  // a scaled update, with the pivot value long-lived.
+  KernelBuilder b(m, "lin-dgefa");
+  const auto ap = b.live_in(kIntReg, "ap.in");
+  const auto one = b.live_in(kFloatReg, "one.in");
+  const auto piv = b.fload("ld.pivot", ap);
+  const auto rcp = b.fdiv("recip", one, piv);
+  for (int i = 0; i < 3; ++i) {
+    const auto addr = b.iadd("addr.a" + std::to_string(i), ap);
+    const auto la = b.fload("ld.a" + std::to_string(i), addr);
+    const auto sc = b.fmul("scale" + std::to_string(i), la, rcp);
+    b.store("st.a" + std::to_string(i), addr, sc);
+  }
+  b.iadd("ap.out", ap);
+  return b.build();
+}
+
+Ddg fft_butterfly(const MachineModel& m) {
+  // Radix-2 decimation-in-time butterfly:
+  //   tr = wr*xr - wi*xi ; ti = wr*xi + wi*xr
+  //   yr0 = ar + tr ; yi0 = ai + ti ; yr1 = ar - tr ; yi1 = ai - ti
+  KernelBuilder b(m, "fft-bfly");
+  const auto wr = b.live_in(kFloatReg, "wr.in");
+  const auto wi = b.live_in(kFloatReg, "wi.in");
+  const auto xp = b.live_in(kIntReg, "xp.in");
+  const auto ap = b.live_in(kIntReg, "ap.in");
+  const auto xr = b.fload("ld.xr", xp);
+  const auto xi = b.fload("ld.xi", xp);
+  const auto ar = b.fload("ld.ar", ap);
+  const auto ai = b.fload("ld.ai", ap);
+  const auto m1 = b.fmul("mul.wrxr", wr, xr);
+  const auto m2 = b.fmul("mul.wixi", wi, xi);
+  const auto m3 = b.fmul("mul.wrxi", wr, xi);
+  const auto m4 = b.fmul("mul.wixr", wi, xr);
+  const auto tr = b.fadd("sub.tr", m1, m2);
+  const auto ti = b.fadd("add.ti", m3, m4);
+  const auto yr0 = b.fadd("add.yr0", ar, tr);
+  const auto yi0 = b.fadd("add.yi0", ai, ti);
+  const auto yr1 = b.fadd("sub.yr1", ar, tr);
+  const auto yi1 = b.fadd("sub.yi1", ai, ti);
+  b.store("st.yr0", xp, yr0);
+  b.store("st.yi0", xp, yi0);
+  b.store("st.yr1", ap, yr1);
+  b.store("st.yi1", ap, yi1);
+  return b.build();
+}
+
+Ddg stencil3_unroll2(const MachineModel& m) {
+  // y[i] = c0*x[i-1] + c1*x[i] + c2*x[i+1], unrolled twice with shared
+  // loads between the two iterations.
+  KernelBuilder b(m, "stencil3-u2");
+  const auto xp = b.live_in(kIntReg, "xp.in");
+  const auto yp = b.live_in(kIntReg, "yp.in");
+  const auto c0 = b.live_in(kFloatReg, "c0.in");
+  const auto c1 = b.live_in(kFloatReg, "c1.in");
+  const auto c2 = b.live_in(kFloatReg, "c2.in");
+  std::vector<NodeId> x;
+  for (int k = 0; k < 4; ++k) {
+    const auto addr = k == 0 ? xp : b.iadd("addr.x" + std::to_string(k), xp);
+    x.push_back(b.fload("ld.x" + std::to_string(k), addr));
+  }
+  for (int u = 0; u < 2; ++u) {
+    const std::string s = std::to_string(u);
+    const auto p0 = b.fmul("mul.c0." + s, c0, x[u]);
+    const auto p1 = b.fmul("mul.c1." + s, c1, x[u + 1]);
+    const auto p2 = b.fmul("mul.c2." + s, c2, x[u + 2]);
+    const auto s1 = b.fadd("add.1." + s, p0, p1);
+    const auto s2 = b.fadd("add.2." + s, s1, p2);
+    const auto ya = u == 0 ? yp : b.iadd("addr.y" + s, yp);
+    b.store("st.y" + s, ya, s2);
+  }
+  b.iadd("xp.out", xp);
+  b.iadd("yp.out", yp);
+  return b.build();
+}
+
+namespace {
+
+using KernelFn = Ddg (*)(const MachineModel&);
+
+struct KernelEntry {
+  const char* name;
+  KernelFn fn;
+};
+
+constexpr KernelEntry kKernels[] = {
+    {"lin-ddot", lin_ddot},
+    {"lin-daxpy", lin_daxpy},
+    {"lin-dscal", lin_dscal},
+    {"liv-loop1", liv_loop1},
+    {"liv-loop5", liv_loop5},
+    {"liv-loop7", liv_loop7},
+    {"liv-loop23", liv_loop23},
+    {"whet-p3", whet_p3},
+    {"whet-p8", whet_p8},
+    {"spec-spice", spec_spice_band},
+    {"spec-tomcatv", spec_tomcatv_stencil},
+    {"spec-dod", spec_dod_fma},
+    {"matmul-u4", matmul_unroll4},
+    {"fir8", fir8},
+    {"horner8", horner8},
+    {"estrin8", estrin8},
+    {"complex-mul2", complex_mul2},
+    {"liv-loop2", liv_loop2},
+    {"liv-loop4", liv_loop4},
+    {"liv-loop9", liv_loop9},
+    {"liv-loop11", liv_loop11},
+    {"liv-loop12", liv_loop12},
+    {"lin-dgefa", lin_dgefa_pivot},
+    {"fft-bfly", fft_butterfly},
+    {"stencil3-u2", stencil3_unroll2},
+};
+
+}  // namespace
+
+std::vector<NamedDdg> kernel_corpus(const MachineModel& model) {
+  std::vector<NamedDdg> out;
+  out.reserve(std::size(kKernels));
+  for (const KernelEntry& k : kKernels) {
+    out.push_back(NamedDdg{k.name, k.fn(model)});
+  }
+  return out;
+}
+
+std::vector<std::string> kernel_names() {
+  std::vector<std::string> names;
+  for (const KernelEntry& k : kKernels) names.emplace_back(k.name);
+  return names;
+}
+
+Ddg build_kernel(const std::string& name, const MachineModel& model) {
+  for (const KernelEntry& k : kKernels) {
+    if (name == k.name) return k.fn(model);
+  }
+  RS_REQUIRE(false, "unknown kernel: " + name);
+  return Ddg{};  // unreachable
+}
+
+}  // namespace rs::ddg

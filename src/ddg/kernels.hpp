@@ -1,0 +1,61 @@
+// Benchmark DDG corpus: hand-reconstructed loop bodies of the classic
+// public-domain kernels the paper's evaluation samples from (Linpack BLAS-1
+// bodies, Livermore loops, Whetstone modules, SpecFP-style kernels).
+//
+// Substitution note (see DESIGN.md section 4): the authors' extracted DDG
+// files were never published; these bodies are re-derived from the original
+// Fortran/C sources. Loop-carried dependences are cut (a DAG models one
+// iteration); live-in values appear as latency-0 definitions.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ddg/ddg.hpp"
+#include "ddg/machine.hpp"
+
+namespace rs::ddg {
+
+struct NamedDdg {
+  std::string name;
+  Ddg ddg;
+};
+
+/// All corpus kernels instantiated for the given machine model, normalized.
+std::vector<NamedDdg> kernel_corpus(const MachineModel& model);
+
+/// Names in kernel_corpus order (stable; used by experiment tables).
+std::vector<std::string> kernel_names();
+
+/// Builds one kernel by name; throws PreconditionError for unknown names.
+Ddg build_kernel(const std::string& name, const MachineModel& model);
+
+// Individual kernels (all return normalized DDGs).
+Ddg lin_ddot(const MachineModel& m);      // Linpack ddot inner loop
+Ddg lin_daxpy(const MachineModel& m);     // Linpack daxpy inner loop
+Ddg lin_dscal(const MachineModel& m);     // Linpack dscal inner loop
+Ddg liv_loop1(const MachineModel& m);     // Livermore 1: hydro fragment
+Ddg liv_loop5(const MachineModel& m);     // Livermore 5: tri-diagonal elim.
+Ddg liv_loop7(const MachineModel& m);     // Livermore 7: equation of state
+Ddg liv_loop23(const MachineModel& m);    // Livermore 23: 2-D implicit hydro
+Ddg whet_p3(const MachineModel& m);       // Whetstone module 3 (array pass)
+Ddg whet_p8(const MachineModel& m);       // Whetstone module 8 (trig-heavy)
+Ddg spec_spice_band(const MachineModel& m);   // SPICE-style band solve step
+Ddg spec_tomcatv_stencil(const MachineModel& m);  // tomcatv-style stencil
+Ddg spec_dod_fma(const MachineModel& m);  // dense FMA chain pair
+Ddg matmul_unroll4(const MachineModel& m);  // dgemm micro-kernel, 4x unroll
+Ddg fir8(const MachineModel& m);          // 8-tap FIR (wide adder tree)
+Ddg horner8(const MachineModel& m);       // degree-8 Horner (serial chain)
+Ddg estrin8(const MachineModel& m);       // degree-8 Estrin (parallel)
+Ddg complex_mul2(const MachineModel& m);  // complex multiply, 2x unroll
+Ddg liv_loop2(const MachineModel& m);     // Livermore 2: ICCG fragment
+Ddg liv_loop4(const MachineModel& m);     // Livermore 4: banded lin. eq.
+Ddg liv_loop9(const MachineModel& m);     // Livermore 9: integrate predictors
+Ddg liv_loop11(const MachineModel& m);    // Livermore 11: first sum
+Ddg liv_loop12(const MachineModel& m);    // Livermore 12: first difference
+Ddg lin_dgefa_pivot(const MachineModel& m);  // Linpack dgefa pivot step
+Ddg fft_butterfly(const MachineModel& m);    // radix-2 FFT butterfly
+Ddg stencil3_unroll2(const MachineModel& m); // 1-D 3-point stencil, 2x
+
+}  // namespace rs::ddg

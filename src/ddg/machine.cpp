@@ -1,0 +1,45 @@
+#include "ddg/machine.hpp"
+
+#include "support/assert.hpp"
+
+namespace rs::ddg {
+
+MachineModel::MachineModel(std::string name, bool visible_offsets)
+    : name_(std::move(name)), visible_offsets_(visible_offsets) {
+  // Baseline latencies for a generic high-performance core; individual
+  // models tweak below. Values chosen inside the ranges common to the
+  // era's targets (Alpha 21264 / Itanium): what matters for RS behaviour
+  // is the *ratios* (loads and FP ops several times an int ALU op).
+  set_latency(OpClass::IntAlu, 1);
+  set_latency(OpClass::Load, 3);
+  set_latency(OpClass::Store, 1);
+  set_latency(OpClass::FpAdd, 3);
+  set_latency(OpClass::FpMul, 4);
+  set_latency(OpClass::FpDiv, 17);
+  set_latency(OpClass::FpLong, 25);
+  set_latency(OpClass::Branchy, 1);
+  set_latency(OpClass::Nop, 0);
+}
+
+void MachineModel::set_latency(OpClass c, Latency lat) {
+  RS_REQUIRE(lat >= 0, "negative latency");
+  latency_[idx(c)] = lat;
+  dr_[idx(c)] = 0;
+  dw_[idx(c)] = lat > 0 ? lat - 1 : 0;
+}
+
+Operation MachineModel::make_op(OpClass c, std::string name) const {
+  Operation op;
+  op.name = std::move(name);
+  op.cls = c;
+  op.latency = latency(c);
+  op.delta_r = read_offset(c);
+  op.delta_w = write_offset(c);
+  return op;
+}
+
+MachineModel superscalar_model() { return MachineModel("superscalar", false); }
+
+MachineModel vliw_model() { return MachineModel("vliw", true); }
+
+}  // namespace rs::ddg

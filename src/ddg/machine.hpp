@@ -1,0 +1,57 @@
+// Machine models: per-class latencies and architecturally visible
+// read/write offsets (section 2). Two presets bracket the paper's targets:
+//  * superscalar: delta_r = delta_w = 0 (sequential register semantics);
+//  * VLIW/EPIC: operands read at issue (delta_r = 0), results written at the
+//    end of the pipeline (delta_w = latency - 1), both visible to the
+//    compiler.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "ddg/ddg.hpp"
+
+namespace rs::ddg {
+
+inline constexpr RegType kIntReg = 0;
+inline constexpr RegType kFloatReg = 1;
+inline constexpr int kRegTypeCount = 2;
+
+class MachineModel {
+ public:
+  MachineModel(std::string name, bool visible_offsets);
+
+  const std::string& name() const { return name_; }
+  /// True for VLIW/EPIC-style targets whose delta_w may exceed zero; these
+  /// require the non-positive-circuit guard during RS reduction (section 4).
+  bool visible_offsets() const { return visible_offsets_; }
+
+  Latency latency(OpClass c) const { return latency_[idx(c)]; }
+  Latency read_offset(OpClass c) const { return visible_offsets_ ? dr_[idx(c)] : 0; }
+  Latency write_offset(OpClass c) const {
+    return visible_offsets_ ? dw_[idx(c)] : 0;
+  }
+
+  void set_latency(OpClass c, Latency lat);
+
+  /// Fills an Operation's timing attributes from this model.
+  Operation make_op(OpClass c, std::string name) const;
+
+ private:
+  static constexpr int kClasses = 9;
+  static int idx(OpClass c) { return static_cast<int>(c); }
+
+  std::string name_;
+  bool visible_offsets_;
+  std::array<Latency, kClasses> latency_{};
+  std::array<Latency, kClasses> dr_{};
+  std::array<Latency, kClasses> dw_{};
+};
+
+/// In-order/out-of-order superscalar: zero offsets, classic latencies.
+MachineModel superscalar_model();
+
+/// VLIW/EPIC with visible pipeline: delta_w = latency - 1, delta_r = 0.
+MachineModel vliw_model();
+
+}  // namespace rs::ddg

@@ -1,0 +1,118 @@
+// Experiment harness: corpora, optimal-vs-heuristic sweeps, and the
+// section-5 category taxonomy. Bench binaries print tables from these
+// results; tests assert the paper's structural claims on them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/reduce.hpp"
+#include "ddg/ddg.hpp"
+#include "ddg/machine.hpp"
+
+namespace rs::exp {
+
+struct Instance {
+  std::string name;
+  ddg::Ddg ddg;
+};
+
+struct CorpusOptions {
+  bool superscalar_kernels = true;
+  bool vliw_kernels = true;
+  int random_count = 24;       // random DAGs per size bucket
+  std::uint64_t seed = 20040815;  // ICPP 2004 vintage
+  std::vector<int> random_sizes = {8, 10, 12};
+};
+
+/// The evaluation corpus: reconstructed benchmark kernels under both
+/// machine models plus seeded random DAGs (see DESIGN.md substitution 2).
+std::vector<Instance> standard_corpus(const CorpusOptions& opts = {});
+
+// ---------------------------------------------------------------- EXP-1 --
+
+struct RsComparison {
+  std::string name;
+  int n_ops = 0;
+  int n_arcs = 0;
+  int n_values = 0;
+  int rs_heuristic = 0;
+  int rs_exact = 0;
+  bool proven = false;
+  double heuristic_ms = 0.0;
+  double exact_ms = 0.0;
+  long exact_nodes = 0;
+
+  int error() const { return rs_exact - rs_heuristic; }
+};
+
+struct RsSweepOptions {
+  ddg::RegType type = ddg::kFloatReg;
+  double exact_time_limit = 30.0;
+  std::size_t threads = 0;  // 0: hardware concurrency
+};
+
+/// Heuristic vs exact RS over a corpus (section 5, "RS computation").
+std::vector<RsComparison> compare_rs(const std::vector<Instance>& corpus,
+                                     const RsSweepOptions& opts = {});
+
+// ---------------------------------------------------------------- EXP-2 --
+
+/// The six cells of the paper's section-5 reduction taxonomy.
+enum class ReductionCategory {
+  OptimalRsOptimalIlp,     // (i)(a):  RS == RS*, ILP == ILP*
+  OptimalRsSubIlp,         // (i)(b):  RS == RS*, ILP <  ILP*
+  OptimalRsSuperIlp,       // (i)(c):  RS == RS*, ILP >  ILP*  (paper: impossible)
+  SubRsOptimalIlp,         // (ii)(a): RS >  RS*, ILP == ILP*
+  SubRsSubIlp,             // (ii)(b): RS >  RS*, ILP <  ILP*
+  SubRsSuperIlp,           // (ii)(c): RS >  RS*, ILP >  ILP*
+  HeuristicAboveOptimal,   // (iii):   RS <  RS*  (paper: impossible)
+};
+
+const char* category_label(ReductionCategory c);
+
+struct ReductionComparison {
+  std::string name;
+  int R = 0;
+  bool usable = false;       // both solvers finished with proven answers
+  std::string skip_reason;   // when !usable
+  int rs_optimal = 0;        // reduced RS from the exact method
+  int rs_heuristic = 0;      // exact RS of the heuristically reduced DDG
+  sched::Time ilp_optimal = 0;   // critical-path loss, exact method
+  sched::Time ilp_heuristic = 0; // critical-path loss, heuristic
+  int arcs_optimal = 0;
+  int arcs_heuristic = 0;
+  ReductionCategory category = ReductionCategory::OptimalRsOptimalIlp;
+};
+
+struct ReductionSweepOptions {
+  ddg::RegType type = ddg::kFloatReg;
+  /// Register limits tried per instance, expressed as offsets below the
+  /// exact RS (an instance with RS=7 and offsets {1,2} runs R=6 and R=5).
+  std::vector<int> r_offsets = {1, 2};
+  int min_r = 2;
+  double time_limit = 20.0;
+  std::size_t threads = 0;
+};
+
+/// Optimal vs heuristic reduction over (instance, R) pairs (section 5).
+std::vector<ReductionComparison> compare_reduction(
+    const std::vector<Instance>& corpus,
+    const ReductionSweepOptions& opts = {});
+
+/// Aggregates category percentages over usable rows (the paper's list).
+struct CategoryBreakdown {
+  std::size_t usable = 0;
+  std::size_t skipped = 0;
+  std::size_t count[7] = {0, 0, 0, 0, 0, 0, 0};
+
+  double percent(ReductionCategory c) const {
+    return usable == 0 ? 0.0
+                       : 100.0 * static_cast<double>(count[static_cast<int>(c)]) /
+                             static_cast<double>(usable);
+  }
+};
+CategoryBreakdown summarize(const std::vector<ReductionComparison>& rows);
+
+}  // namespace rs::exp

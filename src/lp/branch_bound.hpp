@@ -1,0 +1,46 @@
+// Branch-and-bound MIP solver over the simplex LP relaxation.
+//
+// Plays the role CPLEX played for the paper's authors: an exact solver for
+// the section-3 and section-4 intLP formulations. Depth-first with
+// round-toward-LP child ordering, most-fractional branching, and integral
+// objective rounding for tighter pruning (every objective in this library is
+// a sum of binaries or an integer schedule time).
+#pragma once
+
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace rs::lp {
+
+enum class MipStatus {
+  Optimal,         // incumbent proven optimal
+  Feasible,        // incumbent found, search truncated by limits
+  Infeasible,      // proven infeasible
+  Unknown,         // limits hit before any conclusion
+};
+
+struct MipOptions {
+  double time_limit_seconds = 120.0;  // <= 0 means unlimited
+  long node_limit = 500000;           // <= 0 means unlimited
+  /// When true, LP bounds round to the nearest integer before pruning.
+  bool objective_integral = true;
+  int lp_iteration_limit = 200000;
+};
+
+struct MipResult {
+  MipStatus status = MipStatus::Unknown;
+  double objective = 0.0;      // incumbent objective (valid unless Unknown/Infeasible)
+  std::vector<double> x;       // incumbent point
+  double best_bound = 0.0;     // proven dual bound
+  long nodes = 0;
+  bool has_solution() const {
+    return status == MipStatus::Optimal || status == MipStatus::Feasible;
+  }
+};
+
+/// Solves the model exactly (subject to limits). All integer variables must
+/// have finite bounds.
+MipResult solve_mip(const Model& model, const MipOptions& options = {});
+
+}  // namespace rs::lp

@@ -1,0 +1,95 @@
+#include "lp/linearize.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace rs::lp {
+
+void add_iff_ge(Model& m, Var z, const LinExpr& expr, double c,
+                const std::string& name_prefix) {
+  const auto [lo, hi] = m.expr_bounds(expr);
+  RS_REQUIRE(std::isfinite(lo) && std::isfinite(hi),
+             "add_iff_ge needs finite expression bounds");
+  if (c <= lo) {  // always true
+    m.add_constraint(LinExpr(z), Sense::EQ, 1.0, name_prefix + ".fix1");
+    return;
+  }
+  if (c > hi) {  // never true
+    m.add_constraint(LinExpr(z), Sense::EQ, 0.0, name_prefix + ".fix0");
+    return;
+  }
+  // z = 1 ==> expr >= c       :  expr - (c - lo) z >= lo
+  LinExpr ge = expr;
+  ge.add(z, -(c - lo));
+  m.add_constraint(ge, Sense::GE, lo, name_prefix + ".onlyif");
+  // z = 0 ==> expr <= c - 1   :  expr - (hi - c + 1) z <= c - 1
+  LinExpr le = expr;
+  le.add(z, -(hi - (c - 1.0)));
+  m.add_constraint(le, Sense::LE, c - 1.0, name_prefix + ".if");
+}
+
+void add_and(Model& m, Var z, Var a, Var b, const std::string& name_prefix) {
+  m.add_constraint(LinExpr(z) - LinExpr(a), Sense::LE, 0.0, name_prefix + ".le_a");
+  m.add_constraint(LinExpr(z) - LinExpr(b), Sense::LE, 0.0, name_prefix + ".le_b");
+  LinExpr ge = LinExpr(z);
+  ge.add(a, -1.0);
+  ge.add(b, -1.0);
+  m.add_constraint(ge, Sense::GE, -1.0, name_prefix + ".ge_ab");
+}
+
+void add_or(Model& m, Var z, Var a, Var b, const std::string& name_prefix) {
+  m.add_constraint(LinExpr(z) - LinExpr(a), Sense::GE, 0.0, name_prefix + ".ge_a");
+  m.add_constraint(LinExpr(z) - LinExpr(b), Sense::GE, 0.0, name_prefix + ".ge_b");
+  LinExpr le = LinExpr(z);
+  le.add(a, -1.0);
+  le.add(b, -1.0);
+  m.add_constraint(le, Sense::LE, 0.0, name_prefix + ".le_ab");
+}
+
+void add_unless(Model& m, Var guard, const LinExpr& expr, double rhs,
+                const std::string& name_prefix) {
+  const auto [lo, hi] = m.expr_bounds(expr);
+  RS_REQUIRE(std::isfinite(hi) && std::isfinite(lo),
+             "add_unless needs finite expression bounds");
+  // guard = 0 ==> expr <= rhs :  expr - (hi - rhs) * guard <= rhs
+  LinExpr e = expr;
+  e.add(guard, -(hi - rhs));
+  m.add_constraint(e, Sense::LE, rhs, name_prefix + ".unless");
+}
+
+Var add_max(Model& m, const std::vector<LinExpr>& exprs,
+            const std::string& name_prefix) {
+  RS_REQUIRE(!exprs.empty(), "max over empty set");
+  double klo = -kInf, khi = -kInf;
+  std::vector<std::pair<double, double>> bounds;
+  bounds.reserve(exprs.size());
+  for (const LinExpr& e : exprs) {
+    const auto [lo, hi] = m.expr_bounds(e);
+    RS_REQUIRE(std::isfinite(lo) && std::isfinite(hi),
+               "add_max needs finite expression bounds");
+    bounds.emplace_back(lo, hi);
+    klo = std::max(klo, lo);
+    khi = std::max(khi, hi);
+  }
+  const Var k = m.add_int(klo, khi, name_prefix + ".max");
+  // k >= expr_i always; k <= expr_i when the selector y_i is on; some
+  // selector must be on, so k equals the (a) maximal expression.
+  LinExpr sum_y;
+  for (std::size_t i = 0; i < exprs.size(); ++i) {
+    LinExpr ge = LinExpr(k) - exprs[i];
+    m.add_constraint(ge, Sense::GE, 0.0,
+                     name_prefix + ".ge" + std::to_string(i));
+    const Var y = m.add_binary(name_prefix + ".y" + std::to_string(i));
+    sum_y.add(y, 1.0);
+    // k <= expr_i + (khi - lo_i)(1 - y_i)
+    LinExpr le = LinExpr(k) - exprs[i];
+    le.add(y, khi - bounds[i].first);
+    m.add_constraint(le, Sense::LE, khi - bounds[i].first,
+                     name_prefix + ".le" + std::to_string(i));
+  }
+  m.add_constraint(sum_y, Sense::EQ, 1.0, name_prefix + ".pick");
+  return k;
+}
+
+}  // namespace rs::lp

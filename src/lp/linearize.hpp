@@ -1,0 +1,36 @@
+// Linear encodings of logical operators and max(), following the recipe the
+// paper inherits from Touati's thesis [15]: every big-M constant is derived
+// from the *finite bounds* of the participating integer expressions, never a
+// global magic number. All expressions are assumed integral.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace rs::lp {
+
+/// Adds constraints making binary z equivalent to (expr >= c):
+///   z = 1 <=> expr >= c      (expr integral; c integral)
+/// Degenerate cases (c below/above expr's range) pin z instead.
+void add_iff_ge(Model& m, Var z, const LinExpr& expr, double c,
+                const std::string& name_prefix = {});
+
+/// z = a AND b for binaries.
+void add_and(Model& m, Var z, Var a, Var b, const std::string& name_prefix = {});
+
+/// z = a OR b for binaries.
+void add_or(Model& m, Var z, Var a, Var b, const std::string& name_prefix = {});
+
+/// If `guard` (binary) is 0 then `expr <= rhs` must hold; no constraint
+/// when guard is 1. (Implements "s = 0 ==> x_u + x_v <= 1" from section 3.)
+void add_unless(Model& m, Var guard, const LinExpr& expr, double rhs,
+                const std::string& name_prefix = {});
+
+/// Returns a fresh integer variable k constrained to equal max_i exprs[i].
+/// Introduces one binary per alternative with sum 1 (thesis [15] encoding).
+Var add_max(Model& m, const std::vector<LinExpr>& exprs,
+            const std::string& name_prefix);
+
+}  // namespace rs::lp

@@ -1,0 +1,237 @@
+#include "lp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace rs::lp {
+
+LinExpr& LinExpr::add(Var v, double coef) {
+  RS_REQUIRE(v.valid(), "expression uses an invalid variable");
+  vars_.push_back(v.id);
+  coefs_.push_back(coef);
+  return *this;
+}
+
+LinExpr& LinExpr::operator+=(const LinExpr& other) {
+  vars_.insert(vars_.end(), other.vars_.begin(), other.vars_.end());
+  coefs_.insert(coefs_.end(), other.coefs_.begin(), other.coefs_.end());
+  constant_ += other.constant_;
+  return *this;
+}
+
+LinExpr operator-(LinExpr a, const LinExpr& b) {
+  for (std::size_t i = 0; i < b.vars_.size(); ++i) {
+    a.vars_.push_back(b.vars_[i]);
+    a.coefs_.push_back(-b.coefs_[i]);
+  }
+  a.constant_ -= b.constant_;
+  return a;
+}
+
+LinExpr operator*(double s, LinExpr e) {
+  for (double& c : e.coefs_) c *= s;
+  e.constant_ *= s;
+  return e;
+}
+
+LinExpr LinExpr::normalized() const {
+  std::map<int, double> acc;
+  for (std::size_t i = 0; i < vars_.size(); ++i) acc[vars_[i]] += coefs_[i];
+  LinExpr out;
+  out.constant_ = constant_;
+  for (const auto& [v, c] : acc) {
+    if (c != 0.0) {
+      out.vars_.push_back(v);
+      out.coefs_.push_back(c);
+    }
+  }
+  return out;
+}
+
+Var Model::add_var(VarKind kind, double lo, double hi, std::string name) {
+  RS_REQUIRE(lo <= hi, "variable with empty domain: " + name);
+  vars_.push_back(VarInfo{std::move(name), kind, lo, hi});
+  return Var{static_cast<int>(vars_.size()) - 1};
+}
+
+void Model::add_constraint(const LinExpr& expr, Sense sense, double rhs,
+                           std::string name) {
+  ConstraintInfo c;
+  c.expr = expr.normalized();
+  c.rhs = rhs - c.expr.constant();
+  c.expr.add_constant(-c.expr.constant());
+  c.sense = sense;
+  c.name = std::move(name);
+  for (const int v : c.expr.vars()) {
+    RS_REQUIRE(v >= 0 && v < var_count(), "constraint uses unknown variable");
+  }
+  constraints_.push_back(std::move(c));
+}
+
+void Model::set_objective(const LinExpr& expr, bool maximize) {
+  objective_ = expr.normalized();
+  maximize_ = maximize;
+}
+
+int Model::integer_var_count() const {
+  return static_cast<int>(
+      std::count_if(vars_.begin(), vars_.end(), [](const VarInfo& v) {
+        return v.kind != VarKind::Continuous;
+      }));
+}
+
+std::pair<double, double> Model::expr_bounds(const LinExpr& expr) const {
+  double lo = expr.constant();
+  double hi = expr.constant();
+  for (std::size_t i = 0; i < expr.vars().size(); ++i) {
+    const VarInfo& v = vars_[expr.vars()[i]];
+    const double c = expr.coefs()[i];
+    if (c >= 0) {
+      lo += c * v.lo;
+      hi += c * v.hi;
+    } else {
+      lo += c * v.hi;
+      hi += c * v.lo;
+    }
+  }
+  return {lo, hi};
+}
+
+bool Model::is_feasible(const std::vector<double>& x, double tol) const {
+  if (static_cast<int>(x.size()) != var_count()) return false;
+  for (int i = 0; i < var_count(); ++i) {
+    const VarInfo& v = vars_[i];
+    if (x[i] < v.lo - tol || x[i] > v.hi + tol) return false;
+    if (v.kind != VarKind::Continuous &&
+        std::abs(x[i] - std::round(x[i])) > tol) {
+      return false;
+    }
+  }
+  for (const ConstraintInfo& c : constraints_) {
+    double lhs = 0.0;
+    for (std::size_t i = 0; i < c.expr.vars().size(); ++i) {
+      lhs += c.expr.coefs()[i] * x[c.expr.vars()[i]];
+    }
+    switch (c.sense) {
+      case Sense::LE:
+        if (lhs > c.rhs + tol) return false;
+        break;
+      case Sense::GE:
+        if (lhs < c.rhs - tol) return false;
+        break;
+      case Sense::EQ:
+        if (std::abs(lhs - c.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+double Model::objective_value(const std::vector<double>& x) const {
+  double obj = objective_.constant();
+  for (std::size_t i = 0; i < objective_.vars().size(); ++i) {
+    obj += objective_.coefs()[i] * x[objective_.vars()[i]];
+  }
+  return obj;
+}
+
+std::string Model::to_string() const {
+  std::ostringstream os;
+  os << (maximize_ ? "maximize" : "minimize") << '\n' << "  ";
+  for (std::size_t i = 0; i < objective_.vars().size(); ++i) {
+    const double c = objective_.coefs()[i];
+    os << (c >= 0 && i ? "+ " : "") << c << ' ' << vars_[objective_.vars()[i]].name
+       << ' ';
+  }
+  os << '\n' << "subject to\n";
+  for (const ConstraintInfo& c : constraints_) {
+    os << "  ";
+    if (!c.name.empty()) os << c.name << ": ";
+    for (std::size_t i = 0; i < c.expr.vars().size(); ++i) {
+      const double coef = c.expr.coefs()[i];
+      os << (coef >= 0 && i ? "+ " : "") << coef << ' '
+         << vars_[c.expr.vars()[i]].name << ' ';
+    }
+    switch (c.sense) {
+      case Sense::LE: os << "<= "; break;
+      case Sense::GE: os << ">= "; break;
+      case Sense::EQ: os << "= "; break;
+    }
+    os << c.rhs << '\n';
+  }
+  os << "bounds\n";
+  for (const VarInfo& v : vars_) {
+    os << "  " << v.lo << " <= " << v.name << " <= " << v.hi;
+    if (v.kind == VarKind::Binary) os << " (bin)";
+    if (v.kind == VarKind::Integer) os << " (int)";
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string Model::to_lp_format() const {
+  // LP-format identifiers must avoid characters CPLEX reserves; our var
+  // names use dots, which are legal, but sanitize anything else.
+  auto clean = [](std::string s) {
+    for (char& c : s) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.' &&
+          c != '_') {
+        c = '_';
+      }
+    }
+    if (s.empty()) s = "v";
+    return s;
+  };
+  std::ostringstream os;
+  os << (maximize_ ? "Maximize" : "Minimize") << "\n obj:";
+  for (std::size_t i = 0; i < objective_.vars().size(); ++i) {
+    const double c = objective_.coefs()[i];
+    os << (c >= 0 ? " +" : " ") << c << ' '
+       << clean(vars_[objective_.vars()[i]].name);
+  }
+  if (objective_.vars().empty()) os << " 0 " << clean(vars_.empty() ? "x" : vars_[0].name);
+  os << "\nSubject To\n";
+  for (std::size_t r = 0; r < constraints_.size(); ++r) {
+    const ConstraintInfo& c = constraints_[r];
+    os << " c" << r << ":";
+    for (std::size_t i = 0; i < c.expr.vars().size(); ++i) {
+      const double coef = c.expr.coefs()[i];
+      os << (coef >= 0 ? " +" : " ") << coef << ' '
+         << clean(vars_[c.expr.vars()[i]].name);
+    }
+    switch (c.sense) {
+      case Sense::LE: os << " <= "; break;
+      case Sense::GE: os << " >= "; break;
+      case Sense::EQ: os << " = "; break;
+    }
+    os << c.rhs << '\n';
+  }
+  os << "Bounds\n";
+  for (const VarInfo& v : vars_) {
+    os << ' ';
+    if (std::isinf(v.lo)) os << "-inf";
+    else os << v.lo;
+    os << " <= " << clean(v.name) << " <= ";
+    if (std::isinf(v.hi)) os << "+inf";
+    else os << v.hi;
+    os << '\n';
+  }
+  bool have_int = false;
+  for (const VarInfo& v : vars_) {
+    if (v.kind != VarKind::Continuous) {
+      if (!have_int) {
+        os << "Generals\n";
+        have_int = true;
+      }
+      os << ' ' << clean(v.name) << '\n';
+    }
+  }
+  os << "End\n";
+  return os.str();
+}
+
+}  // namespace rs::lp

@@ -1,0 +1,126 @@
+// Mixed-integer linear program builder.
+//
+// The paper's headline contribution is a *model* (an intLP for register
+// saturation with O(n^2) variables and O(m+n^2) constraints); this class is
+// the substrate those formulations are written against, playing the role
+// CPLEX's API played for the authors. Solvers live in simplex.hpp /
+// branch_bound.hpp.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace rs::lp {
+
+/// +infinity bound sentinel for variables.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class VarKind { Continuous, Integer, Binary };
+
+enum class Sense { LE, GE, EQ };
+
+/// Opaque variable handle.
+struct Var {
+  int id = -1;
+  bool valid() const { return id >= 0; }
+};
+
+/// Sparse linear expression: sum(coef_i * var_i) + constant.
+class LinExpr {
+ public:
+  LinExpr() = default;
+  /*implicit*/ LinExpr(double constant) : constant_(constant) {}
+  /*implicit*/ LinExpr(Var v) { add(v, 1.0); }
+
+  LinExpr& add(Var v, double coef);
+  LinExpr& add_constant(double c) {
+    constant_ += c;
+    return *this;
+  }
+
+  LinExpr& operator+=(const LinExpr& other);
+  friend LinExpr operator+(LinExpr a, const LinExpr& b) { return a += b; }
+  friend LinExpr operator-(LinExpr a, const LinExpr& b);
+  friend LinExpr operator*(double s, LinExpr e);
+
+  double constant() const { return constant_; }
+  const std::vector<int>& vars() const { return vars_; }
+  const std::vector<double>& coefs() const { return coefs_; }
+
+  /// Merges duplicate variables and drops zero coefficients.
+  LinExpr normalized() const;
+
+ private:
+  std::vector<int> vars_;
+  std::vector<double> coefs_;
+  double constant_ = 0.0;
+};
+
+struct VarInfo {
+  std::string name;
+  VarKind kind = VarKind::Continuous;
+  double lo = 0.0;
+  double hi = kInf;
+};
+
+struct ConstraintInfo {
+  LinExpr expr;  // expr (sense) rhs, with expr's constant folded into rhs
+  Sense sense = Sense::LE;
+  double rhs = 0.0;
+  std::string name;
+};
+
+/// A MIP: variables with bounds/kinds, linear constraints, linear objective.
+class Model {
+ public:
+  Var add_var(VarKind kind, double lo, double hi, std::string name);
+  Var add_binary(std::string name) { return add_var(VarKind::Binary, 0, 1, std::move(name)); }
+  Var add_int(double lo, double hi, std::string name) {
+    return add_var(VarKind::Integer, lo, hi, std::move(name));
+  }
+
+  /// Adds `expr sense rhs`; expression constants fold into the rhs.
+  void add_constraint(const LinExpr& expr, Sense sense, double rhs,
+                      std::string name = {});
+
+  /// Sets the objective. `maximize` true for maximization.
+  void set_objective(const LinExpr& expr, bool maximize);
+
+  int var_count() const { return static_cast<int>(vars_.size()); }
+  int constraint_count() const { return static_cast<int>(constraints_.size()); }
+  int integer_var_count() const;
+
+  const VarInfo& var(int id) const { return vars_[id]; }
+  VarInfo& var_mutable(int id) { return vars_[id]; }
+  const std::vector<ConstraintInfo>& constraints() const { return constraints_; }
+  const LinExpr& objective() const { return objective_; }
+  bool maximize() const { return maximize_; }
+
+  /// Worst-case finite bounds of an expression under current var bounds.
+  /// Returns {lo, hi}; infinite when some involved bound is infinite.
+  std::pair<double, double> expr_bounds(const LinExpr& expr) const;
+
+  /// Checks a point against every constraint / bound / integrality with
+  /// tolerance; used by tests and by the MIP solver's acceptance check.
+  bool is_feasible(const std::vector<double>& x, double tol = 1e-6) const;
+
+  /// Objective value at x.
+  double objective_value(const std::vector<double>& x) const;
+
+  /// Human-readable LP-format-ish dump (debugging aid).
+  std::string to_string() const;
+
+  /// CPLEX LP file format (the solver the paper used); lets the generated
+  /// intLP models be fed to external MIP solvers for cross-validation.
+  std::string to_lp_format() const;
+
+ private:
+  std::vector<VarInfo> vars_;
+  std::vector<ConstraintInfo> constraints_;
+  LinExpr objective_;
+  bool maximize_ = false;
+};
+
+}  // namespace rs::lp

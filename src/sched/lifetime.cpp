@@ -1,0 +1,111 @@
+#include "sched/lifetime.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/assert.hpp"
+
+namespace rs::sched {
+
+Time kill_date(const ddg::Ddg& ddg, ddg::NodeId u, ddg::RegType t,
+               const Schedule& sigma) {
+  const std::vector<ddg::NodeId> cons = ddg.consumers(u, t);
+  const Time def = sigma.at(u) + ddg.op(u).delta_w;
+  Time kill = def;  // empty interval when never consumed
+  for (const ddg::NodeId v : cons) {
+    kill = std::max(kill, sigma.at(v) + ddg.op(v).delta_r);
+  }
+  return kill;
+}
+
+std::vector<Lifetime> lifetimes(const ddg::Ddg& ddg, ddg::RegType t,
+                                const Schedule& sigma) {
+  RS_REQUIRE(sigma.op_count() == ddg.op_count(), "schedule size mismatch");
+  const ddg::ValueSet values(ddg, t);
+  std::vector<Lifetime> out;
+  out.reserve(values.count());
+  for (const ddg::NodeId u : values.nodes) {
+    Lifetime lt;
+    lt.value = u;
+    lt.def = sigma.at(u) + ddg.op(u).delta_w;
+    lt.kill = kill_date(ddg, u, t, sigma);
+    out.push_back(lt);
+  }
+  return out;
+}
+
+int register_need(const ddg::Ddg& ddg, ddg::RegType t, const Schedule& sigma) {
+  // Sweep: value occupies integer cycles def+1 .. kill (left-open interval).
+  const std::vector<Lifetime> lts = lifetimes(ddg, t, sigma);
+  std::vector<std::pair<Time, int>> events;
+  events.reserve(lts.size() * 2);
+  for (const Lifetime& lt : lts) {
+    if (lt.empty()) continue;
+    events.emplace_back(lt.def + 1, +1);
+    events.emplace_back(lt.kill + 1, -1);
+  }
+  std::sort(events.begin(), events.end());
+  int live = 0, peak = 0;
+  for (const auto& [time, delta] : events) {
+    live += delta;
+    peak = std::max(peak, live);
+  }
+  return peak;
+}
+
+std::vector<bool> interference_matrix(const ddg::Ddg& ddg, ddg::RegType t,
+                                      const Schedule& sigma) {
+  const std::vector<Lifetime> lts = lifetimes(ddg, t, sigma);
+  const int k = static_cast<int>(lts.size());
+  std::vector<bool> mat(static_cast<std::size_t>(k) * k, false);
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      if (lts[i].interferes(lts[j])) {
+        mat[static_cast<std::size_t>(i) * k + j] = true;
+        mat[static_cast<std::size_t>(j) * k + i] = true;
+      }
+    }
+  }
+  return mat;
+}
+
+Allocation allocate(const ddg::Ddg& ddg, ddg::RegType t,
+                    const Schedule& sigma) {
+  const std::vector<Lifetime> lts = lifetimes(ddg, t, sigma);
+  const int k = static_cast<int>(lts.size());
+  std::vector<int> order(k);
+  for (int i = 0; i < k; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return lts[a].def < lts[b].def; });
+
+  Allocation alloc;
+  alloc.reg_of_value.assign(k, -1);
+  // Free list keyed by (release time = kill of current holder).
+  std::priority_queue<std::pair<Time, int>, std::vector<std::pair<Time, int>>,
+                      std::greater<>> busy;  // (kill, reg)
+  std::vector<int> free_regs;
+  int next_reg = 0;
+  for (const int i : order) {
+    const Lifetime& lt = lts[i];
+    if (lt.empty()) continue;
+    // A register is reusable when its holder is dead no later than this
+    // value's definition (left-open: kill <= def means no interference).
+    while (!busy.empty() && busy.top().first <= lt.def) {
+      free_regs.push_back(busy.top().second);
+      busy.pop();
+    }
+    int reg;
+    if (!free_regs.empty()) {
+      reg = free_regs.back();
+      free_regs.pop_back();
+    } else {
+      reg = next_reg++;
+    }
+    alloc.reg_of_value[i] = reg;
+    busy.emplace(lt.kill, reg);
+  }
+  alloc.registers_used = next_reg;
+  return alloc;
+}
+
+}  // namespace rs::sched

@@ -1,0 +1,59 @@
+// Value lifetimes, killing dates, register need (MAXLIVE), interference.
+//
+// Section 2 semantics: the type-t value of u under schedule sigma lives in
+// the left-open interval
+//   LT(u) = ] sigma(u)+delta_w(u) , max_{v in Cons(u^t)} sigma(v)+delta_r(v) ]
+// so a value written at cycle c is visible from c+1, and a read concurrent
+// with a write returns the previous value. The register need RN^t_sigma(G)
+// is the maximum number of overlapping lifetimes (equivalently the maximum
+// clique of the interval interference graph, by Helly's property).
+#pragma once
+
+#include <vector>
+
+#include "ddg/ddg.hpp"
+#include "sched/schedule.hpp"
+
+namespace rs::sched {
+
+/// Left-open interval ]def, kill].
+struct Lifetime {
+  ddg::NodeId value = -1;  // defining operation
+  Time def = 0;            // sigma(u) + delta_w(u)
+  Time kill = 0;           // max read; >= def for valid DDGs
+
+  bool empty() const { return kill <= def; }
+  /// Set intersection of two left-open intervals.
+  bool interferes(const Lifetime& other) const {
+    if (empty() || other.empty()) return false;
+    return std::min(kill, other.kill) > std::max(def, other.def);
+  }
+};
+
+/// Lifetimes of every type-t value under sigma, in ValueSet order.
+/// Values whose consumer set is empty get an empty interval ]def, def]
+/// (normalize the DDG to give exit values the ⊥ consumer instead).
+std::vector<Lifetime> lifetimes(const ddg::Ddg& ddg, ddg::RegType t,
+                                const Schedule& sigma);
+
+/// Killing date of value u^t under sigma (max consumer read time).
+Time kill_date(const ddg::Ddg& ddg, ddg::NodeId u, ddg::RegType t,
+               const Schedule& sigma);
+
+/// RN^t_sigma(G): maximum number of simultaneously alive type-t values.
+int register_need(const ddg::Ddg& ddg, ddg::RegType t, const Schedule& sigma);
+
+/// Pairwise interference matrix in ValueSet order (flattened k*k).
+std::vector<bool> interference_matrix(const ddg::Ddg& ddg, ddg::RegType t,
+                                      const Schedule& sigma);
+
+/// Greedy linear-scan register assignment over the computed lifetimes;
+/// optimal for interval graphs, so uses exactly register_need() registers.
+struct Allocation {
+  /// Register index per value (ValueSet order); -1 for empty lifetimes.
+  std::vector<int> reg_of_value;
+  int registers_used = 0;
+};
+Allocation allocate(const ddg::Ddg& ddg, ddg::RegType t, const Schedule& sigma);
+
+}  // namespace rs::sched

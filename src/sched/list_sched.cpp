@@ -1,0 +1,86 @@
+#include "sched/list_sched.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "graph/paths.hpp"
+#include "graph/topo.hpp"
+#include "support/assert.hpp"
+
+namespace rs::sched {
+
+Resources Resources::unlimited() {
+  Resources r;
+  r.issue_width = std::numeric_limits<int>::max() / 2;
+  r.units_per_class.fill(std::numeric_limits<int>::max() / 2);
+  return r;
+}
+
+Schedule list_schedule(const ddg::Ddg& ddg, const Resources& res) {
+  const graph::Digraph& g = ddg.graph();
+  const auto order = graph::topo_order(g);
+  RS_REQUIRE(order.has_value(), "list scheduling needs an acyclic DDG");
+  // Priority: longest path to any sink (classic critical-path heuristic).
+  const std::vector<std::int64_t> priority = graph::longest_path_from(g);
+
+  std::vector<int> pending(g.node_count(), 0);
+  for (const graph::Edge& e : g.edges()) ++pending[e.dst];
+  std::vector<Time> earliest(g.node_count(), 0);
+
+  // ready set ordered by (priority desc, node asc) for determinism.
+  auto cmp = [&](ddg::NodeId a, ddg::NodeId b) {
+    if (priority[a] != priority[b]) return priority[a] > priority[b];
+    return a < b;
+  };
+  std::vector<ddg::NodeId> ready;
+  for (ddg::NodeId v = 0; v < g.node_count(); ++v) {
+    if (pending[v] == 0) ready.push_back(v);
+  }
+  std::sort(ready.begin(), ready.end(), cmp);
+
+  Schedule s;
+  s.time.assign(g.node_count(), -1);
+  std::map<Time, std::pair<int, std::array<int, 9>>> cycle_usage;
+
+  auto fits = [&](ddg::NodeId v, Time t) {
+    const ddg::OpClass cls = ddg.op(v).cls;
+    if (cls == ddg::OpClass::Nop) return true;
+    auto it = cycle_usage.find(t);
+    if (it == cycle_usage.end()) return res.issue_width > 0 && res.units(cls) > 0;
+    const auto& [issued, used] = it->second;
+    return issued < res.issue_width &&
+           used[static_cast<int>(cls)] < res.units(cls);
+  };
+  auto commit = [&](ddg::NodeId v, Time t) {
+    const ddg::OpClass cls = ddg.op(v).cls;
+    if (cls == ddg::OpClass::Nop) return;
+    auto& [issued, used] = cycle_usage[t];
+    ++issued;
+    ++used[static_cast<int>(cls)];
+  };
+
+  int scheduled = 0;
+  while (scheduled < g.node_count()) {
+    RS_CHECK(!ready.empty());
+    const ddg::NodeId v = ready.front();
+    ready.erase(ready.begin());
+    Time t = earliest[v];
+    while (!fits(v, t)) ++t;
+    s.time[v] = t;
+    commit(v, t);
+    ++scheduled;
+    for (const graph::EdgeId e : g.out_edges(v)) {
+      const graph::Edge& ed = g.edge(e);
+      earliest[ed.dst] = std::max(earliest[ed.dst], t + ed.latency);
+      if (--pending[ed.dst] == 0) {
+        ready.insert(std::upper_bound(ready.begin(), ready.end(), ed.dst, cmp),
+                     ed.dst);
+      }
+    }
+  }
+  RS_CHECK(is_valid(ddg, s));
+  return s;
+}
+
+}  // namespace rs::sched

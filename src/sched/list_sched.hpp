@@ -1,0 +1,32 @@
+// Resource-constrained list scheduler.
+//
+// The paper's pipeline (figure 1) runs RS analysis *before* scheduling; this
+// scheduler is the downstream consumer: it schedules under functional-unit
+// constraints, oblivious to registers — which is exactly the freedom RS
+// analysis is meant to guarantee. Used by examples and the discussion bench.
+#pragma once
+
+#include <array>
+
+#include "ddg/ddg.hpp"
+#include "sched/schedule.hpp"
+
+namespace rs::sched {
+
+/// Per-cycle issue resources; 0 units means "class unavailable" except Nop,
+/// which never consumes resources.
+struct Resources {
+  int issue_width = 4;
+  std::array<int, 9> units_per_class{2, 2, 1, 2, 2, 1, 1, 2, 8};
+
+  int units(ddg::OpClass c) const {
+    return units_per_class[static_cast<int>(c)];
+  }
+  static Resources unlimited();
+};
+
+/// Critical-path-priority list scheduling. Returns a valid schedule
+/// respecting both dependences and per-cycle resource limits.
+Schedule list_schedule(const ddg::Ddg& ddg, const Resources& res);
+
+}  // namespace rs::sched

@@ -1,0 +1,59 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+
+#include "graph/paths.hpp"
+#include "support/assert.hpp"
+
+namespace rs::sched {
+
+bool is_valid(const graph::Digraph& g, const Schedule& s) {
+  if (s.op_count() != g.node_count()) return false;
+  for (const graph::Edge& e : g.edges()) {
+    if (s.time[e.dst] - s.time[e.src] < e.latency) return false;
+  }
+  return std::all_of(s.time.begin(), s.time.end(),
+                     [](Time t) { return t >= 0; });
+}
+
+bool is_valid(const ddg::Ddg& ddg, const Schedule& s) {
+  return is_valid(ddg.graph(), s);
+}
+
+Schedule asap(const graph::Digraph& g) {
+  Schedule s;
+  s.time = graph::longest_path_to(g);
+  return s;
+}
+
+Schedule asap(const ddg::Ddg& ddg) { return asap(ddg.graph()); }
+
+Schedule alap(const graph::Digraph& g, Time horizon) {
+  const std::vector<std::int64_t> lpf = graph::longest_path_from(g);
+  Schedule s;
+  s.time.resize(g.node_count());
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    s.time[v] = horizon - lpf[v];
+    RS_REQUIRE(s.time[v] >= 0, "horizon below critical path");
+  }
+  return s;
+}
+
+Time makespan(const ddg::Ddg& ddg, const Schedule& s) {
+  RS_REQUIRE(s.op_count() == ddg.op_count(), "schedule size mismatch");
+  Time end = 0;
+  for (ddg::NodeId v = 0; v < ddg.op_count(); ++v) {
+    end = std::max(end, s.time[v] + ddg.op(v).latency);
+  }
+  return end;
+}
+
+Time worst_case_horizon(const graph::Digraph& g) {
+  Time total = 0;
+  for (const graph::Edge& e : g.edges()) {
+    total += std::max<Time>(e.latency, 0);
+  }
+  return std::max<Time>(total, 1);
+}
+
+}  // namespace rs::sched

@@ -1,0 +1,42 @@
+// Schedules of a DDG: validity, ASAP/ALAP, makespan (section 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ddg/ddg.hpp"
+
+namespace rs::sched {
+
+using Time = std::int64_t;
+
+/// sigma: issue time per operation.
+struct Schedule {
+  std::vector<Time> time;
+
+  Time at(ddg::NodeId v) const { return time[v]; }
+  int op_count() const { return static_cast<int>(time.size()); }
+};
+
+/// True iff sigma(v) - sigma(u) >= delta(e) for every arc and all times >= 0.
+bool is_valid(const graph::Digraph& g, const Schedule& s);
+bool is_valid(const ddg::Ddg& ddg, const Schedule& s);
+
+/// As-soon-as-possible schedule (longest path from sources). Works on any
+/// positive-circuit-free graph (extended DDGs included).
+Schedule asap(const graph::Digraph& g);
+Schedule asap(const ddg::Ddg& ddg);
+
+/// As-late-as-possible schedule against horizon T: sigma(u) = T - lpf(u).
+/// Requires T >= critical path.
+Schedule alap(const graph::Digraph& g, Time horizon);
+
+/// Completion time: max over ops of sigma(u) + latency(u). For normalized
+/// DDGs this equals sigma(⊥) since ⊥ is forced last.
+Time makespan(const ddg::Ddg& ddg, const Schedule& s);
+
+/// The paper's worst-case horizon T = sum of arc latencies (no ILP at all);
+/// every valid "interesting" schedule fits below it.
+Time worst_case_horizon(const graph::Digraph& g);
+
+}  // namespace rs::sched

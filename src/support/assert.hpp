@@ -1,0 +1,47 @@
+// Checked assertions that stay on in release builds.
+//
+// The algorithms in this library encode non-trivial graph/ILP invariants;
+// silently violating one produces *wrong experimental numbers*, which is far
+// worse than an abort. RS_REQUIRE therefore throws (recoverable, used for
+// user-facing precondition violations) and RS_CHECK aborts with a location
+// (internal invariant corruption).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rs::support {
+
+/// Error thrown when a documented API precondition is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+}  // namespace rs::support
+
+/// Throws rs::support::PreconditionError when `cond` is false.
+#define RS_REQUIRE(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::rs::support::throw_precondition(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                                       \
+  } while (false)
+
+/// Internal invariant; cheap enough to keep enabled in all build types.
+#define RS_CHECK(cond)                                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::rs::support::throw_precondition(#cond, __FILE__, __LINE__,         \
+                                        "internal invariant violated");    \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,42 @@
+#include "support/bitset.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/assert.hpp"
+
+namespace rs::support {
+
+void DynamicBitset::clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  RS_REQUIRE(nbits_ == other.nbits_, "bitset size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  RS_REQUIRE(nbits_ == other.nbits_, "bitset size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+std::size_t DynamicBitset::count() const {
+  std::size_t total = 0;
+  for (const Word w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+bool DynamicBitset::none() const {
+  return std::all_of(words_.begin(), words_.end(), [](Word w) { return w == 0; });
+}
+
+bool DynamicBitset::intersects(const DynamicBitset& other) const {
+  RS_REQUIRE(nbits_ == other.nbits_, "bitset size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace rs::support

@@ -1,0 +1,65 @@
+// Dynamic bitset tuned for transitive-closure style workloads: word-level
+// OR-assign is the hot operation when propagating reachability over a DAG.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rs::support {
+
+/// Fixed-size-at-construction bitset with word-granular set operations.
+///
+/// std::vector<bool> lacks word-level |=, and std::bitset needs a
+/// compile-time size; graph sizes here are runtime values.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t nbits)
+      : nbits_(nbits), words_((nbits + kWordBits - 1) / kWordBits, 0) {}
+
+  std::size_t size() const { return nbits_; }
+
+  bool test(std::size_t i) const {
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+  }
+  void set(std::size_t i) { words_[i / kWordBits] |= (Word{1} << (i % kWordBits)); }
+  void reset(std::size_t i) { words_[i / kWordBits] &= ~(Word{1} << (i % kWordBits)); }
+  void clear();
+
+  /// Word-parallel union; both operands must have identical size.
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  /// Word-parallel intersection; both operands must have identical size.
+  DynamicBitset& operator&=(const DynamicBitset& other);
+
+  bool operator==(const DynamicBitset& other) const = default;
+
+  /// Number of set bits.
+  std::size_t count() const;
+  /// True when no bit is set.
+  bool none() const;
+  /// True when this and other share at least one set bit.
+  bool intersects(const DynamicBitset& other) const;
+
+  /// Invokes `fn(index)` for every set bit in ascending order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      Word word = words_[w];
+      while (word != 0) {
+        const unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+        fn(w * kWordBits + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  std::size_t nbits_ = 0;
+  std::vector<Word> words_;
+};
+
+}  // namespace rs::support

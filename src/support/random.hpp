@@ -1,0 +1,38 @@
+// Deterministic, seedable PRNG for synthetic DDG generation and property
+// tests. xoshiro256** (public domain, Blackman & Vigna) seeded via
+// splitmix64 — identical streams across platforms, unlike std::mt19937
+// paired with distribution objects whose output is implementation-defined.
+#pragma once
+
+#include <cstdint>
+
+namespace rs::support {
+
+/// splitmix64 step; used to expand a single seed into xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator with explicit, portable integer/real helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound); bound must be > 0. Unbiased (rejection sampling).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int next_int(int lo, int hi);
+
+  /// Uniform real in [0, 1).
+  double next_real();
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace rs::support

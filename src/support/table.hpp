@@ -1,0 +1,38 @@
+// ASCII table and CSV rendering for benchmark harness output. The bench
+// binaries regenerate the paper's tables; this keeps their formatting in one
+// place so every experiment prints comparable rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rs::support {
+
+/// Column-aligned text table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with aligned columns, `|` separators and a rule under the header.
+  std::string to_string() const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing commas are quoted).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` places (fixed notation).
+std::string fmt_double(double v, int digits = 2);
+
+/// Formats `num/den` as a percentage string, "n/a" when den == 0.
+std::string fmt_percent(std::size_t num, std::size_t den, int digits = 2);
+
+}  // namespace rs::support

@@ -1,0 +1,47 @@
+// Wall-clock timing and deadline helpers for solver budgets.
+#pragma once
+
+#include <chrono>
+
+namespace rs::support {
+
+/// Monotonic stopwatch started at construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or last reset().
+  double millis() const { return seconds() * 1e3; }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Soft deadline used by the exact solvers. `expired()` is cheap enough to
+/// poll once per branch-and-bound node.
+class Deadline {
+ public:
+  /// budget_seconds <= 0 means "no limit".
+  explicit Deadline(double budget_seconds) : budget_(budget_seconds) {}
+
+  bool expired() const {
+    return budget_ > 0.0 && timer_.seconds() >= budget_;
+  }
+  double remaining() const {
+    return budget_ <= 0.0 ? 1e300 : budget_ - timer_.seconds();
+  }
+
+ private:
+  Timer timer_;
+  double budget_;
+};
+
+}  // namespace rs::support

@@ -1,0 +1,174 @@
+// Global RS over acyclic CFGs (section 6): liveness, entry/exit value
+// expansion, per-block saturation, and the move-margin reduction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cfg/cfg.hpp"
+#include "cfg/global_rs.hpp"
+#include "core/rs_exact.hpp"
+#include "support/assert.hpp"
+
+namespace rs::cfg {
+namespace {
+
+using ddg::kFloatReg;
+using ddg::kIntReg;
+using ddg::OpClass;
+
+/// Diamond CFG:
+///   entry: x = load p ; y = x*x ;           branch
+///   left : a = y + x                        (uses both)
+///   right: b = y * y                        (x dead here)
+///   join : r = phi-ish use of a/b via sum; store r
+Program diamond_program() {
+  Program p(ddg::superscalar_model());
+  const int entry = p.add_block("entry");
+  const int left = p.add_block("left");
+  const int right = p.add_block("right");
+  const int join = p.add_block("join");
+  p.add_edge(entry, left);
+  p.add_edge(entry, right);
+  p.add_edge(left, join);
+  p.add_edge(right, join);
+  p.def(entry, "x", OpClass::Load, kFloatReg, {"p"});
+  p.def(entry, "y", OpClass::FpMul, kFloatReg, {"x", "x"});
+  p.def(left, "a", OpClass::FpAdd, kFloatReg, {"y", "x"});
+  p.def(right, "b", OpClass::FpMul, kFloatReg, {"y", "y"});
+  p.def(join, "r", OpClass::FpAdd, kFloatReg, {"a", "b"});
+  p.use(join, OpClass::Store, {"r", "p"});
+  return p;
+}
+
+TEST(Cfg, LivenessDiamond) {
+  const Cfg cfg = diamond_program().build();
+  const Block& entry = cfg.block(0);
+  const Block& left = cfg.block(1);
+  const Block& right = cfg.block(2);
+  const Block& join = cfg.block(3);
+
+  // p is a program input, live into entry.
+  EXPECT_TRUE(std::count(entry.live_in.begin(), entry.live_in.end(), "p"));
+  // x and y live out of entry (x still read in left).
+  EXPECT_TRUE(std::count(entry.live_out.begin(), entry.live_out.end(), "x"));
+  EXPECT_TRUE(std::count(entry.live_out.begin(), entry.live_out.end(), "y"));
+  // left consumes x and y, defines a; a live-out.
+  EXPECT_TRUE(std::count(left.live_in.begin(), left.live_in.end(), "x"));
+  EXPECT_TRUE(std::count(left.live_out.begin(), left.live_out.end(), "a"));
+  EXPECT_FALSE(std::count(left.live_out.begin(), left.live_out.end(), "x"));
+  // right never reads x.
+  EXPECT_FALSE(std::count(right.live_in.begin(), right.live_in.end(), "x"));
+  // join reads a, b, p (for the store): all live-in, nothing live-out.
+  EXPECT_TRUE(std::count(join.live_in.begin(), join.live_in.end(), "a"));
+  EXPECT_TRUE(std::count(join.live_in.begin(), join.live_in.end(), "b"));
+  EXPECT_TRUE(join.live_out.empty());
+}
+
+TEST(Cfg, PassThroughValueOccupiesRegister) {
+  // v defined in A, only used in C; B is a pass-through block — v must
+  // still appear in B's expanded DAG (entry + exit value) and push its RS.
+  Program p(ddg::superscalar_model());
+  const int a = p.add_block("A");
+  const int b = p.add_block("B");
+  const int c = p.add_block("C");
+  p.add_edge(a, b);
+  p.add_edge(b, c);
+  p.def(a, "v", OpClass::Load, kFloatReg, {"p"});
+  p.def(b, "w", OpClass::FpAdd, kFloatReg, {"q"});  // unrelated float work
+  p.use(b, OpClass::Store, {"w"});
+  p.use(c, OpClass::Store, {"v"});
+  const Cfg cfg = p.build();
+  EXPECT_TRUE(std::count(cfg.block(b).live_in.begin(),
+                         cfg.block(b).live_in.end(), "v"));
+  const ddg::Ddg expanded = cfg.expand_block(b);
+  const core::TypeContext ctx(expanded, kFloatReg);
+  const auto rs = core::rs_exact(ctx);
+  ASSERT_TRUE(rs.proven);
+  // v (pass-through) and w (local) can be simultaneously alive: RS >= 2.
+  EXPECT_GE(rs.rs, 2);
+}
+
+TEST(Cfg, ExpandedBlocksAreValidNormalizedDags) {
+  const Cfg cfg = diamond_program().build();
+  for (int b = 0; b < cfg.block_count(); ++b) {
+    const ddg::Ddg dag = cfg.expand_block(b);
+    EXPECT_NO_THROW(dag.validate());
+    EXPECT_TRUE(dag.bottom().has_value());
+    // Entry values materialized for every live-in.
+    for (const std::string& v : cfg.block(b).live_in) {
+      bool found = false;
+      for (ddg::NodeId n = 0; n < dag.op_count(); ++n) {
+        if (dag.op(n).name == "in." + v) found = true;
+      }
+      EXPECT_TRUE(found) << "missing entry value " << v;
+    }
+  }
+}
+
+TEST(Cfg, GlobalAnalyzeTakesBlockMaximum) {
+  const Cfg cfg = diamond_program().build();
+  const GlobalReport rep = analyze(cfg);
+  ASSERT_EQ(rep.blocks.size(), 4u);
+  EXPECT_TRUE(rep.all_proven);
+  for (int t = 0; t < cfg.type_count(); ++t) {
+    int max_block = 0;
+    for (const auto& bs : rep.blocks) {
+      max_block = std::max(max_block, bs.per_type[t].rs);
+    }
+    EXPECT_EQ(rep.global_rs[t], max_block);
+  }
+  EXPECT_GE(rep.global_rs[kFloatReg], 2);
+}
+
+TEST(Cfg, EnsureLimitsAppliesMoveMargin) {
+  const Cfg cfg = diamond_program().build();
+  const GlobalReport rep = analyze(cfg);
+  const int rs_f = rep.global_rs[kFloatReg];
+  ASSERT_GE(rs_f, 2);
+  // Budget exactly rs_f with margin 1: blocks must be reduced to rs_f - 1.
+  const GlobalReduceResult red =
+      ensure_limits(cfg, {8, rs_f}, /*move_margin=*/1);
+  ASSERT_TRUE(red.success) << red.note;
+  for (const auto& block : red.blocks) {
+    const core::TypeContext ctx(block, kFloatReg);
+    const auto rs = core::rs_exact(ctx);
+    ASSERT_TRUE(rs.proven);
+    EXPECT_LE(rs.rs, rs_f - 1);
+  }
+}
+
+TEST(Cfg, CyclicCfgRejected) {
+  Program p(ddg::superscalar_model());
+  const int a = p.add_block("A");
+  const int b = p.add_block("B");
+  p.add_edge(a, b);
+  p.add_edge(b, a);  // loop: out of scope for acyclic global RS
+  p.def(a, "x", OpClass::IntAlu, kIntReg, {});
+  EXPECT_THROW(p.build(), support::PreconditionError);
+}
+
+TEST(Cfg, DoubleDefinitionRejected) {
+  Program p(ddg::superscalar_model());
+  const int a = p.add_block("A");
+  p.def(a, "x", OpClass::IntAlu, kIntReg, {});
+  p.def(a, "x", OpClass::IntAlu, kIntReg, {});
+  EXPECT_THROW(p.build(), support::PreconditionError);
+}
+
+TEST(Cfg, StraightLineMatchesPlainDag) {
+  // A single-block program's expanded DAG analyzes like a hand-built one.
+  Program p(ddg::superscalar_model());
+  const int a = p.add_block("body");
+  p.def(a, "x", OpClass::Load, kFloatReg, {"ptr"});
+  p.def(a, "y", OpClass::Load, kFloatReg, {"ptr"});
+  p.def(a, "m", OpClass::FpMul, kFloatReg, {"x", "y"});
+  p.use(a, OpClass::Store, {"m", "ptr"});
+  const Cfg cfg = p.build();
+  const GlobalReport rep = analyze(cfg);
+  // x and y overlap at the multiply: RS(float) >= 2; m short-lived.
+  EXPECT_GE(rep.global_rs[kFloatReg], 2);
+  EXPECT_LE(rep.global_rs[kFloatReg], 3);
+}
+
+}  // namespace
+}  // namespace rs::cfg

@@ -1,0 +1,303 @@
+// Cross-validation of the three RS engines (greedy, combinatorial exact,
+// section-3 intLP) plus the property sweeps backing the paper's claims.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/greedy_k.hpp"
+#include "core/rs_exact.hpp"
+#include "core/rs_ilp.hpp"
+#include "ddg/builder.hpp"
+#include "ddg/generators.hpp"
+#include "ddg/kernels.hpp"
+#include "sched/lifetime.hpp"
+#include "support/random.hpp"
+
+namespace rs::core {
+namespace {
+
+using ddg::kFloatReg;
+using ddg::kIntReg;
+
+TEST(RsExact, TrivialSingleValue) {
+  ddg::KernelBuilder kb(ddg::superscalar_model(), "one");
+  const auto p = kb.live_in(kIntReg, "p");
+  kb.fload("v", p);
+  const ddg::Ddg d = kb.build();
+  const TypeContext ctx(d, kFloatReg);
+  const RsExactResult r = rs_exact(ctx);
+  ASSERT_TRUE(r.proven);
+  EXPECT_EQ(r.rs, 1);
+}
+
+TEST(RsExact, IndependentValuesSaturateCompletely) {
+  // k independent loads all live-out: RS = k.
+  ddg::KernelBuilder kb(ddg::superscalar_model(), "indep");
+  const auto p = kb.live_in(kIntReg, "p");
+  for (int i = 0; i < 5; ++i) kb.fload("v" + std::to_string(i), p);
+  const ddg::Ddg d = kb.build();
+  const TypeContext ctx(d, kFloatReg);
+  const RsExactResult r = rs_exact(ctx);
+  ASSERT_TRUE(r.proven);
+  EXPECT_EQ(r.rs, 5);
+}
+
+TEST(RsExact, SerialChainNeedsOne) {
+  // v0 -> v1 -> v2 -> v3 chain of unary float ops. With the paper's
+  // left-open lifetimes ]def, kill], the operand dies exactly at the cycle
+  // its consumer issues while the consumer's value is born at the same
+  // cycle — touching, not overlapping — so one register cycles through the
+  // whole chain: RS = 1.
+  ddg::KernelBuilder kb(ddg::superscalar_model(), "chain");
+  const auto p = kb.live_in(kIntReg, "p");
+  auto cur = kb.fload("v0", p);
+  for (int i = 1; i < 4; ++i) {
+    cur = kb.op(ddg::OpClass::FpAdd, kFloatReg, "v" + std::to_string(i), {cur});
+  }
+  const ddg::Ddg d = kb.build();
+  const TypeContext ctx(d, kFloatReg);
+  const RsExactResult r = rs_exact(ctx);
+  ASSERT_TRUE(r.proven);
+  EXPECT_EQ(r.rs, 1);
+}
+
+TEST(RsExact, HornerIsRegisterLean) {
+  const ddg::Ddg d = ddg::horner8(ddg::superscalar_model());
+  const TypeContext ctx(d, kFloatReg);
+  const RsExactResult r = rs_exact(ctx);
+  ASSERT_TRUE(r.proven);
+  // All nine coefficients are live-in simultaneously (they are all alive at
+  // time 0 until read), so RS is close to the value count but bounded.
+  EXPECT_GE(r.rs, 9);
+  EXPECT_LE(r.rs, ctx.value_count());
+}
+
+TEST(RsExact, FirSaturatesWide) {
+  const ddg::Ddg d = ddg::fir8(ddg::superscalar_model());
+  const TypeContext ctx(d, kFloatReg);
+  const RsExactResult r = rs_exact(ctx);
+  ASSERT_TRUE(r.proven);
+  EXPECT_GE(r.rs, 16);  // 8 coefficients + 8 products co-alive
+}
+
+TEST(RsExact, WitnessAlwaysRealizesRs) {
+  for (const auto& [name, dag] : ddg::kernel_corpus(ddg::superscalar_model())) {
+    SCOPED_TRACE(name);
+    const TypeContext ctx(dag, kFloatReg);
+    const RsExactResult r = rs_exact(ctx);
+    ASSERT_TRUE(r.proven);
+    ASSERT_TRUE(sched::is_valid(dag, r.witness));
+    EXPECT_EQ(sched::register_need(dag, kFloatReg, r.witness), r.rs);
+  }
+}
+
+TEST(RsExact, IntTypeAnalyzedIndependently) {
+  const ddg::Ddg d = ddg::liv_loop1(ddg::superscalar_model());
+  const TypeContext fctx(d, kFloatReg);
+  const TypeContext ictx(d, kIntReg);
+  const RsExactResult fr = rs_exact(fctx);
+  const RsExactResult ir = rs_exact(ictx);
+  ASSERT_TRUE(fr.proven);
+  ASSERT_TRUE(ir.proven);
+  EXPECT_GE(fr.rs, 3);
+  EXPECT_GE(ir.rs, 3);  // pointer values
+}
+
+TEST(RsExact, BudgetTruncationIsReported) {
+  // whet-p3 has values with several incomparable consumers (t feeds four
+  // independent multiplies), so the killing-function search really has to
+  // branch — one node cannot finish it.
+  const ddg::Ddg d = ddg::whet_p3(ddg::superscalar_model());
+  const TypeContext ctx(d, kFloatReg);
+  RsExactOptions opts;
+  opts.node_limit = 1;
+  opts.warm_start = true;
+  const RsExactResult r = rs_exact(ctx, opts);
+  EXPECT_FALSE(r.proven);
+  EXPECT_GE(r.rs, 1);  // warm-start incumbent still witnessed
+}
+
+// ---- Greedy vs exact: the section-5 "nearly optimal" claim -------------
+
+struct SweepParam {
+  int n_ops;
+  std::uint64_t seed;
+};
+
+class RsEngineAgreement : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RsEngineAgreement, GreedyNeverExceedsExactAndIsClose) {
+  const auto [n_ops, seed] = GetParam();
+  support::Rng rng(seed);
+  const auto model = ddg::superscalar_model();
+  ddg::RandomDagParams p;
+  p.n_ops = n_ops;
+  const ddg::Ddg d = ddg::random_dag(rng, model, p);
+  const TypeContext ctx(d, kFloatReg);
+
+  const RsEstimate heur = greedy_k(ctx);
+  const RsExactResult exact = rs_exact(ctx);
+  ASSERT_TRUE(exact.proven);
+  EXPECT_LE(heur.rs, exact.rs);
+  // Witness validity for both.
+  EXPECT_EQ(sched::register_need(d, kFloatReg, heur.witness), heur.rs);
+  EXPECT_EQ(sched::register_need(d, kFloatReg, exact.witness), exact.rs);
+  // Near-optimality with slack: the paper reports max error 1; allow 2 in
+  // the assertion so the suite stays robust across corpus perturbations
+  // (EXP-1 reports the precise distribution).
+  EXPECT_LE(exact.rs - heur.rs, 2) << "heuristic far from optimal";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDags, RsEngineAgreement,
+    ::testing::Values(SweepParam{6, 1}, SweepParam{6, 2}, SweepParam{8, 3},
+                      SweepParam{8, 4}, SweepParam{9, 5}, SweepParam{10, 6},
+                      SweepParam{10, 7}, SweepParam{11, 8}, SweepParam{12, 9},
+                      SweepParam{12, 10}, SweepParam{13, 11},
+                      SweepParam{14, 12}));
+
+// RN of any schedule never exceeds RS (the definition of saturation).
+class RnBelowRs : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RnBelowRs, RandomSchedulesStayBelowSaturation) {
+  const auto [n_ops, seed] = GetParam();
+  support::Rng rng(seed * 977);
+  const auto model = ddg::superscalar_model();
+  ddg::RandomDagParams p;
+  p.n_ops = n_ops;
+  const ddg::Ddg d = ddg::random_dag(rng, model, p);
+  const TypeContext ctx(d, kFloatReg);
+  const RsExactResult exact = rs_exact(ctx);
+  ASSERT_TRUE(exact.proven);
+  for (int trial = 0; trial < 40; ++trial) {
+    sched::Schedule s = sched::asap(d);
+    for (auto& t : s.time) t += rng.next_int(0, 8);
+    for (int round = 0; round < d.op_count(); ++round) {
+      for (const graph::Edge& e : d.graph().edges()) {
+        s.time[e.dst] = std::max(s.time[e.dst], s.time[e.src] + e.latency);
+      }
+    }
+    ASSERT_TRUE(sched::is_valid(d, s));
+    EXPECT_LE(sched::register_need(d, kFloatReg, s), exact.rs)
+        << "schedule exceeded the proven saturation";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDags, RnBelowRs,
+    ::testing::Values(SweepParam{7, 1}, SweepParam{8, 2}, SweepParam{9, 3},
+                      SweepParam{10, 4}, SweepParam{11, 5}, SweepParam{12, 6}));
+
+// ---- Section-3 intLP vs combinatorial exact -----------------------------
+
+class IlpMatchesExact : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(IlpMatchesExact, SameOptimum) {
+  const auto [n_ops, seed] = GetParam();
+  support::Rng rng(seed * 31337);
+  const auto model = ddg::superscalar_model();
+  ddg::RandomDagParams p;
+  p.n_ops = n_ops;
+  const ddg::Ddg d = ddg::random_dag(rng, model, p);
+  const TypeContext ctx(d, kFloatReg);
+  const RsExactResult exact = rs_exact(ctx);
+  ASSERT_TRUE(exact.proven);
+  RsIlpOptions iopts;
+  iopts.mip.time_limit_seconds = 120;
+  const RsIlpResult ilp = rs_ilp(ctx, iopts);
+  ASSERT_EQ(ilp.status, lp::MipStatus::Optimal);
+  EXPECT_EQ(ilp.rs, exact.rs);
+  // The intLP witness schedule is valid and achieves the optimum.
+  ASSERT_TRUE(sched::is_valid(d, ilp.witness));
+  EXPECT_EQ(sched::register_need(d, kFloatReg, ilp.witness), ilp.rs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallRandomDags, IlpMatchesExact,
+    ::testing::Values(SweepParam{5, 1}, SweepParam{5, 2}, SweepParam{6, 3},
+                      SweepParam{6, 4}, SweepParam{7, 5}, SweepParam{7, 6},
+                      SweepParam{8, 7}, SweepParam{8, 8}));
+
+TEST(RsIlp, KernelCrossCheck) {
+  for (const char* name : {"lin-ddot", "lin-dscal", "liv-loop5"}) {
+    SCOPED_TRACE(name);
+    const ddg::Ddg d = ddg::build_kernel(name, ddg::superscalar_model());
+    const TypeContext ctx(d, kFloatReg);
+    const RsExactResult exact = rs_exact(ctx);
+    ASSERT_TRUE(exact.proven);
+    RsIlpOptions iopts;
+    iopts.mip.time_limit_seconds = 120;
+    const RsIlpResult ilp = rs_ilp(ctx, iopts);
+    ASSERT_EQ(ilp.status, lp::MipStatus::Optimal);
+    EXPECT_EQ(ilp.rs, exact.rs);
+  }
+}
+
+TEST(RsIlp, OptimizationsPreserveOptimum) {
+  support::Rng rng(2718);
+  const auto model = ddg::superscalar_model();
+  ddg::RandomDagParams p;
+  p.n_ops = 6;
+  const ddg::Ddg d = ddg::random_dag(rng, model, p);
+  const TypeContext ctx(d, kFloatReg);
+  RsIlpOptions with;
+  with.mip.time_limit_seconds = 120;
+  RsIlpOptions without = with;
+  without.eliminate_redundant_arcs = false;
+  without.eliminate_never_alive_pairs = false;
+  const RsIlpResult a = rs_ilp(ctx, with);
+  const RsIlpResult b = rs_ilp(ctx, without);
+  ASSERT_EQ(a.status, lp::MipStatus::Optimal);
+  ASSERT_EQ(b.status, lp::MipStatus::Optimal);
+  EXPECT_EQ(a.rs, b.rs);
+  // The optimizations only ever shrink the model.
+  EXPECT_LE(a.stats.variables, b.stats.variables);
+  EXPECT_LE(a.stats.constraints, b.stats.constraints);
+}
+
+TEST(RsIlp, ModelSizeMatchesPaperComplexity) {
+  // O(n^2) integer variables and O(m + n^2) constraints: check the model
+  // stays under explicit quadratic envelopes across growing sizes.
+  support::Rng rng(5150);
+  const auto model = ddg::superscalar_model();
+  for (const int n : {8, 12, 16, 24, 32}) {
+    ddg::RandomDagParams p;
+    p.n_ops = n;
+    const ddg::Ddg d = ddg::random_dag(rng, model, p);
+    const TypeContext ctx(d, kFloatReg);
+    RsIlpOptions opts;  // keep both optimizations on (paper defaults)
+    const RsIlpStats s = rs_model_stats(ctx, opts);
+    const double n2 = static_cast<double>(s.n_nodes) * s.n_nodes;
+    EXPECT_LE(s.integer_variables, 4 * n2 + 2 * s.n_nodes + 8);
+    EXPECT_LE(s.constraints, 8 * n2 + s.m_arcs + 16);
+  }
+}
+
+TEST(RsIlp, VliwModelSolvable) {
+  const ddg::Ddg d = ddg::lin_dscal(ddg::vliw_model());
+  const TypeContext ctx(d, kFloatReg);
+  const RsExactResult exact = rs_exact(ctx);
+  ASSERT_TRUE(exact.proven);
+  RsIlpOptions iopts;
+  iopts.mip.time_limit_seconds = 120;
+  const RsIlpResult ilp = rs_ilp(ctx, iopts);
+  ASSERT_EQ(ilp.status, lp::MipStatus::Optimal);
+  EXPECT_EQ(ilp.rs, exact.rs);
+}
+
+TEST(GreedyK, KernelSuiteWithinOneOfExact) {
+  // The paper's empirical claim on its corpus: heuristic error <= 1.
+  int max_err = 0;
+  for (const auto& [name, dag] : ddg::kernel_corpus(ddg::superscalar_model())) {
+    const TypeContext ctx(dag, kFloatReg);
+    const RsEstimate heur = greedy_k(ctx);
+    const RsExactResult exact = rs_exact(ctx);
+    ASSERT_TRUE(exact.proven) << name;
+    ASSERT_LE(heur.rs, exact.rs) << name;
+    max_err = std::max(max_err, exact.rs - heur.rs);
+  }
+  EXPECT_LE(max_err, 1);
+}
+
+}  // namespace
+}  // namespace rs::core

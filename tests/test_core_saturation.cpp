@@ -1,0 +1,143 @@
+// Top-level pipeline (figure 1): analyze every type, reduce where needed,
+// hand a register-pressure-safe DDG to a register-blind scheduler.
+#include <gtest/gtest.h>
+
+#include "core/rs_exact.hpp"
+#include "core/saturation.hpp"
+#include "ddg/builder.hpp"
+#include "ddg/kernels.hpp"
+#include "sched/lifetime.hpp"
+#include "sched/list_sched.hpp"
+#include "support/assert.hpp"
+
+namespace rs::core {
+namespace {
+
+using ddg::kFloatReg;
+using ddg::kIntReg;
+
+TEST(Analyze, ReportsAllTypes) {
+  const ddg::Ddg d = ddg::liv_loop1(ddg::superscalar_model());
+  const SaturationReport rep = analyze(d);
+  ASSERT_EQ(rep.per_type.size(), 2u);
+  EXPECT_TRUE(rep.per_type[kIntReg].proven);
+  EXPECT_TRUE(rep.per_type[kFloatReg].proven);
+  EXPECT_GE(rep.of(kFloatReg).rs, 3);
+  EXPECT_GT(rep.of(kIntReg).value_count, 0);
+  EXPECT_TRUE(rep.fits({rep.of(kIntReg).rs, rep.of(kFloatReg).rs}));
+  EXPECT_FALSE(rep.fits({rep.of(kIntReg).rs, rep.of(kFloatReg).rs - 1}));
+}
+
+TEST(Analyze, EnginesConsistent) {
+  const ddg::Ddg d = ddg::lin_daxpy(ddg::superscalar_model());
+  AnalyzeOptions greedy;
+  greedy.engine = RsEngine::Greedy;
+  AnalyzeOptions exact;
+  exact.engine = RsEngine::ExactCombinatorial;
+  AnalyzeOptions ilp;
+  ilp.engine = RsEngine::ExactIlp;
+  ilp.time_limit_seconds = 120;
+  const SaturationReport g = analyze(d, greedy);
+  const SaturationReport e = analyze(d, exact);
+  const SaturationReport i = analyze(d, ilp);
+  for (ddg::RegType t = 0; t < d.type_count(); ++t) {
+    EXPECT_LE(g.of(t).rs, e.of(t).rs);
+    EXPECT_TRUE(e.of(t).proven);
+    ASSERT_TRUE(i.of(t).proven);
+    EXPECT_EQ(i.of(t).rs, e.of(t).rs);
+  }
+}
+
+TEST(Pipeline, NoReductionWhenFitting) {
+  const ddg::Ddg d = ddg::lin_dscal(ddg::superscalar_model());
+  const SaturationReport rep = analyze(d);
+  const PipelineResult out =
+      ensure_limits(d, {rep.of(0).rs + 1, rep.of(1).rs + 1});
+  EXPECT_TRUE(out.success);
+  EXPECT_EQ(out.out.graph().edge_count(), d.graph().edge_count());
+  for (const auto& r : out.per_type) {
+    EXPECT_EQ(r.status, ReduceStatus::AlreadyFits);
+  }
+}
+
+TEST(Pipeline, ReducesBothTypesIndependently) {
+  const ddg::Ddg d = ddg::liv_loop23(ddg::superscalar_model());
+  const SaturationReport rep = analyze(d);
+  ASSERT_GE(rep.of(kFloatReg).rs, 4);
+  ASSERT_GE(rep.of(kIntReg).rs, 4);
+  const std::vector<int> limits = {rep.of(kIntReg).rs - 1,
+                                   rep.of(kFloatReg).rs - 1};
+  const PipelineResult out = ensure_limits(d, limits);
+  ASSERT_TRUE(out.success) << out.note;
+  // Verified: the output DDG's exact RS fits both limits.
+  for (ddg::RegType t = 0; t < d.type_count(); ++t) {
+    const TypeContext ctx(out.out, t);
+    const RsExactResult rs = rs_exact(ctx);
+    ASSERT_TRUE(rs.proven);
+    EXPECT_LE(rs.rs, limits[t]) << "type " << t;
+  }
+}
+
+TEST(Pipeline, DownstreamSchedulerIsRegisterSafe) {
+  // The whole point of the paper: after the pipeline, ANY schedule the
+  // resource-constrained scheduler produces fits the register file.
+  const ddg::Ddg d = ddg::matmul_unroll4(ddg::superscalar_model());
+  const SaturationReport rep = analyze(d);
+  const std::vector<int> limits = {rep.of(kIntReg).rs,
+                                   rep.of(kFloatReg).rs - 2};
+  PipelineOptions opts;
+  const PipelineResult out = ensure_limits(d, limits, opts);
+  ASSERT_TRUE(out.success) << out.note;
+  for (const int width : {1, 2, 4, 8}) {
+    sched::Resources res;
+    res.issue_width = width;
+    const sched::Schedule s = sched::list_schedule(out.out, res);
+    EXPECT_LE(sched::register_need(out.out, kFloatReg, s), limits[kFloatReg])
+        << "width " << width;
+    EXPECT_LE(sched::register_need(out.out, kIntReg, s), limits[kIntReg]);
+  }
+}
+
+TEST(Pipeline, ExactReductionMode) {
+  const ddg::Ddg d = ddg::lin_ddot(ddg::superscalar_model());
+  const SaturationReport rep = analyze(d);
+  PipelineOptions opts;
+  opts.exact_reduction = true;
+  const std::vector<int> limits = {rep.of(kIntReg).rs,
+                                   rep.of(kFloatReg).rs - 1};
+  const PipelineResult out = ensure_limits(d, limits, opts);
+  ASSERT_TRUE(out.success) << out.note;
+  const TypeContext ctx(out.out, kFloatReg);
+  EXPECT_LE(rs_exact(ctx).rs, limits[kFloatReg]);
+}
+
+TEST(Pipeline, SpillReportedNotCrashed) {
+  ddg::KernelBuilder kb(ddg::superscalar_model(), "pressure");
+  const auto a = kb.live_in(kFloatReg, "a");
+  const auto b = kb.live_in(kFloatReg, "b");
+  kb.fadd("s", a, b);
+  const ddg::Ddg d = kb.build();
+  PipelineOptions opts;
+  opts.reduce.src.slack_limit = 8;
+  const PipelineResult out = ensure_limits(d, {4, 1}, opts);
+  EXPECT_FALSE(out.success);
+  EXPECT_NE(out.note.find("spill"), std::string::npos);
+}
+
+TEST(Pipeline, FastPathSkipsSmallTypes) {
+  // |values| <= R: section 3's trivial bound, no analysis needed.
+  const ddg::Ddg d = ddg::lin_dscal(ddg::superscalar_model());
+  const ddg::ValueSet vs(d, kFloatReg);
+  const PipelineResult out = ensure_limits(d, {32, vs.count()});
+  EXPECT_TRUE(out.success);
+  EXPECT_EQ(out.per_type[kFloatReg].status, ReduceStatus::AlreadyFits);
+}
+
+TEST(Pipeline, LimitValidation) {
+  const ddg::Ddg d = ddg::lin_dscal(ddg::superscalar_model());
+  EXPECT_THROW(ensure_limits(d, {4}), support::PreconditionError);
+  EXPECT_THROW(ensure_limits(d, {4, 0}), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace rs::core

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ddg/builder.hpp"
+#include "ddg/ddg.hpp"
+#include "ddg/generators.hpp"
+#include "ddg/io.hpp"
+#include "ddg/kernels.hpp"
+#include "ddg/machine.hpp"
+#include "graph/topo.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace rs::ddg {
+namespace {
+
+TEST(Ddg, AddOpsAndArcs) {
+  Ddg d(2, "t");
+  Operation a;
+  a.name = "a";
+  a.latency = 3;
+  const NodeId na = d.add_op(a);
+  d.mark_writes(na, kFloatReg);
+  Operation b;
+  b.name = "b";
+  const NodeId nb = d.add_op(b);
+  d.add_flow(na, nb, kFloatReg, 3);
+  d.add_serial(na, nb, 0);
+  EXPECT_EQ(d.op_count(), 2);
+  EXPECT_EQ(d.graph().edge_count(), 2);
+  EXPECT_EQ(d.consumers(na, kFloatReg), std::vector<NodeId>{nb});
+  EXPECT_TRUE(d.consumers(na, kIntReg).empty());
+  EXPECT_EQ(d.values_of_type(kFloatReg), std::vector<NodeId>{na});
+}
+
+TEST(Ddg, OneValuePerTypeEnforced) {
+  Ddg d(2, "t");
+  const NodeId v = d.add_op(Operation{"a", OpClass::IntAlu, 1, 0, 0, {}});
+  d.mark_writes(v, kIntReg);
+  EXPECT_THROW(d.mark_writes(v, kIntReg), support::PreconditionError);
+  d.mark_writes(v, kFloatReg);  // different type is fine (section 2)
+}
+
+TEST(Ddg, FlowFromNonWriterThrows) {
+  Ddg d(2, "t");
+  const NodeId a = d.add_op(Operation{"a", OpClass::IntAlu, 1, 0, 0, {}});
+  const NodeId b = d.add_op(Operation{"b", OpClass::IntAlu, 1, 0, 0, {}});
+  EXPECT_THROW(d.add_flow(a, b, kIntReg, 1), support::PreconditionError);
+}
+
+TEST(Ddg, ValidateRejectsCycle) {
+  Ddg d(1, "t");
+  const NodeId a = d.add_op(Operation{"a", OpClass::IntAlu, 1, 0, 0, {}});
+  const NodeId b = d.add_op(Operation{"b", OpClass::IntAlu, 1, 0, 0, {}});
+  d.add_serial(a, b, 1);
+  d.add_serial(b, a, 1);
+  EXPECT_THROW(d.validate(), support::PreconditionError);
+}
+
+TEST(Ddg, ValidateRejectsDegenerateFlowLatency) {
+  Ddg d(1, "t");
+  Operation writer{"w", OpClass::Load, 3, 0, 2, {}};  // writes at +2
+  const NodeId a = d.add_op(writer);
+  d.mark_writes(a, 0);
+  Operation reader{"r", OpClass::IntAlu, 1, 0, 0, {}};  // reads at +0
+  const NodeId b = d.add_op(reader);
+  d.add_flow(a, b, 0, 1);  // read at sigma+0+1 < write at sigma+2
+  EXPECT_THROW(d.validate(), support::PreconditionError);
+}
+
+TEST(Ddg, NormalizeAddsBottomOnce) {
+  KernelBuilder b(superscalar_model(), "t");
+  const auto x = b.live_in(kFloatReg, "x");
+  b.fmul("y", x, x);  // y unconsumed
+  const Ddg raw = b.build_raw();
+  EXPECT_FALSE(raw.bottom().has_value());
+  const Ddg norm = raw.normalized();
+  ASSERT_TRUE(norm.bottom().has_value());
+  EXPECT_EQ(norm.op_count(), raw.op_count() + 1);
+  // Idempotent.
+  const Ddg again = norm.normalized();
+  EXPECT_EQ(again.op_count(), norm.op_count());
+  // All values now consumed.
+  for (RegType t = 0; t < norm.type_count(); ++t) {
+    for (const NodeId v : norm.values_of_type(t)) {
+      EXPECT_FALSE(norm.consumers(v, t).empty());
+    }
+  }
+  // ⊥ is last in every topological order: it has no out-arcs and every
+  // other node reaches it.
+  const NodeId bot = *norm.bottom();
+  EXPECT_TRUE(norm.graph().out_edges(bot).empty());
+  EXPECT_EQ(static_cast<int>(norm.graph().in_edges(bot).size()),
+            norm.op_count() - 1);
+}
+
+TEST(Machine, SuperscalarHasZeroOffsets) {
+  const MachineModel m = superscalar_model();
+  EXPECT_FALSE(m.visible_offsets());
+  for (const OpClass c : {OpClass::Load, OpClass::FpMul, OpClass::FpDiv}) {
+    EXPECT_EQ(m.read_offset(c), 0);
+    EXPECT_EQ(m.write_offset(c), 0);
+  }
+}
+
+TEST(Machine, VliwWritesAtEndOfPipe) {
+  const MachineModel m = vliw_model();
+  EXPECT_TRUE(m.visible_offsets());
+  EXPECT_EQ(m.write_offset(OpClass::Load), m.latency(OpClass::Load) - 1);
+  EXPECT_EQ(m.read_offset(OpClass::FpMul), 0);
+}
+
+TEST(Builder, OperandTypeInference) {
+  KernelBuilder b(superscalar_model(), "t");
+  const auto p = b.live_in(kIntReg, "p");
+  const auto l = b.fload("l", p);  // consumes int, writes float
+  const auto m = b.fmul("m", l, l);
+  const Ddg d = b.build_raw();
+  EXPECT_TRUE(d.op(l).writes_type(kFloatReg));
+  EXPECT_EQ(d.consumers(p, kIntReg), std::vector<NodeId>{l});
+  EXPECT_EQ(d.consumers(l, kFloatReg), std::vector<NodeId>{m});
+}
+
+TEST(Kernels, AllBuildValidateAndNormalize) {
+  for (const auto& model : {superscalar_model(), vliw_model()}) {
+    const auto corpus = kernel_corpus(model);
+    EXPECT_EQ(corpus.size(), kernel_names().size());
+    for (const auto& [name, dag] : corpus) {
+      SCOPED_TRACE(name + "/" + model.name());
+      EXPECT_NO_THROW(dag.validate());
+      EXPECT_TRUE(dag.bottom().has_value());
+      EXPECT_GE(dag.op_count(), 5);
+      EXPECT_FALSE(dag.values_of_type(kFloatReg).empty());
+      EXPECT_TRUE(graph::is_dag(dag.graph()));
+    }
+  }
+}
+
+TEST(Kernels, BuildByNameMatchesDirectCall) {
+  const MachineModel m = superscalar_model();
+  const Ddg by_name = build_kernel("lin-ddot", m);
+  const Ddg direct = lin_ddot(m);
+  EXPECT_EQ(by_name.op_count(), direct.op_count());
+  EXPECT_EQ(by_name.graph().edge_count(), direct.graph().edge_count());
+  EXPECT_THROW(build_kernel("no-such-kernel", m), support::PreconditionError);
+}
+
+TEST(Kernels, ShapesMatchSourceKernels) {
+  const MachineModel m = superscalar_model();
+  // ddot: 2 loads, 1 mul, 1 add; horner8: serial chain; fir8: 8 muls.
+  const Ddg ddot = lin_ddot(m);
+  int loads = 0, muls = 0;
+  for (NodeId v = 0; v < ddot.op_count(); ++v) {
+    loads += ddot.op(v).cls == OpClass::Load;
+    muls += ddot.op(v).cls == OpClass::FpMul;
+  }
+  EXPECT_EQ(loads, 2);
+  EXPECT_EQ(muls, 1);
+
+  const Ddg fir = fir8(m);
+  muls = 0;
+  for (NodeId v = 0; v < fir.op_count(); ++v) {
+    muls += fir.op(v).cls == OpClass::FpMul;
+  }
+  EXPECT_EQ(muls, 8);
+}
+
+TEST(Generators, RandomDagDeterministicInSeed) {
+  const MachineModel m = superscalar_model();
+  support::Rng r1(5), r2(5);
+  RandomDagParams p;
+  p.n_ops = 14;
+  const Ddg a = random_dag(r1, m, p);
+  const Ddg b = random_dag(r2, m, p);
+  EXPECT_EQ(to_text(a), to_text(b));
+}
+
+TEST(Generators, RandomDagSweepIsValid) {
+  const MachineModel m = superscalar_model();
+  support::Rng rng(99);
+  for (int i = 0; i < 30; ++i) {
+    RandomDagParams p;
+    p.n_ops = 4 + i % 12;
+    const Ddg d = random_dag(rng, m, p);
+    EXPECT_NO_THROW(d.validate());
+    EXPECT_TRUE(d.bottom().has_value());
+  }
+}
+
+TEST(Generators, LayeredKeepsValuesConsumed) {
+  const MachineModel m = superscalar_model();
+  support::Rng rng(3);
+  LayeredDagParams p;
+  p.layers = 4;
+  const Ddg d = random_layered(rng, m, p);
+  d.validate();
+  // Every non-last-layer value must have a non-bottom consumer.
+  int consumed_by_real_op = 0;
+  for (const NodeId v : d.values_of_type(kFloatReg)) {
+    for (const NodeId c : d.consumers(v, kFloatReg)) {
+      if (c != *d.bottom()) ++consumed_by_real_op;
+    }
+  }
+  EXPECT_GT(consumed_by_real_op, 0);
+}
+
+TEST(Generators, ExpressionTreeHasSingleRoot) {
+  const MachineModel m = superscalar_model();
+  support::Rng rng(8);
+  const Ddg d = random_expression_tree(rng, m, 9);
+  d.validate();
+  // Exactly one value flows (only) to ⊥: the root.
+  int roots = 0;
+  for (const NodeId v : d.values_of_type(kFloatReg)) {
+    const auto cons = d.consumers(v, kFloatReg);
+    if (cons.size() == 1 && cons[0] == *d.bottom()) ++roots;
+  }
+  EXPECT_EQ(roots, 1);
+}
+
+TEST(Io, RoundTripPreservesStructure) {
+  for (const auto& [name, dag] : kernel_corpus(vliw_model())) {
+    SCOPED_TRACE(name);
+    const std::string text = to_text(dag);
+    const Ddg back = from_text(text);
+    EXPECT_EQ(back.op_count(), dag.op_count());
+    EXPECT_EQ(back.graph().edge_count(), dag.graph().edge_count());
+    EXPECT_EQ(to_text(back), text);  // canonical fixed point
+  }
+}
+
+TEST(Io, ParseErrorsAreLineNumbered) {
+  try {
+    from_text("ddg t types=1\nop a class=zap lat=1 dr=0 dw=0\n");
+    FAIL();
+  } catch (const support::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(from_text(""), support::PreconditionError);
+  EXPECT_THROW(from_text("op a class=ialu lat=1 dr=0 dw=0\n"),
+               support::PreconditionError);
+  EXPECT_THROW(from_text("ddg t types=1\nflow a b type=0 lat=1\n"),
+               support::PreconditionError);
+}
+
+TEST(Io, CommentsAndBlankLines) {
+  const Ddg d = from_text(
+      "# comment\n"
+      "ddg demo types=1\n"
+      "\n"
+      "op a class=load lat=3 dr=0 dw=0 writes=0\n"
+      "op b class=store lat=1 dr=0 dw=0  # trailing comment\n"
+      "flow a b type=0 lat=3\n");
+  EXPECT_EQ(d.op_count(), 2);
+  EXPECT_EQ(d.name(), "demo");
+}
+
+TEST(Io, DotExportMentionsAllOps) {
+  const Ddg d = lin_dscal(superscalar_model());
+  const std::string dot = d.to_dot();
+  for (NodeId v = 0; v < d.op_count(); ++v) {
+    EXPECT_NE(dot.find(d.op(v).name), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rs::ddg

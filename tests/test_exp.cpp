@@ -1,0 +1,133 @@
+// Experiment harness: corpora, sweeps, and the section-5 category algebra.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ddg/kernels.hpp"
+#include "exp/harness.hpp"
+
+namespace rs::exp {
+namespace {
+
+CorpusOptions small_corpus() {
+  CorpusOptions o;
+  o.random_count = 4;
+  o.random_sizes = {8, 10};
+  return o;
+}
+
+TEST(Corpus, StandardCorpusShape) {
+  const auto corpus = standard_corpus(small_corpus());
+  // every kernel x 2 machine models + 2 sizes x 4 random.
+  EXPECT_EQ(corpus.size(), ddg::kernel_names().size() * 2 + 8);
+  std::set<std::string> names;
+  for (const auto& inst : corpus) {
+    EXPECT_TRUE(names.insert(inst.name).second) << "duplicate " << inst.name;
+    EXPECT_NO_THROW(inst.ddg.validate());
+  }
+}
+
+TEST(Corpus, DeterministicAcrossCalls) {
+  const auto a = standard_corpus(small_corpus());
+  const auto b = standard_corpus(small_corpus());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].ddg.op_count(), b[i].ddg.op_count());
+  }
+}
+
+TEST(CompareRs, HeuristicNeverAboveExact) {
+  CorpusOptions copts = small_corpus();
+  copts.vliw_kernels = false;  // keep runtime modest
+  const auto corpus = standard_corpus(copts);
+  RsSweepOptions opts;
+  opts.exact_time_limit = 20;
+  const auto rows = compare_rs(corpus, opts);
+  ASSERT_EQ(rows.size(), corpus.size());
+  int proven = 0;
+  for (const auto& row : rows) {
+    SCOPED_TRACE(row.name);
+    EXPECT_GT(row.n_values, 0);
+    if (!row.proven) continue;
+    ++proven;
+    EXPECT_LE(row.rs_heuristic, row.rs_exact);
+    EXPECT_GE(row.error(), 0);
+  }
+  // The vast majority of this small corpus must prove within budget.
+  EXPECT_GE(proven, static_cast<int>(rows.size()) - 2);
+}
+
+TEST(CompareRs, SingleThreadMatchesParallel) {
+  CorpusOptions copts;
+  copts.vliw_kernels = false;
+  copts.random_count = 2;
+  copts.random_sizes = {8};
+  const auto corpus = standard_corpus(copts);
+  RsSweepOptions seq;
+  seq.threads = 1;
+  RsSweepOptions par;
+  par.threads = 8;
+  const auto a = compare_rs(corpus, seq);
+  const auto b = compare_rs(corpus, par);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].rs_exact, b[i].rs_exact);
+    EXPECT_EQ(a[i].rs_heuristic, b[i].rs_heuristic);
+  }
+}
+
+TEST(Categories, LabelsAndAlgebra) {
+  EXPECT_STREQ(category_label(ReductionCategory::OptimalRsOptimalIlp),
+               "(i)(a)  RS=RS* ILP=ILP*");
+  EXPECT_STREQ(category_label(ReductionCategory::HeuristicAboveOptimal),
+               "(iii)   RS<RS*");
+  CategoryBreakdown b;
+  b.usable = 4;
+  b.count[0] = 3;
+  b.count[3] = 1;
+  EXPECT_DOUBLE_EQ(b.percent(ReductionCategory::OptimalRsOptimalIlp), 75.0);
+  EXPECT_DOUBLE_EQ(b.percent(ReductionCategory::SubRsOptimalIlp), 25.0);
+  EXPECT_DOUBLE_EQ(b.percent(ReductionCategory::SubRsSubIlp), 0.0);
+}
+
+TEST(CompareReduction, PaperImpossibleCellsStayEmpty) {
+  // Small but real sweep. The two cells the paper proves impossible —
+  // (iii) RS < RS* and, under the lexicographic optimal, (i)(c) — must be
+  // empty; every usable row must satisfy the dominance invariants.
+  CorpusOptions copts;
+  copts.vliw_kernels = false;
+  copts.random_count = 3;
+  copts.random_sizes = {8, 10};
+  auto corpus = standard_corpus(copts);
+  // Drop the known budget-buster so the test stays fast.
+  corpus.erase(std::remove_if(corpus.begin(), corpus.end(),
+                              [](const Instance& i) {
+                                return i.name.find("complex-mul2") !=
+                                       std::string::npos;
+                              }),
+               corpus.end());
+  ReductionSweepOptions opts;
+  opts.r_offsets = {1};
+  opts.time_limit = 15;
+  const auto rows = compare_reduction(corpus, opts);
+  const CategoryBreakdown sum = summarize(rows);
+  EXPECT_GT(sum.usable, 0u);
+  EXPECT_EQ(sum.count[static_cast<int>(
+                ReductionCategory::HeuristicAboveOptimal)],
+            0u)
+      << "heuristic reported a better reduction than the proven optimum";
+  for (const auto& row : rows) {
+    if (!row.usable) continue;
+    SCOPED_TRACE(row.name);
+    EXPECT_LE(row.rs_heuristic, row.R);
+    EXPECT_LE(row.rs_optimal, row.R);
+    EXPECT_GE(row.rs_optimal, row.rs_heuristic);
+    EXPECT_GE(row.ilp_optimal, 0);
+    EXPECT_GE(row.ilp_heuristic, 0);
+  }
+}
+
+}  // namespace
+}  // namespace rs::exp

@@ -1,0 +1,366 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/branch_bound.hpp"
+#include "lp/linearize.hpp"
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace rs::lp {
+namespace {
+
+TEST(Model, ExprNormalization) {
+  Model m;
+  const Var x = m.add_var(VarKind::Continuous, 0, 10, "x");
+  LinExpr e;
+  e.add(x, 2.0);
+  e.add(x, 3.0);
+  e.add_constant(1.0);
+  const LinExpr n = e.normalized();
+  ASSERT_EQ(n.vars().size(), 1u);
+  EXPECT_DOUBLE_EQ(n.coefs()[0], 5.0);
+  EXPECT_DOUBLE_EQ(n.constant(), 1.0);
+}
+
+TEST(Model, ConstantFoldsIntoRhs) {
+  Model m;
+  const Var x = m.add_var(VarKind::Continuous, 0, 10, "x");
+  LinExpr e = LinExpr(x);
+  e.add_constant(4.0);
+  m.add_constraint(e, Sense::LE, 10.0);  // x + 4 <= 10  ->  x <= 6
+  EXPECT_DOUBLE_EQ(m.constraints()[0].rhs, 6.0);
+}
+
+TEST(Model, ExprBounds) {
+  Model m;
+  const Var x = m.add_var(VarKind::Integer, 1, 4, "x");
+  const Var y = m.add_var(VarKind::Integer, -2, 3, "y");
+  LinExpr e = LinExpr(x);
+  e.add(y, -2.0);
+  e.add_constant(1.0);
+  const auto [lo, hi] = m.expr_bounds(e);
+  EXPECT_DOUBLE_EQ(lo, 1 + 1 - 2.0 * 3);  // x at lo, y at hi
+  EXPECT_DOUBLE_EQ(hi, 4 + 1 - 2.0 * -2);
+}
+
+TEST(Model, FeasibilityCheck) {
+  Model m;
+  const Var x = m.add_binary("x");
+  const Var y = m.add_binary("y");
+  LinExpr sum = LinExpr(x) + LinExpr(y);
+  m.add_constraint(sum, Sense::LE, 1.0);
+  EXPECT_TRUE(m.is_feasible({1.0, 0.0}));
+  EXPECT_FALSE(m.is_feasible({1.0, 1.0}));
+  EXPECT_FALSE(m.is_feasible({0.5, 0.0}));  // fractional binary
+}
+
+TEST(Simplex, TextbookMax) {
+  // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18: opt 36 at (2, 6).
+  Model m;
+  const Var x = m.add_var(VarKind::Continuous, 0, kInf, "x");
+  const Var y = m.add_var(VarKind::Continuous, 0, kInf, "y");
+  m.add_constraint(LinExpr(x), Sense::LE, 4);
+  m.add_constraint(2.0 * LinExpr(y), Sense::LE, 12);
+  LinExpr c = 3.0 * LinExpr(x) + 2.0 * LinExpr(y);
+  m.add_constraint(c, Sense::LE, 18);
+  m.set_objective(3.0 * LinExpr(x) + 5.0 * LinExpr(y), true);
+  const LpResult r = SimplexSolver(m).solve();
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, 36.0, 1e-6);
+  EXPECT_NEAR(r.x[x.id], 2.0, 1e-6);
+  EXPECT_NEAR(r.x[y.id], 6.0, 1e-6);
+}
+
+TEST(Simplex, Phase1Infeasible) {
+  Model m;
+  const Var x = m.add_var(VarKind::Continuous, 0, 5, "x");
+  m.add_constraint(LinExpr(x), Sense::GE, 10);  // x >= 10 vs x <= 5
+  m.set_objective(LinExpr(x), false);
+  EXPECT_EQ(SimplexSolver(m).solve().status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min x + y st x + y = 5, x - y = 1 -> (3,2), obj 5.
+  Model m;
+  const Var x = m.add_var(VarKind::Continuous, 0, kInf, "x");
+  const Var y = m.add_var(VarKind::Continuous, 0, kInf, "y");
+  m.add_constraint(LinExpr(x) + LinExpr(y), Sense::EQ, 5);
+  m.add_constraint(LinExpr(x) - LinExpr(y), Sense::EQ, 1);
+  m.set_objective(LinExpr(x) + LinExpr(y), false);
+  const LpResult r = SimplexSolver(m).solve();
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.x[x.id], 3.0, 1e-6);
+  EXPECT_NEAR(r.x[y.id], 2.0, 1e-6);
+}
+
+TEST(Simplex, Unbounded) {
+  Model m;
+  const Var x = m.add_var(VarKind::Continuous, 0, kInf, "x");
+  m.set_objective(LinExpr(x), true);
+  EXPECT_EQ(SimplexSolver(m).solve().status, LpStatus::Unbounded);
+}
+
+TEST(Simplex, BoundedVariablesOnly) {
+  // No constraints: optimum at variable bounds.
+  Model m;
+  const Var x = m.add_var(VarKind::Continuous, -3, 7, "x");
+  const Var y = m.add_var(VarKind::Continuous, 2, 9, "y");
+  m.set_objective(LinExpr(x) - LinExpr(y), true);
+  const LpResult r = SimplexSolver(m).solve();
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, 7.0 - 2.0, 1e-9);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // min x st x >= -5 with x in [-10, 10].
+  Model m;
+  const Var x = m.add_var(VarKind::Continuous, -10, 10, "x");
+  m.add_constraint(LinExpr(x), Sense::GE, -5);
+  m.set_objective(LinExpr(x), false);
+  const LpResult r = SimplexSolver(m).solve();
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, -5.0, 1e-6);
+}
+
+TEST(Simplex, BoundOverridesPerSolve) {
+  Model m;
+  const Var x = m.add_var(VarKind::Continuous, 0, 10, "x");
+  m.set_objective(LinExpr(x), true);
+  SimplexSolver s(m);
+  EXPECT_NEAR(s.solve().objective, 10.0, 1e-9);
+  EXPECT_NEAR(s.solve_with_bounds({0}, {4}).objective, 4.0, 1e-9);
+  EXPECT_EQ(s.solve_with_bounds({5}, {4}).status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, DegenerateLpTerminates) {
+  // Classic degeneracy: multiple redundant constraints through the origin.
+  Model m;
+  const Var x = m.add_var(VarKind::Continuous, 0, kInf, "x");
+  const Var y = m.add_var(VarKind::Continuous, 0, kInf, "y");
+  m.add_constraint(LinExpr(x) + LinExpr(y), Sense::LE, 0);
+  m.add_constraint(LinExpr(x) + 2.0 * LinExpr(y), Sense::LE, 0);
+  m.add_constraint(2.0 * LinExpr(x) + LinExpr(y), Sense::LE, 0);
+  m.set_objective(LinExpr(x) + LinExpr(y), true);
+  const LpResult r = SimplexSolver(m).solve();
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, 0.0, 1e-9);
+}
+
+/// Exhaustive 0/1 enumeration for MIP cross-checks.
+double brute_force_best(const Model& m, bool* feasible) {
+  const int n = m.var_count();
+  RS_REQUIRE(n <= 20, "too many vars for brute force");
+  double best = m.maximize() ? -1e300 : 1e300;
+  *feasible = false;
+  std::vector<double> x(n);
+  const std::function<void(int)> rec = [&](int i) {
+    if (i == n) {
+      if (!m.is_feasible(x)) return;
+      const double obj = m.objective_value(x);
+      *feasible = true;
+      best = m.maximize() ? std::max(best, obj) : std::min(best, obj);
+      return;
+    }
+    const VarInfo& v = m.var(i);
+    for (double val = v.lo; val <= v.hi + 1e-9; val += 1.0) {
+      x[i] = val;
+      rec(i + 1);
+    }
+  };
+  rec(0);
+  return best;
+}
+
+TEST(BranchBound, KnapsackExact) {
+  // max 10a + 13b + 7c st 3a + 4b + 2c <= 6: best a+c? 10+7=17; b+c=20.
+  Model m;
+  const Var a = m.add_binary("a");
+  const Var b = m.add_binary("b");
+  const Var c = m.add_binary("c");
+  LinExpr w = 3.0 * LinExpr(a) + 4.0 * LinExpr(b) + 2.0 * LinExpr(c);
+  m.add_constraint(w, Sense::LE, 6);
+  LinExpr obj = 10.0 * LinExpr(a) + 13.0 * LinExpr(b) + 7.0 * LinExpr(c);
+  m.set_objective(obj, true);
+  const MipResult r = solve_mip(m);
+  ASSERT_EQ(r.status, MipStatus::Optimal);
+  EXPECT_NEAR(r.objective, 20.0, 1e-6);
+}
+
+TEST(BranchBound, InfeasibleInteger) {
+  // 2x = 3 with x integer.
+  Model m;
+  const Var x = m.add_int(0, 10, "x");
+  m.add_constraint(2.0 * LinExpr(x), Sense::EQ, 3);
+  m.set_objective(LinExpr(x), false);
+  EXPECT_EQ(solve_mip(m).status, MipStatus::Infeasible);
+}
+
+TEST(BranchBound, MatchesBruteForceOnRandomMips) {
+  support::Rng rng(2024);
+  for (int trial = 0; trial < 30; ++trial) {
+    Model m;
+    const int n = rng.next_int(3, 7);
+    std::vector<Var> xs;
+    for (int i = 0; i < n; ++i) {
+      xs.push_back(rng.next_bool(0.7)
+                       ? m.add_binary("x" + std::to_string(i))
+                       : m.add_int(0, 3, "x" + std::to_string(i)));
+    }
+    const int rows = rng.next_int(1, 4);
+    for (int r = 0; r < rows; ++r) {
+      LinExpr e;
+      for (const Var& v : xs) e.add(v, rng.next_int(-3, 5));
+      m.add_constraint(e, rng.next_bool(0.5) ? Sense::LE : Sense::GE,
+                       rng.next_int(-2, 8));
+    }
+    LinExpr obj;
+    for (const Var& v : xs) obj.add(v, rng.next_int(-4, 6));
+    m.set_objective(obj, rng.next_bool(0.5));
+
+    bool feasible = false;
+    const double want = brute_force_best(m, &feasible);
+    const MipResult got = solve_mip(m);
+    if (!feasible) {
+      EXPECT_EQ(got.status, MipStatus::Infeasible) << "trial " << trial;
+    } else {
+      ASSERT_EQ(got.status, MipStatus::Optimal) << "trial " << trial;
+      EXPECT_NEAR(got.objective, want, 1e-6) << "trial " << trial;
+      EXPECT_TRUE(m.is_feasible(got.x));
+    }
+  }
+}
+
+TEST(BranchBound, NodeLimitReportsTruncation) {
+  Model m;
+  std::vector<Var> xs;
+  LinExpr obj;
+  for (int i = 0; i < 14; ++i) {
+    xs.push_back(m.add_binary("x" + std::to_string(i)));
+    obj.add(xs.back(), 1.0 + 0.1 * i);
+  }
+  LinExpr sum;
+  for (const Var& v : xs) sum.add(v, 2.0);
+  m.add_constraint(sum, Sense::LE, 13);  // odd capacity: fractional root LP
+  m.set_objective(obj, true);
+  MipOptions opts;
+  opts.node_limit = 2;
+  const MipResult r = solve_mip(m, opts);
+  EXPECT_NE(r.status, MipStatus::Optimal);
+}
+
+TEST(Linearize, IffGeBothDirections) {
+  // z <=> (x >= 3), x integer in [0,5]: check every x with z forced.
+  for (int xv = 0; xv <= 5; ++xv) {
+    for (int zv = 0; zv <= 1; ++zv) {
+      Model m;
+      const Var x = m.add_int(0, 5, "x");
+      const Var z = m.add_binary("z");
+      add_iff_ge(m, z, LinExpr(x), 3.0, "t");
+      m.add_constraint(LinExpr(x), Sense::EQ, xv);
+      m.add_constraint(LinExpr(z), Sense::EQ, zv);
+      m.set_objective(LinExpr(x), true);
+      const bool want = (xv >= 3) == (zv == 1);
+      const MipResult r = solve_mip(m);
+      EXPECT_EQ(r.status == MipStatus::Optimal, want)
+          << "x=" << xv << " z=" << zv;
+    }
+  }
+}
+
+TEST(Linearize, IffGeDegenerateCases) {
+  {
+    Model m;  // c below range: z pinned to 1
+    const Var x = m.add_int(5, 9, "x");
+    const Var z = m.add_binary("z");
+    add_iff_ge(m, z, LinExpr(x), 2.0, "t");
+    m.set_objective(LinExpr(z), false);
+    const MipResult r = solve_mip(m);
+    ASSERT_EQ(r.status, MipStatus::Optimal);
+    EXPECT_NEAR(r.x[z.id], 1.0, 1e-6);
+  }
+  {
+    Model m;  // c above range: z pinned to 0
+    const Var x = m.add_int(0, 3, "x");
+    const Var z = m.add_binary("z");
+    add_iff_ge(m, z, LinExpr(x), 9.0, "t");
+    m.set_objective(LinExpr(z), true);
+    const MipResult r = solve_mip(m);
+    ASSERT_EQ(r.status, MipStatus::Optimal);
+    EXPECT_NEAR(r.x[z.id], 0.0, 1e-6);
+  }
+}
+
+TEST(Linearize, AndOrTruthTables) {
+  for (int av = 0; av <= 1; ++av) {
+    for (int bv = 0; bv <= 1; ++bv) {
+      Model m;
+      const Var a = m.add_binary("a");
+      const Var b = m.add_binary("b");
+      const Var z_and = m.add_binary("z_and");
+      const Var z_or = m.add_binary("z_or");
+      add_and(m, z_and, a, b, "and");
+      add_or(m, z_or, a, b, "or");
+      m.add_constraint(LinExpr(a), Sense::EQ, av);
+      m.add_constraint(LinExpr(b), Sense::EQ, bv);
+      m.set_objective(LinExpr(z_and) + LinExpr(z_or), true);
+      const MipResult r = solve_mip(m);
+      ASSERT_EQ(r.status, MipStatus::Optimal);
+      EXPECT_NEAR(r.x[z_and.id], av && bv ? 1 : 0, 1e-6);
+      EXPECT_NEAR(r.x[z_or.id], av || bv ? 1 : 0, 1e-6);
+    }
+  }
+}
+
+TEST(Linearize, MaxOperator) {
+  // k = max(x, y, 4) with x in [0,9], y in [0,9].
+  for (int xv : {0, 3, 7}) {
+    for (int yv : {1, 5, 9}) {
+      Model m;
+      const Var x = m.add_int(0, 9, "x");
+      const Var y = m.add_int(0, 9, "y");
+      const Var k = add_max(m, {LinExpr(x), LinExpr(y), LinExpr(4.0)}, "k");
+      m.add_constraint(LinExpr(x), Sense::EQ, xv);
+      m.add_constraint(LinExpr(y), Sense::EQ, yv);
+      m.set_objective(LinExpr(k), false);  // push k down to the true max
+      const MipResult r = solve_mip(m);
+      ASSERT_EQ(r.status, MipStatus::Optimal);
+      EXPECT_NEAR(r.x[k.id], std::max({xv, yv, 4}), 1e-6);
+    }
+  }
+}
+
+TEST(Model, LpFormatExport) {
+  Model m;
+  const Var x = m.add_int(0, 5, "sigma.a");
+  const Var y = m.add_binary("s|weird name");
+  LinExpr c = 2.0 * LinExpr(x) + LinExpr(y);
+  m.add_constraint(c, Sense::LE, 7);
+  m.set_objective(LinExpr(x) + 3.0 * LinExpr(y), true);
+  const std::string lp = m.to_lp_format();
+  EXPECT_NE(lp.find("Maximize"), std::string::npos);
+  EXPECT_NE(lp.find("Subject To"), std::string::npos);
+  EXPECT_NE(lp.find("sigma.a"), std::string::npos);
+  EXPECT_NE(lp.find("s_weird_name"), std::string::npos);  // sanitized
+  EXPECT_NE(lp.find("Generals"), std::string::npos);
+  EXPECT_NE(lp.find("End"), std::string::npos);
+  EXPECT_EQ(lp.find("|"), std::string::npos);
+}
+
+TEST(Linearize, Unless) {
+  // guard = 0 ==> x <= 2.
+  Model m;
+  const Var g = m.add_binary("g");
+  const Var x = m.add_int(0, 9, "x");
+  add_unless(m, g, LinExpr(x), 2.0, "t");
+  m.add_constraint(LinExpr(g), Sense::EQ, 0.0);
+  m.set_objective(LinExpr(x), true);
+  const MipResult r = solve_mip(m);
+  ASSERT_EQ(r.status, MipStatus::Optimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace rs::lp

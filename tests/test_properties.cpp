@@ -1,0 +1,160 @@
+// Cross-cutting property sweeps: the full invariant chain of the paper's
+// theory, parameterized over machine models, generator families and seeds.
+//
+// For every generated DDG and register type:
+//   P1  greedy RS* <= exact RS, and both are witnessed by valid schedules
+//       whose measured register need equals the reported value;
+//   P2  no random valid schedule ever exceeds the proven RS;
+//   P3  reduction (when it succeeds) yields a DAG whose exact RS fits the
+//       limit, whose original arcs are intact, and whose critical path
+//       never shrinks;
+//   P4  the reduced DAG's schedules are schedules of the original;
+//   P5  killing-function machinery: the chosen killer is always a
+//       potential killer, and the saturating antichain is pairwise
+//       DV-incomparable.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/greedy_k.hpp"
+#include "core/killing.hpp"
+#include "core/reduce.hpp"
+#include "core/rs_exact.hpp"
+#include "ddg/generators.hpp"
+#include "graph/paths.hpp"
+#include "graph/transitive.hpp"
+#include "sched/lifetime.hpp"
+#include "support/random.hpp"
+
+namespace rs::core {
+namespace {
+
+enum class Family { Random, Layered, Tree };
+
+struct Sweep {
+  Family family;
+  bool vliw;
+  int size;
+  std::uint64_t seed;
+};
+
+ddg::Ddg generate(const Sweep& s) {
+  const ddg::MachineModel model =
+      s.vliw ? ddg::vliw_model() : ddg::superscalar_model();
+  support::Rng rng(s.seed * 7919 + 13);
+  switch (s.family) {
+    case Family::Random: {
+      ddg::RandomDagParams p;
+      p.n_ops = s.size;
+      return ddg::random_dag(rng, model, p);
+    }
+    case Family::Layered: {
+      ddg::LayeredDagParams p;
+      p.layers = std::max(2, s.size / 4);
+      p.min_width = 2;
+      p.max_width = 4;
+      return ddg::random_layered(rng, model, p);
+    }
+    case Family::Tree:
+      return ddg::random_expression_tree(rng, model, std::max(2, s.size / 2));
+  }
+  return ddg::Ddg{};
+}
+
+class PropertySweep : public ::testing::TestWithParam<Sweep> {};
+
+TEST_P(PropertySweep, FullInvariantChain) {
+  const Sweep sweep = GetParam();
+  const ddg::Ddg dag = generate(sweep);
+  support::Rng rng(sweep.seed * 104729 + 7);
+
+  for (ddg::RegType t = 0; t < dag.type_count(); ++t) {
+    if (dag.values_of_type(t).empty()) continue;
+    const TypeContext ctx(dag, t);
+
+    // P1: engines ordered and witnessed.
+    const RsEstimate heur = greedy_k(ctx);
+    RsExactOptions eopts;
+    eopts.time_limit_seconds = 20;
+    const RsExactResult exact = rs_exact(ctx, eopts);
+    if (!exact.proven) GTEST_SKIP() << "exact budget exhausted";
+    ASSERT_LE(heur.rs, exact.rs);
+    ASSERT_TRUE(sched::is_valid(dag, heur.witness));
+    ASSERT_TRUE(sched::is_valid(dag, exact.witness));
+    EXPECT_EQ(sched::register_need(dag, t, heur.witness), heur.rs);
+    EXPECT_EQ(sched::register_need(dag, t, exact.witness), exact.rs);
+
+    // P2: random schedules stay below RS.
+    for (int trial = 0; trial < 10; ++trial) {
+      sched::Schedule s = sched::asap(dag);
+      for (auto& time : s.time) time += rng.next_int(0, 6);
+      for (int round = 0; round < dag.op_count(); ++round) {
+        for (const graph::Edge& e : dag.graph().edges()) {
+          s.time[e.dst] = std::max(s.time[e.dst], s.time[e.src] + e.latency);
+        }
+      }
+      ASSERT_TRUE(sched::is_valid(dag, s));
+      EXPECT_LE(sched::register_need(dag, t, s), exact.rs);
+    }
+
+    // P5: killing machinery invariants.
+    for (int i = 0; i < ctx.value_count(); ++i) {
+      const auto& pk = ctx.pkill(i);
+      ASSERT_TRUE(std::find(pk.begin(), pk.end(), heur.killing.killer[i]) !=
+                  pk.end());
+    }
+    const auto dv = disjoint_value_dag(ctx, heur.killing);
+    ASSERT_TRUE(dv.has_value());
+    const graph::TransitiveClosure tc(*dv);
+    for (const int a : heur.antichain) {
+      for (const int b : heur.antichain) {
+        if (a != b) EXPECT_FALSE(tc.reaches(a, b));
+      }
+    }
+
+    // P3/P4: reduction invariants (only when RS leaves room).
+    if (exact.rs < 3) continue;
+    const int limit = exact.rs - 1;
+    ReduceOptions ropts;
+    ropts.rs_upper = exact.rs;
+    ropts.src.time_limit_seconds = 10;
+    const ReduceResult red = reduce_greedy(ctx, limit, ropts);
+    if (red.status != ReduceStatus::Reduced) continue;  // spill/budget: fine
+    ASSERT_TRUE(red.extended.has_value());
+    const ddg::Ddg& out = *red.extended;
+    // Original arcs intact, critical path monotone.
+    ASSERT_GE(out.graph().edge_count(), dag.graph().edge_count());
+    for (graph::EdgeId e = 0; e < dag.graph().edge_count(); ++e) {
+      EXPECT_EQ(out.graph().edge(e).src, dag.graph().edge(e).src);
+      EXPECT_EQ(out.graph().edge(e).dst, dag.graph().edge(e).dst);
+    }
+    EXPECT_GE(red.critical_path, red.original_cp);
+    // The reduction's own claim, verified exactly.
+    const TypeContext octx(out, t);
+    const RsExactResult after = rs_exact(octx, eopts);
+    if (after.proven) EXPECT_LE(after.rs, limit);
+    // P4: any schedule of the reduced graph is one of the original.
+    const sched::Schedule s2 = sched::asap(out);
+    EXPECT_TRUE(sched::is_valid(dag, s2));
+  }
+}
+
+std::vector<Sweep> make_sweeps() {
+  std::vector<Sweep> sweeps;
+  std::uint64_t seed = 1;
+  for (const Family f : {Family::Random, Family::Layered, Family::Tree}) {
+    for (const bool vliw : {false, true}) {
+      for (const int size : {8, 10, 12}) {
+        sweeps.push_back(Sweep{f, vliw, size, seed++});
+        sweeps.push_back(Sweep{f, vliw, size, seed++});
+      }
+    }
+  }
+  return sweeps;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, PropertySweep,
+                         ::testing::ValuesIn(make_sweeps()));
+
+}  // namespace
+}  // namespace rs::core

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "support/assert.hpp"
+
+#include "ddg/builder.hpp"
+#include "ddg/generators.hpp"
+#include "ddg/kernels.hpp"
+#include "graph/paths.hpp"
+#include "sched/lifetime.hpp"
+#include "sched/list_sched.hpp"
+#include "sched/schedule.hpp"
+#include "support/random.hpp"
+
+namespace rs::sched {
+namespace {
+
+using ddg::kFloatReg;
+using ddg::kIntReg;
+
+TEST(Schedule, AsapIsValidAndTight) {
+  const ddg::Ddg d = ddg::lin_ddot(ddg::superscalar_model());
+  const Schedule s = asap(d);
+  EXPECT_TRUE(is_valid(d, s));
+  // Tightness: every op is either at 0 or has a binding predecessor arc.
+  for (ddg::NodeId v = 0; v < d.op_count(); ++v) {
+    if (s.time[v] == 0) continue;
+    bool binding = false;
+    for (const graph::EdgeId e : d.graph().in_edges(v)) {
+      const graph::Edge& ed = d.graph().edge(e);
+      if (s.time[ed.src] + ed.latency == s.time[v]) binding = true;
+    }
+    EXPECT_TRUE(binding) << "op " << d.op(v).name;
+  }
+}
+
+TEST(Schedule, AlapRespectsHorizon) {
+  const ddg::Ddg d = ddg::lin_ddot(ddg::superscalar_model());
+  const sched::Time cp = graph::critical_path(d.graph());
+  const Schedule s = alap(d.graph(), cp + 5);
+  EXPECT_TRUE(is_valid(d, s));
+  for (const auto t : s.time) EXPECT_LE(t, cp + 5);
+  EXPECT_THROW(alap(d.graph(), cp - 1), support::PreconditionError);
+}
+
+TEST(Schedule, ValidityCatchesViolations) {
+  const ddg::Ddg d = ddg::lin_dscal(ddg::superscalar_model());
+  Schedule s = asap(d);
+  s.time[1] = -1;
+  EXPECT_FALSE(is_valid(d, s));
+  Schedule zero;
+  zero.time.assign(d.op_count(), 0);
+  EXPECT_FALSE(is_valid(d, zero));  // latencies > 0 somewhere
+}
+
+TEST(Schedule, MakespanEqualsBottomTime) {
+  const ddg::Ddg d = ddg::liv_loop1(ddg::superscalar_model());
+  const Schedule s = asap(d);
+  EXPECT_EQ(makespan(d, s), s.at(*d.bottom()));
+}
+
+TEST(Lifetime, LeftOpenSemantics) {
+  // writer w (lat 2) read by a at +2 and b at +5: LT = ]0, 5].
+  ddg::KernelBuilder b(ddg::superscalar_model(), "t");
+  const auto p = b.live_in(kIntReg, "p");
+  const auto w = b.fload("w", p);
+  const auto r1 = b.op(ddg::OpClass::FpAdd, kFloatReg, "r1", {w});
+  b.op(ddg::OpClass::FpAdd, kFloatReg, "r2", {w, r1});
+  const ddg::Ddg d = b.build();
+  const Schedule s = asap(d);
+  const auto lts = lifetimes(d, kFloatReg, s);
+  const ddg::ValueSet vs(d, kFloatReg);
+  const Lifetime& lw = lts[vs.index_of[w]];
+  EXPECT_EQ(lw.def, s.at(w));
+  EXPECT_GT(lw.kill, lw.def);
+  EXPECT_EQ(lw.kill, kill_date(d, w, kFloatReg, s));
+}
+
+TEST(Lifetime, InterferenceIsSymmetricAndIrreflexive) {
+  const ddg::Ddg d = ddg::matmul_unroll4(ddg::superscalar_model());
+  const Schedule s = asap(d);
+  const auto mat = interference_matrix(d, kFloatReg, s);
+  const int k = static_cast<int>(lifetimes(d, kFloatReg, s).size());
+  for (int i = 0; i < k; ++i) {
+    EXPECT_FALSE(mat[i * k + i]);
+    for (int j = 0; j < k; ++j) {
+      EXPECT_EQ(mat[i * k + j], mat[j * k + i]);
+    }
+  }
+}
+
+TEST(Lifetime, TouchingIntervalsDoNotInterfere) {
+  Lifetime a{0, 0, 5};
+  Lifetime b{1, 5, 9};  // starts exactly at a's kill: ]5,9] vs ]0,5]
+  EXPECT_FALSE(a.interferes(b));
+  Lifetime c{2, 4, 9};
+  EXPECT_TRUE(a.interferes(c));
+  Lifetime empty{3, 4, 4};
+  EXPECT_FALSE(empty.interferes(a));
+}
+
+TEST(Lifetime, RegisterNeedMatchesCliqueOverRandomSchedules) {
+  // RN computed by sweep == max clique of the interference matrix
+  // (intervals have the Helly property, so max overlap == max clique).
+  const ddg::MachineModel model = ddg::superscalar_model();
+  support::Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    ddg::RandomDagParams p;
+    p.n_ops = 10;
+    const ddg::Ddg d = ddg::random_dag(rng, model, p);
+    // Random valid schedule: ASAP plus random per-op slack, repaired in
+    // topological order.
+    Schedule s = asap(d);
+    for (auto& t : s.time) t += rng.next_int(0, 6);
+    for (int round = 0; round < d.op_count(); ++round) {
+      for (const graph::Edge& e : d.graph().edges()) {
+        s.time[e.dst] =
+            std::max(s.time[e.dst], s.time[e.src] + e.latency);
+      }
+    }
+    ASSERT_TRUE(is_valid(d, s));
+    const int rn = register_need(d, kFloatReg, s);
+    // Greedy interval allocation is optimal on interval graphs.
+    const Allocation alloc = allocate(d, kFloatReg, s);
+    EXPECT_EQ(alloc.registers_used, rn);
+  }
+}
+
+TEST(Lifetime, AllocationNeverSharesInterferingRegisters) {
+  const ddg::Ddg d = ddg::fir8(ddg::superscalar_model());
+  const Schedule s = asap(d);
+  const Allocation alloc = allocate(d, kFloatReg, s);
+  const auto lts = lifetimes(d, kFloatReg, s);
+  for (std::size_t i = 0; i < lts.size(); ++i) {
+    for (std::size_t j = i + 1; j < lts.size(); ++j) {
+      if (lts[i].interferes(lts[j])) {
+        EXPECT_NE(alloc.reg_of_value[i], alloc.reg_of_value[j]);
+      }
+    }
+  }
+}
+
+TEST(Lifetime, EmptyLifetimesGetNoRegister) {
+  ddg::KernelBuilder b(ddg::superscalar_model(), "t");
+  const auto x = b.live_in(kFloatReg, "x");
+  b.fmul("y", x, x);
+  const ddg::Ddg raw = b.build_raw();  // y has no consumer -> empty LT
+  const Schedule s = asap(raw);
+  const ddg::ValueSet vs(raw, kFloatReg);
+  const Allocation alloc = allocate(raw, kFloatReg, s);
+  const auto lts = lifetimes(raw, kFloatReg, s);
+  for (int i = 0; i < vs.count(); ++i) {
+    if (lts[i].empty()) {
+      EXPECT_EQ(alloc.reg_of_value[i], -1);
+    }
+  }
+}
+
+TEST(ListSched, RespectsResourceLimits) {
+  const ddg::Ddg d = ddg::fir8(ddg::superscalar_model());
+  Resources res;
+  res.issue_width = 2;
+  res.units_per_class.fill(1);
+  res.units_per_class[static_cast<int>(ddg::OpClass::Nop)] = 99;
+  const Schedule s = list_schedule(d, res);
+  EXPECT_TRUE(is_valid(d, s));
+  // Count per-cycle usage.
+  std::map<Time, int> issued;
+  std::map<std::pair<Time, int>, int> per_class;
+  for (ddg::NodeId v = 0; v < d.op_count(); ++v) {
+    if (d.op(v).cls == ddg::OpClass::Nop) continue;
+    issued[s.time[v]]++;
+    per_class[{s.time[v], static_cast<int>(d.op(v).cls)}]++;
+  }
+  for (const auto& [t, n] : issued) EXPECT_LE(n, 2) << "cycle " << t;
+  for (const auto& [key, n] : per_class) EXPECT_LE(n, 1);
+}
+
+TEST(ListSched, UnlimitedResourcesMatchAsapMakespan) {
+  const ddg::Ddg d = ddg::liv_loop7(ddg::superscalar_model());
+  const Schedule s = list_schedule(d, Resources::unlimited());
+  EXPECT_EQ(makespan(d, s), makespan(d, asap(d)));
+}
+
+TEST(ListSched, TighterResourcesNeverBeatWiderOnes) {
+  const ddg::Ddg d = ddg::liv_loop23(ddg::superscalar_model());
+  Resources narrow;
+  narrow.issue_width = 1;
+  narrow.units_per_class.fill(1);
+  Resources wide;
+  wide.issue_width = 8;
+  wide.units_per_class.fill(4);
+  EXPECT_GE(makespan(d, list_schedule(d, narrow)),
+            makespan(d, list_schedule(d, wide)));
+}
+
+}  // namespace
+}  // namespace rs::sched

@@ -1,0 +1,71 @@
+// End-to-end smoke: the full stack on a couple of kernels, cross-checking
+// the three RS engines and both reduction paths against each other.
+#include <gtest/gtest.h>
+
+#include "core/greedy_k.hpp"
+#include "core/reduce.hpp"
+#include "core/reduce_ilp.hpp"
+#include "core/rs_exact.hpp"
+#include "core/rs_ilp.hpp"
+#include "ddg/kernels.hpp"
+#include "sched/lifetime.hpp"
+
+namespace rs {
+namespace {
+
+TEST(Smoke, DdotSuperscalarAllEnginesAgree) {
+  const ddg::Ddg dag = ddg::lin_ddot(ddg::superscalar_model());
+  const core::TypeContext ctx(dag, ddg::kFloatReg);
+
+  const core::RsEstimate heur = core::greedy_k(ctx);
+  const core::RsExactResult exact = core::rs_exact(ctx);
+  ASSERT_TRUE(exact.proven);
+  EXPECT_LE(heur.rs, exact.rs);
+
+  // Heuristic witness really needs rs_heuristic registers.
+  ASSERT_TRUE(sched::is_valid(dag, heur.witness));
+  EXPECT_EQ(sched::register_need(dag, ddg::kFloatReg, heur.witness), heur.rs);
+
+  // Exact witness realizes the saturation.
+  ASSERT_TRUE(sched::is_valid(dag, exact.witness));
+  EXPECT_EQ(sched::register_need(dag, ddg::kFloatReg, exact.witness), exact.rs);
+
+  core::RsIlpOptions iopts;
+  iopts.mip.time_limit_seconds = 60;
+  const core::RsIlpResult ilp = core::rs_ilp(ctx, iopts);
+  ASSERT_TRUE(ilp.proven) << "intLP did not prove optimality";
+  EXPECT_EQ(ilp.rs, exact.rs);
+}
+
+TEST(Smoke, DdotReductionBothPaths) {
+  const ddg::Ddg dag = ddg::lin_ddot(ddg::superscalar_model());
+  const core::TypeContext ctx(dag, ddg::kFloatReg);
+  const core::RsExactResult exact = core::rs_exact(ctx);
+  ASSERT_TRUE(exact.proven);
+  ASSERT_GE(exact.rs, 3) << "corpus kernel unexpectedly tiny";
+
+  const int R = exact.rs - 1;
+  core::ReduceOptions opts;
+  opts.rs_upper = exact.rs;
+
+  const core::ReduceResult opt = core::reduce_optimal(ctx, R, opts);
+  ASSERT_EQ(opt.status, core::ReduceStatus::Reduced);
+  ASSERT_TRUE(opt.extended.has_value());
+  const core::TypeContext octx(*opt.extended, ddg::kFloatReg);
+  const core::RsExactResult opt_rs = core::rs_exact(octx);
+  ASSERT_TRUE(opt_rs.proven);
+  EXPECT_LE(opt_rs.rs, R);
+  EXPECT_EQ(opt_rs.rs, opt.achieved_rs);
+
+  const core::ReduceResult heur = core::reduce_greedy(ctx, R, opts);
+  ASSERT_EQ(heur.status, core::ReduceStatus::Reduced);
+  const core::TypeContext hctx(*heur.extended, ddg::kFloatReg);
+  const core::RsExactResult heur_rs = core::rs_exact(hctx);
+  ASSERT_TRUE(heur_rs.proven);
+  EXPECT_LE(heur_rs.rs, R);
+  // Optimal keeps at least as much saturation and never loses more ILP.
+  EXPECT_GE(opt.achieved_rs, heur_rs.rs);
+}
+
+}  // namespace
+}  // namespace rs

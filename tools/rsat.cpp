@@ -1,0 +1,164 @@
+// rsat — command-line front end for the register saturation library.
+//
+//   rsat analyze <file.ddg> [--engine greedy|exact|ilp] [--budget S]
+//       RS per register type, with witnesses proven or estimated.
+//   rsat reduce <file.ddg> --limits N[,N...] [--exact] [-o out.ddg]
+//       figure-1 pipeline; writes the register-safe DDG.
+//   rsat dot <file.ddg>
+//       Graphviz dump.
+//   rsat kernels
+//       list built-in reconstructed kernels.
+//   rsat dump <kernel> [--vliw]
+//       emit a built-in kernel in the .ddg text format.
+//
+// The .ddg text format is documented in src/ddg/io.hpp.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/saturation.hpp"
+#include "ddg/io.hpp"
+#include "ddg/kernels.hpp"
+#include "graph/paths.hpp"
+#include "support/assert.hpp"
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage:\n"
+      "  rsat analyze <file.ddg> [--engine greedy|exact|ilp] [--budget S]\n"
+      "  rsat reduce  <file.ddg> --limits N[,N...] [--exact] [-o out.ddg]\n"
+      "  rsat dot     <file.ddg>\n"
+      "  rsat kernels\n"
+      "  rsat dump <kernel> [--vliw]\n",
+      stderr);
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  RS_REQUIRE(in.good(), "cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+rs::ddg::Ddg load(const std::string& path) {
+  const rs::ddg::Ddg raw = rs::ddg::from_text(read_file(path));
+  return raw.normalized();
+}
+
+int cmd_analyze(int argc, char** argv) {
+  if (argc < 3) return usage();
+  rs::core::AnalyzeOptions opts;
+  for (int i = 3; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--engine") && i + 1 < argc) {
+      const std::string e = argv[++i];
+      if (e == "greedy") opts.engine = rs::core::RsEngine::Greedy;
+      else if (e == "exact") opts.engine = rs::core::RsEngine::ExactCombinatorial;
+      else if (e == "ilp") opts.engine = rs::core::RsEngine::ExactIlp;
+      else return usage();
+    } else if (!std::strcmp(argv[i], "--budget") && i + 1 < argc) {
+      opts.time_limit_seconds = std::atof(argv[++i]);
+    }
+  }
+  const rs::ddg::Ddg dag = load(argv[2]);
+  std::printf("%s: %d ops, %d arcs, critical path %lld\n",
+              dag.name().c_str(), dag.op_count(), dag.graph().edge_count(),
+              static_cast<long long>(rs::graph::critical_path(dag.graph())));
+  const rs::core::SaturationReport report = rs::core::analyze(dag, opts);
+  for (const auto& t : report.per_type) {
+    std::printf("type %d: %d values, RS = %d (%s)\n", t.type, t.value_count,
+                t.rs, t.proven ? "proven" : "estimate");
+  }
+  return 0;
+}
+
+int cmd_reduce(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::vector<int> limits;
+  std::string out_path;
+  rs::core::PipelineOptions opts;
+  for (int i = 3; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--limits") && i + 1 < argc) {
+      std::istringstream ss(argv[++i]);
+      std::string tok;
+      while (std::getline(ss, tok, ',')) limits.push_back(std::stoi(tok));
+    } else if (!std::strcmp(argv[i], "--exact")) {
+      opts.exact_reduction = true;
+    } else if (!std::strcmp(argv[i], "-o") && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  const rs::ddg::Ddg dag = load(argv[2]);
+  if (static_cast<int>(limits.size()) != dag.type_count()) {
+    std::fprintf(stderr, "need %d comma-separated limits (one per type)\n",
+                 dag.type_count());
+    return 2;
+  }
+  const rs::core::PipelineResult result = rs::core::ensure_limits(dag, limits, opts);
+  for (rs::ddg::RegType t = 0; t < dag.type_count(); ++t) {
+    const auto& r = result.per_type[t];
+    const char* status = "?";
+    switch (r.status) {
+      case rs::core::ReduceStatus::AlreadyFits: status = "fits"; break;
+      case rs::core::ReduceStatus::Reduced: status = "reduced"; break;
+      case rs::core::ReduceStatus::SpillNeeded: status = "SPILL NEEDED"; break;
+      case rs::core::ReduceStatus::LimitHit: status = "budget exhausted"; break;
+    }
+    std::printf("type %d: %s (RS -> %d, +%d arcs, ILP loss %lld)\n", t, status,
+                r.achieved_rs, r.arcs_added,
+                static_cast<long long>(r.ilp_loss()));
+  }
+  if (!result.success) {
+    std::fprintf(stderr, "pipeline incomplete: %s\n", result.note.c_str());
+    return 1;
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << rs::ddg::to_text(result.out);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_dump(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const bool vliw = argc > 3 && !std::strcmp(argv[3], "--vliw");
+  const auto model = vliw ? rs::ddg::vliw_model() : rs::ddg::superscalar_model();
+  std::fputs(rs::ddg::to_text(rs::ddg::build_kernel(argv[2], model)).c_str(),
+             stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "analyze") return cmd_analyze(argc, argv);
+    if (cmd == "reduce") return cmd_reduce(argc, argv);
+    if (cmd == "dot") {
+      if (argc < 3) return usage();
+      std::fputs(load(argv[2]).to_dot().c_str(), stdout);
+      return 0;
+    }
+    if (cmd == "kernels") {
+      for (const auto& name : rs::ddg::kernel_names()) {
+        std::puts(name.c_str());
+      }
+      return 0;
+    }
+    if (cmd == "dump") return cmd_dump(argc, argv);
+    return usage();
+  } catch (const rs::support::PreconditionError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
