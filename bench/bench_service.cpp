@@ -1,0 +1,107 @@
+// Batch analysis engine throughput: cold (empty cache, every request
+// solved) vs warm (every request a fingerprint lookup) on the standard
+// kernel corpus, plus the fixed per-request costs (fingerprinting, protocol
+// parse/render). The cold/warm gap is the reuse headroom the service layer
+// buys; the acceptance bar is warm >= 2x cold on a repeated corpus.
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <vector>
+
+#include "ddg/canon.hpp"
+#include "ddg/kernels.hpp"
+#include "service/engine.hpp"
+#include "service/protocol.hpp"
+
+namespace {
+
+using rs::service::AnalysisEngine;
+using rs::service::EngineConfig;
+using rs::service::Request;
+using rs::service::RequestKind;
+using rs::service::Response;
+
+// The "repeated corpus": every kernel analyzed and reduced, three times
+// over, so even the cold pass contains intra-batch duplicates.
+std::vector<Request> corpus_batch(int repeats) {
+  std::vector<Request> batch;
+  const auto corpus = rs::ddg::kernel_corpus(rs::ddg::superscalar_model());
+  std::uint64_t id = 1;
+  for (int r = 0; r < repeats; ++r) {
+    for (const auto& [name, dag] : corpus) {
+      Request a;
+      a.id = id++;
+      a.kind = RequestKind::Analyze;
+      a.ddg = dag;
+      batch.push_back(a);
+      Request red;
+      red.id = id++;
+      red.kind = RequestKind::Reduce;
+      red.ddg = dag;
+      red.limits = {16, 16};
+      batch.push_back(red);
+    }
+  }
+  return batch;
+}
+
+void drain(AnalysisEngine& engine, const std::vector<Request>& batch) {
+  std::vector<std::future<Response>> futures;
+  futures.reserve(batch.size());
+  for (const Request& req : batch) futures.push_back(engine.submit(req));
+  for (auto& f : futures) benchmark::DoNotOptimize(f.get().payload->ok);
+}
+
+void BM_BatchCold(benchmark::State& state) {
+  const std::vector<Request> batch = corpus_batch(3);
+  for (auto _ : state) {
+    AnalysisEngine engine(EngineConfig{});  // fresh cache every iteration
+    drain(engine, batch);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_BatchCold)->Unit(benchmark::kMillisecond);
+
+void BM_BatchWarm(benchmark::State& state) {
+  const std::vector<Request> batch = corpus_batch(3);
+  AnalysisEngine engine(EngineConfig{});
+  drain(engine, batch);  // pre-warm
+  for (auto _ : state) {
+    drain(engine, batch);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_BatchWarm)->Unit(benchmark::kMillisecond);
+
+void BM_FingerprintCorpus(benchmark::State& state) {
+  const auto corpus = rs::ddg::kernel_corpus(rs::ddg::superscalar_model());
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (const auto& [name, dag] : corpus) {
+      acc ^= rs::ddg::fingerprint(dag).lo;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(corpus.size()));
+}
+BENCHMARK(BM_FingerprintCorpus)->Unit(benchmark::kMicrosecond);
+
+void BM_ProtocolParseRender(benchmark::State& state) {
+  AnalysisEngine engine(EngineConfig{});
+  Request req = rs::service::parse_request_line(
+      "analyze kernel=lin-ddot engine=greedy", 1);
+  const Response resp = engine.run(req);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs::service::parse_request_line(
+        "reduce kernel=fir8 limits=16,16 budget=5", 2));
+    benchmark::DoNotOptimize(rs::service::render_response(resp));
+  }
+}
+BENCHMARK(BM_ProtocolParseRender)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

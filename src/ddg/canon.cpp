@@ -1,0 +1,140 @@
+#include "ddg/canon.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "support/hash.hpp"
+
+namespace rs::ddg {
+
+namespace {
+
+using support::hash_combine;
+
+std::uint64_t combine(std::uint64_t h, std::uint64_t v) {
+  return hash_combine(h, v);
+}
+
+// One 64-bit label per op and hash stream; streams differ only in seed.
+using Labels = std::vector<std::array<std::uint64_t, 2>>;
+
+constexpr std::uint64_t kSeed[2] = {0x5275536174243031ULL,
+                                    0x6464674672707232ULL};
+constexpr std::uint64_t kInTag = 0x1d;
+constexpr std::uint64_t kOutTag = 0x2e;
+
+Labels initial_labels(const Ddg& ddg) {
+  Labels labels(ddg.op_count());
+  for (NodeId v = 0; v < ddg.op_count(); ++v) {
+    const Operation& o = ddg.op(v);
+    std::vector<RegType> writes = o.writes;
+    std::sort(writes.begin(), writes.end());
+    for (int s = 0; s < 2; ++s) {
+      std::uint64_t h = kSeed[s];
+      h = combine(h, static_cast<std::uint64_t>(o.cls));
+      h = combine(h, static_cast<std::uint64_t>(o.latency));
+      h = combine(h, static_cast<std::uint64_t>(o.delta_r));
+      h = combine(h, static_cast<std::uint64_t>(o.delta_w));
+      for (const RegType t : writes) {
+        h = combine(h, static_cast<std::uint64_t>(t) + 1);
+      }
+      labels[v][s] = h;
+    }
+  }
+  return labels;
+}
+
+std::uint64_t edge_signature(const Ddg& ddg, graph::EdgeId e,
+                             std::uint64_t neighbor_label) {
+  const graph::Edge& ed = ddg.graph().edge(e);
+  const EdgeAttr& a = ddg.edge_attr(e);
+  std::uint64_t h = combine(static_cast<std::uint64_t>(a.kind) + 1,
+                            static_cast<std::uint64_t>(a.type) + 2);
+  h = combine(h, static_cast<std::uint64_t>(ed.latency));
+  return combine(h, neighbor_label);
+}
+
+// Folds the sorted multiset of signatures into h (sorting makes the fold
+// independent of edge insertion order).
+std::uint64_t fold_sorted(std::uint64_t h, std::vector<std::uint64_t>& sigs,
+                          std::uint64_t tag) {
+  std::sort(sigs.begin(), sigs.end());
+  h = combine(h, tag);
+  for (const std::uint64_t s : sigs) h = combine(h, s);
+  return h;
+}
+
+}  // namespace
+
+std::string Fingerprint::hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = digits[(hi >> (4 * i)) & 0xf];
+    out[31 - i] = digits[(lo >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+Fingerprint fingerprint(const Ddg& ddg) {
+  const int n = ddg.op_count();
+  const graph::Digraph& g = ddg.graph();
+  Labels labels = initial_labels(ddg);
+  Labels next(labels.size());
+
+  // Refine until the label partition stabilizes (WL refinement only ever
+  // splits classes, so a round that fails to increase the distinct-label
+  // count has converged), with a cap as a safety net. Convergence is
+  // order-independent, so equal graphs always stop after the same round.
+  const int max_rounds = std::min(n, 32);
+  std::size_t distinct = 0;
+  std::vector<std::uint64_t> sigs;
+  std::vector<std::uint64_t> classes(n);
+  for (int r = 0; r < max_rounds; ++r) {
+    for (NodeId v = 0; v < n; ++v) {
+      for (int s = 0; s < 2; ++s) {
+        std::uint64_t h = labels[v][s];
+        sigs.clear();
+        for (const graph::EdgeId e : g.in_edges(v)) {
+          sigs.push_back(edge_signature(ddg, e, labels[g.edge(e).src][s]));
+        }
+        h = fold_sorted(h, sigs, kInTag);
+        sigs.clear();
+        for (const graph::EdgeId e : g.out_edges(v)) {
+          sigs.push_back(edge_signature(ddg, e, labels[g.edge(e).dst][s]));
+        }
+        h = fold_sorted(h, sigs, kOutTag);
+        next[v][s] = h;
+      }
+    }
+    labels.swap(next);
+    for (NodeId v = 0; v < n; ++v) classes[v] = labels[v][0];
+    std::sort(classes.begin(), classes.end());
+    const std::size_t now =
+        std::unique(classes.begin(), classes.end()) - classes.begin();
+    if (now == distinct) break;
+    distinct = now;
+  }
+
+  Fingerprint fp;
+  std::uint64_t* out[2] = {&fp.hi, &fp.lo};
+  std::vector<std::uint64_t> finals(n);
+  for (int s = 0; s < 2; ++s) {
+    for (NodeId v = 0; v < n; ++v) finals[v] = labels[v][s];
+    std::uint64_t h = combine(kSeed[s], static_cast<std::uint64_t>(n));
+    h = combine(h, static_cast<std::uint64_t>(g.edge_count()));
+    h = combine(h, static_cast<std::uint64_t>(ddg.type_count()));
+    *out[s] = fold_sorted(h, finals, 0x3f);
+  }
+  return fp;
+}
+
+Fingerprint extend(const Fingerprint& fp, std::uint64_t salt) {
+  Fingerprint out;
+  out.hi = combine(fp.hi, combine(kSeed[0], salt));
+  out.lo = combine(fp.lo, combine(kSeed[1], salt));
+  return out;
+}
+
+}  // namespace rs::ddg

@@ -1,0 +1,50 @@
+// Canonical structural fingerprint of a DDG, the cache key of the batch
+// analysis engine (src/service/).
+//
+// Two DDGs that differ only by op renumbering (insertion order), op renaming,
+// or arc reordering describe the same scheduling problem and must hash to the
+// same fingerprint; DDGs differing in any register-relevant structure (op
+// classes, latencies, read/write offsets, written types, arc kinds/types/
+// latencies, or the dependence shape itself) should hash differently.
+//
+// Implementation: Weisfeiler-Leman-style iterative label refinement. Each op
+// starts from a hash of its timing/class/writes attributes (names excluded),
+// then repeatedly absorbs the sorted multisets of its in- and out-arc
+// signatures (kind, type, latency, neighbor label). The fingerprint is a hash
+// of the sorted multiset of final labels plus global counts, so it is
+// independent of node and edge order by construction. Two independently
+// seeded 64-bit label streams give a 128-bit key.
+//
+// Like any content hash this can collide — WL-equivalent non-isomorphic
+// graphs exist in theory — but for attribute-labeled DAGs of this size the
+// risk is negligible and on par with the 128-bit hash collision risk any
+// content-addressed cache accepts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ddg/ddg.hpp"
+
+namespace rs::ddg {
+
+/// 128-bit order-independent structural hash of a DDG.
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+
+  /// 32 lowercase hex chars (hi then lo).
+  std::string hex() const;
+};
+
+/// Computes the structural fingerprint described above.
+Fingerprint fingerprint(const Ddg& ddg);
+
+/// Derives a new fingerprint by folding request-level state (option digests,
+/// register limits) into an existing one. Not commutative: extend(fp, a) and
+/// extend(fp, b) differ, as does the order of chained extensions.
+Fingerprint extend(const Fingerprint& fp, std::uint64_t salt);
+
+}  // namespace rs::ddg

@@ -86,6 +86,20 @@ std::vector<NodeId> Ddg::consumers(NodeId u, RegType t) const {
   return out;
 }
 
+void Ddg::set_bottom(NodeId b) {
+  RS_REQUIRE(b >= 0 && b < op_count(), "bottom marker names an unknown op");
+  // Marking ⊥ makes normalized() a no-op, so insist the graph really has
+  // the normalized shape: ⊥ is a sink and every other op has a direct arc
+  // into it (exactly what normalized() constructs). Otherwise a stray
+  // bottom= marker would silently disable normalization.
+  RS_REQUIRE(graph_.out_edges(b).empty(), "bottom op has outgoing arcs");
+  for (NodeId v = 0; v < op_count(); ++v) {
+    RS_REQUIRE(v == b || graph_.has_edge(v, b),
+               "op " + ops_[v].name + " has no arc into the bottom marker");
+  }
+  bottom_ = b;
+}
+
 Ddg Ddg::normalized() const {
   if (bottom_.has_value()) return *this;
   Ddg result = *this;

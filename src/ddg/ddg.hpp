@@ -101,6 +101,12 @@ class Ddg {
   /// Bottom node if this DDG has been normalized.
   std::optional<NodeId> bottom() const { return bottom_; }
 
+  /// Marks an existing op as the ⊥ of an already-normalized DDG. Used by
+  /// deserialization: the text format records the bottom marker so that a
+  /// round-tripped normalized DDG stays normalized (normalized() is a no-op
+  /// on it) instead of growing a second ⊥.
+  void set_bottom(NodeId b);
+
   /// Returns a normalized copy: adds ⊥ absorbing exit values (flow arcs
   /// from unconsumed values) and serial arcs node->⊥ with the source
   /// operation's latency, exactly as in section 2. Idempotent.

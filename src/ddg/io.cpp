@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "support/assert.hpp"
+#include "support/parse.hpp"
 
 namespace rs::ddg {
 
@@ -37,19 +38,19 @@ bool has_field(const std::vector<std::string>& tokens, const std::string& key) {
   return false;
 }
 
-std::vector<std::string> tokenize(const std::string& line) {
-  std::istringstream is(line);
-  std::vector<std::string> tokens;
-  std::string t;
-  while (is >> t) tokens.push_back(t);
-  return tokens;
+std::string where(int line, const std::string& key) {
+  return "line " + std::to_string(line) + ": " + key;
 }
 
 }  // namespace
 
 std::string to_text(const Ddg& ddg) {
   std::ostringstream os;
-  os << "ddg " << ddg.name() << " types=" << ddg.type_count() << '\n';
+  os << "ddg " << ddg.name() << " types=" << ddg.type_count();
+  if (ddg.bottom().has_value()) {
+    os << " bottom=" << ddg.op(*ddg.bottom()).name;
+  }
+  os << '\n';
   for (NodeId v = 0; v < ddg.op_count(); ++v) {
     const Operation& o = ddg.op(v);
     os << "op " << o.name << " class=" << op_class_name(o.cls)
@@ -83,19 +84,27 @@ Ddg from_text(const std::string& text) {
   int lineno = 0;
   std::optional<Ddg> ddg;
   std::map<std::string, NodeId> by_name;
+  std::string bottom_name;
+  int bottom_line = 0;
 
   while (std::getline(is, line)) {
     ++lineno;
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) line = line.substr(0, hash);
-    const std::vector<std::string> tokens = tokenize(line);
+    const std::vector<std::string> tokens = support::split_ws(line);
     if (tokens.empty()) continue;
     const std::string& kind = tokens[0];
 
     if (kind == "ddg") {
       RS_REQUIRE(tokens.size() >= 3, "line " + std::to_string(lineno) +
                                          ": expected 'ddg <name> types=<k>'");
-      ddg.emplace(std::stoi(field(tokens, "types", lineno)), tokens[1]);
+      ddg.emplace(support::parse_int(field(tokens, "types", lineno),
+                                     where(lineno, "types")),
+                  tokens[1]);
+      if (has_field(tokens, "bottom")) {
+        bottom_name = field(tokens, "bottom", lineno);
+        bottom_line = lineno;
+      }
       continue;
     }
     RS_REQUIRE(ddg.has_value(),
@@ -110,15 +119,17 @@ Ddg from_text(const std::string& text) {
       Operation op;
       op.name = name;
       op.cls = class_from_name(field(tokens, "class", lineno), lineno);
-      op.latency = std::stoll(field(tokens, "lat", lineno));
-      op.delta_r = std::stoll(field(tokens, "dr", lineno));
-      op.delta_w = std::stoll(field(tokens, "dw", lineno));
+      op.latency = support::parse_ll(field(tokens, "lat", lineno),
+                                     where(lineno, "lat"));
+      op.delta_r = support::parse_ll(field(tokens, "dr", lineno),
+                                     where(lineno, "dr"));
+      op.delta_w = support::parse_ll(field(tokens, "dw", lineno),
+                                     where(lineno, "dw"));
       const NodeId v = ddg->add_op(std::move(op));
       if (has_field(tokens, "writes")) {
-        std::istringstream ws(field(tokens, "writes", lineno));
-        std::string t;
-        while (std::getline(ws, t, ',')) {
-          ddg->mark_writes(v, std::stoi(t));
+        for (const int t : support::parse_int_list(
+                 field(tokens, "writes", lineno), ',', where(lineno, "writes"))) {
+          ddg->mark_writes(v, t);
         }
       }
       by_name[name] = v;
@@ -129,10 +140,13 @@ Ddg from_text(const std::string& text) {
       const auto dst = by_name.find(tokens[2]);
       RS_REQUIRE(src != by_name.end() && dst != by_name.end(),
                  "line " + std::to_string(lineno) + ": unknown op in arc");
-      const Latency lat = std::stoll(field(tokens, "lat", lineno));
+      const Latency lat = support::parse_ll(field(tokens, "lat", lineno),
+                                            where(lineno, "lat"));
       if (kind == "flow") {
         ddg->add_flow(src->second, dst->second,
-                      std::stoi(field(tokens, "type", lineno)), lat);
+                      support::parse_int(field(tokens, "type", lineno),
+                                         where(lineno, "type")),
+                      lat);
       } else {
         ddg->add_serial(src->second, dst->second, lat);
       }
@@ -142,6 +156,12 @@ Ddg from_text(const std::string& text) {
     }
   }
   RS_REQUIRE(ddg.has_value(), "empty DDG text");
+  if (!bottom_name.empty()) {
+    const auto it = by_name.find(bottom_name);
+    RS_REQUIRE(it != by_name.end(),
+               where(bottom_line, "bottom") + " names unknown op " + bottom_name);
+    ddg->set_bottom(it->second);
+  }
   ddg->validate();
   return *ddg;
 }

@@ -1,12 +1,14 @@
 // Plain-text DDG serialization, so corpora can be saved, diffed and loaded
 // by downstream users without recompiling. Format (one item per line):
 //
-//   ddg <name> types=<k>
+//   ddg <name> types=<k> [bottom=<op-name>]
 //   op <name> class=<cls> lat=<n> dr=<n> dw=<n> [writes=<t>[,<t>...]]
 //   flow <src-op-name> <dst-op-name> type=<t> lat=<n>
 //   serial <src-op-name> <dst-op-name> lat=<n>
 //
-// '#' starts a comment; blank lines are ignored.
+// '#' starts a comment; blank lines are ignored. `bottom=` records the ⊥ of
+// a normalized DDG so round-tripping keeps normalized() a no-op (the marker
+// may name an op declared later in the file; it is resolved at end of parse).
 #pragma once
 
 #include <string>

@@ -1,0 +1,96 @@
+#include "service/cache.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace rs::service {
+
+ResultCache::ResultCache(const Config& cfg)
+    : enabled_(cfg.max_bytes > 0 && cfg.max_entries > 0) {
+  const int shards = std::max(1, cfg.shards);
+  // Ceil-divide so the summed capacity is never below the configured one.
+  shard_max_bytes_ = (cfg.max_bytes + shards - 1) / shards;
+  shard_max_entries_ = std::max<std::size_t>(
+      1, (cfg.max_entries + shards - 1) / shards);
+  shards_.reserve(shards);
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::shard_of(const CacheKey& key) {
+  return *shards_[key.lo % shards_.size()];
+}
+
+std::shared_ptr<const ResultPayload> ResultCache::get(const CacheKey& key) {
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->value;
+}
+
+void ResultCache::put(const CacheKey& key,
+                      std::shared_ptr<const ResultPayload> value,
+                      std::size_t bytes) {
+  if (!enabled_ || bytes > shard_max_bytes_) return;
+  RS_REQUIRE(value != nullptr, "cannot cache a null payload");
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    it->second->value = std::move(value);
+    it->second->bytes = bytes;
+    shard.bytes += bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{key, std::move(value), bytes});
+    shard.index[key] = shard.lru.begin();
+    shard.bytes += bytes;
+    ++shard.insertions;
+  }
+  evict_locked(shard);
+}
+
+void ResultCache::evict_locked(Shard& shard) {
+  while (!shard.lru.empty() && (shard.bytes > shard_max_bytes_ ||
+                                shard.lru.size() > shard_max_entries_)) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.insertions += shard->insertions;
+    out.evictions += shard->evictions;
+    out.entries += shard->lru.size();
+    out.bytes += shard->bytes;
+  }
+  return out;
+}
+
+void ResultCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+}  // namespace rs::service

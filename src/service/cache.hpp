@@ -1,0 +1,98 @@
+// Sharded LRU result cache for the batch analysis engine.
+//
+// Keys are canonical DDG fingerprints extended with a request digest
+// (ddg/canon.hpp), so structurally identical requests — including renumbered
+// or renamed copies of the same DAG — share one entry. Values are immutable
+// shared payloads: eviction drops the cache's reference but never invalidates
+// a payload an in-flight response still holds.
+//
+// Sharding: each key maps to one of `shards` independently locked LRU lists,
+// so concurrent engine workers rarely contend on the same mutex. Capacity
+// (bytes and entries) is split evenly across shards.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "ddg/canon.hpp"
+#include "support/hash.hpp"
+
+namespace rs::service {
+
+struct ResultPayload;  // defined in service/engine.hpp
+
+using CacheKey = ddg::Fingerprint;
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+};
+
+class ResultCache {
+ public:
+  struct Config {
+    std::size_t max_bytes = std::size_t{64} << 20;
+    std::size_t max_entries = std::size_t{1} << 16;
+    int shards = 8;
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const CacheKey& k) const {
+      return static_cast<std::size_t>(support::hash_combine(k.hi, k.lo));
+    }
+  };
+
+  ResultCache() : ResultCache(Config{}) {}
+  explicit ResultCache(const Config& cfg);
+
+  /// False when configured with zero capacity; get() then always misses and
+  /// put() is a no-op.
+  bool enabled() const { return enabled_; }
+
+  /// Returns the cached payload and refreshes its recency, or nullptr.
+  std::shared_ptr<const ResultPayload> get(const CacheKey& key);
+
+  /// Inserts (or refreshes) an entry costing `bytes`. Entries larger than a
+  /// shard's whole byte budget are not admitted (they would evict everything
+  /// for a single-use payload).
+  void put(const CacheKey& key, std::shared_ptr<const ResultPayload> value,
+           std::size_t bytes);
+
+  /// Aggregated over all shards; counters are cumulative since construction.
+  CacheStats stats() const;
+
+  void clear();
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const ResultPayload> value;
+    std::size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0;
+  };
+
+  Shard& shard_of(const CacheKey& key);
+  void evict_locked(Shard& shard);
+
+  bool enabled_;
+  std::size_t shard_max_bytes_;
+  std::size_t shard_max_entries_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace rs::service

@@ -1,0 +1,261 @@
+#include "service/engine.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "ddg/io.hpp"
+#include "support/assert.hpp"
+#include "support/hash.hpp"
+
+namespace rs::service {
+
+namespace {
+
+constexpr std::size_t kLatencyWindow = 1 << 16;
+
+struct Digest {
+  std::uint64_t h = 0x524571446967ULL;
+  void add(std::uint64_t v) { h = support::hash_combine(h, v); }
+  void add_double(double v) { add(std::bit_cast<std::uint64_t>(v)); }
+};
+
+void digest_analyze(Digest& d, const core::AnalyzeOptions& o) {
+  d.add(static_cast<std::uint64_t>(o.engine));
+  d.add_double(o.time_limit_seconds);
+  d.add(static_cast<std::uint64_t>(o.greedy.refine_passes));
+}
+
+void digest_reduce(Digest& d, const core::ReduceOptions& o) {
+  d.add_double(o.src.time_limit_seconds);
+  d.add(static_cast<std::uint64_t>(o.src.node_limit));
+  d.add(static_cast<std::uint64_t>(o.src.slack_limit));
+  d.add(static_cast<std::uint64_t>(o.greedy.refine_passes));
+  d.add(static_cast<std::uint64_t>(o.arc_mode));
+  d.add(static_cast<std::uint64_t>(o.rs_upper));
+  d.add(static_cast<std::uint64_t>(o.max_rounds));
+}
+
+}  // namespace
+
+std::size_t ResultPayload::bytes() const {
+  return sizeof(ResultPayload) + error.size() + out_ddg.size() +
+         analyze.capacity() * sizeof(TypeAnalysis) +
+         reduce.capacity() * sizeof(TypeReduce);
+}
+
+CacheKey request_key(const Request& req, const ddg::Fingerprint& fp) {
+  Digest d;
+  d.add(static_cast<std::uint64_t>(req.kind));
+  d.add_double(req.budget_seconds);
+  if (req.kind == RequestKind::Analyze) {
+    digest_analyze(d, req.analyze);
+  } else {
+    digest_analyze(d, req.pipeline.analyze);
+    digest_reduce(d, req.pipeline.reduce);
+    d.add(req.pipeline.exact_reduction ? 1 : 0);
+    d.add(req.pipeline.verify ? 1 : 0);
+    d.add(req.limits.size());
+    for (const int l : req.limits) d.add(static_cast<std::uint64_t>(l) + 1);
+  }
+  return ddg::extend(fp, d.h);
+}
+
+AnalysisEngine::AnalysisEngine(const EngineConfig& cfg)
+    : cfg_(cfg), cache_(cfg.cache), pool_(cfg.threads) {
+  latencies_.reserve(1024);
+}
+
+AnalysisEngine::~AnalysisEngine() { pool_.wait_idle(); }
+
+std::future<Response> AnalysisEngine::submit(Request req) {
+  ++submitted_;
+  auto prom = std::make_shared<std::promise<Response>>();
+  std::future<Response> fut = prom->get_future();
+  support::Timer started;
+  pool_.submit([this, prom, started, req = std::move(req)]() mutable {
+    prom->set_value(process(std::move(req), started));
+  });
+  return fut;
+}
+
+Response AnalysisEngine::run(Request req) {
+  ++submitted_;
+  return process(std::move(req), support::Timer());
+}
+
+void AnalysisEngine::wait_idle() { pool_.wait_idle(); }
+
+Response AnalysisEngine::process(Request req, support::Timer started) {
+  Response resp;
+  resp.id = req.id;
+  resp.name = req.name.empty() ? req.ddg.name() : req.name;
+  resp.include_ddg = req.want_ddg;
+
+  SharedPayload payload;
+  bool owner = false;
+  std::promise<SharedPayload> own_promise;
+  std::shared_future<SharedPayload> flight;
+  CacheKey key;
+
+  try {
+    const ddg::Ddg normalized = req.ddg.normalized();
+    resp.fingerprint = ddg::fingerprint(normalized);
+    key = request_key(req, resp.fingerprint);
+
+    // Fast path: hit the sharded cache without touching the global
+    // single-flight mutex, so concurrent hits only contend per shard.
+    payload = cache_.get(key);
+    if (payload != nullptr) {
+      ++hits_;
+      resp.cache_hit = true;
+    } else {
+      std::lock_guard<std::mutex> lock(flight_mu_);
+      // Re-check under the lock: the owner publishes to the cache *before*
+      // erasing its in-flight entry, so a request that misses both here
+      // raced nothing and can safely become the owner.
+      payload = cache_.get(key);
+      if (payload != nullptr) {
+        ++hits_;
+        resp.cache_hit = true;
+      } else {
+        const auto it = inflight_.find(key);
+        if (it != inflight_.end()) {
+          flight = it->second;
+        } else {
+          owner = true;
+          inflight_[key] = own_promise.get_future().share();
+        }
+      }
+    }
+
+    if (payload == nullptr && !owner) {
+      // An identical request is computing right now; ride its result. The
+      // computing task never waits on another, so this cannot deadlock.
+      payload = flight.get();
+      ++coalesced_;
+      resp.cache_hit = true;
+    }
+
+    if (owner) {
+      payload = compute(req, normalized);
+      if (payload->ok) cache_.put(key, payload, payload->bytes());
+      ++misses_;
+      own_promise.set_value(payload);
+      std::lock_guard<std::mutex> lock(flight_mu_);
+      inflight_.erase(key);
+    }
+  } catch (...) {
+    auto failed = std::make_shared<ResultPayload>();
+    failed->ok = false;
+    failed->kind = req.kind;
+    try {
+      throw;
+    } catch (const std::exception& e) {
+      failed->error = e.what();
+    } catch (...) {
+      failed->error = "unknown error";
+    }
+    payload = std::move(failed);
+    if (owner) {
+      try {
+        own_promise.set_value(payload);
+      } catch (const std::future_error&) {
+        // Already resolved before the failure; waiters are fine.
+      }
+      std::lock_guard<std::mutex> lock(flight_mu_);
+      inflight_.erase(key);
+    }
+  }
+
+  resp.payload = std::move(payload);
+  if (!resp.payload->ok) ++errors_;
+  resp.millis = started.millis();
+  record_latency(resp.millis);
+  ++completed_;
+  return resp;
+}
+
+AnalysisEngine::SharedPayload AnalysisEngine::compute(
+    const Request& req, const ddg::Ddg& normalized) {
+  auto payload = std::make_shared<ResultPayload>();
+  payload->kind = req.kind;
+  try {
+    if (req.kind == RequestKind::Analyze) {
+      core::AnalyzeOptions opts = req.analyze;
+      if (req.budget_seconds > 0) opts.time_limit_seconds = req.budget_seconds;
+      const core::SaturationReport report = core::analyze(normalized, opts);
+      for (const core::TypeSaturation& t : report.per_type) {
+        payload->analyze.push_back(
+            TypeAnalysis{t.type, t.value_count, t.rs, t.proven});
+      }
+    } else {
+      RS_REQUIRE(static_cast<int>(req.limits.size()) == normalized.type_count(),
+                 "need " + std::to_string(normalized.type_count()) +
+                     " register limits, got " +
+                     std::to_string(req.limits.size()));
+      core::PipelineOptions opts = req.pipeline;
+      if (req.budget_seconds > 0) {
+        opts.analyze.time_limit_seconds = req.budget_seconds;
+        opts.reduce.src.time_limit_seconds = req.budget_seconds;
+      }
+      const core::PipelineResult result =
+          core::ensure_limits(normalized, req.limits, opts);
+      payload->success = result.success;
+      if (!result.success) payload->error = result.note;
+      for (ddg::RegType t = 0; t < normalized.type_count(); ++t) {
+        const core::ReduceResult& r = result.per_type[t];
+        payload->reduce.push_back(TypeReduce{
+            t, r.status, r.achieved_rs, r.arcs_added,
+            static_cast<long long>(r.ilp_loss())});
+      }
+      payload->out_ddg = ddg::to_text(result.out);
+    }
+  } catch (const std::exception& e) {
+    payload->ok = false;
+    payload->error = e.what();
+    payload->analyze.clear();
+    payload->reduce.clear();
+    payload->out_ddg.clear();
+  }
+  return payload;
+}
+
+void AnalysisEngine::record_latency(double ms) {
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  max_ms_ = std::max(max_ms_, ms);
+  if (latencies_.size() < kLatencyWindow) {
+    latencies_.push_back(ms);
+  } else {
+    latencies_[latency_next_] = ms;
+    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  }
+}
+
+EngineStats AnalysisEngine::stats() const {
+  EngineStats out;
+  out.submitted = submitted_.load();
+  out.completed = completed_.load();
+  out.errors = errors_.load();
+  out.cache_hits = hits_.load();
+  out.coalesced = coalesced_.load();
+  out.misses = misses_.load();
+  out.queue_depth =
+      static_cast<std::size_t>(out.submitted - std::min(out.submitted, out.completed));
+  const CacheStats cs = cache_.stats();
+  out.cache_entries = cs.entries;
+  out.cache_bytes = cs.bytes;
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    if (!latencies_.empty()) {
+      std::vector<double> sorted = latencies_;
+      std::sort(sorted.begin(), sorted.end());
+      out.p50_ms = sorted[sorted.size() / 2];
+      // Nearest-rank p95: ceil(0.95 * n) - 1.
+      out.p95_ms = sorted[(sorted.size() * 95 + 99) / 100 - 1];
+      out.max_ms = max_ms_;
+    }
+  }
+  return out;
+}
+
+}  // namespace rs::service

@@ -1,0 +1,189 @@
+// AnalysisEngine: a long-lived, concurrent, cached front end over the
+// figure-1 pipeline (core::analyze / core::ensure_limits).
+//
+// Callers submit batches of analysis or reduction requests; the engine runs
+// them on a shared rs::support::ThreadPool and memoizes results in a sharded
+// LRU keyed by the canonical DDG fingerprint (ddg/canon.hpp) extended with a
+// digest of the request options. Renumbered or renamed copies of the same DAG
+// therefore hit the same cache entry. Identical requests arriving while the
+// first is still computing are coalesced onto its in-flight result
+// (single-flight), so a burst of duplicates costs one solve.
+//
+// Results are immutable shared payloads carrying only renumbering-invariant
+// data (RS values, proven flags, reduction outcomes, and the reduced DDG
+// text), never node-indexed witnesses — which is what makes serving them
+// across isomorphic inputs sound.
+//
+// Caveat: the options digest covers every numeric/enum field of
+// AnalyzeOptions / PipelineOptions. A custom SrcOptions::leaf_filter is not
+// hashable; callers installing one should use a dedicated engine instance.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/saturation.hpp"
+#include "ddg/canon.hpp"
+#include "ddg/ddg.hpp"
+#include "service/cache.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace rs::service {
+
+enum class RequestKind { Analyze, Reduce };
+
+struct Request {
+  std::uint64_t id = 0;
+  RequestKind kind = RequestKind::Analyze;
+  ddg::Ddg ddg;
+  /// Display name in responses; defaults to ddg.name() when empty.
+  std::string name;
+  /// Engine/budget options for Analyze requests.
+  core::AnalyzeOptions analyze;
+  /// Pipeline options for Reduce requests.
+  core::PipelineOptions pipeline;
+  /// Per-type register limits (Reduce only; size must equal type_count).
+  std::vector<int> limits;
+  /// > 0 overrides every solver time limit for this request.
+  double budget_seconds = 0;
+  /// Ask the protocol renderer to include the reduced DDG's text in the
+  /// result line (Reduce only). The text is always computed and cached, so
+  /// this flag does not split the cache key.
+  bool want_ddg = false;
+};
+
+struct TypeAnalysis {
+  ddg::RegType type = 0;
+  int value_count = 0;
+  int rs = 0;
+  bool proven = false;
+};
+
+struct TypeReduce {
+  ddg::RegType type = 0;
+  core::ReduceStatus status = core::ReduceStatus::LimitHit;
+  int achieved_rs = 0;
+  int arcs_added = 0;
+  long long ilp_loss = 0;
+};
+
+/// The cacheable part of a response: everything except per-delivery state.
+/// Deliberately name-free — a cache hit from a renamed isomorphic DDG must
+/// not leak the first requester's display name.
+struct ResultPayload {
+  bool ok = true;
+  std::string error;  // set when !ok
+  RequestKind kind = RequestKind::Analyze;
+  bool success = true;  // Reduce: every type within its limit
+  std::vector<TypeAnalysis> analyze;
+  std::vector<TypeReduce> reduce;
+  std::string out_ddg;  // reduced DDG text (Reduce with want_ddg)
+
+  /// Approximate heap footprint, used for cache byte accounting.
+  std::size_t bytes() const;
+};
+
+struct Response {
+  std::uint64_t id = 0;
+  std::string name;        // this request's display name
+  bool cache_hit = false;  // served from cache or coalesced onto an in-flight
+  bool include_ddg = false;  // echo of Request::want_ddg, for the renderer
+  double millis = 0;       // queue wait + compute (or lookup) time
+  ddg::Fingerprint fingerprint;  // structural fingerprint of the input
+  std::shared_ptr<const ResultPayload> payload;
+};
+
+struct EngineConfig {
+  /// Worker threads; 0 means hardware_concurrency.
+  std::size_t threads = 0;
+  ResultCache::Config cache;
+};
+
+struct EngineStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t cache_hits = 0;  // served directly from the cache
+  std::uint64_t coalesced = 0;   // joined an identical in-flight request
+  std::uint64_t misses = 0;      // actually computed
+  std::size_t queue_depth = 0;   // submitted but not yet completed
+  std::size_t cache_entries = 0;
+  std::size_t cache_bytes = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double max_ms = 0;
+
+  /// Fraction of completed lookups served without computing.
+  double hit_rate() const {
+    const std::uint64_t total = cache_hits + coalesced + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits + coalesced) / total;
+  }
+};
+
+class AnalysisEngine {
+ public:
+  explicit AnalysisEngine(const EngineConfig& cfg = {});
+  ~AnalysisEngine();
+
+  AnalysisEngine(const AnalysisEngine&) = delete;
+  AnalysisEngine& operator=(const AnalysisEngine&) = delete;
+
+  /// Enqueues a request on the pool; the future resolves to its response.
+  /// Never throws through the future: failures come back as payloads with
+  /// ok == false.
+  std::future<Response> submit(Request req);
+
+  /// Runs a request synchronously on the caller's thread (same cache and
+  /// single-flight path as submit()).
+  Response run(Request req);
+
+  /// Blocks until every submitted request has completed.
+  void wait_idle();
+
+  EngineStats stats() const;
+
+  std::size_t thread_count() const { return pool_.thread_count(); }
+
+ private:
+  using SharedPayload = std::shared_ptr<const ResultPayload>;
+
+  Response process(Request req, support::Timer started);
+  SharedPayload compute(const Request& req, const ddg::Ddg& normalized);
+  void record_latency(double ms);
+
+  EngineConfig cfg_;
+  ResultCache cache_;
+  support::ThreadPool pool_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> misses_{0};
+
+  mutable std::mutex flight_mu_;
+  std::unordered_map<CacheKey, std::shared_future<SharedPayload>,
+                     ResultCache::KeyHash>
+      inflight_;
+
+  mutable std::mutex latency_mu_;
+  std::vector<double> latencies_;  // bounded ring, see record_latency()
+  std::size_t latency_next_ = 0;
+  double max_ms_ = 0;
+};
+
+/// The cache key for a request: canonical fingerprint of the normalized DDG
+/// extended with a digest of kind, options, limits and budget. Exposed for
+/// tests and for future remote/persistent cache tiers.
+CacheKey request_key(const Request& req, const ddg::Fingerprint& fp);
+
+}  // namespace rs::service

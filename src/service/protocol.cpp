@@ -1,0 +1,253 @@
+#include "service/protocol.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "ddg/io.hpp"
+#include "ddg/kernels.hpp"
+#include "support/assert.hpp"
+#include "support/parse.hpp"
+
+namespace rs::service {
+
+namespace {
+
+bool needs_escape(char c) {
+  return c == '%' || c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  RS_REQUIRE(in.good(), "cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+core::RsEngine engine_from_token(const std::string& e) {
+  if (e == "greedy") return core::RsEngine::Greedy;
+  if (e == "exact") return core::RsEngine::ExactCombinatorial;
+  if (e == "ilp") return core::RsEngine::ExactIlp;
+  RS_REQUIRE(false, "unknown engine '" + e + "' (greedy|exact|ilp)");
+  return core::RsEngine::Greedy;
+}
+
+bool flag_from(const std::map<std::string, std::string>& fields,
+               const std::string& key, bool fallback) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) return fallback;
+  RS_REQUIRE(it->second == "0" || it->second == "1",
+             key + "= must be 0 or 1, got '" + it->second + "'");
+  return it->second == "1";
+}
+
+}  // namespace
+
+std::string escape_field(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (needs_escape(c)) {
+      char buf[4];
+      std::snprintf(buf, sizeof buf, "%%%02X",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_field(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '%') {
+      out += escaped[i];
+      continue;
+    }
+    RS_REQUIRE(i + 2 < escaped.size(),
+               "truncated %XX escape in '" + escaped + "'");
+    const int hi = hex_digit(escaped[i + 1]);
+    const int lo = hex_digit(escaped[i + 2]);
+    RS_REQUIRE(hi >= 0 && lo >= 0, "malformed %XX escape in '" + escaped + "'");
+    out += static_cast<char>(hi * 16 + lo);
+    i += 2;
+  }
+  return out;
+}
+
+bool is_blank_or_comment(const std::string& line) {
+  for (const char c : line) {
+    if (c == '#') return true;
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+std::map<std::string, std::string> parse_fields(const std::string& line) {
+  std::map<std::string, std::string> out;
+  const std::vector<std::string> tokens = support::split_ws(line);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    std::string key, value;
+    const std::size_t eq = tokens[i].find('=');
+    if (i == 0 && eq == std::string::npos) {
+      value = tokens[i];  // leading command token, under the "" key
+    } else if (eq == std::string::npos) {
+      key = tokens[i];
+      value = "1";
+    } else {
+      key = tokens[i].substr(0, eq);
+      value = unescape_field(tokens[i].substr(eq + 1));
+    }
+    // A map would silently keep only the last occurrence, letting e.g.
+    // 'limits=4,4 limits=16,16' slip past the strict-option validation.
+    RS_REQUIRE(out.emplace(std::move(key), std::move(value)).second,
+               "duplicate field '" + tokens[i].substr(0, eq) + "='");
+  }
+  return out;
+}
+
+const char* reduce_status_token(core::ReduceStatus s) {
+  switch (s) {
+    case core::ReduceStatus::AlreadyFits: return "fits";
+    case core::ReduceStatus::Reduced: return "reduced";
+    case core::ReduceStatus::SpillNeeded: return "spill";
+    case core::ReduceStatus::LimitHit: return "limit";
+  }
+  return "?";
+}
+
+Request parse_request_line(const std::string& line, std::uint64_t default_id,
+                           const ProtocolOptions& opts) {
+  const std::map<std::string, std::string> fields = parse_fields(line);
+  const auto cmd_it = fields.find("");
+  RS_REQUIRE(cmd_it != fields.end(),
+             "request line must start with a command: " + line);
+  const std::string& cmd = cmd_it->second;
+  RS_REQUIRE(cmd == "analyze" || cmd == "reduce",
+             "unknown request '" + cmd + "' (analyze|reduce)");
+
+  Request req;
+  req.kind = cmd == "analyze" ? RequestKind::Analyze : RequestKind::Reduce;
+
+  // Reject typo'd options outright: a silently dropped budget= or emit=
+  // would run with defaults and return a plausible-looking result.
+  for (const auto& [key, value] : fields) {
+    static_cast<void>(value);
+    if (key.empty() || key == "id" || key == "name" || key == "budget" ||
+        key == "engine" || key == "kernel" || key == "file" || key == "ddg" ||
+        key == "model") {
+      continue;
+    }
+    const bool reduce_only =
+        key == "limits" || key == "exact" || key == "verify" || key == "emit";
+    RS_REQUIRE(reduce_only, "unknown option '" + key + "='");
+    RS_REQUIRE(req.kind == RequestKind::Reduce,
+               "option '" + key + "=' only applies to reduce requests");
+  }
+  RS_REQUIRE(!fields.count("model") || fields.count("kernel"),
+             "model= only applies to kernel= payloads");
+
+  req.id = default_id;
+  if (const auto it = fields.find("id"); it != fields.end()) {
+    req.id = static_cast<std::uint64_t>(
+        support::parse_ll(it->second, "id"));
+  }
+
+  // Exactly one payload source.
+  const int sources = static_cast<int>(fields.count("kernel")) +
+                      static_cast<int>(fields.count("file")) +
+                      static_cast<int>(fields.count("ddg"));
+  RS_REQUIRE(sources == 1,
+             "request needs exactly one of kernel= | file= | ddg=");
+  if (const auto it = fields.find("kernel"); it != fields.end()) {
+    ddg::MachineModel model = opts.default_model;
+    if (const auto m = fields.find("model"); m != fields.end()) {
+      if (m->second == "superscalar") {
+        model = ddg::superscalar_model();
+      } else if (m->second == "vliw") {
+        model = ddg::vliw_model();
+      } else {
+        RS_REQUIRE(false, "unknown model '" + m->second +
+                              "' (superscalar|vliw)");
+      }
+    }
+    req.ddg = ddg::build_kernel(it->second, model);
+  } else if (const auto it2 = fields.find("file"); it2 != fields.end()) {
+    req.ddg = ddg::from_text(read_file(it2->second));
+  } else {
+    req.ddg = ddg::from_text(fields.at("ddg"));
+  }
+
+  if (const auto it = fields.find("name"); it != fields.end()) {
+    req.name = it->second;
+  }
+  if (const auto it = fields.find("budget"); it != fields.end()) {
+    req.budget_seconds = support::parse_double(it->second, "budget");
+    RS_REQUIRE(req.budget_seconds > 0, "budget= must be positive");
+  }
+  if (const auto it = fields.find("engine"); it != fields.end()) {
+    const core::RsEngine engine = engine_from_token(it->second);
+    req.analyze.engine = engine;
+    req.pipeline.analyze.engine = engine;
+  }
+
+  if (req.kind == RequestKind::Reduce) {
+    const auto it = fields.find("limits");
+    RS_REQUIRE(it != fields.end(), "reduce requires limits=<n>[,<n>...]");
+    req.limits = support::parse_int_list(it->second, ',', "limits");
+    RS_REQUIRE(!req.limits.empty(), "limits= must name at least one limit");
+    req.pipeline.exact_reduction = flag_from(fields, "exact", false);
+    req.pipeline.verify = flag_from(fields, "verify", true);
+    req.want_ddg = flag_from(fields, "emit", false);
+  }
+  return req;
+}
+
+std::string render_response(const Response& resp) {
+  RS_REQUIRE(resp.payload != nullptr, "response has no payload");
+  const ResultPayload& p = *resp.payload;
+  std::ostringstream os;
+  os << "result id=" << resp.id;
+  if (!p.ok) {
+    os << " status=error name=" << escape_field(resp.name)
+       << " msg=" << escape_field(p.error);
+    return os.str();
+  }
+  os << " status=ok kind=" << (p.kind == RequestKind::Analyze ? "analyze" : "reduce")
+     << " name=" << escape_field(resp.name) << " fp=" << resp.fingerprint.hex()
+     << " cached=" << (resp.cache_hit ? 1 : 0);
+  char ms[32];
+  std::snprintf(ms, sizeof ms, "%.3f", resp.millis);
+  os << " ms=" << ms;
+  if (p.kind == RequestKind::Analyze) {
+    for (const TypeAnalysis& t : p.analyze) {
+      os << " t" << t.type << ".vals=" << t.value_count << " t" << t.type
+         << ".rs=" << t.rs << " t" << t.type << ".proven=" << (t.proven ? 1 : 0);
+    }
+  } else {
+    os << " success=" << (p.success ? 1 : 0);
+    for (const TypeReduce& t : p.reduce) {
+      os << " t" << t.type << ".status=" << reduce_status_token(t.status)
+         << " t" << t.type << ".rs=" << t.achieved_rs << " t" << t.type
+         << ".arcs=" << t.arcs_added << " t" << t.type << ".loss=" << t.ilp_loss;
+    }
+    if (resp.include_ddg && !p.out_ddg.empty()) {
+      os << " ddg=" << escape_field(p.out_ddg);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace rs::service

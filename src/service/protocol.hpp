@@ -1,0 +1,73 @@
+// Line-oriented text protocol for the batch analysis engine: one request per
+// line in, one result line per response out. Machine-parseable, diff-able,
+// and easy to generate from scripts — the `rsat batch` front end streams it
+// from stdin or a manifest file.
+//
+// Request lines (all parameters are key=value tokens; order is free):
+//
+//   analyze <payload> [engine=greedy|exact|ilp] [budget=<sec>] [id=<n>]
+//           [name=<str>]
+//   reduce  <payload> limits=<n>[,<n>...] [engine=...] [budget=<sec>]
+//           [exact=0|1] [verify=0|1] [emit=0|1] [id=<n>] [name=<str>]
+//
+// <payload> is exactly one of:
+//   kernel=<name> [model=superscalar|vliw]   built-in corpus kernel
+//   file=<path>                              .ddg file on disk
+//   ddg=<escaped>                            inline .ddg text, escaped
+//
+// '#' starts a comment line; blank lines are ignored. `emit=1` asks for the
+// reduced DDG text in the result. Unset `id` defaults to the caller-supplied
+// sequence number.
+//
+// Result lines:
+//
+//   result id=<n> status=ok kind=analyze name=<str> fp=<hex32> cached=0|1
+//          ms=<t> t<k>.vals=<n> t<k>.rs=<n> t<k>.proven=0|1 ...
+//   result id=<n> status=ok kind=reduce name=<str> fp=<hex32> cached=0|1
+//          ms=<t> success=0|1 t<k>.status=fits|reduced|spill|limit
+//          t<k>.rs=<n> t<k>.arcs=<n> t<k>.loss=<n> ... [ddg=<escaped>]
+//   result id=<n> status=error name=<str> msg=<escaped>
+//
+// Escaping: '%', space, TAB, CR and LF become %XX (uppercase hex), applied to
+// values that may contain whitespace (ddg=, msg=). unescape_field() inverts
+// it exactly; values never produced by escape_field() pass through unchanged.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ddg/machine.hpp"
+#include "service/engine.hpp"
+
+namespace rs::service {
+
+std::string escape_field(const std::string& raw);
+std::string unescape_field(const std::string& escaped);
+
+/// True for lines the protocol skips (blank or '#' comment).
+bool is_blank_or_comment(const std::string& line);
+
+struct ProtocolOptions {
+  /// Machine model used to instantiate kernel= payloads without an explicit
+  /// model= override.
+  ddg::MachineModel default_model = ddg::superscalar_model();
+};
+
+/// Parses one request line. `default_id` is used when the line carries no
+/// id=. Throws support::PreconditionError on malformed input (unknown
+/// command, missing/duplicate payload, bad numbers, unreadable file=...).
+Request parse_request_line(const std::string& line, std::uint64_t default_id,
+                           const ProtocolOptions& opts = {});
+
+/// Renders a response as one result line (no trailing newline).
+std::string render_response(const Response& resp);
+
+/// Splits a protocol line into its key=value fields with values unescaped.
+/// The leading command token appears under the empty key "". Bare tokens map
+/// to "1". Used by tests and downstream consumers of result lines.
+std::map<std::string, std::string> parse_fields(const std::string& line);
+
+/// Short token for a reduce outcome (fits|reduced|spill|limit).
+const char* reduce_status_token(core::ReduceStatus s);
+
+}  // namespace rs::service

@@ -1,0 +1,24 @@
+// Deterministic 64-bit mixing shared by the canonical DDG fingerprint, the
+// engine's request digest, and the cache's key hash. One definition so the
+// scheme cannot drift between producers and consumers of the same keys.
+#pragma once
+
+#include <cstdint>
+
+namespace rs::support {
+
+/// splitmix64 finalizer: cheap, well-mixed, platform-independent (unlike
+/// std::hash).
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combine of a running hash with one value.
+inline std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  return mix64(h ^ (v * 0x9e3779b97f4a7c15ULL));
+}
+
+}  // namespace rs::support

@@ -1,0 +1,78 @@
+// Checked string -> number parsing. std::stoi and friends throw bare
+// std::invalid_argument / std::out_of_range with no context; every user-facing
+// parser in this library (ddg text format, batch protocol, CLI flags) wants a
+// PreconditionError naming the offending field instead.
+#pragma once
+
+#include <cctype>
+#include <charconv>
+#include <climits>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace rs::support {
+
+/// Splits a line into whitespace-separated tokens.
+inline std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    std::size_t j = i;
+    while (j < line.size() && !std::isspace(static_cast<unsigned char>(line[j]))) ++j;
+    if (j > i) tokens.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+/// Parses a base-10 signed integer occupying the whole string.
+inline long long parse_ll(const std::string& s, const std::string& what) {
+  long long value = 0;
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  RS_REQUIRE(ec == std::errc() && ptr == end && !s.empty(),
+             what + ": expected an integer, got '" + s + "'");
+  return value;
+}
+
+/// Parses an int, additionally range-checking against int bounds.
+inline int parse_int(const std::string& s, const std::string& what) {
+  const long long v = parse_ll(s, what);
+  RS_REQUIRE(v >= INT_MIN && v <= INT_MAX, what + ": value out of range: " + s);
+  return static_cast<int>(v);
+}
+
+/// Parses a floating-point number occupying the whole string.
+inline double parse_double(const std::string& s, const std::string& what) {
+  double value = 0;
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  RS_REQUIRE(ec == std::errc() && ptr == end && !s.empty(),
+             what + ": expected a number, got '" + s + "'");
+  return value;
+}
+
+/// Parses "3,4,5" into {3, 4, 5}. Empty input yields an empty vector;
+/// empty items ("3,,5" or a trailing separator) are malformed.
+inline std::vector<int> parse_int_list(const std::string& s, char sep,
+                                       const std::string& what) {
+  std::vector<int> out;
+  if (s.empty()) return out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = s.find(sep, start);
+    const std::size_t len = pos == std::string::npos ? std::string::npos
+                                                     : pos - start;
+    out.push_back(parse_int(s.substr(start, len), what));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+}  // namespace rs::support

@@ -1,0 +1,488 @@
+// Batch analysis engine: canonical fingerprints, the sharded LRU cache, the
+// line protocol, and AnalysisEngine end-to-end — including the acceptance
+// bar that engine results are byte-identical to the equivalent one-shot
+// core::analyze / core::ensure_limits calls.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <set>
+#include <vector>
+
+#include "core/saturation.hpp"
+#include "ddg/canon.hpp"
+#include "ddg/io.hpp"
+#include "ddg/kernels.hpp"
+#include "service/cache.hpp"
+#include "service/engine.hpp"
+#include "service/protocol.hpp"
+#include "support/assert.hpp"
+
+namespace rs {
+namespace {
+
+using ddg::Ddg;
+using ddg::Fingerprint;
+using service::AnalysisEngine;
+using service::CacheKey;
+using service::EngineConfig;
+using service::Request;
+using service::RequestKind;
+using service::Response;
+using service::ResultCache;
+using service::ResultPayload;
+
+// Rebuilds `d` with ops inserted in the order given by `order` (a
+// permutation of old node ids) and arcs inserted in reverse, optionally
+// renaming every op. The result describes the same scheduling problem.
+Ddg permuted_copy(const Ddg& d, const std::vector<graph::NodeId>& order,
+                  bool rename) {
+  Ddg out(d.type_count(), d.name());
+  std::vector<graph::NodeId> new_id(d.op_count(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    ddg::Operation op = d.op(order[i]);
+    if (rename) op.name = "perm" + std::to_string(i);
+    new_id[order[i]] = out.add_op(std::move(op));
+  }
+  const graph::Digraph& g = d.graph();
+  for (graph::EdgeId e = g.edge_count() - 1; e >= 0; --e) {
+    const graph::Edge& ed = g.edge(e);
+    const ddg::EdgeAttr& a = d.edge_attr(e);
+    if (a.kind == ddg::EdgeKind::Flow) {
+      out.add_flow(new_id[ed.src], new_id[ed.dst], a.type, ed.latency);
+    } else {
+      out.add_serial(new_id[ed.src], new_id[ed.dst], ed.latency);
+    }
+  }
+  if (d.bottom().has_value()) out.set_bottom(new_id[*d.bottom()]);
+  return out;
+}
+
+std::vector<graph::NodeId> reversed_order(const Ddg& d) {
+  std::vector<graph::NodeId> order(d.op_count());
+  for (int i = 0; i < d.op_count(); ++i) order[i] = d.op_count() - 1 - i;
+  return order;
+}
+
+// ---------------------------------------------------------------------------
+// .ddg text round-tripping
+
+TEST(Io, RoundTripEveryKernelBothModels) {
+  for (const auto model : {ddg::superscalar_model, ddg::vliw_model}) {
+    for (const std::string& name : ddg::kernel_names()) {
+      const Ddg d = ddg::build_kernel(name, model());
+      const std::string text = ddg::to_text(d);
+      const Ddg back = ddg::from_text(text);
+      EXPECT_EQ(ddg::to_text(back), text) << name;
+      // The bottom marker survives, so normalization stays idempotent and
+      // the fingerprint is path-independent (built vs parsed).
+      ASSERT_TRUE(back.bottom().has_value()) << name;
+      EXPECT_EQ(back.op_count(), d.op_count()) << name;
+      EXPECT_EQ(ddg::to_text(back.normalized()), text) << name;
+      EXPECT_EQ(ddg::fingerprint(back), ddg::fingerprint(d)) << name;
+    }
+  }
+}
+
+TEST(Io, BottomMarkerRejectsUnknownOp) {
+  EXPECT_THROW(
+      ddg::from_text("ddg t types=1 bottom=zz\nop a class=ialu lat=1 dr=0 dw=0\n"),
+      support::PreconditionError);
+}
+
+TEST(Io, BottomMarkerRejectsNonNormalizedShape) {
+  // Marked ⊥ has an outgoing arc: not a sink.
+  EXPECT_THROW(
+      ddg::from_text("ddg t types=1 bottom=a\n"
+                     "op a class=ialu lat=1 dr=0 dw=0\n"
+                     "op b class=ialu lat=1 dr=0 dw=0\n"
+                     "serial a b lat=1\n"),
+      support::PreconditionError);
+  // An op with no arc into the marked ⊥: normalization would have added one.
+  EXPECT_THROW(
+      ddg::from_text("ddg t types=1 bottom=b\n"
+                     "op a class=ialu lat=1 dr=0 dw=0\n"
+                     "op b class=nop lat=0 dr=0 dw=0\n"),
+      support::PreconditionError);
+}
+
+TEST(Io, MalformedNumbersReportPrecondition) {
+  EXPECT_THROW(ddg::from_text("ddg t types=x\n"), support::PreconditionError);
+  EXPECT_THROW(
+      ddg::from_text("ddg t types=1\nop a class=ialu lat=zap dr=0 dw=0\n"),
+      support::PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// canonical fingerprints
+
+TEST(Canon, InvariantUnderRenumberingAndRenaming) {
+  for (const std::string& name : ddg::kernel_names()) {
+    const Ddg d = ddg::build_kernel(name, ddg::superscalar_model());
+    const Fingerprint fp = ddg::fingerprint(d);
+    const Ddg renumbered = permuted_copy(d, reversed_order(d), false);
+    EXPECT_EQ(ddg::fingerprint(renumbered), fp) << name;
+    const Ddg renamed = permuted_copy(d, reversed_order(d), true);
+    EXPECT_EQ(ddg::fingerprint(renamed), fp) << name;
+    // And the permuted copy still serializes to *different* text, so the
+    // fingerprint is doing real work.
+    EXPECT_NE(ddg::to_text(renumbered), ddg::to_text(d)) << name;
+  }
+}
+
+TEST(Canon, DistinguishesCorpusKernels) {
+  std::set<std::string> seen;
+  for (const auto model : {ddg::superscalar_model, ddg::vliw_model}) {
+    for (const std::string& name : ddg::kernel_names()) {
+      const Ddg d = ddg::build_kernel(name, model());
+      EXPECT_TRUE(seen.insert(ddg::fingerprint(d).hex()).second)
+          << name << " collided";
+    }
+  }
+}
+
+TEST(Canon, SensitiveToAttributes) {
+  Ddg a(1, "g");
+  ddg::Operation op;
+  op.name = "x";
+  op.cls = ddg::OpClass::Load;
+  op.latency = 3;
+  op.writes = {0};
+  const auto v = a.add_op(op);
+  ddg::Operation op2;
+  op2.name = "y";
+  op2.cls = ddg::OpClass::IntAlu;
+  const auto w = a.add_op(op2);
+  a.add_flow(v, w, 0, 3);
+
+  Ddg b = a;  // identical copy
+  EXPECT_EQ(ddg::fingerprint(a), ddg::fingerprint(b));
+
+  Ddg c(1, "g");
+  op.latency = 4;  // one latency changed
+  const auto cv = c.add_op(op);
+  const auto cw = c.add_op(op2);
+  c.add_flow(cv, cw, 0, 3);
+  EXPECT_NE(ddg::fingerprint(c), ddg::fingerprint(a));
+}
+
+TEST(Canon, ExtendSeparatesSalts) {
+  const Ddg d = ddg::build_kernel("fir8", ddg::superscalar_model());
+  const Fingerprint fp = ddg::fingerprint(d);
+  EXPECT_NE(ddg::extend(fp, 1), ddg::extend(fp, 2));
+  EXPECT_NE(ddg::extend(fp, 1), fp);
+}
+
+// ---------------------------------------------------------------------------
+// cache
+
+std::shared_ptr<const ResultPayload> payload_named(const std::string& n) {
+  auto p = std::make_shared<ResultPayload>();
+  p->out_ddg = n;  // any field; tests only need distinct live payloads
+  return p;
+}
+
+TEST(Cache, HitMissAndLruEviction) {
+  ResultCache::Config cfg;
+  cfg.shards = 1;
+  cfg.max_entries = 2;
+  ResultCache cache(cfg);
+  const CacheKey k1{1, 10}, k2{2, 20}, k3{3, 30};
+  EXPECT_EQ(cache.get(k1), nullptr);
+  cache.put(k1, payload_named("a"), 100);
+  cache.put(k2, payload_named("b"), 100);
+  ASSERT_NE(cache.get(k1), nullptr);  // refresh k1: k2 is now LRU
+  cache.put(k3, payload_named("c"), 100);
+  EXPECT_EQ(cache.get(k2), nullptr) << "LRU entry should have been evicted";
+  EXPECT_NE(cache.get(k1), nullptr);
+  EXPECT_NE(cache.get(k3), nullptr);
+  const auto st = cache.stats();
+  EXPECT_EQ(st.entries, 2u);
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_EQ(st.insertions, 3u);
+}
+
+TEST(Cache, ByteCapacityEvictsAndRejectsOversized) {
+  ResultCache::Config cfg;
+  cfg.shards = 1;
+  cfg.max_bytes = 1000;
+  ResultCache cache(cfg);
+  cache.put(CacheKey{1, 1}, payload_named("a"), 600);
+  cache.put(CacheKey{2, 2}, payload_named("b"), 600);  // evicts the first
+  EXPECT_EQ(cache.get(CacheKey{1, 1}), nullptr);
+  EXPECT_NE(cache.get(CacheKey{2, 2}), nullptr);
+  cache.put(CacheKey{3, 3}, payload_named("c"), 5000);  // larger than budget
+  EXPECT_EQ(cache.get(CacheKey{3, 3}), nullptr);
+  EXPECT_LE(cache.stats().bytes, 1000u);
+}
+
+TEST(Cache, ZeroCapacityDisables) {
+  ResultCache::Config cfg;
+  cfg.max_bytes = 0;
+  ResultCache cache(cfg);
+  EXPECT_FALSE(cache.enabled());
+  cache.put(CacheKey{1, 1}, payload_named("a"), 10);
+  EXPECT_EQ(cache.get(CacheKey{1, 1}), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// protocol
+
+TEST(Protocol, EscapeRoundTrip) {
+  const std::string raw = "a b\tc\nd%e\r=f#g";
+  const std::string esc = service::escape_field(raw);
+  EXPECT_EQ(esc.find(' '), std::string::npos);
+  EXPECT_EQ(esc.find('\n'), std::string::npos);
+  EXPECT_EQ(service::unescape_field(esc), raw);
+  EXPECT_EQ(service::unescape_field("plain"), "plain");
+  EXPECT_THROW(service::unescape_field("bad%zz"), support::PreconditionError);
+  EXPECT_THROW(service::unescape_field("trunc%2"), support::PreconditionError);
+}
+
+TEST(Protocol, ParseAnalyzeAndReduceRequests) {
+  const Request a = service::parse_request_line(
+      "analyze kernel=lin-ddot engine=greedy budget=2.5 name=dd", 7);
+  EXPECT_EQ(a.kind, RequestKind::Analyze);
+  EXPECT_EQ(a.id, 7u);
+  EXPECT_EQ(a.name, "dd");
+  EXPECT_EQ(a.analyze.engine, core::RsEngine::Greedy);
+  EXPECT_DOUBLE_EQ(a.budget_seconds, 2.5);
+
+  const Request r = service::parse_request_line(
+      "reduce kernel=fir8 limits=4,8 exact=1 verify=0 emit=1 id=42", 1);
+  EXPECT_EQ(r.kind, RequestKind::Reduce);
+  EXPECT_EQ(r.id, 42u);
+  EXPECT_EQ(r.limits, (std::vector<int>{4, 8}));
+  EXPECT_TRUE(r.pipeline.exact_reduction);
+  EXPECT_FALSE(r.pipeline.verify);
+  EXPECT_TRUE(r.want_ddg);
+}
+
+TEST(Protocol, ParseInlineDdgPayload) {
+  const Ddg d = ddg::build_kernel("horner8", ddg::superscalar_model());
+  const std::string line =
+      "analyze ddg=" + service::escape_field(ddg::to_text(d));
+  const Request req = service::parse_request_line(line, 1);
+  EXPECT_EQ(ddg::fingerprint(req.ddg), ddg::fingerprint(d));
+}
+
+TEST(Protocol, RejectsMalformedRequests) {
+  using support::PreconditionError;
+  EXPECT_THROW(service::parse_request_line("frobnicate kernel=fir8", 1),
+               PreconditionError);
+  EXPECT_THROW(service::parse_request_line("analyze", 1), PreconditionError);
+  EXPECT_THROW(
+      service::parse_request_line("analyze kernel=fir8 file=x.ddg", 1),
+      PreconditionError);
+  EXPECT_THROW(service::parse_request_line("analyze kernel=nope", 1),
+               PreconditionError);
+  EXPECT_THROW(service::parse_request_line("reduce kernel=fir8", 1),
+               PreconditionError);
+  EXPECT_THROW(
+      service::parse_request_line("reduce kernel=fir8 limits=4,x", 1),
+      PreconditionError);
+  EXPECT_THROW(
+      service::parse_request_line("analyze kernel=fir8 engine=magic", 1),
+      PreconditionError);
+  EXPECT_THROW(
+      service::parse_request_line("analyze kernel=fir8 budget=-1", 1),
+      PreconditionError);
+  // Typo'd or misplaced options are rejected, not silently defaulted.
+  EXPECT_THROW(
+      service::parse_request_line("analyze kernel=fir8 buget=5", 1),
+      PreconditionError);
+  EXPECT_THROW(service::parse_request_line("analyze kernel=fir8 emit=1", 1),
+               PreconditionError);
+  EXPECT_THROW(
+      service::parse_request_line("reduce kernel=fir8 limits=4,4 emitt=1", 1),
+      PreconditionError);
+  EXPECT_THROW(
+      service::parse_request_line("analyze file=x.ddg model=vliw", 1),
+      PreconditionError);
+  // Duplicate fields must not silently collapse to the last occurrence.
+  EXPECT_THROW(
+      service::parse_request_line("reduce kernel=fir8 limits=4,4 limits=8,8", 1),
+      PreconditionError);
+  EXPECT_THROW(
+      service::parse_request_line("analyze kernel=fir8 kernel=horner8", 1),
+      PreconditionError);
+}
+
+TEST(Protocol, RenderedResultParsesBack) {
+  AnalysisEngine engine{EngineConfig{}};
+  Request req = service::parse_request_line("analyze kernel=lin-ddot", 3);
+  const Response resp = engine.run(std::move(req));
+  const std::string line = service::render_response(resp);
+  const auto fields = service::parse_fields(line);
+  EXPECT_EQ(fields.at(""), "result");
+  EXPECT_EQ(fields.at("id"), "3");
+  EXPECT_EQ(fields.at("status"), "ok");
+  EXPECT_EQ(fields.at("kind"), "analyze");
+  EXPECT_EQ(fields.at("name"), "lin-ddot");
+  EXPECT_EQ(fields.at("fp"), resp.fingerprint.hex());
+  EXPECT_EQ(fields.at("cached"), "0");
+  ASSERT_TRUE(fields.count("t1.rs"));
+}
+
+// ---------------------------------------------------------------------------
+// engine
+
+TEST(Engine, AnalyzeMatchesOneShotCoreCall) {
+  for (const std::string& name : {std::string("lin-ddot"), std::string("horner8"),
+                                  std::string("estrin8")}) {
+    const Ddg d = ddg::build_kernel(name, ddg::superscalar_model());
+    const core::AnalyzeOptions opts;  // defaults: exact combinatorial
+    const core::SaturationReport want = core::analyze(d.normalized(), opts);
+
+    AnalysisEngine engine{EngineConfig{}};
+    Request req;
+    req.ddg = d;
+    req.analyze = opts;
+    const Response resp = engine.run(std::move(req));
+    ASSERT_TRUE(resp.payload->ok) << resp.payload->error;
+    ASSERT_EQ(resp.payload->analyze.size(), want.per_type.size()) << name;
+    for (std::size_t t = 0; t < want.per_type.size(); ++t) {
+      EXPECT_EQ(resp.payload->analyze[t].type, want.per_type[t].type);
+      EXPECT_EQ(resp.payload->analyze[t].value_count,
+                want.per_type[t].value_count);
+      EXPECT_EQ(resp.payload->analyze[t].rs, want.per_type[t].rs) << name;
+      EXPECT_EQ(resp.payload->analyze[t].proven, want.per_type[t].proven);
+    }
+  }
+}
+
+TEST(Engine, ReduceMatchesOneShotCoreCallByteForByte) {
+  const Ddg d = ddg::build_kernel("fir8", ddg::superscalar_model());
+  const std::vector<int> limits{6, 6};
+  const core::PipelineOptions opts;
+  const core::PipelineResult want =
+      core::ensure_limits(d.normalized(), limits, opts);
+
+  AnalysisEngine engine{EngineConfig{}};
+  Request req;
+  req.kind = RequestKind::Reduce;
+  req.ddg = d;
+  req.limits = limits;
+  req.pipeline = opts;
+  const Response resp = engine.run(std::move(req));
+  ASSERT_TRUE(resp.payload->ok) << resp.payload->error;
+  EXPECT_EQ(resp.payload->success, want.success);
+  // Byte-identical reduced DDG.
+  EXPECT_EQ(resp.payload->out_ddg, ddg::to_text(want.out));
+  ASSERT_EQ(resp.payload->reduce.size(), want.per_type.size());
+  for (std::size_t t = 0; t < want.per_type.size(); ++t) {
+    EXPECT_EQ(resp.payload->reduce[t].status, want.per_type[t].status);
+    EXPECT_EQ(resp.payload->reduce[t].achieved_rs, want.per_type[t].achieved_rs);
+    EXPECT_EQ(resp.payload->reduce[t].arcs_added, want.per_type[t].arcs_added);
+    EXPECT_EQ(resp.payload->reduce[t].ilp_loss,
+              static_cast<long long>(want.per_type[t].ilp_loss()));
+  }
+}
+
+TEST(Engine, DuplicateRequestHitsCacheWithIdenticalBytes) {
+  AnalysisEngine engine{EngineConfig{}};
+  Request req = service::parse_request_line("analyze kernel=liv-loop7", 1);
+  const Response first = engine.run(Request(req));
+  const Response second = engine.run(Request(req));
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.payload, first.payload) << "hit must share the payload";
+  // Rendered lines agree on everything except delivery metadata.
+  auto a = service::parse_fields(service::render_response(first));
+  auto b = service::parse_fields(service::render_response(second));
+  a.erase("cached"), a.erase("ms");
+  b.erase("cached"), b.erase("ms");
+  EXPECT_EQ(a, b);
+  const auto st = engine.stats();
+  EXPECT_EQ(st.cache_hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_GT(st.hit_rate(), 0.0);
+}
+
+TEST(Engine, RenumberedAndRenamedInputHitsSameEntry) {
+  const Ddg d = ddg::build_kernel("liv-loop5", ddg::superscalar_model());
+  AnalysisEngine engine{EngineConfig{}};
+  Request req;
+  req.ddg = d;
+  const Response first = engine.run(std::move(req));
+  Request perm;
+  perm.ddg = permuted_copy(d, reversed_order(d), /*rename=*/true);
+  perm.name = "permuted";
+  const Response second = engine.run(std::move(perm));
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.fingerprint, first.fingerprint);
+  ASSERT_EQ(second.payload->analyze.size(), first.payload->analyze.size());
+  for (std::size_t t = 0; t < first.payload->analyze.size(); ++t) {
+    EXPECT_EQ(second.payload->analyze[t].rs, first.payload->analyze[t].rs);
+  }
+}
+
+TEST(Engine, DifferentOptionsMissSeparately) {
+  AnalysisEngine engine{EngineConfig{}};
+  Request exact = service::parse_request_line("analyze kernel=liv-loop1", 1);
+  Request greedy =
+      service::parse_request_line("analyze kernel=liv-loop1 engine=greedy", 2);
+  engine.run(std::move(exact));
+  const Response r = engine.run(std::move(greedy));
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_EQ(engine.stats().misses, 2u);
+}
+
+TEST(Engine, ConcurrentDuplicatesComputeOnce) {
+  EngineConfig cfg;
+  cfg.threads = 4;
+  AnalysisEngine engine(cfg);
+  const std::vector<std::string> names{"lin-ddot", "fir8", "horner8"};
+  std::vector<std::future<Response>> futures;
+  for (int round = 0; round < 8; ++round) {
+    for (const std::string& n : names) {
+      futures.push_back(
+          engine.submit(service::parse_request_line("analyze kernel=" + n, 1)));
+    }
+  }
+  for (auto& f : futures) {
+    const Response r = f.get();
+    ASSERT_TRUE(r.payload->ok) << r.payload->error;
+  }
+  const auto st = engine.stats();
+  EXPECT_EQ(st.completed, futures.size());
+  EXPECT_EQ(st.misses, names.size())
+      << "single-flight must collapse concurrent duplicates";
+  EXPECT_EQ(st.cache_hits + st.coalesced, futures.size() - names.size());
+  EXPECT_EQ(st.queue_depth, 0u);
+}
+
+TEST(Engine, ErrorsAreReportedAndNotCached) {
+  AnalysisEngine engine{EngineConfig{}};
+  Request bad;
+  bad.kind = RequestKind::Reduce;
+  bad.ddg = ddg::build_kernel("fir8", ddg::superscalar_model());
+  bad.limits = {4};  // needs one limit per type (2)
+  const Response r1 = engine.run(Request(bad));
+  EXPECT_FALSE(r1.payload->ok);
+  EXPECT_FALSE(r1.payload->error.empty());
+  const Response r2 = engine.run(Request(bad));
+  EXPECT_FALSE(r2.cache_hit) << "error results must not be cached";
+  const auto st = engine.stats();
+  EXPECT_EQ(st.errors, 2u);
+  EXPECT_EQ(st.cache_entries, 0u);
+  // And the error renders as a protocol error line.
+  const auto fields = service::parse_fields(service::render_response(r1));
+  EXPECT_EQ(fields.at("status"), "error");
+  EXPECT_FALSE(fields.at("msg").empty());
+}
+
+TEST(Engine, StatsTrackLatencyPercentiles) {
+  AnalysisEngine engine{EngineConfig{}};
+  for (int i = 0; i < 4; ++i) {
+    engine.run(service::parse_request_line("analyze kernel=lin-dscal", 1));
+  }
+  const auto st = engine.stats();
+  EXPECT_EQ(st.completed, 4u);
+  EXPECT_GE(st.p95_ms, st.p50_ms);
+  EXPECT_GE(st.max_ms, st.p95_ms);
+  EXPECT_GT(st.max_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace rs

@@ -10,21 +10,36 @@
 //       list built-in reconstructed kernels.
 //   rsat dump <kernel> [--vliw]
 //       emit a built-in kernel in the .ddg text format.
+//   rsat batch [manifest] [--threads N] [--cache-mb M] [--vliw]
+//       stream protocol requests (stdin or manifest file) through the
+//       cached concurrent analysis engine; result lines on stdout, a
+//       summary with hit rate and latency percentiles on stderr.
 //
-// The .ddg text format is documented in src/ddg/io.hpp.
+// The .ddg text format is documented in src/ddg/io.hpp; the batch request/
+// result protocol in src/service/protocol.hpp.
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
+#include <future>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/saturation.hpp"
 #include "ddg/io.hpp"
 #include "ddg/kernels.hpp"
 #include "graph/paths.hpp"
+#include "service/engine.hpp"
+#include "service/protocol.hpp"
 #include "support/assert.hpp"
+#include "support/parse.hpp"
+#include "support/timer.hpp"
 
 namespace {
 
@@ -35,7 +50,8 @@ int usage() {
       "  rsat reduce  <file.ddg> --limits N[,N...] [--exact] [-o out.ddg]\n"
       "  rsat dot     <file.ddg>\n"
       "  rsat kernels\n"
-      "  rsat dump <kernel> [--vliw]\n",
+      "  rsat dump <kernel> [--vliw]\n"
+      "  rsat batch [manifest] [--threads N] [--cache-mb M] [--vliw]\n",
       stderr);
   return 2;
 }
@@ -86,9 +102,12 @@ int cmd_reduce(int argc, char** argv) {
   rs::core::PipelineOptions opts;
   for (int i = 3; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--limits") && i + 1 < argc) {
-      std::istringstream ss(argv[++i]);
-      std::string tok;
-      while (std::getline(ss, tok, ',')) limits.push_back(std::stoi(tok));
+      try {
+        limits = rs::support::parse_int_list(argv[++i], ',', "--limits");
+      } catch (const rs::support::PreconditionError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return usage();
+      }
     } else if (!std::strcmp(argv[i], "--exact")) {
       opts.exact_reduction = true;
     } else if (!std::strcmp(argv[i], "-o") && i + 1 < argc) {
@@ -127,6 +146,143 @@ int cmd_reduce(int argc, char** argv) {
   return 0;
 }
 
+int cmd_batch(int argc, char** argv) {
+  std::string manifest_path;
+  rs::service::EngineConfig cfg;
+  rs::service::ProtocolOptions popts;
+  try {
+    for (int i = 2; i < argc; ++i) {
+      if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+        const int threads = rs::support::parse_int(argv[++i], "--threads");
+        RS_REQUIRE(threads >= 0, "--threads must be >= 0");
+        cfg.threads = static_cast<std::size_t>(threads);
+      } else if (!std::strcmp(argv[i], "--cache-mb") && i + 1 < argc) {
+        const int mb = rs::support::parse_int(argv[++i], "--cache-mb");
+        RS_REQUIRE(mb >= 0, "--cache-mb must be >= 0");
+        cfg.cache.max_bytes = static_cast<std::size_t>(mb) << 20;
+      } else if (!std::strcmp(argv[i], "--vliw")) {
+        popts.default_model = rs::ddg::vliw_model();
+      } else if (argv[i][0] == '-') {
+        RS_REQUIRE(false, std::string("unknown batch flag ") + argv[i]);
+      } else if (manifest_path.empty()) {
+        manifest_path = argv[i];
+      } else {
+        return usage();
+      }
+    }
+  } catch (const rs::support::PreconditionError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return usage();
+  }
+
+  std::ifstream manifest;
+  if (!manifest_path.empty()) {
+    manifest.open(manifest_path);
+    if (!manifest.good()) {
+      std::fprintf(stderr, "error: cannot open %s\n", manifest_path.c_str());
+      return 2;
+    }
+  }
+  std::istream& in = manifest_path.empty() ? std::cin : manifest;
+
+  rs::service::AnalysisEngine engine(cfg);
+  const rs::support::Timer wall;
+
+  // One slot per request line: either a pre-rendered parse-error line or a
+  // pending response. A dedicated printer thread emits result lines in
+  // request order as soon as each future resolves, so a co-process driving
+  // stdin interactively sees its result without waiting for EOF.
+  struct Slot {
+    std::string pre;
+    std::future<rs::service::Response> fut;
+  };
+  // Backpressure: each outstanding slot holds a parsed Request (with its
+  // DDG) until printed, so cap how far the reader runs ahead of execution.
+  constexpr std::size_t kMaxPending = 256;
+  std::deque<Slot> pending;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool submitted_all = false;
+  std::uint64_t total = 0, ok = 0, failed = 0;  // ok/failed: printer-owned
+
+  std::thread printer([&] {
+    for (;;) {
+      Slot slot;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return !pending.empty() || submitted_all; });
+        if (pending.empty()) return;
+        slot = std::move(pending.front());
+        pending.pop_front();
+        cv.notify_all();  // wake the reader if it hit the pending cap
+      }
+      if (!slot.pre.empty()) {
+        ++failed;
+        std::puts(slot.pre.c_str());
+      } else {
+        const rs::service::Response resp = slot.fut.get();
+        (resp.payload->ok ? ok : failed)++;
+        std::puts(rs::service::render_response(resp).c_str());
+      }
+      std::fflush(stdout);
+    }
+  });
+
+  std::string line;
+  int lineno = 0;
+  std::uint64_t next_id = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (rs::service::is_blank_or_comment(line)) continue;
+    Slot slot;
+    try {
+      rs::service::Request req =
+          rs::service::parse_request_line(line, next_id, popts);
+      ++next_id;
+      slot.fut = engine.submit(std::move(req));
+    } catch (const std::exception& e) {
+      std::ostringstream os;
+      os << "result id=" << next_id++ << " status=error name=line" << lineno
+         << " msg=" << rs::service::escape_field(e.what());
+      slot.pre = os.str();
+    }
+    ++total;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return pending.size() < kMaxPending; });
+      pending.push_back(std::move(slot));
+    }
+    cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    submitted_all = true;
+  }
+  cv.notify_all();
+  printer.join();
+
+  const double wall_s = wall.seconds();
+  const rs::service::EngineStats st = engine.stats();
+  std::fprintf(stderr, "batch: %llu requests, %llu ok, %llu error\n",
+               static_cast<unsigned long long>(total),
+               static_cast<unsigned long long>(ok),
+               static_cast<unsigned long long>(failed));
+  std::fprintf(stderr,
+               "cache: %llu hits + %llu coalesced / %llu lookups "
+               "(%.1f%% hit rate), %zu entries, %zu bytes\n",
+               static_cast<unsigned long long>(st.cache_hits),
+               static_cast<unsigned long long>(st.coalesced),
+               static_cast<unsigned long long>(st.cache_hits + st.coalesced +
+                                               st.misses),
+               100.0 * st.hit_rate(), st.cache_entries, st.cache_bytes);
+  std::fprintf(stderr, "latency: p50 %.3f ms, p95 %.3f ms, max %.3f ms\n",
+               st.p50_ms, st.p95_ms, st.max_ms);
+  std::fprintf(stderr, "wall: %.3f s (%.1f req/s), %zu threads\n", wall_s,
+               total == 0 ? 0.0 : static_cast<double>(total) / wall_s,
+               engine.thread_count());
+  return failed == 0 ? 0 : 1;
+}
+
 int cmd_dump(int argc, char** argv) {
   if (argc < 3) return usage();
   const bool vliw = argc > 3 && !std::strcmp(argv[3], "--vliw");
@@ -156,9 +312,13 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (cmd == "dump") return cmd_dump(argc, argv);
+    if (cmd == "batch") return cmd_batch(argc, argv);
     return usage();
   } catch (const rs::support::PreconditionError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
     return 1;
   }
 }
