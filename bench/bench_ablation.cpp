@@ -46,17 +46,19 @@ void ablate_ilp_optimizations(bool quick) {
   int speedup_count = 0;
   for (const auto& [name, dag] : instances) {
     const rs::core::TypeContext ctx(dag, rs::ddg::kFloatReg);
+    const double budget = quick ? 20 : 60;
     rs::core::RsIlpOptions on;
-    on.mip.time_limit_seconds = quick ? 20 : 60;
     rs::core::RsIlpOptions off = on;
     off.eliminate_redundant_arcs = false;
     off.eliminate_never_alive_pairs = false;
 
     rs::support::Timer t1;
-    const auto r_on = rs::core::rs_ilp(ctx, on);
+    const auto r_on =
+        rs::core::rs_ilp(ctx, on, rs::support::SolveContext(budget));
     const double ms_on = t1.millis();
     rs::support::Timer t2;
-    const auto r_off = rs::core::rs_ilp(ctx, off);
+    const auto r_off =
+        rs::core::rs_ilp(ctx, off, rs::support::SolveContext(budget));
     const double ms_off = t2.millis();
     if (r_on.proven && r_off.proven && r_on.rs != r_off.rs) {
       std::printf("!! optimization changed the optimum on %s\n", name.c_str());
@@ -100,9 +102,9 @@ void ablate_greedy_refinement(bool quick) {
   std::vector<int> optimum(dags.size(), -1);
   for (std::size_t i = 0; i < dags.size(); ++i) {
     const rs::core::TypeContext ctx(dags[i], rs::ddg::kFloatReg);
-    rs::core::RsExactOptions opts;
-    opts.time_limit_seconds = quick ? 5 : 20;
-    const auto r = rs::core::rs_exact(ctx, opts);
+    const auto r =
+        rs::core::rs_exact(ctx, rs::core::RsExactOptions{},
+                           rs::support::SolveContext(quick ? 5 : 20));
     if (r.proven) optimum[i] = r.rs;
   }
 

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "exp/harness.hpp"
+#include "support/parse.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
 
@@ -21,7 +22,13 @@ int main(int argc, char** argv) {
     if (!std::strcmp(argv[i], "--quick")) quick = true;
     if (!std::strcmp(argv[i], "--csv")) csv = true;
     if (!std::strcmp(argv[i], "--time-limit") && i + 1 < argc) {
-      time_limit = std::atof(argv[++i]);
+      try {
+        time_limit =
+            rs::support::parse_budget_seconds(argv[++i], "--time-limit");
+      } catch (const rs::support::PreconditionError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
     }
   }
 

@@ -38,10 +38,11 @@ BENCHMARK(BM_GreedyK)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
 void BM_RsExactCombinatorial(benchmark::State& state) {
   const auto d = make_dag(static_cast<int>(state.range(0)), 1002);
   const rs::core::TypeContext ctx(d, rs::ddg::kFloatReg);
-  rs::core::RsExactOptions opts;
-  opts.time_limit_seconds = 60;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(rs::core::rs_exact(ctx, opts).rs);
+    benchmark::DoNotOptimize(
+        rs::core::rs_exact(ctx, rs::core::RsExactOptions{},
+                           rs::support::SolveContext(60))
+            .rs);
   }
 }
 BENCHMARK(BM_RsExactCombinatorial)->Arg(8)->Arg(12)->Arg(16)->Arg(20)
@@ -50,10 +51,10 @@ BENCHMARK(BM_RsExactCombinatorial)->Arg(8)->Arg(12)->Arg(16)->Arg(20)
 void BM_RsIlp(benchmark::State& state) {
   const auto d = make_dag(static_cast<int>(state.range(0)), 1003);
   const rs::core::TypeContext ctx(d, rs::ddg::kFloatReg);
-  rs::core::RsIlpOptions opts;
-  opts.mip.time_limit_seconds = 60;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(rs::core::rs_ilp(ctx, opts).rs);
+    benchmark::DoNotOptimize(rs::core::rs_ilp(ctx, rs::core::RsIlpOptions{},
+                                              rs::support::SolveContext(60))
+                                 .rs);
   }
 }
 BENCHMARK(BM_RsIlp)->Arg(5)->Arg(6)->Arg(7)->Unit(benchmark::kMillisecond);
@@ -111,13 +112,13 @@ BENCHMARK(BM_FullPipelineHeuristic)->Arg(16)->Arg(32)->Arg(64)
 void BM_KernelAnalysis(benchmark::State& state) {
   // Exact RS over the whole reconstructed kernel corpus (per iteration).
   const auto corpus = rs::ddg::kernel_corpus(rs::ddg::superscalar_model());
-  rs::core::RsExactOptions opts;
-  opts.time_limit_seconds = 60;
   for (auto _ : state) {
     int total = 0;
     for (const auto& [name, dag] : corpus) {
       const rs::core::TypeContext ctx(dag, rs::ddg::kFloatReg);
-      total += rs::core::rs_exact(ctx, opts).rs;
+      total += rs::core::rs_exact(ctx, rs::core::RsExactOptions{},
+                                  rs::support::SolveContext(60))
+                   .rs;
     }
     benchmark::DoNotOptimize(total);
   }

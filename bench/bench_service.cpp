@@ -9,9 +9,12 @@
 #include <vector>
 
 #include "ddg/canon.hpp"
+#include "ddg/generators.hpp"
 #include "ddg/kernels.hpp"
 #include "service/engine.hpp"
 #include "service/protocol.hpp"
+#include "support/random.hpp"
+#include "support/timer.hpp"
 
 namespace {
 
@@ -74,6 +77,49 @@ void BM_BatchWarm(benchmark::State& state) {
                           static_cast<std::int64_t>(batch.size()));
 }
 BENCHMARK(BM_BatchWarm)->Unit(benchmark::kMillisecond);
+
+void BM_CancellationDrain(benchmark::State& state) {
+  // Drain latency for the cancel path: submit a batch of budgeted slow
+  // solves (dense layered DAGs whose exact RS search would run far past the
+  // budget), cancel half of them mid-flight, then measure how long it takes
+  // for every future to resolve. The cancelled half should come back at
+  // poll latency, not at budget expiry.
+  std::vector<Request> batch;
+  for (std::uint64_t id = 1; id <= 8; ++id) {
+    rs::support::Rng rng(id * 97);
+    rs::ddg::LayeredDagParams p;
+    p.layers = 6;
+    p.min_width = 4;
+    p.max_width = 6;
+    p.edge_prob = 0.8;
+    Request req;
+    req.id = id;
+    req.kind = RequestKind::Analyze;
+    req.ddg = rs::ddg::random_layered(rng, rs::ddg::superscalar_model(), p);
+    req.budget_seconds = 0.25;
+    batch.push_back(std::move(req));
+  }
+  double drain_ms = 0, cancelled = 0;
+  for (auto _ : state) {
+    AnalysisEngine engine(EngineConfig{});
+    std::vector<std::future<Response>> futs;
+    futs.reserve(batch.size());
+    for (const Request& r : batch) futs.push_back(engine.submit(r));
+    for (std::uint64_t id = 2; id <= 8; id += 2) engine.cancel(id);
+    const rs::support::Timer drain;
+    for (auto& f : futs) {
+      const Response resp = f.get();
+      cancelled += resp.payload->stats.stop ==
+                   rs::support::StopCause::Cancelled;
+    }
+    drain_ms += drain.millis();
+  }
+  state.counters["drain_ms/iter"] =
+      drain_ms / static_cast<double>(state.iterations());
+  state.counters["cancelled/iter"] =
+      cancelled / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_CancellationDrain)->Unit(benchmark::kMillisecond);
 
 void BM_FingerprintCorpus(benchmark::State& state) {
   const auto corpus = rs::ddg::kernel_corpus(rs::ddg::superscalar_model());

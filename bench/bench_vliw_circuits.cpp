@@ -26,9 +26,8 @@ int main() {
 
   for (const auto& [name, dag] : corpus) {
     const rs::core::TypeContext ctx(dag, rs::ddg::kFloatReg);
-    rs::core::RsExactOptions eopts;
-    eopts.time_limit_seconds = 10;
-    const auto rs_res = rs::core::rs_exact(ctx, eopts);
+    const auto rs_res = rs::core::rs_exact(ctx, rs::core::RsExactOptions{},
+                                           rs::support::SolveContext(10));
     if (!rs_res.proven || rs_res.rs < 3) {
       ++skipped;
       continue;
@@ -36,10 +35,9 @@ int main() {
     const int R = rs_res.rs - 1;
 
     // Unguarded: plain minimum-makespan witness, then raw extension.
-    rs::core::SrcOptions sopts;
-    sopts.time_limit_seconds = 10;
     rs::core::SrcSolver solver(ctx, R);
-    const auto src = solver.minimize_makespan(sopts);
+    const auto src = solver.minimize_makespan(rs::core::SrcOptions{},
+                                              rs::support::SolveContext(10));
     std::string unguarded = "n/a";
     if (src.feasible) {
       const auto ext = rs::core::extend_by_schedule(ctx, src.sigma);
@@ -50,8 +48,8 @@ int main() {
     // Guarded: the library's reduce_optimal (leaf filter = DAG check).
     rs::core::ReduceOptions ropts;
     ropts.rs_upper = rs_res.rs;
-    ropts.src.time_limit_seconds = 10;
-    const auto red = rs::core::reduce_optimal(ctx, R, ropts);
+    const auto red = rs::core::reduce_optimal(ctx, R, ropts,
+                                              rs::support::SolveContext(10));
     std::string status = "limit";
     bool dag_ok = true, no_pos_circuit = true;
     if (red.status == rs::core::ReduceStatus::Reduced) {

@@ -34,9 +34,8 @@ int main(int argc, char** argv) {
     for (const auto& [name, dag] : ddg::kernel_corpus(model)) {
       const core::TypeContext ctx(dag, ddg::kFloatReg);
       const core::RsEstimate greedy = core::greedy_k(ctx);
-      core::RsExactOptions opts;
-      opts.time_limit_seconds = 20;
-      const core::RsExactResult exact = core::rs_exact(ctx, opts);
+      const core::RsExactResult exact = core::rs_exact(
+          ctx, core::RsExactOptions{}, support::SolveContext(20));
       table.add_row({name, model.name(), std::to_string(dag.op_count()),
                      std::to_string(dag.graph().edge_count()),
                      std::to_string(ctx.value_count()),

@@ -49,10 +49,9 @@ int main() {
   const core::TypeContext vctx(vdag, ddg::kFloatReg);
   const auto vrs = core::rs_exact(vctx);
   const int R = vrs.rs - 1;
-  core::SrcOptions sopts;
-  sopts.time_limit_seconds = 10;
   core::SrcSolver solver(vctx, R);
-  const auto unguarded = solver.minimize_makespan(sopts);
+  const auto unguarded =
+      solver.minimize_makespan(core::SrcOptions{}, support::SolveContext(10));
   if (unguarded.feasible) {
     const auto ext = core::extend_by_schedule(vctx, unguarded.sigma);
     std::printf("\nunguarded reduction witness (R=%d): extension has %d extra "
@@ -67,8 +66,8 @@ int main() {
   // The library's reduce_optimal carries the guard built in.
   core::ReduceOptions ropts;
   ropts.rs_upper = vrs.rs;
-  ropts.src.time_limit_seconds = 30;
-  const auto guarded = core::reduce_optimal(vctx, R, ropts);
+  const auto guarded =
+      core::reduce_optimal(vctx, R, ropts, support::SolveContext(30));
   if (guarded.status == core::ReduceStatus::Reduced) {
     std::printf("guarded reduction: RS -> %d, arcs %d, DAG kept: %s\n",
                 guarded.achieved_rs, guarded.arcs_added,

@@ -6,12 +6,14 @@
 
 namespace rs::cfg {
 
-GlobalReport analyze(const Cfg& cfg, const core::AnalyzeOptions& opts) {
+GlobalReport analyze(const Cfg& cfg, const core::AnalyzeOptions& opts,
+                     const support::SolveContext& solve) {
   GlobalReport report;
   report.global_rs.assign(cfg.type_count(), 0);
   for (int b = 0; b < cfg.block_count(); ++b) {
     const ddg::Ddg dag = cfg.expand_block(b);
-    const core::SaturationReport block_report = core::analyze(dag, opts);
+    const core::SaturationReport block_report =
+        core::analyze(dag, opts, solve.split(cfg.block_count() - b));
     BlockSaturation bs;
     bs.block = cfg.block(b).name;
     bs.per_type = block_report.per_type;
@@ -27,7 +29,8 @@ GlobalReport analyze(const Cfg& cfg, const core::AnalyzeOptions& opts) {
 
 GlobalReduceResult ensure_limits(const Cfg& cfg, const std::vector<int>& limits,
                                  int move_margin,
-                                 const core::PipelineOptions& opts) {
+                                 const core::PipelineOptions& opts,
+                                 const support::SolveContext& solve) {
   RS_REQUIRE(static_cast<int>(limits.size()) == cfg.type_count(),
              "one limit per register type");
   RS_REQUIRE(move_margin >= 0, "negative move margin");
@@ -40,7 +43,8 @@ GlobalReduceResult ensure_limits(const Cfg& cfg, const std::vector<int>& limits,
   GlobalReduceResult result;
   for (int b = 0; b < cfg.block_count(); ++b) {
     const ddg::Ddg dag = cfg.expand_block(b);
-    core::PipelineResult block_result = core::ensure_limits(dag, effective, opts);
+    core::PipelineResult block_result = core::ensure_limits(
+        dag, effective, opts, solve.split(cfg.block_count() - b));
     if (!block_result.success) {
       result.success = false;
       result.note += "block " + cfg.block(b).name + ": " + block_result.note;

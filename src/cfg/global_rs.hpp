@@ -26,8 +26,10 @@ struct GlobalReport {
   bool all_proven = true;
 };
 
-/// Computes RS of every expanded block and the global per-type maxima.
-GlobalReport analyze(const Cfg& cfg, const core::AnalyzeOptions& opts = {});
+/// Computes RS of every expanded block and the global per-type maxima. The
+/// context's budget is split evenly across the blocks still to analyze.
+GlobalReport analyze(const Cfg& cfg, const core::AnalyzeOptions& opts = {},
+                     const support::SolveContext& solve = {});
 
 struct GlobalReduceResult {
   /// Per-block register-safe DDGs (ready for per-block scheduling).
@@ -40,6 +42,7 @@ struct GlobalReduceResult {
 /// Runs the figure-1 pipeline on every block against limits[t]-move_margin.
 GlobalReduceResult ensure_limits(const Cfg& cfg, const std::vector<int>& limits,
                                  int move_margin = 1,
-                                 const core::PipelineOptions& opts = {});
+                                 const core::PipelineOptions& opts = {},
+                                 const support::SolveContext& solve = {});
 
 }  // namespace rs::cfg

@@ -24,7 +24,8 @@ int killer_footprint(const TypeContext& ctx, const graph::TransitiveClosure& tc,
 
 }  // namespace
 
-RsEstimate greedy_k(const TypeContext& ctx, const GreedyOptions& opts) {
+RsEstimate greedy_k(const TypeContext& ctx, const GreedyOptions& opts,
+                    const support::SolveContext& solve) {
   RsEstimate est;
   const int nv = ctx.value_count();
   est.killing = KillingFunction(nv);
@@ -89,12 +90,20 @@ RsEstimate greedy_k(const TypeContext& ctx, const GreedyOptions& opts) {
   auto need = killing_need(ctx, est.killing);
   RS_CHECK(need.has_value());
 
-  // Phase 2: steepest-ascent refinement, first-improvement per value.
-  for (int pass = 0; pass < opts.refine_passes; ++pass) {
+  // Phase 2: steepest-ascent refinement, first-improvement per value. The
+  // estimate is valid after any prefix of steps, so the context is polled
+  // between trials and an interrupted ascent just returns early.
+  long long trials = 0;
+  bool interrupted = false;
+  for (int pass = 0; pass < opts.refine_passes && !interrupted; ++pass) {
     bool improved = false;
-    for (int i = 0; i < nv; ++i) {
+    for (int i = 0; i < nv && !interrupted; ++i) {
       const ddg::NodeId current = est.killing.killer[i];
       for (const ddg::NodeId cand : ctx.pkill(i)) {
+        if (solve.should_stop(trials++)) {
+          interrupted = true;
+          break;
+        }
         if (cand == current) continue;
         est.killing.killer[i] = cand;
         const auto trial = killing_need(ctx, est.killing);
@@ -106,9 +115,13 @@ RsEstimate greedy_k(const TypeContext& ctx, const GreedyOptions& opts) {
         est.killing.killer[i] = current;
       }
     }
+    ++est.stats.refine_passes;
     if (!improved) break;
   }
 
+  est.stats.solves = 1;
+  est.stats.stop = interrupted ? solve.cause_now(false) : support::StopCause::Proven;
+  solve.record(est.stats);
   est.rs = need->need;
   est.antichain = need->antichain;
   est.witness = saturating_schedule(ctx, est.killing, est.antichain);

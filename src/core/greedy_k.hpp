@@ -16,6 +16,7 @@
 #pragma once
 
 #include "core/killing.hpp"
+#include "support/solve_context.hpp"
 
 namespace rs::core {
 
@@ -29,9 +30,15 @@ struct RsEstimate {
   KillingFunction killing;      // the killing function achieving it
   std::vector<int> antichain;   // saturating value indices
   sched::Schedule witness;      // schedule with RN == rs (original DDG)
+  support::SolveStats stats;    // refinement effort; stop != Proven when the
+                                // context interrupted the ascent
 };
 
-/// Runs the heuristic. For value-free types returns rs == 0.
-RsEstimate greedy_k(const TypeContext& ctx, const GreedyOptions& opts = {});
+/// Runs the heuristic. For value-free types returns rs == 0. The greedy
+/// construction phase always completes (its invariants need a full killing
+/// function); the refinement phase observes the context between steps, so a
+/// cancelled or expired context still yields a valid witnessed estimate.
+RsEstimate greedy_k(const TypeContext& ctx, const GreedyOptions& opts = {},
+                    const support::SolveContext& solve = {});
 
 }  // namespace rs::core

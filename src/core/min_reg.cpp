@@ -8,7 +8,8 @@ namespace rs::core {
 MinRegResult minimize_register_need(const TypeContext& ctx,
                                     sched::Time cp_budget,
                                     const SrcOptions& opts,
-                                    ArcLatencyMode mode) {
+                                    ArcLatencyMode mode,
+                                    const support::SolveContext& solve) {
   MinRegResult result;
   const sched::Time budget =
       cp_budget > 0 ? cp_budget : graph::critical_path(ctx.ddg().graph());
@@ -21,8 +22,9 @@ MinRegResult minimize_register_need(const TypeContext& ctx,
   }
   for (int r = 1; r <= ctx.value_count(); ++r) {
     SrcSolver solver(ctx, r);
-    SrcResult feas = solver.feasible(budget, 0, opts);
+    SrcResult feas = solver.feasible(budget, 0, opts, solve);
     result.nodes += feas.nodes;
+    result.stats.merge(feas.stats);
     if (feas.status == SrcStatus::LimitHit && !feas.feasible) {
       result.proven = false;
       result.min_need = r;  // lower bound only

@@ -20,6 +20,7 @@ struct MinRegResult {
   int arcs_added = 0;
   sched::Time critical_path = 0;     // CP of the extended DAG
   long nodes = 0;
+  support::SolveStats stats;
 };
 
 /// Minimizes RN subject to makespan <= cp_budget (<= 0: the original
@@ -28,6 +29,7 @@ struct MinRegResult {
 MinRegResult minimize_register_need(const TypeContext& ctx,
                                     sched::Time cp_budget,
                                     const SrcOptions& opts,
-                                    ArcLatencyMode mode = ArcLatencyMode::General);
+                                    ArcLatencyMode mode = ArcLatencyMode::General,
+                                    const support::SolveContext& solve = {});
 
 }  // namespace rs::core

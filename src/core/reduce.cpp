@@ -89,16 +89,16 @@ ExtensionResult extend_by_schedule(const TypeContext& ctx,
 }
 
 ReduceResult reduce_optimal(const TypeContext& ctx, int R,
-                            const ReduceOptions& opts) {
+                            const ReduceOptions& opts,
+                            const support::SolveContext& solve) {
   ReduceResult result;
   result.original_cp = graph::critical_path(ctx.ddg().graph());
 
   int rs_upper = opts.rs_upper;
   bool rs_proven = true;
   if (rs_upper < 0) {
-    RsExactOptions ropts;
-    ropts.time_limit_seconds = opts.src.time_limit_seconds;
-    const RsExactResult rs = rs_exact(ctx, ropts);
+    const RsExactResult rs = rs_exact(ctx, RsExactOptions{}, solve);
+    result.stats.merge(rs.stats);
     rs_upper = rs.rs;
     rs_proven = rs.proven;
   }
@@ -119,8 +119,9 @@ ReduceResult reduce_optimal(const TypeContext& ctx, int R,
   };
 
   SrcSolver solver(ctx, R);
-  const SrcResult r = solver.reduce_lexicographic(rs_upper, src);
+  const SrcResult r = solver.reduce_lexicographic(rs_upper, src, solve);
   result.nodes = r.nodes;
+  result.stats.merge(r.stats);
   if (!r.feasible) {
     result.status = r.status == SrcStatus::Proven ? ReduceStatus::SpillNeeded
                                                   : ReduceStatus::LimitHit;
@@ -137,15 +138,28 @@ ReduceResult reduce_optimal(const TypeContext& ctx, int R,
 }
 
 ReduceResult reduce_greedy(const TypeContext& ctx, int R,
-                           const ReduceOptions& opts) {
+                           const ReduceOptions& opts,
+                           const support::SolveContext& solve) {
   ReduceResult result;
   result.original_cp = graph::critical_path(ctx.ddg().graph());
 
   ddg::Ddg current = ctx.ddg();
   int arcs_added = 0;
   for (int round = 0; round < opts.max_rounds; ++round) {
+    if (solve.stop_requested()) {
+      // Interrupted between serialization rounds: report the partially
+      // reduced graph (valid, just not yet within the limit).
+      result.status = ReduceStatus::LimitHit;
+      result.stats.stop = support::worse_cause(result.stats.stop,
+                                               solve.cause_now(false));
+      result.critical_path = graph::critical_path(current.graph());
+      result.arcs_added = arcs_added;
+      result.extended = std::move(current);
+      return result;
+    }
     const TypeContext cur_ctx(current, ctx.type());
-    const RsEstimate est = greedy_k(cur_ctx, opts.greedy);
+    const RsEstimate est = greedy_k(cur_ctx, opts.greedy, solve);
+    result.stats.merge(est.stats);
     if (est.rs <= R) {
       result.status = round == 0 ? ReduceStatus::AlreadyFits
                                  : ReduceStatus::Reduced;
@@ -218,7 +232,9 @@ ReduceResult reduce_greedy(const TypeContext& ctx, int R,
         dedup.insert({a.src, a.dst});
       }
       const TypeContext trial_ctx(trial, ctx.type());
-      const int rs_after = greedy_k(trial_ctx, opts.greedy).rs;
+      const RsEstimate trial_est = greedy_k(trial_ctx, opts.greedy, solve);
+      result.stats.merge(trial_est.stats);
+      const int rs_after = trial_est.rs;
       if (best == nullptr || rs_after < best_rs) {
         best = &c;
         best_rs = rs_after;
@@ -235,6 +251,8 @@ ReduceResult reduce_greedy(const TypeContext& ctx, int R,
     }
   }
   result.status = ReduceStatus::LimitHit;
+  result.stats.stop = support::worse_cause(result.stats.stop,
+                                           support::StopCause::LimitHit);
   result.critical_path = graph::critical_path(current.graph());
   result.arcs_added = arcs_added;
   result.extended = std::move(current);

@@ -60,6 +60,7 @@ struct ReduceResult {
   sched::Time original_cp = 0;        // CP(G)
   int arcs_added = 0;
   long nodes = 0;                     // search effort
+  support::SolveStats stats;          // aggregated over every sub-solve
 
   sched::Time ilp_loss() const { return critical_path - original_cp; }
 };
@@ -77,11 +78,15 @@ struct ReduceOptions {
 /// Exact reduction via the decrement-loop SRC search (section 4's optimal
 /// method, with the intLP solver swapped for the combinatorial engine; the
 /// section-4 intLP itself lives in reduce_ilp.hpp and cross-checks this).
+/// One context budgets the RS pre-pass and the whole decrement loop.
 ReduceResult reduce_optimal(const TypeContext& ctx, int R,
-                            const ReduceOptions& opts = {});
+                            const ReduceOptions& opts = {},
+                            const support::SolveContext& solve = {});
 
-/// Heuristic reduction by iterative value serialization [CC'01].
+/// Heuristic reduction by iterative value serialization [CC'01]. Observes
+/// the context between serialization rounds, so it is cancellable too.
 ReduceResult reduce_greedy(const TypeContext& ctx, int R,
-                           const ReduceOptions& opts = {});
+                           const ReduceOptions& opts = {},
+                           const support::SolveContext& solve = {});
 
 }  // namespace rs::core

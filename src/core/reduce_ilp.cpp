@@ -24,7 +24,8 @@ SkeletonOptions to_skeleton(const ReduceIlpOptions& opts) {
 }  // namespace
 
 ReduceIlpResult reduce_ilp_fixed(const TypeContext& ctx, int R,
-                                 const ReduceIlpOptions& opts) {
+                                 const ReduceIlpOptions& opts,
+                                 const support::SolveContext& solve) {
   RS_REQUIRE(R >= 1, "need at least one register");
   RS_REQUIRE(ctx.ddg().bottom().has_value(),
              "section-4 objective needs a normalized DDG (sigma(⊥))");
@@ -122,8 +123,9 @@ ReduceIlpResult reduce_ilp_fixed(const TypeContext& ctx, int R,
   ReduceIlpResult result;
   result.variables = m.var_count();
   result.constraints = m.constraint_count();
-  const lp::MipResult mip = lp::solve_mip(m, opts.mip);
+  const lp::MipResult mip = lp::solve_mip(m, opts.mip, solve);
   result.nodes = mip.nodes;
+  result.stats = mip.stats;
   if (mip.status == lp::MipStatus::Infeasible) {
     result.status = ReduceStatus::SpillNeeded;  // at this R; caller decrements
     return result;
@@ -145,7 +147,9 @@ ReduceIlpResult reduce_ilp_fixed(const TypeContext& ctx, int R,
     // paper's O(n^3) topological-sort-existence block enabled.
     ReduceIlpOptions strict = opts;
     strict.forbid_circuits = true;
-    return reduce_ilp_fixed(ctx, R, strict);
+    ReduceIlpResult again = reduce_ilp_fixed(ctx, R, strict, solve);
+    again.stats.merge(result.stats);
+    return again;
   }
   RS_CHECK(ext.is_dag);
   result.arcs_added = ext.arcs_added;
@@ -155,10 +159,14 @@ ReduceIlpResult reduce_ilp_fixed(const TypeContext& ctx, int R,
 }
 
 ReduceIlpResult reduce_ilp(const TypeContext& ctx, int R,
-                           const ReduceIlpOptions& opts) {
+                           const ReduceIlpOptions& opts,
+                           const support::SolveContext& solve) {
+  support::SolveStats loop;
   ReduceIlpResult last;
   for (int r = R; r >= 1; --r) {
-    last = reduce_ilp_fixed(ctx, r, opts);
+    last = reduce_ilp_fixed(ctx, r, opts, solve);
+    loop.merge(last.stats);
+    last.stats = loop;
     if (last.status == ReduceStatus::Reduced ||
         last.status == ReduceStatus::LimitHit) {
       return last;

@@ -44,6 +44,7 @@ struct ReduceIlpResult {
   sched::Time critical_path = 0; // CP(G-bar)
   int arcs_added = 0;
   long nodes = 0;
+  support::SolveStats stats;  // aggregated branch-and-bound effort
 
   /// Model size of the last solved intLP (for the complexity table).
   int variables = 0;
@@ -53,10 +54,13 @@ struct ReduceIlpResult {
 /// Builds and solves the section-4 intLP for a fixed register count R
 /// (single shot, no decrement loop).
 ReduceIlpResult reduce_ilp_fixed(const TypeContext& ctx, int R,
-                                 const ReduceIlpOptions& opts = {});
+                                 const ReduceIlpOptions& opts = {},
+                                 const support::SolveContext& solve = {});
 
 /// Full decrement loop: R, R-1, ..., 1; stops at the first feasible count.
+/// One context budgets the whole loop.
 ReduceIlpResult reduce_ilp(const TypeContext& ctx, int R,
-                           const ReduceIlpOptions& opts = {});
+                           const ReduceIlpOptions& opts = {},
+                           const support::SolveContext& solve = {});
 
 }  // namespace rs::core

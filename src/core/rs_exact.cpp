@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "support/assert.hpp"
-#include "support/timer.hpp"
 
 namespace rs::core {
 
@@ -12,21 +11,27 @@ namespace {
 struct Search {
   const TypeContext& ctx;
   const RsExactOptions& opts;
-  support::Deadline deadline;
+  const support::SolveContext& solve;
 
   std::vector<int> branch_values;  // value indices with >1 candidate
   KillingFunction current;
   RsExactResult best;
   bool complete = true;
+  bool node_limit_hit = false;
   long nodes = 0;
+  long long prunes = 0;
 
-  Search(const TypeContext& c, const RsExactOptions& o)
-      : ctx(c), opts(o), deadline(o.time_limit_seconds),
-        current(c.value_count()) {}
+  Search(const TypeContext& c, const RsExactOptions& o,
+         const support::SolveContext& s)
+      : ctx(c), opts(o), solve(s), current(c.value_count()) {}
 
   bool limits_hit() {
-    if (deadline.expired()) return true;
-    if (opts.node_limit > 0 && nodes >= opts.node_limit) return true;
+    // Cancel flag every node, deadline clock coarsely (see SolveContext).
+    if (solve.should_stop(nodes)) return true;
+    if (opts.node_limit > 0 && nodes >= opts.node_limit) {
+      node_limit_hit = true;
+      return true;
+    }
     return false;
   }
 
@@ -49,7 +54,10 @@ struct Search {
     // Admissible bound: antichain of the partially constrained DV DAG.
     const auto bound = killing_need(ctx, current);
     if (!bound.has_value()) return;  // cyclic extension: prune subtree
-    if (bound->need <= best.rs) return;
+    if (bound->need <= best.rs) {
+      ++prunes;
+      return;
+    }
 
     if (depth == branch_values.size()) {
       accept_leaf();
@@ -70,8 +78,9 @@ struct Search {
 
 }  // namespace
 
-RsExactResult rs_exact(const TypeContext& ctx, const RsExactOptions& opts) {
-  Search search(ctx, opts);
+RsExactResult rs_exact(const TypeContext& ctx, const RsExactOptions& opts,
+                       const support::SolveContext& solve) {
+  Search search(ctx, opts, solve);
   const int nv = ctx.value_count();
   if (nv == 0) {
     RsExactResult empty;
@@ -93,11 +102,13 @@ RsExactResult rs_exact(const TypeContext& ctx, const RsExactOptions& opts) {
   std::sort(search.branch_values.begin(), search.branch_values.end(),
             [&](int a, int b) { return ctx.pkill(a).size() < ctx.pkill(b).size(); });
 
+  support::SolveStats greedy_stats;
   if (opts.warm_start) {
-    const RsEstimate greedy = greedy_k(ctx, opts.greedy);
+    const RsEstimate greedy = greedy_k(ctx, opts.greedy, solve);
     search.best.rs = greedy.rs;
     search.best.killing = greedy.killing;
     search.best.antichain = greedy.antichain;
+    greedy_stats = greedy.stats;
   } else {
     search.best.rs = 0;
     search.best.killing = KillingFunction(nv);
@@ -108,6 +119,13 @@ RsExactResult rs_exact(const TypeContext& ctx, const RsExactOptions& opts) {
   RsExactResult result = std::move(search.best);
   result.proven = search.complete;
   result.nodes = search.nodes;
+  result.stats.nodes = search.nodes;
+  result.stats.prunes = search.prunes;
+  result.stats.solves = 1;
+  result.stats.stop = search.complete ? support::StopCause::Proven
+                                      : solve.cause_now(search.node_limit_hit);
+  solve.record(result.stats);
+  result.stats.merge(greedy_stats);  // after record(): greedy recorded itself
   if (result.killing.complete()) {
     result.witness = saturating_schedule(ctx, result.killing, result.antichain);
   }

@@ -16,8 +16,7 @@
 namespace rs::core {
 
 struct RsExactOptions {
-  double time_limit_seconds = 30.0;  // <= 0: unlimited
-  long node_limit = 2000000;         // <= 0: unlimited
+  long node_limit = 2000000;  // <= 0: unlimited
   /// Seed the incumbent with the greedy heuristic (recommended).
   bool warm_start = true;
   GreedyOptions greedy;
@@ -32,9 +31,13 @@ struct RsExactResult {
   std::vector<int> antichain;
   sched::Schedule witness;  // schedule with RN == rs
   long nodes = 0;
+  support::SolveStats stats;  // search effort + stop cause
 };
 
-/// Computes RS_t(G) exactly (subject to budgets).
-RsExactResult rs_exact(const TypeContext& ctx, const RsExactOptions& opts = {});
+/// Computes RS_t(G) exactly, subject to the node limit and the context's
+/// deadline / cancel token. Even a fully exhausted budget returns a valid
+/// witnessed lower bound (the greedy warm start) with proven == false.
+RsExactResult rs_exact(const TypeContext& ctx, const RsExactOptions& opts = {},
+                       const support::SolveContext& solve = {});
 
 }  // namespace rs::core

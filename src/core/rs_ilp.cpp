@@ -3,6 +3,7 @@
 #include <cmath>
 #include <string>
 
+#include "core/greedy_k.hpp"
 #include "core/ilp_common.hpp"
 #include "support/assert.hpp"
 
@@ -66,7 +67,8 @@ RsIlpStats rs_model_stats(const TypeContext& ctx, const RsIlpOptions& opts) {
   return s;
 }
 
-RsIlpResult rs_ilp(const TypeContext& ctx, const RsIlpOptions& opts) {
+RsIlpResult rs_ilp(const TypeContext& ctx, const RsIlpOptions& opts,
+                   const support::SolveContext& solve) {
   RsIlpResult result;
   if (ctx.value_count() == 0) {
     result.status = lp::MipStatus::Optimal;
@@ -83,9 +85,10 @@ RsIlpResult rs_ilp(const TypeContext& ctx, const RsIlpOptions& opts) {
   result.stats.m_arcs = ctx.ddg().graph().edge_count();
   result.stats.n_values = ctx.value_count();
 
-  const lp::MipResult mip = lp::solve_mip(model, opts.mip);
+  const lp::MipResult mip = lp::solve_mip(model, opts.mip, solve);
   result.status = mip.status;
   result.nodes = mip.nodes;
+  result.solve_stats = mip.stats;
   result.proven = mip.status == lp::MipStatus::Optimal;
   if (mip.has_solution()) {
     result.rs = static_cast<int>(std::llround(mip.objective));
@@ -94,6 +97,16 @@ RsIlpResult rs_ilp(const TypeContext& ctx, const RsIlpOptions& opts) {
       result.witness.time[u] =
           static_cast<sched::Time>(std::llround(mip.x[sigma[u].id]));
     }
+  } else if (mip.status != lp::MipStatus::Infeasible) {
+    // Budget exhausted before any incumbent. Fall back to the greedy
+    // witnessed certificate so the library-wide contract — an interrupted
+    // solve still returns a valid witnessed lower bound — holds for the
+    // ILP engine too. (The RS model is never infeasible; that arm only
+    // guards against a broken caller-supplied horizon.)
+    const RsEstimate est = greedy_k(ctx, GreedyOptions{}, solve);
+    result.rs = est.rs;
+    result.witness = est.witness;
+    result.solve_stats.merge(est.stats);
   }
   return result;
 }

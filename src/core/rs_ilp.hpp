@@ -58,11 +58,14 @@ struct RsIlpResult {
   int rs = 0;                  // objective value when solved
   bool proven = false;         // status == Optimal
   sched::Schedule witness;     // saturating schedule from sigma_u
-  RsIlpStats stats;
+  RsIlpStats stats;            // model size (EXP-3)
   long nodes = 0;
+  support::SolveStats solve_stats;  // search effort + stop cause
 };
 
-/// Solves the section-3 intLP with the embedded branch-and-bound solver.
-RsIlpResult rs_ilp(const TypeContext& ctx, const RsIlpOptions& opts = {});
+/// Solves the section-3 intLP with the embedded branch-and-bound solver,
+/// subject to the context's deadline and cancel token.
+RsIlpResult rs_ilp(const TypeContext& ctx, const RsIlpOptions& opts = {},
+                   const support::SolveContext& solve = {});
 
 }  // namespace rs::core

@@ -23,7 +23,6 @@ enum class RsEngine {
 
 struct AnalyzeOptions {
   RsEngine engine = RsEngine::ExactCombinatorial;
-  double time_limit_seconds = 30.0;
   GreedyOptions greedy;
 };
 
@@ -33,10 +32,12 @@ struct TypeSaturation {
   int rs = 0;        // register saturation (or witnessed estimate)
   bool proven = false;  // true when rs is exactly RS_t(G)
   sched::Schedule witness;  // schedule with RN == rs
+  support::SolveStats stats;  // this type's solve effort + stop cause
 };
 
 struct SaturationReport {
   std::vector<TypeSaturation> per_type;
+  support::SolveStats stats;  // aggregate over all types
 
   const TypeSaturation& of(ddg::RegType t) const { return per_type[t]; }
   /// True when rs <= limits[t] for every type (no reduction needed).
@@ -45,8 +46,11 @@ struct SaturationReport {
 
 /// Computes (or estimates) RS for every register type. The paper's fast
 /// path applies: a type with |values| <= limit never needs analysis, but RS
-/// is still reported for completeness.
-SaturationReport analyze(const ddg::Ddg& ddg, const AnalyzeOptions& opts = {});
+/// is still reported for completeness. The context's budget is split evenly
+/// across the types still to analyze (each type gets remaining / types_left
+/// seconds, so an easy early type donates its slack to the later ones).
+SaturationReport analyze(const ddg::Ddg& ddg, const AnalyzeOptions& opts = {},
+                         const support::SolveContext& solve = {});
 
 struct PipelineOptions {
   AnalyzeOptions analyze;
@@ -66,11 +70,15 @@ struct PipelineResult {
   std::vector<ReduceResult> per_type;
   bool success = true;               // all types within limits
   std::string note;                  // diagnostics when success is false
+  support::SolveStats stats;         // aggregate over all types' sub-solves
 };
 
 /// Runs the full early-register-pressure pipeline against per-type register
-/// file sizes. limits.size() must equal ddg.type_count().
+/// file sizes. limits.size() must equal ddg.type_count(). The context's
+/// budget is split evenly across the types still to reduce; a cancelled
+/// context stops between types and reports the remaining ones as LimitHit.
 PipelineResult ensure_limits(const ddg::Ddg& ddg, const std::vector<int>& limits,
-                             const PipelineOptions& opts = {});
+                             const PipelineOptions& opts = {},
+                             const support::SolveContext& solve = {});
 
 }  // namespace rs::core

@@ -79,12 +79,13 @@ ddg::Ddg split_value(const TypeContext& ctx, int value_index,
 }
 
 SpillResult spill_and_reduce(const TypeContext& ctx, int R,
-                             const SpillOptions& opts) {
+                             const SpillOptions& opts,
+                             const support::SolveContext& solve) {
   SpillResult result;
   result.out = ctx.ddg();
   for (int round = 0; round <= opts.max_spills; ++round) {
     const TypeContext cur(result.out, ctx.type());
-    const ReduceResult red = reduce_greedy(cur, R, opts.reduce);
+    const ReduceResult red = reduce_greedy(cur, R, opts.reduce, solve);
     if (red.status == ReduceStatus::AlreadyFits ||
         red.status == ReduceStatus::Reduced) {
       result.status = red.status;
@@ -101,7 +102,7 @@ SpillResult spill_and_reduce(const TypeContext& ctx, int R,
     // SpillNeeded: split the saturating value with the most consumers
     // (ties: smallest index, for determinism). Late set: the last half of
     // its consumers in ASAP order (at least one).
-    const RsEstimate est = greedy_k(cur, opts.reduce.greedy);
+    const RsEstimate est = greedy_k(cur, opts.reduce.greedy, solve);
     int chosen = -1;
     std::size_t best_consumers = 0;
     for (const int i : est.antichain) {

@@ -40,6 +40,7 @@ ddg::Ddg split_value(const TypeContext& ctx, int value_index,
 /// most consumers) and re-runs greedy reduction until RS_t <= R or the
 /// spill budget is exhausted.
 SpillResult spill_and_reduce(const TypeContext& ctx, int R,
-                             const SpillOptions& opts = {});
+                             const SpillOptions& opts = {},
+                             const support::SolveContext& solve = {});
 
 }  // namespace rs::core

@@ -6,7 +6,6 @@
 #include "graph/topo.hpp"
 #include "sched/lifetime.hpp"
 #include "support/assert.hpp"
-#include "support/timer.hpp"
 
 namespace rs::core {
 
@@ -15,10 +14,10 @@ namespace {
 struct Dfs {
   const TypeContext& ctx;
   const SrcOptions& opts;
+  const support::SolveContext& solve;
   int R;
   sched::Time P;
   int rn_target;
-  support::Deadline deadline;
 
   // Only ops that define or read a type-t value get explicit issue times;
   // every other op (address arithmetic, other-typed work) is scheduled
@@ -30,13 +29,15 @@ struct Dfs {
   std::vector<sched::Time> earliest; // implied earliest issue per op
   std::vector<sched::Time> sigma;    // -1 = not explicitly scheduled
   long nodes = 0;
+  long long prunes = 0;
   bool truncated = false;
+  bool node_limit_hit = false;
   bool found = false;
   sched::Schedule witness;
 
-  Dfs(const TypeContext& c, const SrcOptions& o, int r, sched::Time p, int tgt)
-      : ctx(c), opts(o), R(r), P(p), rn_target(tgt),
-        deadline(o.time_limit_seconds) {
+  Dfs(const TypeContext& c, const SrcOptions& o,
+      const support::SolveContext& s, int r, sched::Time p, int tgt)
+      : ctx(c), opts(o), solve(s), R(r), P(p), rn_target(tgt) {
     const graph::Digraph& g = ctx.ddg().graph();
     const auto topo = graph::topo_order(g);
     RS_REQUIRE(topo.has_value(), "SRC needs an acyclic DDG");
@@ -56,8 +57,12 @@ struct Dfs {
   }
 
   bool limits_hit() {
-    if (deadline.expired()) return true;
-    if (opts.node_limit > 0 && nodes >= opts.node_limit) return true;
+    // Cancel flag every node, deadline clock coarsely (see SolveContext).
+    if (solve.should_stop(nodes)) return true;
+    if (opts.node_limit > 0 && nodes >= opts.node_limit) {
+      node_limit_hit = true;
+      return true;
+    }
     return false;
   }
 
@@ -153,8 +158,14 @@ struct Dfs {
       return false;
     }
     ++nodes;
-    if (partial_rn_lower_bound() > R) return false;
-    if (rn_target > 0 && rn_upper_bound() < rn_target) return false;
+    if (partial_rn_lower_bound() > R) {
+      ++prunes;
+      return false;
+    }
+    if (rn_target > 0 && rn_upper_bound() < rn_target) {
+      ++prunes;
+      return false;
+    }
     if (depth == order.size()) {
       sched::Schedule s;
       s.time = sigma;
@@ -200,8 +211,9 @@ SrcSolver::SrcSolver(const TypeContext& ctx, int R) : ctx_(ctx), R_(R) {
 }
 
 SrcResult SrcSolver::feasible(sched::Time P, int rn_target,
-                              const SrcOptions& opts) {
-  Dfs dfs(ctx_, opts, R_, P, rn_target);
+                              const SrcOptions& opts,
+                              const support::SolveContext& solve) {
+  Dfs dfs(ctx_, opts, solve, R_, P, rn_target);
   if (graph::critical_path(ctx_.ddg().graph()) <= P) {
     dfs.dfs(0);
   }
@@ -209,6 +221,12 @@ SrcResult SrcSolver::feasible(sched::Time P, int rn_target,
   res.nodes = dfs.nodes;
   res.status = dfs.truncated ? SrcStatus::LimitHit : SrcStatus::Proven;
   res.feasible = dfs.found;
+  res.stats.nodes = dfs.nodes;
+  res.stats.prunes = dfs.prunes;
+  res.stats.solves = 1;
+  res.stats.stop = dfs.truncated ? solve.cause_now(dfs.node_limit_hit)
+                                 : support::StopCause::Proven;
+  solve.record(res.stats);
   if (dfs.found) {
     res.sigma = dfs.witness;
     res.makespan = 0;
@@ -221,25 +239,37 @@ SrcResult SrcSolver::feasible(sched::Time P, int rn_target,
   return res;
 }
 
-SrcResult SrcSolver::minimize_makespan(const SrcOptions& opts) {
+SrcResult SrcSolver::minimize_makespan(const SrcOptions& opts,
+                                       const support::SolveContext& solve) {
   const sched::Time cp = graph::critical_path(ctx_.ddg().graph());
+  support::SolveStats sweep;
   SrcResult last;
   for (sched::Time P = cp; P <= cp + opts.slack_limit; ++P) {
-    last = feasible(P, 0, opts);
+    last = feasible(P, 0, opts, solve);
+    sweep.merge(last.stats);
+    last.stats = sweep;
+    last.nodes = sweep.nodes;
     if (last.feasible) return last;
     if (last.status == SrcStatus::LimitHit) return last;
   }
   // Exhausted the slack window without a witness: infeasible within budget.
   last.status = SrcStatus::LimitHit;
   last.feasible = false;
+  last.stats.stop = support::worse_cause(last.stats.stop,
+                                         support::StopCause::LimitHit);
   return last;
 }
 
-SrcResult SrcSolver::reduce_lexicographic(int rs_upper, const SrcOptions& opts) {
+SrcResult SrcSolver::reduce_lexicographic(int rs_upper, const SrcOptions& opts,
+                                          const support::SolveContext& solve) {
   const sched::Time cp = graph::critical_path(ctx_.ddg().graph());
+  support::SolveStats sweep;
   for (int goal = std::min(R_, rs_upper); goal >= 1; --goal) {
     for (sched::Time P = cp; P <= cp + opts.slack_limit; ++P) {
-      SrcResult r = feasible(P, goal, opts);
+      SrcResult r = feasible(P, goal, opts, solve);
+      sweep.merge(r.stats);
+      r.stats = sweep;
+      r.nodes = sweep.nodes;
       if (r.feasible) return r;
       if (r.status == SrcStatus::LimitHit) return r;
     }
@@ -247,6 +277,8 @@ SrcResult SrcSolver::reduce_lexicographic(int rs_upper, const SrcOptions& opts) 
   SrcResult res;
   res.feasible = false;
   res.status = SrcStatus::Proven;  // exhausted all goals within windows
+  res.stats = sweep;
+  res.nodes = sweep.nodes;
   return res;
 }
 

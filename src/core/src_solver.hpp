@@ -20,12 +20,12 @@
 
 #include "core/context.hpp"
 #include "sched/schedule.hpp"
+#include "support/solve_context.hpp"
 
 namespace rs::core {
 
 struct SrcOptions {
-  double time_limit_seconds = 20.0;  // <= 0: unlimited
-  long node_limit = 5000000;         // <= 0: unlimited
+  long node_limit = 5000000;  // <= 0: unlimited
   /// Extra cycles beyond the critical path explored before giving up on
   /// feasibility (bounds the makespan search).
   sched::Time slack_limit = 64;
@@ -46,6 +46,7 @@ struct SrcResult {
   int rn = 0;                  // register need of the witness
   SrcStatus status = SrcStatus::Proven;
   long nodes = 0;
+  support::SolveStats stats;   // per-call search effort + stop cause
 };
 
 class SrcSolver {
@@ -54,16 +55,20 @@ class SrcSolver {
   SrcSolver(const TypeContext& ctx, int R);
 
   /// Is there sigma with RN <= R, sigma(⊥) <= P, and (if rn_target > 0)
-  /// RN >= rn_target?
-  SrcResult feasible(sched::Time P, int rn_target, const SrcOptions& opts);
+  /// RN >= rn_target? Observes the context's deadline and cancel token
+  /// (coarsely, every SolveContext::kPollInterval DFS nodes).
+  SrcResult feasible(sched::Time P, int rn_target, const SrcOptions& opts,
+                     const support::SolveContext& solve = {});
 
   /// Minimum sigma(⊥) subject to RN <= R; searches P upward from the
-  /// critical path to CP + slack_limit.
-  SrcResult minimize_makespan(const SrcOptions& opts);
+  /// critical path to CP + slack_limit. One context budgets the whole sweep.
+  SrcResult minimize_makespan(const SrcOptions& opts,
+                              const support::SolveContext& solve = {});
 
   /// Paper's decrement loop: largest achievable RN <= R (starting from
   /// rs_upper), then minimum makespan at that RN.
-  SrcResult reduce_lexicographic(int rs_upper, const SrcOptions& opts);
+  SrcResult reduce_lexicographic(int rs_upper, const SrcOptions& opts,
+                                 const support::SolveContext& solve = {});
 
  private:
   const TypeContext& ctx_;

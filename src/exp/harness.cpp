@@ -59,10 +59,10 @@ std::vector<RsComparison> compare_rs(const std::vector<Instance>& corpus,
     row.heuristic_ms = t1.millis();
     row.rs_heuristic = heur.rs;
 
-    core::RsExactOptions eopts;
-    eopts.time_limit_seconds = opts.exact_time_limit;
     support::Timer t2;
-    const core::RsExactResult exact = core::rs_exact(ctx, eopts);
+    const core::RsExactResult exact =
+        core::rs_exact(ctx, core::RsExactOptions{},
+                       support::SolveContext(opts.exact_time_limit));
     row.exact_ms = t2.millis();
     row.rs_exact = exact.rs;
     row.proven = exact.proven;
@@ -116,9 +116,9 @@ std::vector<ReductionComparison> compare_reduction(
     support::ThreadPool pool(opts.threads);
     pool.parallel_for(corpus.size(), [&](std::size_t idx) {
       const core::TypeContext ctx(corpus[idx].ddg, opts.type);
-      core::RsExactOptions eopts;
-      eopts.time_limit_seconds = opts.time_limit;
-      const core::RsExactResult r = core::rs_exact(ctx, eopts);
+      const core::RsExactResult r =
+          core::rs_exact(ctx, core::RsExactOptions{},
+                         support::SolveContext(opts.time_limit));
       rs_values[idx] = r.proven ? r.rs : -1;
     });
     for (std::size_t i = 0; i < corpus.size(); ++i) {
@@ -142,7 +142,6 @@ std::vector<ReductionComparison> compare_reduction(
     const core::TypeContext ctx(task.inst->ddg, opts.type);
 
     core::ReduceOptions ropts;
-    ropts.src.time_limit_seconds = opts.time_limit;
     ropts.rs_upper = task.rs_exact;
 
     // The paper's two optimal intLP programs (section 5 uses both): the
@@ -151,15 +150,17 @@ std::vector<ReductionComparison> compare_reduction(
     // best *certified* reduction (minimum over the DAG-guarded witness and
     // both produced graphs); the unguarded minimum makespan is a proven
     // lower bound used to flag optimality.
-    const core::ReduceResult opt = core::reduce_optimal(ctx, task.R, ropts);
+    const core::ReduceResult opt = core::reduce_optimal(
+        ctx, task.R, ropts, support::SolveContext(opts.time_limit));
     core::SrcOptions msopts = ropts.src;
     const core::ArcLatencyMode mode = ropts.arc_mode;
     msopts.leaf_filter = [&ctx, mode](const sched::Schedule& s) {
       return core::extend_by_schedule(ctx, s, mode).is_dag;
     };
-    const core::SrcResult ms =
-        core::SrcSolver(ctx, task.R).minimize_makespan(msopts);
-    const core::ReduceResult heur = core::reduce_greedy(ctx, task.R, ropts);
+    const core::SrcResult ms = core::SrcSolver(ctx, task.R).minimize_makespan(
+        msopts, support::SolveContext(opts.time_limit));
+    const core::ReduceResult heur = core::reduce_greedy(
+        ctx, task.R, ropts, support::SolveContext(opts.time_limit));
 
     if (opt.status == core::ReduceStatus::LimitHit ||
         ms.status == core::SrcStatus::LimitHit) {
@@ -176,10 +177,10 @@ std::vector<ReductionComparison> compare_reduction(
     } else {
       // Both produced extended DDGs. For fairness, RS* is the exact RS of
       // the heuristic's output (its own estimate is a lower bound).
-      core::RsExactOptions eopts;
-      eopts.time_limit_seconds = opts.time_limit;
       const core::TypeContext hctx(*heur.extended, opts.type);
-      const core::RsExactResult heur_rs = core::rs_exact(hctx, eopts);
+      const core::RsExactResult heur_rs =
+          core::rs_exact(hctx, core::RsExactOptions{},
+                         support::SolveContext(opts.time_limit));
       if (!heur_rs.proven) {
         row.skip_reason = "verify: budget";
       } else if (heur_rs.rs > task.R) {

@@ -5,7 +5,6 @@
 
 #include "lp/simplex.hpp"
 #include "support/assert.hpp"
-#include "support/timer.hpp"
 
 namespace rs::lp {
 
@@ -16,20 +15,22 @@ constexpr double kIntTol = 1e-6;
 struct Search {
   const Model& model;
   const MipOptions& opts;
+  const support::SolveContext& solve;
   SimplexSolver simplex;
-  support::Deadline deadline;
 
   std::vector<double> lo, hi;
   std::vector<double> best_x;
   double best_obj = 0.0;
   bool have_incumbent = false;
   bool complete = true;  // no limit hit, no LP failure
+  bool node_limit_hit = false;
   long nodes = 0;
+  long long prunes = 0;
+  long long simplex_iterations = 0;
   bool maximize;
 
-  explicit Search(const Model& m, const MipOptions& o)
-      : model(m), opts(o), simplex(m), deadline(o.time_limit_seconds),
-        maximize(m.maximize()) {
+  Search(const Model& m, const MipOptions& o, const support::SolveContext& s)
+      : model(m), opts(o), solve(s), simplex(m), maximize(m.maximize()) {
     lo.resize(m.var_count());
     hi.resize(m.var_count());
     for (int j = 0; j < m.var_count(); ++j) {
@@ -46,8 +47,13 @@ struct Search {
   }
 
   bool limits_hit() {
-    if (deadline.expired()) return true;
-    if (opts.node_limit > 0 && nodes >= opts.node_limit) return true;
+    // Cancel flag every node, deadline clock every kPollInterval nodes:
+    // no clock syscall in the per-node hot path.
+    if (solve.should_stop(nodes)) return true;
+    if (opts.node_limit > 0 && nodes >= opts.node_limit) {
+      node_limit_hit = true;
+      return true;
+    }
     return false;
   }
 
@@ -75,6 +81,7 @@ struct Search {
     }
     ++nodes;
     const LpResult lp = simplex.solve_with_bounds(lo, hi, opts.lp_iteration_limit);
+    simplex_iterations += lp.iterations;
     if (lp.status == LpStatus::Infeasible) return;
     if (lp.status != LpStatus::Optimal) {
       // Unbounded relaxations cannot be pruned soundly; our models are
@@ -83,7 +90,10 @@ struct Search {
       complete = false;
       return;
     }
-    if (!bound_can_improve(lp.objective)) return;
+    if (!bound_can_improve(lp.objective)) {
+      ++prunes;
+      return;
+    }
 
     // Most-fractional integer variable.
     int branch_var = -1;
@@ -150,12 +160,28 @@ struct Search {
 
 }  // namespace
 
-MipResult solve_mip(const Model& model, const MipOptions& options) {
-  Search search(model, options);
+MipResult solve_mip(const Model& model, const MipOptions& options,
+                    const support::SolveContext& solve) {
+  Search search(model, options, solve);
   search.dfs();
 
   MipResult result;
   result.nodes = search.nodes;
+  result.stats.nodes = search.nodes;
+  result.stats.prunes = search.prunes;
+  result.stats.simplex_iterations = search.simplex_iterations;
+  result.stats.solves = 1;
+  if (search.complete) {
+    result.stats.stop = support::StopCause::Proven;
+  } else {
+    result.stats.stop = solve.cause_now(search.node_limit_hit);
+    if (result.stats.stop == support::StopCause::Proven) {
+      // Neither deadline, token, nor node cap fired: an LP-level failure
+      // (iteration limit / unbounded relaxation) forfeited the proof.
+      result.stats.stop = support::StopCause::LimitHit;
+    }
+  }
+  solve.record(result.stats);
   if (search.have_incumbent) {
     result.objective = search.best_obj;
     result.x = std::move(search.best_x);

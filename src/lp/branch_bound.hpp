@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "lp/model.hpp"
+#include "support/solve_context.hpp"
 
 namespace rs::lp {
 
@@ -21,8 +22,7 @@ enum class MipStatus {
 };
 
 struct MipOptions {
-  double time_limit_seconds = 120.0;  // <= 0 means unlimited
-  long node_limit = 500000;           // <= 0 means unlimited
+  long node_limit = 500000;  // <= 0 means unlimited
   /// When true, LP bounds round to the nearest integer before pruning.
   bool objective_integral = true;
   int lp_iteration_limit = 200000;
@@ -34,13 +34,16 @@ struct MipResult {
   std::vector<double> x;       // incumbent point
   double best_bound = 0.0;     // proven dual bound
   long nodes = 0;
+  support::SolveStats stats;   // nodes/prunes/simplex iterations, stop cause
   bool has_solution() const {
     return status == MipStatus::Optimal || status == MipStatus::Feasible;
   }
 };
 
-/// Solves the model exactly (subject to limits). All integer variables must
-/// have finite bounds.
-MipResult solve_mip(const Model& model, const MipOptions& options = {});
+/// Solves the model exactly (subject to limits and the context's deadline /
+/// cancel token; the token is polled every node, the clock coarsely). All
+/// integer variables must have finite bounds.
+MipResult solve_mip(const Model& model, const MipOptions& options = {},
+                    const support::SolveContext& solve = {});
 
 }  // namespace rs::lp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 
 #include "ddg/io.hpp"
 #include "support/assert.hpp"
@@ -21,12 +22,10 @@ struct Digest {
 
 void digest_analyze(Digest& d, const core::AnalyzeOptions& o) {
   d.add(static_cast<std::uint64_t>(o.engine));
-  d.add_double(o.time_limit_seconds);
   d.add(static_cast<std::uint64_t>(o.greedy.refine_passes));
 }
 
 void digest_reduce(Digest& d, const core::ReduceOptions& o) {
-  d.add_double(o.src.time_limit_seconds);
   d.add(static_cast<std::uint64_t>(o.src.node_limit));
   d.add(static_cast<std::uint64_t>(o.src.slack_limit));
   d.add(static_cast<std::uint64_t>(o.greedy.refine_passes));
@@ -67,25 +66,95 @@ AnalysisEngine::AnalysisEngine(const EngineConfig& cfg)
 
 AnalysisEngine::~AnalysisEngine() { pool_.wait_idle(); }
 
+support::CancelToken AnalysisEngine::register_flight(std::uint64_t seq,
+                                                     std::uint64_t id) {
+  Flight flight;
+  flight.id = id;
+  std::lock_guard<std::mutex> lock(flights_mu_);
+  support::CancelToken token = flight.token;
+  flights_.emplace(seq, std::move(flight));
+  return token;
+}
+
+void AnalysisEngine::mark_started(std::uint64_t seq) {
+  std::lock_guard<std::mutex> lock(flights_mu_);
+  const auto it = flights_.find(seq);
+  if (it != flights_.end()) it->second.started = true;
+}
+
+void AnalysisEngine::forget_flight(std::uint64_t seq) {
+  std::lock_guard<std::mutex> lock(flights_mu_);
+  flights_.erase(seq);
+}
+
+bool AnalysisEngine::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(flights_mu_);
+  bool found = false;
+  for (auto& [seq, flight] : flights_) {
+    static_cast<void>(seq);
+    if (flight.id == id) {
+      flight.token.request_cancel();
+      found = true;
+    }
+  }
+  return found;
+}
+
+std::size_t AnalysisEngine::cancel_all() {
+  std::lock_guard<std::mutex> lock(flights_mu_);
+  for (auto& [seq, flight] : flights_) {
+    static_cast<void>(seq);
+    flight.token.request_cancel();
+  }
+  return flights_.size();
+}
+
+void AnalysisEngine::drain() {
+  {
+    std::lock_guard<std::mutex> lock(flights_mu_);
+    for (auto& [seq, flight] : flights_) {
+      static_cast<void>(seq);
+      if (!flight.started) flight.token.request_cancel();
+    }
+  }
+  pool_.wait_idle();
+}
+
 std::future<Response> AnalysisEngine::submit(Request req) {
   ++submitted_;
+  const std::uint64_t seq = next_seq_++;
+  support::CancelToken token = register_flight(seq, req.id);
   auto prom = std::make_shared<std::promise<Response>>();
   std::future<Response> fut = prom->get_future();
   support::Timer started;
-  pool_.submit([this, prom, started, req = std::move(req)]() mutable {
-    prom->set_value(process(std::move(req), started));
+  pool_.submit([this, prom, started, seq, token,
+                req = std::move(req)]() mutable {
+    mark_started(seq);
+    prom->set_value(process(std::move(req), started, token));
+    forget_flight(seq);
   });
   return fut;
 }
 
 Response AnalysisEngine::run(Request req) {
   ++submitted_;
-  return process(std::move(req), support::Timer());
+  const std::uint64_t seq = next_seq_++;
+  support::CancelToken token = register_flight(seq, req.id);
+  mark_started(seq);
+  Response resp = process(std::move(req), support::Timer(), token);
+  forget_flight(seq);
+  return resp;
 }
 
 void AnalysisEngine::wait_idle() { pool_.wait_idle(); }
 
-Response AnalysisEngine::process(Request req, support::Timer started) {
+Response AnalysisEngine::process(Request req, support::Timer started,
+                                 support::CancelToken token) {
+  // Normalize before the cache key is computed: an explicit budget=30 and
+  // an unset budget are the same bounded solve, so they must share a cache
+  // entry and coalesce with each other.
+  if (req.budget_seconds <= 0) req.budget_seconds = kDefaultBudgetSeconds;
+
   Response resp;
   resp.id = req.id;
   resp.name = req.name.empty() ? req.ddg.name() : req.name;
@@ -131,15 +200,45 @@ Response AnalysisEngine::process(Request req, support::Timer started) {
     if (payload == nullptr && !owner) {
       // An identical request is computing right now; ride its result. The
       // computing task never waits on another, so this cannot deadlock.
-      payload = flight.get();
-      ++coalesced_;
-      resp.cache_hit = true;
+      // The owner's solve never polls *our* token, so keep observing it
+      // here: a cancelled waiter detaches with a Cancelled payload instead
+      // of blocking until the owner finishes.
+      for (;;) {
+        if (flight.wait_for(std::chrono::milliseconds(20)) ==
+            std::future_status::ready) {
+          payload = flight.get();
+          ++coalesced_;
+          resp.cache_hit = true;
+          break;
+        }
+        if (token.cancelled()) {
+          auto aborted = std::make_shared<ResultPayload>();
+          aborted->kind = req.kind;
+          aborted->success = false;
+          aborted->stats.stop = support::StopCause::Cancelled;
+          payload = std::move(aborted);
+          ++cancelled_;
+          break;
+        }
+      }
     }
 
     if (owner) {
-      payload = compute(req, normalized);
-      if (payload->ok) cache_.put(key, payload, payload->bytes());
+      payload = compute(req, normalized, token);
+      // Cancelled results are never cached: a cancel is an explicit "this
+      // answer is unwanted", so the next identical request must recompute.
+      // Timed-out results ARE cached: the budget is part of the cache key,
+      // and re-running the same hopeless solve on every lookup would burn
+      // the whole budget each time for a (modestly wall-clock-dependent)
+      // re-derivation of the same best-effort bound.
+      if (payload->ok && !payload->cancelled()) {
+        cache_.put(key, payload, payload->bytes());
+      }
       ++misses_;
+      if (payload->ok) {
+        if (payload->cancelled()) ++cancelled_;
+        if (payload->stats.stop == support::StopCause::TimedOut) ++timed_out_;
+      }
       own_promise.set_value(payload);
       std::lock_guard<std::mutex> lock(flight_mu_);
       inflight_.erase(key);
@@ -176,14 +275,20 @@ Response AnalysisEngine::process(Request req, support::Timer started) {
 }
 
 AnalysisEngine::SharedPayload AnalysisEngine::compute(
-    const Request& req, const ddg::Ddg& normalized) {
+    const Request& req, const ddg::Ddg& normalized,
+    const support::CancelToken& token) {
   auto payload = std::make_shared<ResultPayload>();
   payload->kind = req.kind;
+  // One context for the whole request: the deadline and the cancel token
+  // thread through every solver layer below. process() has already
+  // normalized an unset budget to the engine default, so no request can
+  // pin a worker past the structural node limits' worst case.
+  const support::SolveContext solve(req.budget_seconds, token);
   try {
     if (req.kind == RequestKind::Analyze) {
-      core::AnalyzeOptions opts = req.analyze;
-      if (req.budget_seconds > 0) opts.time_limit_seconds = req.budget_seconds;
-      const core::SaturationReport report = core::analyze(normalized, opts);
+      const core::SaturationReport report =
+          core::analyze(normalized, req.analyze, solve);
+      payload->stats = report.stats;
       for (const core::TypeSaturation& t : report.per_type) {
         payload->analyze.push_back(
             TypeAnalysis{t.type, t.value_count, t.rs, t.proven});
@@ -193,13 +298,9 @@ AnalysisEngine::SharedPayload AnalysisEngine::compute(
                  "need " + std::to_string(normalized.type_count()) +
                      " register limits, got " +
                      std::to_string(req.limits.size()));
-      core::PipelineOptions opts = req.pipeline;
-      if (req.budget_seconds > 0) {
-        opts.analyze.time_limit_seconds = req.budget_seconds;
-        opts.reduce.src.time_limit_seconds = req.budget_seconds;
-      }
       const core::PipelineResult result =
-          core::ensure_limits(normalized, req.limits, opts);
+          core::ensure_limits(normalized, req.limits, req.pipeline, solve);
+      payload->stats = result.stats;
       payload->success = result.success;
       if (!result.success) payload->error = result.note;
       for (ddg::RegType t = 0; t < normalized.type_count(); ++t) {
@@ -239,6 +340,8 @@ EngineStats AnalysisEngine::stats() const {
   out.cache_hits = hits_.load();
   out.coalesced = coalesced_.load();
   out.misses = misses_.load();
+  out.cancelled = cancelled_.load();
+  out.timed_out = timed_out_.load();
   out.queue_depth =
       static_cast<std::size_t>(out.submitted - std::min(out.submitted, out.completed));
   const CacheStats cs = cache_.stats();

@@ -10,9 +10,16 @@
 // (single-flight), so a burst of duplicates costs one solve.
 //
 // Results are immutable shared payloads carrying only renumbering-invariant
-// data (RS values, proven flags, reduction outcomes, and the reduced DDG
-// text), never node-indexed witnesses — which is what makes serving them
-// across isomorphic inputs sound.
+// data (RS values, proven flags, reduction outcomes, solver statistics, and
+// the reduced DDG text), never node-indexed witnesses — which is what makes
+// serving them across isomorphic inputs sound.
+//
+// Every request solves under a support::SolveContext: its budget_seconds
+// becomes the deadline, and a per-request CancelToken enables cancel(id) /
+// cancel_all() / drain() from other threads. A cancelled solve still
+// resolves its future — the payload reports stop == Cancelled and is
+// excluded from the cache (coalesced waiters of a cancelled owner receive
+// the cancelled payload; a later identical request recomputes).
 //
 // Caveat: the options digest covers every numeric/enum field of
 // AnalyzeOptions / PipelineOptions. A custom SrcOptions::leaf_filter is not
@@ -32,6 +39,7 @@
 #include "ddg/canon.hpp"
 #include "ddg/ddg.hpp"
 #include "service/cache.hpp"
+#include "support/solve_context.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
@@ -51,7 +59,10 @@ struct Request {
   core::PipelineOptions pipeline;
   /// Per-type register limits (Reduce only; size must equal type_count).
   std::vector<int> limits;
-  /// > 0 overrides every solver time limit for this request.
+  /// > 0 bounds this request's *total* solve time: one SolveContext with
+  /// this deadline is threaded through every solver layer (per-type budget
+  /// splitting included). <= 0 selects the engine default
+  /// (kDefaultBudgetSeconds) so no request holds a worker indefinitely.
   double budget_seconds = 0;
   /// Ask the protocol renderer to include the reduced DDG's text in the
   /// result line (Reduce only). The text is always computed and cached, so
@@ -85,6 +96,13 @@ struct ResultPayload {
   std::vector<TypeAnalysis> analyze;
   std::vector<TypeReduce> reduce;
   std::string out_ddg;  // reduced DDG text (Reduce with want_ddg)
+  /// Aggregate solver statistics (nodes, prunes, stop cause) for the
+  /// request. stop == Cancelled payloads are never admitted to the cache.
+  support::SolveStats stats;
+
+  bool cancelled() const {
+    return stats.stop == support::StopCause::Cancelled;
+  }
 
   /// Approximate heap footprint, used for cache byte accounting.
   std::size_t bytes() const;
@@ -106,6 +124,9 @@ struct EngineConfig {
   ResultCache::Config cache;
 };
 
+/// Wall-clock cap applied to requests that carry no budget_seconds.
+inline constexpr double kDefaultBudgetSeconds = 30.0;
+
 struct EngineStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
@@ -113,6 +134,9 @@ struct EngineStats {
   std::uint64_t cache_hits = 0;  // served directly from the cache
   std::uint64_t coalesced = 0;   // joined an identical in-flight request
   std::uint64_t misses = 0;      // actually computed
+  std::uint64_t cancelled = 0;   // responses aborted by a cancel token
+                                 // (computed solves + detached coalesced waiters)
+  std::uint64_t timed_out = 0;   // computed solves stopped by their deadline
   std::size_t queue_depth = 0;   // submitted but not yet completed
   std::size_t cache_entries = 0;
   std::size_t cache_bytes = 0;
@@ -148,6 +172,25 @@ class AnalysisEngine {
   /// Blocks until every submitted request has completed.
   void wait_idle();
 
+  /// Requests cooperative cancellation of every in-flight (pending or
+  /// running) request with this id. The request still produces a response:
+  /// its solvers stop at the next poll, the payload reports stop ==
+  /// Cancelled, and the result is not cached. Returns false when no
+  /// in-flight request carries the id (already completed, or never seen).
+  bool cancel(std::uint64_t id);
+
+  /// Cancels every in-flight request; returns how many were signalled.
+  std::size_t cancel_all();
+
+  /// Graceful drain: cancels requests that have not *started* computing,
+  /// lets already-running solves finish, and blocks until the queue is
+  /// empty. A cancelled-but-queued request still runs its (cheap,
+  /// uncancellable) setup when a worker reaches it — cache hits are served
+  /// normally, misses return at the first solver poll as Cancelled — so
+  /// drain latency is the running solves plus a small per-queued-request
+  /// constant, not zero.
+  void drain();
+
   EngineStats stats() const;
 
   std::size_t thread_count() const { return pool_.thread_count(); }
@@ -155,8 +198,21 @@ class AnalysisEngine {
  private:
   using SharedPayload = std::shared_ptr<const ResultPayload>;
 
-  Response process(Request req, support::Timer started);
-  SharedPayload compute(const Request& req, const ddg::Ddg& normalized);
+  /// Tracks one submitted-but-not-completed request for cancel/drain.
+  struct Flight {
+    std::uint64_t id = 0;
+    support::CancelToken token;
+    bool started = false;  // a worker has begun processing it
+  };
+
+  support::CancelToken register_flight(std::uint64_t seq, std::uint64_t id);
+  void mark_started(std::uint64_t seq);
+  void forget_flight(std::uint64_t seq);
+
+  Response process(Request req, support::Timer started,
+                   support::CancelToken token);
+  SharedPayload compute(const Request& req, const ddg::Ddg& normalized,
+                        const support::CancelToken& token);
   void record_latency(double ms);
 
   EngineConfig cfg_;
@@ -169,6 +225,12 @@ class AnalysisEngine {
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> coalesced_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> timed_out_{0};
+
+  mutable std::mutex flights_mu_;
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::unordered_map<std::uint64_t, Flight> flights_;  // keyed by seq
 
   mutable std::mutex flight_mu_;
   std::unordered_map<CacheKey, std::shared_future<SharedPayload>,

@@ -128,6 +128,29 @@ const char* reduce_status_token(core::ReduceStatus s) {
   return "?";
 }
 
+Command parse_command_line(const std::string& line, std::uint64_t default_id,
+                           const ProtocolOptions& opts) {
+  const std::vector<std::string> tokens = support::split_ws(line);
+  RS_REQUIRE(!tokens.empty(), "request line must start with a command: " + line);
+  Command cmd;
+  if (tokens[0] == "drain") {
+    RS_REQUIRE(tokens.size() == 1, "drain takes no arguments");
+    cmd.kind = CommandKind::Drain;
+    return cmd;
+  }
+  if (tokens[0] == "cancel") {
+    RS_REQUIRE(tokens.size() == 2, "cancel needs exactly one id");
+    std::string id = tokens[1];
+    if (id.rfind("id=", 0) == 0) id = id.substr(3);  // allow cancel id=<n>
+    cmd.kind = CommandKind::Cancel;
+    cmd.cancel_id =
+        static_cast<std::uint64_t>(support::parse_ll(id, "cancel id"));
+    return cmd;
+  }
+  cmd.request = parse_request_line(line, default_id, opts);
+  return cmd;
+}
+
 Request parse_request_line(const std::string& line, std::uint64_t default_id,
                            const ProtocolOptions& opts) {
   const std::map<std::string, std::string> fields = parse_fields(line);
@@ -136,7 +159,7 @@ Request parse_request_line(const std::string& line, std::uint64_t default_id,
              "request line must start with a command: " + line);
   const std::string& cmd = cmd_it->second;
   RS_REQUIRE(cmd == "analyze" || cmd == "reduce",
-             "unknown request '" + cmd + "' (analyze|reduce)");
+             "unknown request '" + cmd + "' (analyze|reduce|cancel|drain)");
 
   Request req;
   req.kind = cmd == "analyze" ? RequestKind::Analyze : RequestKind::Reduce;
@@ -194,7 +217,9 @@ Request parse_request_line(const std::string& line, std::uint64_t default_id,
     req.name = it->second;
   }
   if (const auto it = fields.find("budget"); it != fields.end()) {
-    req.budget_seconds = support::parse_double(it->second, "budget");
+    // Same finite/non-negative rule as the CLI flags: 'inf' would skip the
+    // engine's default cap and create an unbounded-deadline request.
+    req.budget_seconds = support::parse_budget_seconds(it->second, "budget");
     RS_REQUIRE(req.budget_seconds > 0, "budget= must be positive");
   }
   if (const auto it = fields.find("engine"); it != fields.end()) {
@@ -230,7 +255,8 @@ std::string render_response(const Response& resp) {
      << " cached=" << (resp.cache_hit ? 1 : 0);
   char ms[32];
   std::snprintf(ms, sizeof ms, "%.3f", resp.millis);
-  os << " ms=" << ms;
+  os << " ms=" << ms << " stop=" << support::stop_cause_token(p.stats.stop)
+     << " nodes=" << p.stats.nodes;
   if (p.kind == RequestKind::Analyze) {
     for (const TypeAnalysis& t : p.analyze) {
       os << " t" << t.type << ".vals=" << t.value_count << " t" << t.type
@@ -249,5 +275,13 @@ std::string render_response(const Response& resp) {
   }
   return os.str();
 }
+
+std::string render_cancel_ack(std::uint64_t id, bool found) {
+  std::ostringstream os;
+  os << "cancelled id=" << id << " found=" << (found ? 1 : 0);
+  return os.str();
+}
+
+std::string render_drain_ack() { return "drained"; }
 
 }  // namespace rs::service

@@ -9,6 +9,9 @@
 //           [name=<str>]
 //   reduce  <payload> limits=<n>[,<n>...] [engine=...] [budget=<sec>]
 //           [exact=0|1] [verify=0|1] [emit=0|1] [id=<n>] [name=<str>]
+//   cancel  <id>     cooperative cancel of a pending/running request; its
+//                    result line still arrives (stop=cancelled, not cached)
+//   drain            block until every previously submitted request is done
 //
 // <payload> is exactly one of:
 //   kernel=<name> [model=superscalar|vliw]   built-in corpus kernel
@@ -17,16 +20,29 @@
 //
 // '#' starts a comment line; blank lines are ignored. `emit=1` asks for the
 // reduced DDG text in the result. Unset `id` defaults to the caller-supplied
-// sequence number.
+// sequence number; unset `budget` defaults to the engine's 30 s cap
+// (service::kDefaultBudgetSeconds).
 //
 // Result lines:
 //
 //   result id=<n> status=ok kind=analyze name=<str> fp=<hex32> cached=0|1
-//          ms=<t> t<k>.vals=<n> t<k>.rs=<n> t<k>.proven=0|1 ...
+//          ms=<t> stop=proven|limit|timeout|cancelled nodes=<n>
+//          t<k>.vals=<n> t<k>.rs=<n> t<k>.proven=0|1 ...
 //   result id=<n> status=ok kind=reduce name=<str> fp=<hex32> cached=0|1
-//          ms=<t> success=0|1 t<k>.status=fits|reduced|spill|limit
+//          ms=<t> stop=... nodes=<n> success=0|1
+//          t<k>.status=fits|reduced|spill|limit
 //          t<k>.rs=<n> t<k>.arcs=<n> t<k>.loss=<n> ... [ddg=<escaped>]
 //   result id=<n> status=error name=<str> msg=<escaped>
+//   cancelled id=<n> found=0|1               ack for a cancel line
+//   drained                                   ack for a drain line
+//
+// `stop=` is the stop-cause taxonomy of support::SolveStats: proven (search
+// exhausted), limit (node/round cap), timeout (budget deadline), cancelled
+// (cancel token). `nodes=` is the aggregate search-node count. Consumers
+// must treat `stop=cancelled` lines as potentially data-free: a cancelled
+// request that had coalesced onto an identical in-flight solve detaches
+// with status=ok but *no* per-type fields (nothing was computed for it);
+// a cancelled request that computed carries its witnessed partial bounds.
 //
 // Escaping: '%', space, TAB, CR and LF become %XX (uppercase hex), applied to
 // values that may contain whitespace (ddg=, msg=). unescape_field() inverts
@@ -53,14 +69,36 @@ struct ProtocolOptions {
   ddg::MachineModel default_model = ddg::superscalar_model();
 };
 
-/// Parses one request line. `default_id` is used when the line carries no
-/// id=. Throws support::PreconditionError on malformed input (unknown
-/// command, missing/duplicate payload, bad numbers, unreadable file=...).
+/// One parsed protocol line: either an analysis/reduction submission, or a
+/// control verb (cancel/drain) targeting the engine itself.
+enum class CommandKind { Submit, Cancel, Drain };
+
+struct Command {
+  CommandKind kind = CommandKind::Submit;
+  Request request;              // valid when kind == Submit
+  std::uint64_t cancel_id = 0;  // valid when kind == Cancel
+};
+
+/// Parses one protocol line (submission or control verb). `default_id` is
+/// used when a submission carries no id=. Throws support::PreconditionError
+/// on malformed input (unknown command, missing/duplicate payload, bad
+/// numbers, unreadable file=...).
+Command parse_command_line(const std::string& line, std::uint64_t default_id,
+                           const ProtocolOptions& opts = {});
+
+/// Parses one *request* line (analyze/reduce only; control verbs are
+/// rejected). Kept for callers that feed the engine directly.
 Request parse_request_line(const std::string& line, std::uint64_t default_id,
                            const ProtocolOptions& opts = {});
 
 /// Renders a response as one result line (no trailing newline).
 std::string render_response(const Response& resp);
+
+/// Ack line for a cancel verb: "cancelled id=<n> found=0|1".
+std::string render_cancel_ack(std::uint64_t id, bool found);
+
+/// Ack line for a drain verb: "drained".
+std::string render_drain_ack();
 
 /// Splits a protocol line into its key=value fields with values unescaped.
 /// The leading command token appears under the empty key "". Bare tokens map

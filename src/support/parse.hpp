@@ -7,6 +7,7 @@
 #include <cctype>
 #include <charconv>
 #include <climits>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,17 @@ inline double parse_double(const std::string& s, const std::string& what) {
   RS_REQUIRE(ec == std::errc() && ptr == end && !s.empty(),
              what + ": expected a number, got '" + s + "'");
   return value;
+}
+
+/// Parses a solver budget in seconds: finite and non-negative (0 means "no
+/// deadline"). Rejects negative, NaN, infinite and non-numeric input — the
+/// one rule every budget-taking CLI flag shares.
+inline double parse_budget_seconds(const std::string& s,
+                                   const std::string& what) {
+  const double v = parse_double(s, what);
+  RS_REQUIRE(std::isfinite(v), what + ": must be finite, got '" + s + "'");
+  RS_REQUIRE(v >= 0, what + ": must be >= 0, got '" + s + "'");
+  return v;
 }
 
 /// Parses "3,4,5" into {3, 4, 5}. Empty input yields an empty vector;

@@ -1,0 +1,68 @@
+#include "support/solve_context.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace rs::support {
+
+const char* stop_cause_token(StopCause c) {
+  switch (c) {
+    case StopCause::Proven: return "proven";
+    case StopCause::LimitHit: return "limit";
+    case StopCause::TimedOut: return "timeout";
+    case StopCause::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+std::string SolveStats::summary() const {
+  std::ostringstream os;
+  os << "stop=" << stop_cause_token(stop) << " solves=" << solves
+     << " nodes=" << nodes << " prunes=" << prunes
+     << " simplex_iters=" << simplex_iterations
+     << " refine_passes=" << refine_passes;
+  return os.str();
+}
+
+SolveContext::SolveContext(double budget_seconds, CancelToken token)
+    : token_(std::move(token)),
+      sink_(std::make_shared<Sink>()),
+      deadline_(Clock::time_point::max()) {
+  if (budget_seconds > 0 && std::isfinite(budget_seconds)) {
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(budget_seconds));
+  }
+}
+
+double SolveContext::remaining_seconds() const {
+  if (unlimited()) return 1e300;
+  return std::chrono::duration<double>(deadline_ - Clock::now()).count();
+}
+
+SolveContext SolveContext::sub_budget(double seconds) const {
+  Clock::time_point child = deadline_;
+  if (seconds > 0 && std::isfinite(seconds)) {
+    const Clock::time_point until =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+    child = std::min(child, until);
+  }
+  return SolveContext(token_, sink_, child);
+}
+
+SolveContext SolveContext::split(int ways) const {
+  if (unlimited() || ways <= 1) return *this;
+  return sub_budget(remaining_seconds() / static_cast<double>(ways));
+}
+
+void SolveContext::record(const SolveStats& s) const {
+  std::lock_guard<std::mutex> lock(sink_->mu);
+  sink_->stats.merge(s);
+}
+
+SolveStats SolveContext::stats() const {
+  std::lock_guard<std::mutex> lock(sink_->mu);
+  return sink_->stats;
+}
+
+}  // namespace rs::support

@@ -1,4 +1,5 @@
-// Wall-clock timing and deadline helpers for solver budgets.
+// Wall-clock stopwatch (latency measurement). Solver budgets and deadlines
+// live in support/solve_context.hpp.
 #pragma once
 
 #include <chrono>
@@ -23,25 +24,6 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
-};
-
-/// Soft deadline used by the exact solvers. `expired()` is cheap enough to
-/// poll once per branch-and-bound node.
-class Deadline {
- public:
-  /// budget_seconds <= 0 means "no limit".
-  explicit Deadline(double budget_seconds) : budget_(budget_seconds) {}
-
-  bool expired() const {
-    return budget_ > 0.0 && timer_.seconds() >= budget_;
-  }
-  double remaining() const {
-    return budget_ <= 0.0 ? 1e300 : budget_ - timer_.seconds();
-  }
-
- private:
-  Timer timer_;
-  double budget_;
 };
 
 }  // namespace rs::support

@@ -75,10 +75,9 @@ TEST(SrcSolver, LexicographicMaximizesRegisterUse) {
   const RsExactResult rs = rs_exact(ctx);
   ASSERT_TRUE(rs.proven);
   const int R = rs.rs - 1;
-  SrcOptions opts;
-  opts.time_limit_seconds = 30;
   SrcSolver solver(ctx, R);
-  const SrcResult r = solver.reduce_lexicographic(rs.rs, opts);
+  const SrcResult r = solver.reduce_lexicographic(rs.rs, SrcOptions{},
+                                                  support::SolveContext(30));
   ASSERT_TRUE(r.feasible);
   // The decrement loop fills the register file: RN == R is achievable here
   // because RS > R and fir8's pressure is smoothly tunable.
@@ -190,9 +189,9 @@ TEST_P(ReduceBothEngines, OutputsFitAndOptimalDominates) {
 
   ReduceOptions opts;
   opts.rs_upper = rs.rs;
-  opts.src.time_limit_seconds = 30;
 
-  const ReduceResult opt = reduce_optimal(ctx, R, opts);
+  const ReduceResult opt =
+      reduce_optimal(ctx, R, opts, support::SolveContext(30));
   ASSERT_EQ(opt.status, ReduceStatus::Reduced) << kernel;
   const ReduceResult heur = reduce_greedy(ctx, R, opts);
   ASSERT_EQ(heur.status, ReduceStatus::Reduced) << kernel;
@@ -295,9 +294,9 @@ TEST(ReduceIlp, MatchesCombinatorialOptimalMakespan) {
     if (src.status == SrcStatus::LimitHit) continue;
 
     ReduceIlpOptions iopts;
-    iopts.mip.time_limit_seconds = 120;
     iopts.require_all_colors_used = false;  // pure makespan objective
-    const ReduceIlpResult ilp = reduce_ilp_fixed(ctx, R, iopts);
+    const ReduceIlpResult ilp =
+        reduce_ilp_fixed(ctx, R, iopts, support::SolveContext(120));
     if (!src.feasible) {
       // R below the minimal register need: both must agree on infeasibility
       // (the fixed-R intLP reports it as spill-at-this-R).
@@ -315,12 +314,11 @@ TEST(ReduceIlp, MatchesCombinatorialOptimalMakespan) {
 TEST(ReduceIlp, DecrementLoopFindsFeasibleColorCount) {
   const ddg::Ddg d = ddg::lin_ddot(ddg::superscalar_model());
   const TypeContext ctx(d, kFloatReg);
-  ReduceIlpOptions opts;
-  opts.mip.time_limit_seconds = 120;
   // Ask for more colors than values: the all-colors-used constraint is
   // unsatisfiable at first, the decrement loop must recover.
   const int nv = ctx.value_count();
-  const ReduceIlpResult r = reduce_ilp(ctx, nv + 2, opts);
+  const ReduceIlpResult r =
+      reduce_ilp(ctx, nv + 2, ReduceIlpOptions{}, support::SolveContext(120));
   ASSERT_EQ(r.status, ReduceStatus::Reduced);
   EXPECT_LE(r.colors_used, nv);
   EXPECT_TRUE(sched::is_valid(d, r.sigma));
@@ -332,9 +330,8 @@ TEST(ReduceIlp, ExtensionInheritsTheoremGuarantee) {
   const RsExactResult rs = rs_exact(ctx);
   ASSERT_TRUE(rs.proven);
   ASSERT_GE(rs.rs, 3);
-  ReduceIlpOptions opts;
-  opts.mip.time_limit_seconds = 120;
-  const ReduceIlpResult r = reduce_ilp_fixed(ctx, rs.rs - 1, opts);
+  const ReduceIlpResult r = reduce_ilp_fixed(
+      ctx, rs.rs - 1, ReduceIlpOptions{}, support::SolveContext(120));
   ASSERT_EQ(r.status, ReduceStatus::Reduced);
   ASSERT_TRUE(r.extended.has_value());
   const TypeContext ectx(*r.extended, kFloatReg);

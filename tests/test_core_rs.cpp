@@ -202,9 +202,8 @@ TEST_P(IlpMatchesExact, SameOptimum) {
   const TypeContext ctx(d, kFloatReg);
   const RsExactResult exact = rs_exact(ctx);
   ASSERT_TRUE(exact.proven);
-  RsIlpOptions iopts;
-  iopts.mip.time_limit_seconds = 120;
-  const RsIlpResult ilp = rs_ilp(ctx, iopts);
+  const RsIlpResult ilp =
+      rs_ilp(ctx, RsIlpOptions{}, support::SolveContext(120));
   ASSERT_EQ(ilp.status, lp::MipStatus::Optimal);
   EXPECT_EQ(ilp.rs, exact.rs);
   // The intLP witness schedule is valid and achieves the optimum.
@@ -225,9 +224,8 @@ TEST(RsIlp, KernelCrossCheck) {
     const TypeContext ctx(d, kFloatReg);
     const RsExactResult exact = rs_exact(ctx);
     ASSERT_TRUE(exact.proven);
-    RsIlpOptions iopts;
-    iopts.mip.time_limit_seconds = 120;
-    const RsIlpResult ilp = rs_ilp(ctx, iopts);
+    const RsIlpResult ilp =
+        rs_ilp(ctx, RsIlpOptions{}, support::SolveContext(120));
     ASSERT_EQ(ilp.status, lp::MipStatus::Optimal);
     EXPECT_EQ(ilp.rs, exact.rs);
   }
@@ -241,12 +239,11 @@ TEST(RsIlp, OptimizationsPreserveOptimum) {
   const ddg::Ddg d = ddg::random_dag(rng, model, p);
   const TypeContext ctx(d, kFloatReg);
   RsIlpOptions with;
-  with.mip.time_limit_seconds = 120;
   RsIlpOptions without = with;
   without.eliminate_redundant_arcs = false;
   without.eliminate_never_alive_pairs = false;
-  const RsIlpResult a = rs_ilp(ctx, with);
-  const RsIlpResult b = rs_ilp(ctx, without);
+  const RsIlpResult a = rs_ilp(ctx, with, support::SolveContext(120));
+  const RsIlpResult b = rs_ilp(ctx, without, support::SolveContext(120));
   ASSERT_EQ(a.status, lp::MipStatus::Optimal);
   ASSERT_EQ(b.status, lp::MipStatus::Optimal);
   EXPECT_EQ(a.rs, b.rs);
@@ -278,9 +275,8 @@ TEST(RsIlp, VliwModelSolvable) {
   const TypeContext ctx(d, kFloatReg);
   const RsExactResult exact = rs_exact(ctx);
   ASSERT_TRUE(exact.proven);
-  RsIlpOptions iopts;
-  iopts.mip.time_limit_seconds = 120;
-  const RsIlpResult ilp = rs_ilp(ctx, iopts);
+  const RsIlpResult ilp =
+      rs_ilp(ctx, RsIlpOptions{}, support::SolveContext(120));
   ASSERT_EQ(ilp.status, lp::MipStatus::Optimal);
   EXPECT_EQ(ilp.rs, exact.rs);
 }

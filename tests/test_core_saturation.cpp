@@ -36,10 +36,9 @@ TEST(Analyze, EnginesConsistent) {
   exact.engine = RsEngine::ExactCombinatorial;
   AnalyzeOptions ilp;
   ilp.engine = RsEngine::ExactIlp;
-  ilp.time_limit_seconds = 120;
   const SaturationReport g = analyze(d, greedy);
   const SaturationReport e = analyze(d, exact);
-  const SaturationReport i = analyze(d, ilp);
+  const SaturationReport i = analyze(d, ilp, support::SolveContext(120));
   for (ddg::RegType t = 0; t < d.type_count(); ++t) {
     EXPECT_LE(g.of(t).rs, e.of(t).rs);
     EXPECT_TRUE(e.of(t).proven);

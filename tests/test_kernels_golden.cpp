@@ -89,16 +89,16 @@ TEST_P(KernelGolden, ExactSaturationMatchesPinnedValue) {
                                       ? ddg::vliw_model()
                                       : ddg::superscalar_model();
   const ddg::Ddg dag = ddg::build_kernel(g.kernel, model);
-  RsExactOptions opts;
-  opts.time_limit_seconds = 60;
+  const RsExactOptions opts;
 
   const TypeContext fctx(dag, ddg::kFloatReg);
-  const RsExactResult rf = rs_exact(fctx, opts);
+  const RsExactResult rf =
+      rs_exact(fctx, opts, support::SolveContext(60));
   EXPECT_EQ(rf.proven, g.float_proven == 1);
   EXPECT_EQ(rf.rs, g.rs_float) << g.kernel << "/" << g.model << " float";
 
   const TypeContext ictx(dag, ddg::kIntReg);
-  const RsExactResult ri = rs_exact(ictx, opts);
+  const RsExactResult ri = rs_exact(ictx, opts, support::SolveContext(60));
   EXPECT_EQ(ri.proven, g.int_proven == 1);
   EXPECT_EQ(ri.rs, g.rs_int) << g.kernel << "/" << g.model << " int";
 

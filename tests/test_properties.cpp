@@ -74,9 +74,8 @@ TEST_P(PropertySweep, FullInvariantChain) {
 
     // P1: engines ordered and witnessed.
     const RsEstimate heur = greedy_k(ctx);
-    RsExactOptions eopts;
-    eopts.time_limit_seconds = 20;
-    const RsExactResult exact = rs_exact(ctx, eopts);
+    const RsExactResult exact =
+        rs_exact(ctx, RsExactOptions{}, support::SolveContext(20));
     if (!exact.proven) GTEST_SKIP() << "exact budget exhausted";
     ASSERT_LE(heur.rs, exact.rs);
     ASSERT_TRUE(sched::is_valid(dag, heur.witness));
@@ -108,7 +107,9 @@ TEST_P(PropertySweep, FullInvariantChain) {
     const graph::TransitiveClosure tc(*dv);
     for (const int a : heur.antichain) {
       for (const int b : heur.antichain) {
-        if (a != b) EXPECT_FALSE(tc.reaches(a, b));
+        if (a != b) {
+          EXPECT_FALSE(tc.reaches(a, b));
+        }
       }
     }
 
@@ -117,8 +118,8 @@ TEST_P(PropertySweep, FullInvariantChain) {
     const int limit = exact.rs - 1;
     ReduceOptions ropts;
     ropts.rs_upper = exact.rs;
-    ropts.src.time_limit_seconds = 10;
-    const ReduceResult red = reduce_greedy(ctx, limit, ropts);
+    const ReduceResult red =
+        reduce_greedy(ctx, limit, ropts, support::SolveContext(10));
     if (red.status != ReduceStatus::Reduced) continue;  // spill/budget: fine
     ASSERT_TRUE(red.extended.has_value());
     const ddg::Ddg& out = *red.extended;
@@ -131,8 +132,11 @@ TEST_P(PropertySweep, FullInvariantChain) {
     EXPECT_GE(red.critical_path, red.original_cp);
     // The reduction's own claim, verified exactly.
     const TypeContext octx(out, t);
-    const RsExactResult after = rs_exact(octx, eopts);
-    if (after.proven) EXPECT_LE(after.rs, limit);
+    const RsExactResult after =
+        rs_exact(octx, RsExactOptions{}, support::SolveContext(20));
+    if (after.proven) {
+      EXPECT_LE(after.rs, limit);
+    }
     // P4: any schedule of the reduced graph is one of the original.
     const sched::Schedule s2 = sched::asap(out);
     EXPECT_TRUE(sched::is_valid(dag, s2));

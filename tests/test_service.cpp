@@ -5,18 +5,23 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <future>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "core/saturation.hpp"
 #include "ddg/canon.hpp"
+#include "ddg/generators.hpp"
 #include "ddg/io.hpp"
 #include "ddg/kernels.hpp"
 #include "service/cache.hpp"
 #include "service/engine.hpp"
 #include "service/protocol.hpp"
 #include "support/assert.hpp"
+#include "support/random.hpp"
+#include "support/solve_context.hpp"
 
 namespace rs {
 namespace {
@@ -482,6 +487,172 @@ TEST(Engine, StatsTrackLatencyPercentiles) {
   EXPECT_GE(st.p95_ms, st.p50_ms);
   EXPECT_GE(st.max_ms, st.p95_ms);
   EXPECT_GT(st.max_ms, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// cancellation / drain / budgets
+
+TEST(Protocol, ParsesCancelAndDrainVerbs) {
+  const service::Command c1 = service::parse_command_line("cancel 7", 1);
+  EXPECT_EQ(c1.kind, service::CommandKind::Cancel);
+  EXPECT_EQ(c1.cancel_id, 7u);
+  const service::Command c2 = service::parse_command_line("cancel id=42", 1);
+  EXPECT_EQ(c2.kind, service::CommandKind::Cancel);
+  EXPECT_EQ(c2.cancel_id, 42u);
+  const service::Command c3 = service::parse_command_line("drain", 1);
+  EXPECT_EQ(c3.kind, service::CommandKind::Drain);
+  // Submissions pass through unchanged.
+  const service::Command c4 =
+      service::parse_command_line("analyze kernel=lin-ddot", 9);
+  EXPECT_EQ(c4.kind, service::CommandKind::Submit);
+  EXPECT_EQ(c4.request.id, 9u);
+
+  using support::PreconditionError;
+  EXPECT_THROW(service::parse_command_line("cancel", 1), PreconditionError);
+  EXPECT_THROW(service::parse_command_line("cancel x", 1), PreconditionError);
+  EXPECT_THROW(service::parse_command_line("cancel 1 2", 1),
+               PreconditionError);
+  EXPECT_THROW(service::parse_command_line("drain now", 1),
+               PreconditionError);
+  // The request-only parser rejects control verbs outright.
+  EXPECT_THROW(service::parse_request_line("cancel 7", 1), PreconditionError);
+  EXPECT_THROW(service::parse_request_line("drain", 1), PreconditionError);
+
+  EXPECT_EQ(service::render_cancel_ack(7, true), "cancelled id=7 found=1");
+  EXPECT_EQ(service::render_cancel_ack(9, false), "cancelled id=9 found=0");
+  EXPECT_EQ(service::render_drain_ack(), "drained");
+}
+
+TEST(Protocol, ResultLineCarriesStopCauseAndNodes) {
+  AnalysisEngine engine{EngineConfig{}};
+  const Response resp =
+      engine.run(service::parse_request_line("analyze kernel=lin-ddot", 5));
+  const auto fields = service::parse_fields(service::render_response(resp));
+  EXPECT_EQ(fields.at("stop"), "proven");
+  ASSERT_TRUE(fields.count("nodes"));
+  EXPECT_EQ(fields.at("nodes"),
+            std::to_string(resp.payload->stats.nodes));
+}
+
+// A DDG whose exact RS search reliably runs for many seconds unbudgeted
+// (dense layered pipeline: huge killing-function space), so a cancel issued
+// immediately after submission is guaranteed to land mid-flight.
+Ddg slow_instance(std::uint64_t seed) {
+  support::Rng rng(seed);
+  ddg::LayeredDagParams p;
+  p.layers = 6;
+  p.min_width = 4;
+  p.max_width = 6;
+  p.edge_prob = 0.8;
+  return ddg::random_layered(rng, ddg::superscalar_model(), p);
+}
+
+Request slow_analyze(std::uint64_t id, std::uint64_t seed) {
+  Request req;
+  req.id = id;
+  req.kind = RequestKind::Analyze;
+  req.ddg = slow_instance(seed);
+  return req;
+}
+
+TEST(Engine, CancelAbortsInFlightSolveAndSkipsCache) {
+  EngineConfig cfg;
+  cfg.threads = 1;
+  AnalysisEngine engine(cfg);
+  auto fut = engine.submit(slow_analyze(7, 11));
+  ASSERT_TRUE(engine.cancel(7));
+  const Response resp = fut.get();
+  ASSERT_TRUE(resp.payload->ok);
+  EXPECT_FALSE(resp.cache_hit);
+  EXPECT_EQ(resp.payload->stats.stop, support::StopCause::Cancelled);
+  // The pressured (many-value) type cannot have been proven; value-free
+  // types are trivially proven even under cancellation.
+  for (const auto& t : resp.payload->analyze) {
+    if (t.value_count >= 10) {
+      EXPECT_FALSE(t.proven);
+    }
+  }
+
+  // Not cached: an identical request must recompute (cancel it too).
+  auto fut2 = engine.submit(slow_analyze(8, 11));
+  ASSERT_TRUE(engine.cancel(8));
+  const Response r2 = fut2.get();
+  EXPECT_FALSE(r2.cache_hit) << "cancelled results must not be cached";
+  EXPECT_EQ(r2.payload->stats.stop, support::StopCause::Cancelled);
+
+  const auto st = engine.stats();
+  EXPECT_EQ(st.cancelled, 2u);
+  EXPECT_EQ(st.cache_entries, 0u);
+  // Completed requests are no longer cancellable.
+  EXPECT_FALSE(engine.cancel(7));
+}
+
+TEST(Engine, DrainCancelsQueuedButFinishesRunning) {
+  EngineConfig cfg;
+  cfg.threads = 1;
+  AnalysisEngine engine(cfg);
+  // First request: a one-second budget, so the running solve drains as a
+  // timeout. The queued ones behind it are cancelled by drain(). The sleep
+  // lets the single worker actually *start* the first request (drain only
+  // spares started flights); its solve runs far past one second unbudgeted,
+  // so it is still in flight when drain() is called.
+  Request first = slow_analyze(1, 21);
+  first.budget_seconds = 1.0;
+  auto f1 = engine.submit(std::move(first));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  auto f2 = engine.submit(slow_analyze(2, 22));
+  auto f3 = engine.submit(slow_analyze(3, 23));
+  engine.drain();
+  const Response r1 = f1.get();
+  const Response r2 = f2.get();
+  const Response r3 = f3.get();
+  EXPECT_EQ(r1.payload->stats.stop, support::StopCause::TimedOut);
+  EXPECT_EQ(r2.payload->stats.stop, support::StopCause::Cancelled);
+  EXPECT_EQ(r3.payload->stats.stop, support::StopCause::Cancelled);
+  const auto st = engine.stats();
+  EXPECT_EQ(st.completed, 3u);
+  EXPECT_EQ(st.cancelled, 2u);
+  EXPECT_EQ(st.timed_out, 1u);
+}
+
+TEST(Engine, CancelReleasesCoalescedWaiter) {
+  EngineConfig cfg;
+  cfg.threads = 2;
+  AnalysisEngine engine(cfg);
+  auto f1 = engine.submit(slow_analyze(1, 41));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Identical DDG + options: coalesces onto request 1's in-flight solve.
+  auto f2 = engine.submit(slow_analyze(2, 41));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(engine.cancel(2));
+  // The waiter detaches promptly with a Cancelled payload instead of
+  // riding the owner's (still running) solve to completion.
+  const Response r2 = f2.get();
+  EXPECT_EQ(r2.payload->stats.stop, support::StopCause::Cancelled);
+  ASSERT_TRUE(engine.cancel(1));
+  const Response r1 = f1.get();
+  EXPECT_EQ(r1.payload->stats.stop, support::StopCause::Cancelled);
+  EXPECT_EQ(engine.stats().cancelled, 2u);
+}
+
+TEST(Engine, TimedOutSolveReportsTimeoutAndIsCached) {
+  AnalysisEngine engine{EngineConfig{}};
+  Request req = slow_analyze(1, 31);
+  req.budget_seconds = 1e-9;
+  const Response r1 = engine.run(Request(req));
+  ASSERT_TRUE(r1.payload->ok);
+  EXPECT_EQ(r1.payload->stats.stop, support::StopCause::TimedOut);
+  for (const auto& t : r1.payload->analyze) {
+    if (t.value_count > 0) {
+      EXPECT_FALSE(t.proven);
+    }
+  }
+  // Same budget, same DDG: a deterministic "best effort within budget"
+  // answer, so it is served from the cache.
+  const Response r2 = engine.run(Request(req));
+  EXPECT_TRUE(r2.cache_hit);
+  const auto st = engine.stats();
+  EXPECT_EQ(st.timed_out, 1u);
 }
 
 }  // namespace

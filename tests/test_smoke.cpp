@@ -30,9 +30,8 @@ TEST(Smoke, DdotSuperscalarAllEnginesAgree) {
   ASSERT_TRUE(sched::is_valid(dag, exact.witness));
   EXPECT_EQ(sched::register_need(dag, ddg::kFloatReg, exact.witness), exact.rs);
 
-  core::RsIlpOptions iopts;
-  iopts.mip.time_limit_seconds = 60;
-  const core::RsIlpResult ilp = core::rs_ilp(ctx, iopts);
+  const core::RsIlpResult ilp = core::rs_ilp(
+      ctx, core::RsIlpOptions{}, support::SolveContext(60));
   ASSERT_TRUE(ilp.proven) << "intLP did not prove optimality";
   EXPECT_EQ(ilp.rs, exact.rs);
 }

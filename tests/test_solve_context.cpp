@@ -1,0 +1,287 @@
+// The SolveContext spine: deadline/cancel/stats semantics of the context
+// itself, plus the library-wide budget-exhaustion contract — every exact
+// solver handed an already-expired (~1e-9 s) or pre-cancelled context must
+// return a *valid witnessed* bound with proven == false and the right stop
+// cause, never crash, and never spin.
+#include <gtest/gtest.h>
+
+#include "core/reduce.hpp"
+#include "core/reduce_ilp.hpp"
+#include "core/rs_exact.hpp"
+#include "core/rs_ilp.hpp"
+#include "core/saturation.hpp"
+#include "core/src_solver.hpp"
+#include "ddg/kernels.hpp"
+#include "graph/paths.hpp"
+#include "sched/lifetime.hpp"
+#include "support/solve_context.hpp"
+
+namespace rs {
+namespace {
+
+using core::ReduceStatus;
+using core::RsExactOptions;
+using core::RsExactResult;
+using core::SrcOptions;
+using core::SrcSolver;
+using core::SrcStatus;
+using core::TypeContext;
+using support::CancelToken;
+using support::SolveContext;
+using support::SolveStats;
+using support::StopCause;
+
+constexpr double kTinyBudget = 1e-9;
+
+// ------------------------------------------------------ context semantics --
+
+TEST(SolveContext, UnlimitedByDefault) {
+  const SolveContext ctx;
+  EXPECT_TRUE(ctx.unlimited());
+  EXPECT_FALSE(ctx.expired());
+  EXPECT_FALSE(ctx.cancelled());
+  EXPECT_FALSE(ctx.stop_requested());
+  EXPECT_FALSE(ctx.should_stop(0));
+  EXPECT_GT(ctx.remaining_seconds(), 1e100);
+  EXPECT_EQ(ctx.cause_now(false), StopCause::Proven);
+  EXPECT_EQ(ctx.cause_now(true), StopCause::LimitHit);
+}
+
+TEST(SolveContext, NonPositiveBudgetMeansUnlimited) {
+  EXPECT_TRUE(SolveContext(0.0).unlimited());
+  EXPECT_TRUE(SolveContext(-1.0).unlimited());
+}
+
+TEST(SolveContext, TinyBudgetExpiresImmediately) {
+  const SolveContext ctx(kTinyBudget);
+  EXPECT_FALSE(ctx.unlimited());
+  EXPECT_TRUE(ctx.expired());
+  EXPECT_TRUE(ctx.stop_requested());
+  // Tick 0 is a clock-poll tick, so the hot-loop check fires too.
+  EXPECT_TRUE(ctx.should_stop(0));
+  EXPECT_EQ(ctx.cause_now(false), StopCause::TimedOut);
+}
+
+TEST(SolveContext, HotLoopPollsClockCoarsely) {
+  const SolveContext ctx(kTinyBudget);
+  // Off-interval ticks skip the clock: only the cancel flag is consulted.
+  EXPECT_FALSE(ctx.should_stop(1));
+  EXPECT_FALSE(ctx.should_stop(SolveContext::kPollInterval - 1));
+  EXPECT_TRUE(ctx.should_stop(SolveContext::kPollInterval));
+}
+
+TEST(SolveContext, CancelTokenSharedAcrossCopiesAndChildren) {
+  const SolveContext parent;
+  const SolveContext child = parent.sub_budget(1000.0);
+  const SolveContext copy = parent;  // NOLINT(performance-unnecessary-copy)
+  EXPECT_FALSE(child.cancelled());
+  parent.request_cancel();
+  EXPECT_TRUE(parent.cancelled());
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_TRUE(copy.cancelled());
+  // Cancelled wins over everything in the cause taxonomy.
+  EXPECT_EQ(child.cause_now(true), StopCause::Cancelled);
+  // Off-interval ticks still observe the cancel flag.
+  EXPECT_TRUE(child.should_stop(1));
+}
+
+TEST(SolveContext, SubBudgetOnlyTightens) {
+  const SolveContext parent(kTinyBudget);
+  // A child asking for a huge budget cannot outlive its expired parent.
+  EXPECT_TRUE(parent.sub_budget(1e6).expired());
+  EXPECT_TRUE(parent.split(1).expired());
+  // An unlimited parent tightens to the child's own deadline.
+  const SolveContext child = SolveContext().sub_budget(kTinyBudget);
+  EXPECT_FALSE(child.unlimited());
+  EXPECT_TRUE(child.expired());
+  // Splitting an unlimited context stays unlimited.
+  EXPECT_TRUE(SolveContext().split(4).unlimited());
+}
+
+TEST(SolveContext, StatsSinkSharedWithChildren) {
+  const SolveContext parent;
+  SolveStats leaf;
+  leaf.nodes = 10;
+  leaf.solves = 1;
+  leaf.stop = StopCause::LimitHit;
+  parent.sub_budget(5.0).record(leaf);
+  parent.record(leaf);
+  const SolveStats total = parent.stats();
+  EXPECT_EQ(total.nodes, 20);
+  EXPECT_EQ(total.solves, 2);
+  EXPECT_EQ(total.stop, StopCause::LimitHit);
+}
+
+TEST(SolveStats, MergeKeepsWorstCause) {
+  EXPECT_EQ(support::worse_cause(StopCause::Proven, StopCause::LimitHit),
+            StopCause::LimitHit);
+  EXPECT_EQ(support::worse_cause(StopCause::TimedOut, StopCause::LimitHit),
+            StopCause::TimedOut);
+  EXPECT_EQ(support::worse_cause(StopCause::TimedOut, StopCause::Cancelled),
+            StopCause::Cancelled);
+  SolveStats a;
+  a.stop = StopCause::TimedOut;
+  a.nodes = 5;
+  SolveStats b;
+  b.stop = StopCause::LimitHit;
+  b.prunes = 3;
+  a.merge(b);
+  EXPECT_EQ(a.stop, StopCause::TimedOut);
+  EXPECT_EQ(a.nodes, 5);
+  EXPECT_EQ(a.prunes, 3);
+}
+
+TEST(SolveStats, TokensAreStable) {
+  EXPECT_STREQ(support::stop_cause_token(StopCause::Proven), "proven");
+  EXPECT_STREQ(support::stop_cause_token(StopCause::LimitHit), "limit");
+  EXPECT_STREQ(support::stop_cause_token(StopCause::TimedOut), "timeout");
+  EXPECT_STREQ(support::stop_cause_token(StopCause::Cancelled), "cancelled");
+}
+
+// ------------------------------------------------- budget exhaustion bar --
+
+ddg::Ddg pressured_kernel() {
+  return ddg::fir8(ddg::superscalar_model());
+}
+
+TEST(BudgetExhaustion, RsExactReturnsWitnessedBound) {
+  const ddg::Ddg d = pressured_kernel();
+  const TypeContext ctx(d, ddg::kFloatReg);
+  const RsExactResult r =
+      core::rs_exact(ctx, RsExactOptions{}, SolveContext(kTinyBudget));
+  EXPECT_FALSE(r.proven);
+  EXPECT_EQ(r.stats.stop, StopCause::TimedOut);
+  // The warm start still yields a valid witnessed lower bound.
+  ASSERT_GE(r.rs, 1);
+  ASSERT_TRUE(r.killing.complete());
+  ASSERT_TRUE(sched::is_valid(d, r.witness));
+  EXPECT_EQ(sched::register_need(d, ddg::kFloatReg, r.witness), r.rs);
+  // Cross-check against the unbudgeted exact answer: bound from below.
+  const RsExactResult full = core::rs_exact(ctx);
+  ASSERT_TRUE(full.proven);
+  EXPECT_EQ(full.stats.stop, StopCause::Proven);
+  EXPECT_LE(r.rs, full.rs);
+}
+
+TEST(BudgetExhaustion, RsExactPreCancelledReportsCancelled) {
+  const ddg::Ddg d = pressured_kernel();
+  const TypeContext ctx(d, ddg::kFloatReg);
+  CancelToken token;
+  token.request_cancel();
+  const RsExactResult r =
+      core::rs_exact(ctx, RsExactOptions{}, SolveContext(0.0, token));
+  EXPECT_FALSE(r.proven);
+  EXPECT_EQ(r.stats.stop, StopCause::Cancelled);
+  ASSERT_TRUE(sched::is_valid(d, r.witness));
+  EXPECT_EQ(sched::register_need(d, ddg::kFloatReg, r.witness), r.rs);
+}
+
+TEST(BudgetExhaustion, BranchBoundIlpStopsWithTimeoutAndStaysWitnessed) {
+  const ddg::Ddg d = pressured_kernel();
+  const TypeContext ctx(d, ddg::kFloatReg);
+  const core::RsIlpResult r =
+      core::rs_ilp(ctx, core::RsIlpOptions{}, SolveContext(kTinyBudget));
+  EXPECT_FALSE(r.proven);
+  EXPECT_NE(r.status, lp::MipStatus::Optimal);
+  EXPECT_EQ(r.solve_stats.stop, StopCause::TimedOut);
+  // Even with zero branch-and-bound incumbents, the ILP engine falls back
+  // to the greedy certificate: a valid witnessed lower bound.
+  ASSERT_GE(r.rs, 1);
+  ASSERT_TRUE(sched::is_valid(d, r.witness));
+  EXPECT_EQ(sched::register_need(d, ddg::kFloatReg, r.witness), r.rs);
+  const RsExactResult full = core::rs_exact(ctx);
+  ASSERT_TRUE(full.proven);
+  EXPECT_LE(r.rs, full.rs);
+}
+
+TEST(BudgetExhaustion, SrcSolverStopsWithTimeout) {
+  const ddg::Ddg d = pressured_kernel();
+  const TypeContext ctx(d, ddg::kFloatReg);
+  const core::RsExactResult rs = core::rs_exact(ctx);
+  ASSERT_TRUE(rs.proven);
+  ASSERT_GE(rs.rs, 2);
+  SrcSolver solver(ctx, rs.rs - 1);
+  const core::SrcResult r =
+      solver.feasible(graph::critical_path(d.graph()) + 4, 0, SrcOptions{},
+                      SolveContext(kTinyBudget));
+  EXPECT_EQ(r.status, SrcStatus::LimitHit);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.stats.stop, StopCause::TimedOut);
+
+  const core::SrcResult sweep = solver.minimize_makespan(
+      SrcOptions{}, SolveContext(kTinyBudget));
+  EXPECT_EQ(sweep.status, SrcStatus::LimitHit);
+  EXPECT_EQ(sweep.stats.stop, StopCause::TimedOut);
+}
+
+TEST(BudgetExhaustion, ReduceOptimalStopsWithTimeout) {
+  const ddg::Ddg d = pressured_kernel();
+  const TypeContext ctx(d, ddg::kFloatReg);
+  const core::RsExactResult rs = core::rs_exact(ctx);
+  ASSERT_TRUE(rs.proven);
+  ASSERT_GE(rs.rs, 3);
+  core::ReduceOptions ropts;
+  ropts.rs_upper = rs.rs;
+  const core::ReduceResult r = core::reduce_optimal(
+      ctx, rs.rs - 1, ropts, SolveContext(kTinyBudget));
+  EXPECT_EQ(r.status, ReduceStatus::LimitHit);
+  EXPECT_EQ(r.stats.stop, StopCause::TimedOut);
+}
+
+TEST(BudgetExhaustion, ReduceIlpStopsWithTimeout) {
+  const ddg::Ddg d = pressured_kernel();
+  const TypeContext ctx(d, ddg::kFloatReg);
+  const core::ReduceIlpResult r = core::reduce_ilp_fixed(
+      ctx, 2, core::ReduceIlpOptions{}, SolveContext(kTinyBudget));
+  EXPECT_EQ(r.status, ReduceStatus::LimitHit);
+  EXPECT_EQ(r.stats.stop, StopCause::TimedOut);
+}
+
+TEST(BudgetExhaustion, PipelineReportsTimeoutPerPressuredType) {
+  const ddg::Ddg d = pressured_kernel();
+  // Force real work for the float type; keep int trivially fitting so the
+  // free fast path still reports AlreadyFits under the expired budget.
+  const TypeContext fctx(d, ddg::kFloatReg);
+  const core::RsExactResult rs = core::rs_exact(fctx);
+  ASSERT_TRUE(rs.proven);
+  ASSERT_GE(rs.rs, 2);
+  std::vector<int> limits(d.type_count(), 1 << 20);
+  limits[ddg::kFloatReg] = rs.rs - 1;
+  const core::PipelineResult out = core::ensure_limits(
+      d, limits, core::PipelineOptions{}, SolveContext(kTinyBudget));
+  EXPECT_FALSE(out.success);
+  EXPECT_EQ(out.stats.stop, StopCause::TimedOut);
+  EXPECT_EQ(out.per_type[ddg::kFloatReg].status, ReduceStatus::LimitHit);
+  for (ddg::RegType t = 0; t < d.type_count(); ++t) {
+    if (t == ddg::kFloatReg) continue;
+    EXPECT_EQ(out.per_type[t].status, ReduceStatus::AlreadyFits);
+  }
+}
+
+TEST(BudgetExhaustion, AnalyzeSplitsBudgetAndStaysWitnessed) {
+  const ddg::Ddg d = pressured_kernel();
+  const core::SaturationReport report = core::analyze(
+      d, core::AnalyzeOptions{}, SolveContext(kTinyBudget));
+  EXPECT_EQ(report.stats.stop, StopCause::TimedOut);
+  for (const core::TypeSaturation& t : report.per_type) {
+    if (t.value_count == 0) continue;
+    EXPECT_FALSE(t.proven);
+    ASSERT_TRUE(sched::is_valid(d, t.witness));
+    EXPECT_EQ(sched::register_need(d, t.type, t.witness), t.rs);
+  }
+}
+
+TEST(BudgetExhaustion, GreedyRefinementInterruptedStaysValid) {
+  const ddg::Ddg d = pressured_kernel();
+  const TypeContext ctx(d, ddg::kFloatReg);
+  core::GreedyOptions gopts;
+  gopts.refine_passes = 50;
+  const core::RsEstimate est =
+      core::greedy_k(ctx, gopts, SolveContext(kTinyBudget));
+  EXPECT_EQ(est.stats.stop, StopCause::TimedOut);
+  ASSERT_TRUE(sched::is_valid(d, est.witness));
+  EXPECT_EQ(sched::register_need(d, ddg::kFloatReg, est.witness), est.rs);
+}
+
+}  // namespace
+}  // namespace rs

@@ -185,15 +185,5 @@ TEST(ThreadPool, ZeroTasksIsNoop) {
   pool.parallel_for(0, [&](std::size_t) { FAIL(); });
 }
 
-TEST(Timer, DeadlineExpires) {
-  Deadline d(0.0);  // <= 0 means unlimited
-  EXPECT_FALSE(d.expired());
-  Deadline tiny(1e-9);
-  // Monotonic clock: after any work the tiny budget is gone.
-  volatile int sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
-  EXPECT_TRUE(tiny.expired());
-}
-
 }  // namespace
 }  // namespace rs::support

@@ -1,8 +1,10 @@
 // rsat — command-line front end for the register saturation library.
 //
 //   rsat analyze <file.ddg> [--engine greedy|exact|ilp] [--budget S]
+//       [--stats]
 //       RS per register type, with witnesses proven or estimated.
-//   rsat reduce <file.ddg> --limits N[,N...] [--exact] [-o out.ddg]
+//   rsat reduce <file.ddg> --limits N[,N...] [--exact] [--budget S]
+//       [--stats] [-o out.ddg]
 //       figure-1 pipeline; writes the register-safe DDG.
 //   rsat dot <file.ddg>
 //       Graphviz dump.
@@ -14,10 +16,21 @@
 //       stream protocol requests (stdin or manifest file) through the
 //       cached concurrent analysis engine; result lines on stdout, a
 //       summary with hit rate and latency percentiles on stderr.
+//       Understands cancel/drain control verbs; Ctrl-C (SIGINT) stops
+//       reading, cancels in-flight solves cooperatively, prints every
+//       pending result plus the summary, and exits 0.
+//
+// --budget S bounds total solve seconds (0 = no deadline); S must be a
+// finite non-negative number. --stats prints aggregate solver statistics
+// (nodes, prunes, simplex iterations, stop cause).
 //
 // The .ddg text format is documented in src/ddg/io.hpp; the batch request/
 // result protocol in src/service/protocol.hpp.
+#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <deque>
@@ -47,13 +60,19 @@ int usage() {
   std::fputs(
       "usage:\n"
       "  rsat analyze <file.ddg> [--engine greedy|exact|ilp] [--budget S]\n"
-      "  rsat reduce  <file.ddg> --limits N[,N...] [--exact] [-o out.ddg]\n"
+      "               [--stats]\n"
+      "  rsat reduce  <file.ddg> --limits N[,N...] [--exact] [--budget S]\n"
+      "               [--stats] [-o out.ddg]\n"
       "  rsat dot     <file.ddg>\n"
       "  rsat kernels\n"
       "  rsat dump <kernel> [--vliw]\n"
       "  rsat batch [manifest] [--threads N] [--cache-mb M] [--vliw]\n",
       stderr);
   return 2;
+}
+
+double parse_budget(const std::string& s) {
+  return rs::support::parse_budget_seconds(s, "--budget");
 }
 
 std::string read_file(const std::string& path) {
@@ -72,6 +91,8 @@ rs::ddg::Ddg load(const std::string& path) {
 int cmd_analyze(int argc, char** argv) {
   if (argc < 3) return usage();
   rs::core::AnalyzeOptions opts;
+  double budget = 30.0;  // seconds; 0 = no deadline
+  bool want_stats = false;
   for (int i = 3; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--engine") && i + 1 < argc) {
       const std::string e = argv[++i];
@@ -80,17 +101,31 @@ int cmd_analyze(int argc, char** argv) {
       else if (e == "ilp") opts.engine = rs::core::RsEngine::ExactIlp;
       else return usage();
     } else if (!std::strcmp(argv[i], "--budget") && i + 1 < argc) {
-      opts.time_limit_seconds = std::atof(argv[++i]);
+      try {
+        budget = parse_budget(argv[++i]);
+      } catch (const rs::support::PreconditionError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return usage();
+      }
+    } else if (!std::strcmp(argv[i], "--stats")) {
+      want_stats = true;
     }
   }
   const rs::ddg::Ddg dag = load(argv[2]);
   std::printf("%s: %d ops, %d arcs, critical path %lld\n",
               dag.name().c_str(), dag.op_count(), dag.graph().edge_count(),
               static_cast<long long>(rs::graph::critical_path(dag.graph())));
-  const rs::core::SaturationReport report = rs::core::analyze(dag, opts);
+  const rs::core::SaturationReport report =
+      rs::core::analyze(dag, opts, rs::support::SolveContext(budget));
   for (const auto& t : report.per_type) {
     std::printf("type %d: %d values, RS = %d (%s)\n", t.type, t.value_count,
                 t.rs, t.proven ? "proven" : "estimate");
+    if (want_stats) {
+      std::printf("type %d stats: %s\n", t.type, t.stats.summary().c_str());
+    }
+  }
+  if (want_stats) {
+    std::printf("stats: %s\n", report.stats.summary().c_str());
   }
   return 0;
 }
@@ -100,6 +135,8 @@ int cmd_reduce(int argc, char** argv) {
   std::vector<int> limits;
   std::string out_path;
   rs::core::PipelineOptions opts;
+  double budget = 30.0;  // seconds; 0 = no deadline
+  bool want_stats = false;
   for (int i = 3; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--limits") && i + 1 < argc) {
       try {
@@ -110,6 +147,15 @@ int cmd_reduce(int argc, char** argv) {
       }
     } else if (!std::strcmp(argv[i], "--exact")) {
       opts.exact_reduction = true;
+    } else if (!std::strcmp(argv[i], "--budget") && i + 1 < argc) {
+      try {
+        budget = parse_budget(argv[++i]);
+      } catch (const rs::support::PreconditionError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return usage();
+      }
+    } else if (!std::strcmp(argv[i], "--stats")) {
+      want_stats = true;
     } else if (!std::strcmp(argv[i], "-o") && i + 1 < argc) {
       out_path = argv[++i];
     }
@@ -120,7 +166,8 @@ int cmd_reduce(int argc, char** argv) {
                  dag.type_count());
     return 2;
   }
-  const rs::core::PipelineResult result = rs::core::ensure_limits(dag, limits, opts);
+  const rs::core::PipelineResult result = rs::core::ensure_limits(
+      dag, limits, opts, rs::support::SolveContext(budget));
   for (rs::ddg::RegType t = 0; t < dag.type_count(); ++t) {
     const auto& r = result.per_type[t];
     const char* status = "?";
@@ -134,6 +181,9 @@ int cmd_reduce(int argc, char** argv) {
                 r.achieved_rs, r.arcs_added,
                 static_cast<long long>(r.ilp_loss()));
   }
+  if (want_stats) {
+    std::printf("stats: %s\n", result.stats.summary().c_str());
+  }
   if (!result.success) {
     std::fprintf(stderr, "pipeline incomplete: %s\n", result.note.c_str());
     return 1;
@@ -144,6 +194,42 @@ int cmd_reduce(int argc, char** argv) {
     std::printf("wrote %s\n", out_path.c_str());
   }
   return 0;
+}
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void handle_sigint(int) { g_interrupted = 1; }
+
+/// Installs the SIGINT handler without SA_RESTART so a blocking stdin read
+/// returns (with EINTR) instead of resuming, letting the reader loop notice
+/// the interrupt and start the drain. SA_RESETHAND restores the default
+/// action after the first signal, so a second Ctrl-C always terminates.
+void install_sigint_handler() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct sigaction sa = {};
+  sa.sa_handler = handle_sigint;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESETHAND;
+  sigaction(SIGINT, &sa, nullptr);
+#else
+  std::signal(SIGINT, handle_sigint);
+#endif
+}
+
+/// SIGINT is delivered to an arbitrary thread with it unblocked. The drain
+/// design needs it on the *main* thread (whose blocking stdin read must
+/// return EINTR), so SIGINT is masked around the creation of every helper
+/// thread — engine workers, printer, watcher all inherit the blocked mask —
+/// and unmasked in main afterwards.
+void mask_sigint(bool block) {
+#if defined(__unix__) || defined(__APPLE__)
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  pthread_sigmask(block ? SIG_BLOCK : SIG_UNBLOCK, &set, nullptr);
+#else
+  static_cast<void>(block);
+#endif
 }
 
 int cmd_batch(int argc, char** argv) {
@@ -185,13 +271,34 @@ int cmd_batch(int argc, char** argv) {
   }
   std::istream& in = manifest_path.empty() ? std::cin : manifest;
 
+  install_sigint_handler();
+  mask_sigint(true);  // unmasked again after every helper thread exists
+
   rs::service::AnalysisEngine engine(cfg);
   const rs::support::Timer wall;
 
-  // One slot per request line: either a pre-rendered parse-error line or a
-  // pending response. A dedicated printer thread emits result lines in
-  // request order as soon as each future resolves, so a co-process driving
-  // stdin interactively sees its result without waiting for EOF.
+  // The reader loop only observes g_interrupted between lines, so a SIGINT
+  // arriving after EOF (manifest fully read, solves still running, main
+  // thread blocked in printer.join()) would otherwise be swallowed. This
+  // watcher turns the flag into engine.cancel_all() no matter which phase
+  // the batch is in; every future then resolves promptly and the normal
+  // drain/summary path runs.
+  std::atomic<bool> watcher_done{false};
+  std::thread sigint_watcher([&] {
+    while (!watcher_done.load()) {
+      if (g_interrupted) {
+        engine.cancel_all();
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+
+  // One slot per request line: either a pre-rendered line (parse error or a
+  // cancel/drain ack) or a pending response. A dedicated printer thread
+  // emits result lines in request order as soon as each future resolves, so
+  // a co-process driving stdin interactively sees its result without
+  // waiting for EOF.
   struct Slot {
     std::string pre;
     std::future<rs::service::Response> fut;
@@ -203,7 +310,11 @@ int cmd_batch(int argc, char** argv) {
   std::mutex mu;
   std::condition_variable cv;
   bool submitted_all = false;
-  std::uint64_t total = 0, ok = 0, failed = 0;  // ok/failed: printer-owned
+  // Printer-owned tallies. Cancelled/timed-out responses count as ok (they
+  // carry valid witnessed bounds) and are additionally tallied by cause.
+  // Parse errors are reader-owned (parse_errors) and merged after join.
+  std::uint64_t total = 0, ok = 0, failed = 0, parse_errors = 0;
+  std::uint64_t cancelled = 0, timed_out = 0;
 
   std::thread printer([&] {
     for (;;) {
@@ -217,42 +328,80 @@ int cmd_batch(int argc, char** argv) {
         cv.notify_all();  // wake the reader if it hit the pending cap
       }
       if (!slot.pre.empty()) {
-        ++failed;
         std::puts(slot.pre.c_str());
       } else {
         const rs::service::Response resp = slot.fut.get();
         (resp.payload->ok ? ok : failed)++;
+        if (resp.payload->ok) {
+          switch (resp.payload->stats.stop) {
+            case rs::support::StopCause::Cancelled: ++cancelled; break;
+            case rs::support::StopCause::TimedOut: ++timed_out; break;
+            default: break;
+          }
+        }
         std::puts(rs::service::render_response(resp).c_str());
       }
       std::fflush(stdout);
     }
   });
 
-  std::string line;
-  int lineno = 0;
-  std::uint64_t next_id = 1;
-  while (std::getline(in, line)) {
-    ++lineno;
-    if (rs::service::is_blank_or_comment(line)) continue;
-    Slot slot;
-    try {
-      rs::service::Request req =
-          rs::service::parse_request_line(line, next_id, popts);
-      ++next_id;
-      slot.fut = engine.submit(std::move(req));
-    } catch (const std::exception& e) {
-      std::ostringstream os;
-      os << "result id=" << next_id++ << " status=error name=line" << lineno
-         << " msg=" << rs::service::escape_field(e.what());
-      slot.pre = os.str();
-    }
-    ++total;
+  mask_sigint(false);  // all helper threads spawned; deliver to main only
+
+  auto push_slot = [&](Slot slot) {
     {
       std::unique_lock<std::mutex> lock(mu);
       cv.wait(lock, [&] { return pending.size() < kMaxPending; });
       pending.push_back(std::move(slot));
     }
     cv.notify_all();
+  };
+
+  std::string line;
+  int lineno = 0;
+  std::uint64_t next_id = 1;
+  while (!g_interrupted && std::getline(in, line)) {
+    ++lineno;
+    if (rs::service::is_blank_or_comment(line)) continue;
+    Slot slot;
+    bool counts = true;  // control-verb acks are not requests
+    try {
+      rs::service::Command cmd =
+          rs::service::parse_command_line(line, next_id, popts);
+      switch (cmd.kind) {
+        case rs::service::CommandKind::Submit:
+          ++next_id;
+          slot.fut = engine.submit(std::move(cmd.request));
+          break;
+        case rs::service::CommandKind::Cancel:
+          slot.pre = rs::service::render_cancel_ack(
+              cmd.cancel_id, engine.cancel(cmd.cancel_id));
+          counts = false;
+          break;
+        case rs::service::CommandKind::Drain:
+          // Block further reading until everything submitted so far has
+          // completed; the printer drains concurrently.
+          engine.wait_idle();
+          slot.pre = rs::service::render_drain_ack();
+          counts = false;
+          break;
+      }
+    } catch (const std::exception& e) {
+      std::ostringstream os;
+      os << "result id=" << next_id++ << " status=error name=line" << lineno
+         << " msg=" << rs::service::escape_field(e.what());
+      slot.pre = os.str();
+      ++parse_errors;  // printer never inspects pre-rendered slots
+    }
+    if (counts) ++total;
+    push_slot(std::move(slot));
+  }
+  if (g_interrupted) {
+    // Drain-then-summarize: cancel every in-flight solve cooperatively and
+    // wait. Each one still resolves its future (stop=cancelled), so every
+    // already-submitted request gets its result line before the summary.
+    // (Idempotent with the watcher's cancel_all for post-EOF interrupts.)
+    engine.cancel_all();
+    engine.wait_idle();
   }
   {
     std::lock_guard<std::mutex> lock(mu);
@@ -260,13 +409,25 @@ int cmd_batch(int argc, char** argv) {
   }
   cv.notify_all();
   printer.join();
+  watcher_done.store(true);
+  sigint_watcher.join();
+  failed += parse_errors;
 
+  if (total == 0) {
+    std::fprintf(stderr, "batch: 0 requests\n");
+    return 0;
+  }
   const double wall_s = wall.seconds();
   const rs::service::EngineStats st = engine.stats();
-  std::fprintf(stderr, "batch: %llu requests, %llu ok, %llu error\n",
+  std::fprintf(stderr,
+               "batch: %llu requests, %llu ok, %llu error "
+               "(%llu cancelled, %llu timed out)%s\n",
                static_cast<unsigned long long>(total),
                static_cast<unsigned long long>(ok),
-               static_cast<unsigned long long>(failed));
+               static_cast<unsigned long long>(failed),
+               static_cast<unsigned long long>(cancelled),
+               static_cast<unsigned long long>(timed_out),
+               g_interrupted ? " [interrupted, drained]" : "");
   std::fprintf(stderr,
                "cache: %llu hits + %llu coalesced / %llu lookups "
                "(%.1f%% hit rate), %zu entries, %zu bytes\n",
@@ -278,8 +439,8 @@ int cmd_batch(int argc, char** argv) {
   std::fprintf(stderr, "latency: p50 %.3f ms, p95 %.3f ms, max %.3f ms\n",
                st.p50_ms, st.p95_ms, st.max_ms);
   std::fprintf(stderr, "wall: %.3f s (%.1f req/s), %zu threads\n", wall_s,
-               total == 0 ? 0.0 : static_cast<double>(total) / wall_s,
-               engine.thread_count());
+               static_cast<double>(total) / wall_s, engine.thread_count());
+  if (g_interrupted) return 0;  // drained cleanly after Ctrl-C
   return failed == 0 ? 0 : 1;
 }
 
