@@ -1,0 +1,223 @@
+#include "service/codec.hpp"
+
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "support/parse.hpp"
+
+namespace rs::service {
+
+namespace {
+
+std::optional<support::StopCause> stop_cause_from_token(
+    const std::string& tok) {
+  using support::StopCause;
+  if (tok == "proven") return StopCause::Proven;
+  if (tok == "limit") return StopCause::LimitHit;
+  if (tok == "timeout") return StopCause::TimedOut;
+  if (tok == "cancelled") return StopCause::Cancelled;
+  return std::nullopt;
+}
+
+std::optional<core::ReduceStatus> reduce_status_from_token(
+    const std::string& tok) {
+  using core::ReduceStatus;
+  if (tok == "fits") return ReduceStatus::AlreadyFits;
+  if (tok == "reduced") return ReduceStatus::Reduced;
+  if (tok == "spill") return ReduceStatus::SpillNeeded;
+  if (tok == "limit") return ReduceStatus::LimitHit;
+  return std::nullopt;
+}
+
+/// Splits "a:b:c" on ':' — entry fields never contain ':' (all numeric or
+/// status tokens), so no escaping is needed inside entries.
+std::vector<std::string> split_colon(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = s.find(':', start);
+    out.push_back(s.substr(start, pos == std::string::npos
+                                      ? std::string::npos
+                                      : pos - start));
+    if (pos == std::string::npos) return out;
+    start = pos + 1;
+  }
+}
+
+long long req_ll(const std::map<std::string, std::string>& fields,
+                 const char* key) {
+  const auto it = fields.find(key);
+  RS_REQUIRE(it != fields.end(), std::string("missing ") + key + "=");
+  return support::parse_ll(it->second, key);
+}
+
+bool req_flag(const std::map<std::string, std::string>& fields,
+              const char* key) {
+  const long long v = req_ll(fields, key);
+  RS_REQUIRE(v == 0 || v == 1, std::string(key) + "= must be 0 or 1");
+  return v == 1;
+}
+
+}  // namespace
+
+std::string render_payload_fields(const ResultPayload& p, bool include_ddg) {
+  std::ostringstream os;
+  if (!p.ok) {
+    os << " msg=" << escape_field(p.error);
+    return os.str();
+  }
+  os << " stop=" << support::stop_cause_token(p.stats.stop)
+     << " nodes=" << p.stats.nodes;
+  if (p.kind == RequestKind::Analyze) {
+    for (const TypeAnalysis& t : p.analyze) {
+      os << " t" << t.type << ".vals=" << t.value_count << " t" << t.type
+         << ".rs=" << t.rs << " t" << t.type
+         << ".proven=" << (t.proven ? 1 : 0);
+    }
+  } else {
+    os << " success=" << (p.success ? 1 : 0);
+    for (const TypeReduce& t : p.reduce) {
+      os << " t" << t.type << ".status=" << reduce_status_token(t.status)
+         << " t" << t.type << ".rs=" << t.achieved_rs << " t" << t.type
+         << ".arcs=" << t.arcs_added << " t" << t.type
+         << ".loss=" << t.ilp_loss;
+    }
+    if (include_ddg && !p.out_ddg.empty()) {
+      os << " ddg=" << escape_field(p.out_ddg);
+    }
+  }
+  return os.str();
+}
+
+std::string encode_payload(const ResultPayload& p) {
+  std::ostringstream os;
+  os << "rsres v=" << kPayloadFormatVersion << " ok=" << (p.ok ? 1 : 0)
+     << " kind=" << (p.kind == RequestKind::Analyze ? "analyze" : "reduce")
+     << " success=" << (p.success ? 1 : 0)
+     << " stop=" << support::stop_cause_token(p.stats.stop)
+     << " nodes=" << p.stats.nodes << " prunes=" << p.stats.prunes
+     << " simplex=" << p.stats.simplex_iterations
+     << " refine=" << p.stats.refine_passes << " solves=" << p.stats.solves;
+  if (!p.error.empty()) os << " err=" << escape_field(p.error);
+  os << " na=" << p.analyze.size();
+  for (std::size_t i = 0; i < p.analyze.size(); ++i) {
+    const TypeAnalysis& t = p.analyze[i];
+    os << " a" << i << "=" << t.type << ':' << t.value_count << ':' << t.rs
+       << ':' << (t.proven ? 1 : 0);
+  }
+  os << " nr=" << p.reduce.size();
+  for (std::size_t i = 0; i < p.reduce.size(); ++i) {
+    const TypeReduce& t = p.reduce[i];
+    os << " r" << i << "=" << t.type << ':' << reduce_status_token(t.status)
+       << ':' << t.achieved_rs << ':' << t.arcs_added << ':' << t.ilp_loss;
+  }
+  if (!p.out_ddg.empty()) os << " ddg=" << escape_field(p.out_ddg);
+  // End-of-record sentinel: entry counts cannot detect a truncation inside
+  // the *last* variable-length value (a shortened ddg= is still a
+  // well-formed token), so the decoder additionally requires this final
+  // token. Its value is deliberately not "1": a truncation that leaves the
+  // bare word "eol" would parse as eol=1 (bare tokens default to "1") and
+  // slip through.
+  os << " eol=2\n";
+  return os.str();
+}
+
+std::shared_ptr<const ResultPayload> decode_payload(std::string_view text) {
+  try {
+    // One logical line; a trailing newline is the normal case. Reject
+    // embedded newlines (a torn concatenation of two entries).
+    std::string line(text);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.find('\n') != std::string::npos) return nullptr;
+
+    // Every token after the header must be key=value: the writer never
+    // emits bare tokens, so one is corruption (e.g. a key truncated off a
+    // concatenated record), not a skippable unknown key — parse_fields
+    // would otherwise default it to <token>=1 and mask the damage.
+    const std::vector<std::string> tokens = support::split_ws(line);
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      if (tokens[i].find('=') == std::string::npos) return nullptr;
+    }
+    const std::map<std::string, std::string> fields = parse_fields(line);
+    const auto head = fields.find("");
+    if (head == fields.end() || head->second != "rsres") return nullptr;
+    if (req_ll(fields, "v") != kPayloadFormatVersion) return nullptr;
+    const auto eol = fields.find("eol");
+    if (eol == fields.end() || eol->second != "2") return nullptr;  // truncated
+
+    auto p = std::make_shared<ResultPayload>();
+    p->ok = req_flag(fields, "ok");
+    const auto kind_it = fields.find("kind");
+    RS_REQUIRE(kind_it != fields.end(), "missing kind=");
+    if (kind_it->second == "analyze") {
+      p->kind = RequestKind::Analyze;
+    } else if (kind_it->second == "reduce") {
+      p->kind = RequestKind::Reduce;
+    } else {
+      return nullptr;
+    }
+    p->success = req_flag(fields, "success");
+    const auto stop_it = fields.find("stop");
+    RS_REQUIRE(stop_it != fields.end(), "missing stop=");
+    const auto stop = stop_cause_from_token(stop_it->second);
+    if (!stop.has_value()) return nullptr;
+    p->stats.stop = *stop;
+    p->stats.nodes = req_ll(fields, "nodes");
+    p->stats.prunes = req_ll(fields, "prunes");
+    p->stats.simplex_iterations = req_ll(fields, "simplex");
+    p->stats.refine_passes = req_ll(fields, "refine");
+    p->stats.solves = req_ll(fields, "solves");
+    if (const auto it = fields.find("err"); it != fields.end()) {
+      p->error = it->second;
+    }
+    if (const auto it = fields.find("ddg"); it != fields.end()) {
+      p->out_ddg = it->second;
+    }
+
+    const long long na = req_ll(fields, "na");
+    RS_REQUIRE(na >= 0 && na <= 4096, "implausible na=");
+    for (long long i = 0; i < na; ++i) {
+      const auto it = fields.find("a" + std::to_string(i));
+      RS_REQUIRE(it != fields.end(), "missing analyze entry");
+      const std::vector<std::string> parts = split_colon(it->second);
+      RS_REQUIRE(parts.size() == 4, "malformed analyze entry");
+      TypeAnalysis t;
+      t.type = static_cast<ddg::RegType>(support::parse_int(parts[0], "a.type"));
+      t.value_count = support::parse_int(parts[1], "a.vals");
+      t.rs = support::parse_int(parts[2], "a.rs");
+      const int proven = support::parse_int(parts[3], "a.proven");
+      RS_REQUIRE(proven == 0 || proven == 1, "a.proven must be 0 or 1");
+      t.proven = proven == 1;
+      p->analyze.push_back(t);
+    }
+
+    const long long nr = req_ll(fields, "nr");
+    RS_REQUIRE(nr >= 0 && nr <= 4096, "implausible nr=");
+    for (long long i = 0; i < nr; ++i) {
+      const auto it = fields.find("r" + std::to_string(i));
+      RS_REQUIRE(it != fields.end(), "missing reduce entry");
+      const std::vector<std::string> parts = split_colon(it->second);
+      RS_REQUIRE(parts.size() == 5, "malformed reduce entry");
+      TypeReduce t;
+      t.type = static_cast<ddg::RegType>(support::parse_int(parts[0], "r.type"));
+      const auto status = reduce_status_from_token(parts[1]);
+      if (!status.has_value()) return nullptr;
+      t.status = *status;
+      t.achieved_rs = support::parse_int(parts[2], "r.rs");
+      t.arcs_added = support::parse_int(parts[3], "r.arcs");
+      t.ilp_loss = support::parse_ll(parts[4], "r.loss");
+      p->reduce.push_back(t);
+    }
+    return p;
+  } catch (const std::exception&) {
+    // Malformed numbers, bad %XX escapes, duplicate keys, missing required
+    // fields: all corruption, all a miss.
+    return nullptr;
+  }
+}
+
+}  // namespace rs::service

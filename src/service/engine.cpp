@@ -60,7 +60,13 @@ CacheKey request_key(const Request& req, const ddg::Fingerprint& fp) {
 }
 
 AnalysisEngine::AnalysisEngine(const EngineConfig& cfg)
-    : cfg_(cfg), cache_(cfg.cache), pool_(cfg.threads) {
+    : cfg_(cfg),
+      store_(std::make_unique<MemoryStore>(cfg.cache),
+             cfg.cache_dir.empty()
+                 ? std::unique_ptr<DiskStore>()
+                 : std::make_unique<DiskStore>(
+                       DiskStore::Config{cfg.cache_dir})),
+      pool_(cfg.threads) {
   latencies_.reserve(1024);
 }
 
@@ -171,21 +177,30 @@ Response AnalysisEngine::process(Request req, support::Timer started,
     resp.fingerprint = ddg::fingerprint(normalized);
     key = request_key(req, resp.fingerprint);
 
-    // Fast path: hit the sharded cache without touching the global
-    // single-flight mutex, so concurrent hits only contend per shard.
-    payload = cache_.get(key);
+    // Fast path: probe the store (sharded memory LRU, then the disk tier)
+    // without touching the global single-flight mutex, so concurrent hits
+    // only contend per shard.
+    StoreHit hit = store_.get(key);
+    payload = hit.payload;
     if (payload != nullptr) {
-      ++hits_;
+      (hit.tier == StoreTier::Disk ? disk_hits_ : memory_hits_)++;
       resp.cache_hit = true;
+      resp.tier = hit.tier;
     } else {
       std::lock_guard<std::mutex> lock(flight_mu_);
-      // Re-check under the lock: the owner publishes to the cache *before*
+      // Re-check under the lock: the owner publishes to the store *before*
       // erasing its in-flight entry, so a request that misses both here
-      // raced nothing and can safely become the owner.
-      payload = cache_.get(key);
+      // raced nothing and can safely become the owner. Memory tier only —
+      // this runs on every cold miss while holding the engine-wide
+      // single-flight mutex, so file I/O is off-limits; a disk-only entry
+      // missed here just recomputes (and the disk probe above already ran
+      // outside the lock).
+      hit = store_.probe_memory(key);
+      payload = hit.payload;
       if (payload != nullptr) {
-        ++hits_;
+        ++memory_hits_;  // probe_memory never reports the disk tier
         resp.cache_hit = true;
+        resp.tier = StoreTier::Memory;
       } else {
         const auto it = inflight_.find(key);
         if (it != inflight_.end()) {
@@ -225,14 +240,16 @@ Response AnalysisEngine::process(Request req, support::Timer started,
 
     if (owner) {
       payload = compute(req, normalized, token);
-      // Cancelled results are never cached: a cancel is an explicit "this
+      // Cancelled results are never stored: a cancel is an explicit "this
       // answer is unwanted", so the next identical request must recompute.
-      // Timed-out results ARE cached: the budget is part of the cache key,
-      // and re-running the same hopeless solve on every lookup would burn
-      // the whole budget each time for a (modestly wall-clock-dependent)
-      // re-derivation of the same best-effort bound.
+      // Timed-out results ARE cached in memory: the budget is part of the
+      // cache key, and re-running the same hopeless solve on every lookup
+      // would burn the whole budget each time for a (modestly
+      // wall-clock-dependent) re-derivation of the same best-effort bound.
+      // The store keeps them off the *disk* tier, which outlives this
+      // process (TieredStore::put).
       if (payload->ok && !payload->cancelled()) {
-        cache_.put(key, payload, payload->bytes());
+        store_.put(key, payload, payload->bytes());
       }
       ++misses_;
       if (payload->ok) {
@@ -337,16 +354,20 @@ EngineStats AnalysisEngine::stats() const {
   out.submitted = submitted_.load();
   out.completed = completed_.load();
   out.errors = errors_.load();
-  out.cache_hits = hits_.load();
+  out.memory_hits = memory_hits_.load();
+  out.disk_hits = disk_hits_.load();
+  out.cache_hits = out.memory_hits + out.disk_hits;
   out.coalesced = coalesced_.load();
   out.misses = misses_.load();
   out.cancelled = cancelled_.load();
   out.timed_out = timed_out_.load();
   out.queue_depth =
       static_cast<std::size_t>(out.submitted - std::min(out.submitted, out.completed));
-  const CacheStats cs = cache_.stats();
+  const StoreStats cs = store_.stats();
   out.cache_entries = cs.entries;
   out.cache_bytes = cs.bytes;
+  out.disk_enabled = store_.has_disk();
+  out.disk = store_.disk_stats();
   {
     std::lock_guard<std::mutex> lock(latency_mu_);
     if (!latencies_.empty()) {

@@ -2,12 +2,15 @@
 // figure-1 pipeline (core::analyze / core::ensure_limits).
 //
 // Callers submit batches of analysis or reduction requests; the engine runs
-// them on a shared rs::support::ThreadPool and memoizes results in a sharded
-// LRU keyed by the canonical DDG fingerprint (ddg/canon.hpp) extended with a
-// digest of the request options. Renumbered or renamed copies of the same DAG
-// therefore hit the same cache entry. Identical requests arriving while the
-// first is still computing are coalesced onto its in-flight result
-// (single-flight), so a burst of duplicates costs one solve.
+// them on a shared rs::support::ThreadPool and memoizes results in a
+// service::TieredStore (service/store.hpp): a sharded in-memory LRU over an
+// optional persistent on-disk tier (EngineConfig::cache_dir), keyed by the
+// canonical DDG fingerprint (ddg/canon.hpp) extended with a digest of the
+// request options. Renumbered or renamed copies of the same DAG therefore
+// hit the same entry — across processes and restarts when the disk tier is
+// enabled. Identical requests arriving while the first is still computing
+// are coalesced onto its in-flight result (single-flight), so a burst of
+// duplicates costs one solve.
 //
 // Results are immutable shared payloads carrying only renumbering-invariant
 // data (RS values, proven flags, reduction outcomes, solver statistics, and
@@ -38,7 +41,7 @@
 #include "core/saturation.hpp"
 #include "ddg/canon.hpp"
 #include "ddg/ddg.hpp"
-#include "service/cache.hpp"
+#include "service/store.hpp"
 #include "support/solve_context.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
@@ -111,7 +114,10 @@ struct ResultPayload {
 struct Response {
   std::uint64_t id = 0;
   std::string name;        // this request's display name
-  bool cache_hit = false;  // served from cache or coalesced onto an in-flight
+  bool cache_hit = false;  // served from a store tier or coalesced
+  /// Which tier served a cache_hit (Memory or Disk); None for computed and
+  /// coalesced responses.
+  StoreTier tier = StoreTier::None;
   bool include_ddg = false;  // echo of Request::want_ddg, for the renderer
   double millis = 0;       // queue wait + compute (or lookup) time
   ddg::Fingerprint fingerprint;  // structural fingerprint of the input
@@ -121,7 +127,10 @@ struct Response {
 struct EngineConfig {
   /// Worker threads; 0 means hardware_concurrency.
   std::size_t threads = 0;
-  ResultCache::Config cache;
+  MemoryStore::Config cache;
+  /// Non-empty enables the persistent disk tier rooted here (created if
+  /// absent). Cancelled and timed-out payloads are never persisted.
+  std::string cache_dir;
 };
 
 /// Wall-clock cap applied to requests that carry no budget_seconds.
@@ -131,7 +140,9 @@ struct EngineStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t errors = 0;
-  std::uint64_t cache_hits = 0;  // served directly from the cache
+  std::uint64_t cache_hits = 0;   // served from any store tier (mem + disk)
+  std::uint64_t memory_hits = 0;  // ... from the in-memory LRU
+  std::uint64_t disk_hits = 0;    // ... from the persistent tier
   std::uint64_t coalesced = 0;   // joined an identical in-flight request
   std::uint64_t misses = 0;      // actually computed
   std::uint64_t cancelled = 0;   // responses aborted by a cancel token
@@ -140,6 +151,8 @@ struct EngineStats {
   std::size_t queue_depth = 0;   // submitted but not yet completed
   std::size_t cache_entries = 0;
   std::size_t cache_bytes = 0;
+  bool disk_enabled = false;
+  StoreStats disk;  // persistent-tier counters (zero when disabled)
   double p50_ms = 0;
   double p95_ms = 0;
   double max_ms = 0;
@@ -216,13 +229,14 @@ class AnalysisEngine {
   void record_latency(double ms);
 
   EngineConfig cfg_;
-  ResultCache cache_;
+  TieredStore store_;
   support::ThreadPool pool_;
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> errors_{0};
-  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> memory_hits_{0};
+  std::atomic<std::uint64_t> disk_hits_{0};
   std::atomic<std::uint64_t> coalesced_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> cancelled_{0};
@@ -234,7 +248,7 @@ class AnalysisEngine {
 
   mutable std::mutex flight_mu_;
   std::unordered_map<CacheKey, std::shared_future<SharedPayload>,
-                     ResultCache::KeyHash>
+                     CacheKeyHash>
       inflight_;
 
   mutable std::mutex latency_mu_;

@@ -1,13 +1,14 @@
 #include "service/protocol.hpp"
 
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 #include <vector>
 
 #include "ddg/io.hpp"
 #include "ddg/kernels.hpp"
+#include "service/codec.hpp"
 #include "support/assert.hpp"
+#include "support/fs.hpp"
 #include "support/parse.hpp"
 
 namespace rs::service {
@@ -26,11 +27,9 @@ int hex_digit(char c) {
 }
 
 std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  RS_REQUIRE(in.good(), "cannot open " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
+  std::string text;
+  RS_REQUIRE(support::read_file_to_string(path, &text), "cannot open " + path);
+  return text;
 }
 
 core::RsEngine engine_from_token(const std::string& e) {
@@ -243,36 +242,25 @@ Request parse_request_line(const std::string& line, std::uint64_t default_id,
 std::string render_response(const Response& resp) {
   RS_REQUIRE(resp.payload != nullptr, "response has no payload");
   const ResultPayload& p = *resp.payload;
+  // The payload-derived tail comes from the shared codec
+  // (render_payload_fields), the same source of truth the disk tier
+  // round-trips through — which is what keeps result lines byte-identical
+  // whether the payload was computed, served from memory, or re-read from
+  // disk after a restart.
   std::ostringstream os;
   os << "result id=" << resp.id;
   if (!p.ok) {
     os << " status=error name=" << escape_field(resp.name)
-       << " msg=" << escape_field(p.error);
+       << render_payload_fields(p, false);
     return os.str();
   }
-  os << " status=ok kind=" << (p.kind == RequestKind::Analyze ? "analyze" : "reduce")
+  os << " status=ok kind="
+     << (p.kind == RequestKind::Analyze ? "analyze" : "reduce")
      << " name=" << escape_field(resp.name) << " fp=" << resp.fingerprint.hex()
      << " cached=" << (resp.cache_hit ? 1 : 0);
   char ms[32];
   std::snprintf(ms, sizeof ms, "%.3f", resp.millis);
-  os << " ms=" << ms << " stop=" << support::stop_cause_token(p.stats.stop)
-     << " nodes=" << p.stats.nodes;
-  if (p.kind == RequestKind::Analyze) {
-    for (const TypeAnalysis& t : p.analyze) {
-      os << " t" << t.type << ".vals=" << t.value_count << " t" << t.type
-         << ".rs=" << t.rs << " t" << t.type << ".proven=" << (t.proven ? 1 : 0);
-    }
-  } else {
-    os << " success=" << (p.success ? 1 : 0);
-    for (const TypeReduce& t : p.reduce) {
-      os << " t" << t.type << ".status=" << reduce_status_token(t.status)
-         << " t" << t.type << ".rs=" << t.achieved_rs << " t" << t.type
-         << ".arcs=" << t.arcs_added << " t" << t.type << ".loss=" << t.ilp_loss;
-    }
-    if (resp.include_ddg && !p.out_ddg.empty()) {
-      os << " ddg=" << escape_field(p.out_ddg);
-    }
-  }
+  os << " ms=" << ms << render_payload_fields(p, resp.include_ddg);
   return os.str();
 }
 

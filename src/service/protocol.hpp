@@ -45,8 +45,12 @@
 // a cancelled request that computed carries its witnessed partial bounds.
 //
 // Escaping: '%', space, TAB, CR and LF become %XX (uppercase hex), applied to
-// values that may contain whitespace (ddg=, msg=). unescape_field() inverts
-// it exactly; values never produced by escape_field() pass through unchanged.
+// every value that may contain whitespace (name=, ddg=, msg=) — a kernel or
+// file name with a space must not corrupt the key=value token stream, in
+// either direction. parse_fields() unescapes every value on the way in, so
+// writers escape symmetrically (e.g. name=my%20loop). unescape_field()
+// inverts escape_field() exactly; values never produced by escape_field()
+// pass through unchanged.
 #pragma once
 
 #include <map>

@@ -1,0 +1,130 @@
+// SocketServer: a poll-based TCP front end streaming the service line
+// protocol (service/protocol.hpp) — the `rsat serve` subsystem.
+//
+// One network thread multiplexes the listener and every client connection
+// with poll(2); solves run on the shared AnalysisEngine thread pool, so a
+// slow peer never blocks compute and a long solve never blocks the
+// network. Per connection the server keeps an ordered queue of response
+// slots (a pre-rendered ack/error line, or the future of a submitted
+// request) and writes result lines back in request order as each future
+// resolves — an interactive client sees its result as soon as it is ready,
+// not at connection close.
+//
+// Protocol semantics over TCP:
+//  * analyze/reduce lines submit to the engine exactly as `rsat batch`
+//    does; unset id= takes a server-wide sequence number (connections
+//    share one engine, one store, and one id namespace — an explicit
+//    cancel id= therefore reaches a matching request on any connection).
+//  * cancel answers immediately with its ack.
+//  * drain's ack is emitted in order *behind this connection's* earlier
+//    requests, so when the client reads "drained" everything it submitted
+//    before the drain has already been answered. Other connections are
+//    not stalled (unlike batch, which quiesces its single stream).
+//  * malformed lines answer with a status=error result line; the
+//    connection stays up.
+//  * backpressure: a connection with max_pending_per_conn unanswered
+//    requests stops being read until responses flush.
+//
+// Shutdown (shutdown() from any thread, or the should_stop poll — wired
+// to SIGINT by rsat serve): stop accepting, cooperatively cancel every
+// in-flight solve, flush every pending result line (stop=cancelled), then
+// close all connections and return from run(). Peers that stop reading
+// are given kDrainGraceSeconds before their connection is dropped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/engine.hpp"
+#include "service/protocol.hpp"
+#include "support/socket.hpp"
+
+namespace rs::service {
+
+struct ServeConfig {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; SocketServer::port() reports the real one.
+  int port = 0;
+  EngineConfig engine;
+  ProtocolOptions protocol;
+  /// When non-empty, the bound port is written here (atomic write-rename)
+  /// once the server is listening — scripts wait for this file instead of
+  /// racing the log output.
+  std::string port_file;
+  /// Unanswered-request cap per connection before reads pause.
+  std::size_t max_pending_per_conn = 256;
+};
+
+struct ServeStats {
+  std::uint64_t connections = 0;   // accepted over the server's lifetime
+  std::uint64_t requests = 0;      // analyze/reduce submissions
+  std::uint64_t parse_errors = 0;  // lines answered with status=error
+  std::uint64_t responses = 0;     // result/ack lines written
+};
+
+class SocketServer {
+ public:
+  /// Grace period for flushing pending results to unresponsive peers
+  /// during shutdown.
+  static constexpr double kDrainGraceSeconds = 5.0;
+
+  /// Longest accepted request line (inline ddg= payloads included). A
+  /// connection that exceeds it mid-line is answered with an error; its
+  /// remaining input is read and discarded (so the error line arrives
+  /// over an orderly close instead of being lost to a RST) — otherwise a
+  /// newline-free byte stream would grow the input buffer without bound.
+  static constexpr std::size_t kMaxLineBytes = std::size_t{8} << 20;
+
+  /// Binds and listens immediately (throws support::PreconditionError on
+  /// bind failure) and writes port_file if configured; run() starts
+  /// serving.
+  explicit SocketServer(const ServeConfig& cfg);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  int port() const { return listener_.port(); }
+  AnalysisEngine& engine() { return engine_; }
+
+  /// Serves until shutdown() is called or `should_stop` (polled every
+  /// loop iteration, ~20 ms) returns true, then performs the
+  /// cancel-drain-close sequence described above. Call from one thread.
+  void run(const std::function<bool()>& should_stop = {});
+
+  /// Thread-safe: makes run() begin its drain-and-exit sequence.
+  void shutdown() { stop_.store(true); }
+
+  ServeStats serve_stats() const;
+
+ private:
+  struct Conn;
+
+  void accept_new();
+  void read_conn(Conn& c);
+  void process_lines(Conn& c);
+  void handle_line(Conn& c, const std::string& line);
+  void emit_error_line(Conn& c, const std::string& msg);
+  void pump_ready(Conn& c);
+  void flush_conn(Conn& c);
+
+  ServeConfig cfg_;
+  AnalysisEngine engine_;
+  support::ListenSocket listener_;
+  std::atomic<bool> stop_{false};
+  std::uint64_t next_id_ = 1;
+  /// Loop iterations left to skip polling the listener after an accept
+  /// failure that leaves the connection queued (e.g. fd exhaustion).
+  int accept_backoff_ = 0;
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  mutable std::mutex stats_mu_;
+  ServeStats stats_;
+};
+
+}  // namespace rs::service

@@ -1,0 +1,253 @@
+#include "service/store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+
+#include "service/codec.hpp"
+#include "service/engine.hpp"
+#include "support/assert.hpp"
+#include "support/fs.hpp"
+
+namespace rs::service {
+
+const char* store_tier_token(StoreTier t) {
+  switch (t) {
+    case StoreTier::None: return "none";
+    case StoreTier::Memory: return "mem";
+    case StoreTier::Disk: return "disk";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- memory
+
+MemoryStore::MemoryStore(const Config& cfg)
+    : enabled_(cfg.max_bytes > 0 && cfg.max_entries > 0) {
+  const int shards = std::max(1, cfg.shards);
+  // Ceil-divide so the summed capacity is never below the configured one.
+  shard_max_bytes_ = (cfg.max_bytes + shards - 1) / shards;
+  shard_max_entries_ = std::max<std::size_t>(
+      1, (cfg.max_entries + shards - 1) / shards);
+  shards_.reserve(shards);
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+MemoryStore::Shard& MemoryStore::shard_of(const CacheKey& key) {
+  return *shards_[key.lo % shards_.size()];
+}
+
+StoreHit MemoryStore::get(const CacheKey& key) {
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return {};
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return {it->second->value, StoreTier::Memory};
+}
+
+void MemoryStore::put(const CacheKey& key,
+                      std::shared_ptr<const ResultPayload> value,
+                      std::size_t bytes) {
+  // Entries larger than a shard's whole byte budget are not admitted (they
+  // would evict everything for a single-use payload).
+  if (!enabled_ || bytes > shard_max_bytes_) return;
+  RS_REQUIRE(value != nullptr, "cannot cache a null payload");
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    it->second->value = std::move(value);
+    it->second->bytes = bytes;
+    shard.bytes += bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{key, std::move(value), bytes});
+    shard.index[key] = shard.lru.begin();
+    shard.bytes += bytes;
+    ++shard.insertions;
+  }
+  evict_locked(shard);
+}
+
+void MemoryStore::evict_locked(Shard& shard) {
+  while (!shard.lru.empty() && (shard.bytes > shard_max_bytes_ ||
+                                shard.lru.size() > shard_max_entries_)) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+StoreStats MemoryStore::stats() const {
+  StoreStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.insertions += shard->insertions;
+    out.evictions += shard->evictions;
+    out.entries += shard->lru.size();
+    out.bytes += shard->bytes;
+  }
+  return out;
+}
+
+void MemoryStore::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+// ------------------------------------------------------------------ disk
+
+DiskStore::DiskStore(const Config& cfg) : cfg_(cfg) {
+  RS_REQUIRE(!cfg_.dir.empty(), "DiskStore needs a cache directory");
+  RS_REQUIRE(support::create_directories(cfg_.dir),
+             "cannot create cache directory " + cfg_.dir);
+  // Create the 256 fan-out directories up front so the write path is a
+  // single temp-write + rename, not a mkdir probe per entry.
+  static const char* hex = "0123456789abcdef";
+  for (int i = 0; i < 256; ++i) {
+    const std::string shard{hex[i >> 4], hex[i & 15]};
+    RS_REQUIRE(support::create_directories(cfg_.dir + "/" + shard),
+               "cannot create cache shard directory " + cfg_.dir + "/" +
+                   shard);
+  }
+}
+
+std::string DiskStore::entry_path(const CacheKey& key) const {
+  const std::string hex = key.hex();
+  return cfg_.dir + "/" + hex.substr(0, 2) + "/" + hex + ".rsres";
+}
+
+StoreHit DiskStore::get(const CacheKey& key) {
+  std::string text;
+  if (!support::read_file_to_string(entry_path(key), &text)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;
+    return {};
+  }
+  std::shared_ptr<const ResultPayload> payload = decode_payload(text);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (payload == nullptr) {
+    // Truncated, version-mismatched or corrupt entry: a miss, never a
+    // crash or a poisoned payload. The entry stays on disk until the next
+    // put overwrites it (atomically), so there is no delete race either.
+    ++corrupt_;
+    ++misses_;
+    return {};
+  }
+  ++hits_;
+  return {std::move(payload), StoreTier::Disk};
+}
+
+void DiskStore::put(const CacheKey& key,
+                    std::shared_ptr<const ResultPayload> value,
+                    std::size_t bytes) {
+  static_cast<void>(bytes);  // disk capacity is managed by the operator
+  RS_REQUIRE(value != nullptr, "cannot persist a null payload");
+  const std::string path = entry_path(key);
+  const std::string encoded = encode_payload(*value);
+  // Fan-out dirs exist since construction; a failure here (deleted dir,
+  // full disk) is the documented best-effort degradation.
+  const bool ok = support::write_file_atomic(path, encoded);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ok) {
+    ++write_errors_;
+    return;
+  }
+  ++insertions_;
+  bytes_written_ += encoded.size();
+}
+
+StoreStats DiskStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StoreStats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.insertions = insertions_;
+  out.corrupt = corrupt_;
+  out.write_errors = write_errors_;
+  out.entries = static_cast<std::size_t>(insertions_);
+  out.bytes = bytes_written_;
+  return out;
+}
+
+void DiskStore::clear() {
+  std::error_code ec;
+  for (const auto& shard :
+       std::filesystem::directory_iterator(cfg_.dir, ec)) {
+    if (!shard.is_directory(ec)) continue;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(shard.path(), ec)) {
+      if (entry.path().extension() == ".rsres") {
+        std::filesystem::remove(entry.path(), ec);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- tiered
+
+TieredStore::TieredStore(std::unique_ptr<MemoryStore> memory,
+                         std::unique_ptr<DiskStore> disk)
+    : memory_(std::move(memory)), disk_(std::move(disk)) {
+  RS_REQUIRE(memory_ != nullptr, "TieredStore needs a memory tier");
+}
+
+StoreHit TieredStore::get(const CacheKey& key) {
+  StoreHit hit = memory_->get(key);
+  if (hit.payload != nullptr || disk_ == nullptr) return hit;
+  hit = disk_->get(key);
+  if (hit.payload != nullptr) {
+    // Promote: the next lookup of this key is an in-memory hit.
+    memory_->put(key, hit.payload, hit.payload->bytes());
+  }
+  return hit;
+}
+
+void TieredStore::put(const CacheKey& key,
+                      std::shared_ptr<const ResultPayload> value,
+                      std::size_t bytes) {
+  // The persistence policy lives here, not only in the engine, so no
+  // future ResultStore caller can leak a payload past it: error and
+  // cancelled payloads are never stored anywhere; timed-out payloads are
+  // a wall-clock-dependent best effort — valid to reuse within this
+  // process (the budget is part of the key), wrong to serve to every
+  // future process from disk.
+  if (!value->ok || value->stats.stop == support::StopCause::Cancelled) {
+    return;
+  }
+  memory_->put(key, value, bytes);
+  if (disk_ == nullptr ||
+      value->stats.stop == support::StopCause::TimedOut) {
+    return;
+  }
+  disk_->put(key, std::move(value), bytes);
+}
+
+StoreStats TieredStore::stats() const { return memory_->stats(); }
+
+StoreStats TieredStore::disk_stats() const {
+  return disk_ == nullptr ? StoreStats{} : disk_->stats();
+}
+
+void TieredStore::clear() {
+  memory_->clear();
+  if (disk_ != nullptr) disk_->clear();
+}
+
+}  // namespace rs::service

@@ -1,0 +1,218 @@
+// ResultStore: the pluggable, tiered result-storage spine of the analysis
+// service. Replaces the engine's hard-wired in-memory LRU (the former
+// service/cache.hpp) with one interface and three implementations:
+//
+//  * MemoryStore — the sharded LRU, unchanged semantics: each key maps to
+//    one of `shards` independently locked LRU lists so concurrent engine
+//    workers rarely contend; capacity (bytes and entries) is split evenly
+//    across shards; values are immutable shared payloads, so eviction
+//    drops a reference but never invalidates a payload an in-flight
+//    response still holds.
+//
+//  * DiskStore — a fingerprint-sharded persistent tier: entries live at
+//    <dir>/<first two hex chars of the key>/<32-hex-key>.rsres, encoded
+//    with the versioned codec (service/codec.hpp). Writes are atomic
+//    (temp file + rename, support/fs.hpp), so a crash mid-write leaves a
+//    stray temp file, never a torn entry. A missing, truncated,
+//    version-mismatched or otherwise corrupt entry reads as a miss. Writes
+//    are best-effort: a full or read-only disk degrades the tier to
+//    read-only (counted in stats().write_errors), it never takes the
+//    service down.
+//
+//  * TieredStore — memory over an optional disk tier. get() probes memory
+//    first, then disk, promoting a disk hit into memory so the next lookup
+//    is an in-memory hit. put() writes through to both, except that
+//    payloads whose solve was cut short by a *wall-clock* artifact
+//    (stop == timeout; cancelled payloads never reach a store) are kept
+//    memory-only: persisting them would serve a machine-dependent
+//    best-effort bound to every future process.
+//
+// Keys are canonical DDG fingerprints extended with a request digest
+// (ddg/canon.hpp, service::request_key), so structurally identical
+// requests — including renumbered or renamed copies of the same DAG, in
+// any process, on any day — address the same entry across all tiers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ddg/canon.hpp"
+#include "support/hash.hpp"
+
+namespace rs::service {
+
+struct ResultPayload;  // defined in service/engine.hpp
+
+using CacheKey = ddg::Fingerprint;
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const {
+    return static_cast<std::size_t>(support::hash_combine(k.hi, k.lo));
+  }
+};
+
+/// Which tier satisfied a lookup. None means miss.
+enum class StoreTier { None = 0, Memory = 1, Disk = 2 };
+
+const char* store_tier_token(StoreTier t);
+
+struct StoreStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;     // memory tier only
+  std::uint64_t corrupt = 0;       // disk entries rejected by the codec
+  std::uint64_t write_errors = 0;  // disk writes that failed (best-effort)
+  std::size_t entries = 0;         // disk: entries written this process
+  std::size_t bytes = 0;           // disk: bytes written this process
+};
+
+/// A lookup result: the payload (nullptr = miss) and the tier it came from.
+struct StoreHit {
+  std::shared_ptr<const ResultPayload> payload;
+  StoreTier tier = StoreTier::None;
+};
+
+/// The storage interface the engine speaks. Implementations must be safe
+/// for concurrent get/put from many engine workers.
+class ResultStore {
+ public:
+  virtual ~ResultStore() = default;
+
+  /// Returns the payload (refreshing recency where that applies) or a miss.
+  virtual StoreHit get(const CacheKey& key) = 0;
+
+  /// Inserts (or refreshes) an entry costing `bytes`. Implementations may
+  /// decline (capacity, persistence policy); put never fails loudly.
+  virtual void put(const CacheKey& key,
+                   std::shared_ptr<const ResultPayload> value,
+                   std::size_t bytes) = 0;
+
+  /// Cumulative counters since construction.
+  virtual StoreStats stats() const = 0;
+
+  virtual void clear() = 0;
+};
+
+/// Sharded in-memory LRU (the former service::ResultCache).
+class MemoryStore : public ResultStore {
+ public:
+  struct Config {
+    std::size_t max_bytes = std::size_t{64} << 20;
+    std::size_t max_entries = std::size_t{1} << 16;
+    int shards = 8;
+  };
+
+  MemoryStore() : MemoryStore(Config{}) {}
+  explicit MemoryStore(const Config& cfg);
+
+  /// False when configured with zero capacity; get() then always misses
+  /// and put() is a no-op.
+  bool enabled() const { return enabled_; }
+
+  StoreHit get(const CacheKey& key) override;
+  void put(const CacheKey& key, std::shared_ptr<const ResultPayload> value,
+           std::size_t bytes) override;
+  StoreStats stats() const override;
+  void clear() override;
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const ResultPayload> value;
+    std::size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+        index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0;
+  };
+
+  Shard& shard_of(const CacheKey& key);
+  void evict_locked(Shard& shard);
+
+  bool enabled_;
+  std::size_t shard_max_bytes_;
+  std::size_t shard_max_entries_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Fingerprint-sharded on-disk tier speaking the versioned payload codec.
+class DiskStore : public ResultStore {
+ public:
+  struct Config {
+    /// Root directory; created, along with all 256 fan-out
+    /// subdirectories, by the constructor (the write path counts on them
+    /// existing — one temp-write + rename, no mkdir probe per entry).
+    /// Must be creatable — the constructor throws
+    /// support::PreconditionError otherwise, since a requested-but-broken
+    /// cache dir is an operator error worth failing loudly on.
+    std::string dir;
+  };
+
+  explicit DiskStore(const Config& cfg);
+
+  StoreHit get(const CacheKey& key) override;
+  void put(const CacheKey& key, std::shared_ptr<const ResultPayload> value,
+           std::size_t bytes) override;
+  StoreStats stats() const override;
+  /// Removes every entry file under the root (fan-out dirs stay).
+  void clear() override;
+
+  const std::string& dir() const { return cfg_.dir; }
+
+  /// The entry path for a key: <dir>/<hex[0..1]>/<hex>.rsres. Exposed for
+  /// tests that corrupt/truncate entries on purpose.
+  std::string entry_path(const CacheKey& key) const;
+
+ private:
+  Config cfg_;
+  mutable std::mutex mu_;  // counters only; file I/O runs unlocked
+  std::uint64_t hits_ = 0, misses_ = 0, insertions_ = 0, corrupt_ = 0,
+                write_errors_ = 0;
+  std::size_t bytes_written_ = 0;
+};
+
+/// Memory over optional disk, promote on hit, write-through on put (with
+/// the timeout-payload persistence exception documented above).
+class TieredStore : public ResultStore {
+ public:
+  /// `disk` may be null (memory-only deployment).
+  TieredStore(std::unique_ptr<MemoryStore> memory,
+              std::unique_ptr<DiskStore> disk);
+
+  StoreHit get(const CacheKey& key) override;
+  void put(const CacheKey& key, std::shared_ptr<const ResultPayload> value,
+           std::size_t bytes) override;
+  /// Memory-tier counters (the engine's historical "cache" numbers).
+  StoreStats stats() const override;
+  void clear() override;
+
+  bool has_disk() const { return disk_ != nullptr; }
+
+  /// Memory-tier-only probe: no disk I/O. For callers holding a lock that
+  /// must not wait on the filesystem (the engine's single-flight re-check;
+  /// the owner publishes to memory first, so missing a disk-only entry
+  /// here merely recomputes).
+  StoreHit probe_memory(const CacheKey& key) { return memory_->get(key); }
+
+  StoreStats memory_stats() const { return memory_->stats(); }
+  /// Zero-valued when there is no disk tier.
+  StoreStats disk_stats() const;
+  const DiskStore* disk() const { return disk_.get(); }
+
+ private:
+  std::unique_ptr<MemoryStore> memory_;
+  std::unique_ptr<DiskStore> disk_;
+};
+
+}  // namespace rs::service

@@ -1,0 +1,74 @@
+#include "support/fs.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace rs::support {
+
+namespace {
+
+/// Process-unique suffix for temp files: pid + a monotonic counter, so two
+/// writers in this process (or two processes sharing a cache dir) never
+/// collide on the temp name.
+std::string temp_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+#if defined(__unix__) || defined(__APPLE__)
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  return "." + std::to_string(pid) + "." +
+         std::to_string(counter.fetch_add(1)) + ".tmp";
+}
+
+}  // namespace
+
+bool read_file_to_string(const std::string& path, std::string* out) {
+  out->clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return false;
+  *out = ss.str();
+  return true;
+}
+
+bool write_file_atomic(const std::string& path, std::string_view data) {
+  const std::string tmp = path + temp_suffix();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) return false;
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool create_directories(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) return false;
+  return std::filesystem::is_directory(path, ec);
+}
+
+}  // namespace rs::support

@@ -1,0 +1,36 @@
+// Small filesystem helpers shared by the persistent result store and the
+// socket front end: whole-file reads that report failure instead of
+// throwing, and atomic whole-file writes (temp file + rename) so readers
+// never observe a half-written entry.
+//
+// The write path is the *process*-crash-safety contract of the on-disk
+// cache tier (service/store.hpp): if the writer dies mid-write, readers
+// see the complete previous content (or no file), never an interleaving —
+// the torn bytes stay in a stray temp file. No fsync is issued, so this
+// does NOT extend to power loss / kernel crash (a journaled filesystem
+// may replay the rename before the data and expose a short file); callers
+// needing durability must validate content on read, as the store's
+// versioned codec does by treating any undecodable entry as a miss.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace rs::support {
+
+/// Reads an entire file into `out`. Returns false (leaving `out` empty)
+/// when the file is missing or unreadable; never throws.
+bool read_file_to_string(const std::string& path, std::string* out);
+
+/// Writes `data` to `path` atomically: the bytes land in a unique sibling
+/// temp file which is then renamed over `path`. Concurrent writers of the
+/// same path each rename a complete file, so readers see one full version
+/// or another, never an interleaving. Returns false on any I/O failure
+/// (the temp file is cleaned up best-effort); never throws.
+bool write_file_atomic(const std::string& path, std::string_view data);
+
+/// mkdir -p. Returns false when the directory cannot be created (or exists
+/// as a non-directory); never throws.
+bool create_directories(const std::string& path);
+
+}  // namespace rs::support

@@ -1,0 +1,65 @@
+// Minimal POSIX TCP helpers for the `rsat serve` front end and its tests:
+// a non-blocking listener with ephemeral-port support, a blocking client
+// connect (tests drive the server through it), and best-effort full writes.
+//
+// Everything here is deliberately poll-friendly: the listener and every
+// accepted connection are O_NONBLOCK, so the serve loop multiplexes all of
+// them plus a periodic future-completion sweep with a single poll(2) and
+// never blocks on a slow peer. Unsupported platforms fail loudly at
+// construction (RS_REQUIRE), not at first use.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace rs::support {
+
+/// Non-blocking TCP listener. Binding port 0 picks an ephemeral port;
+/// port() reports the actual one. Closes the socket on destruction.
+class ListenSocket {
+ public:
+  /// Binds and listens (backlog 64), throwing support::PreconditionError
+  /// with the failing syscall + errno text on any failure.
+  ListenSocket(const std::string& host, int port);
+  ~ListenSocket();
+
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  int fd() const { return fd_; }
+  int port() const { return port_; }
+
+  /// Accepts one pending connection as a non-blocking fd. Returns -1 when
+  /// none is waiting (EAGAIN), -2 on any other accept failure (e.g.
+  /// EMFILE) — the listener then typically stays readable, so callers
+  /// should back off instead of re-polling it immediately. Never blocks.
+  int accept_client();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+/// Blocking client connect for tests and simple drivers. Returns the
+/// connected fd; throws support::PreconditionError on failure.
+int connect_tcp(const std::string& host, int port);
+
+/// One non-blocking send attempt (SIGPIPE suppressed where supported).
+/// Returns bytes written (>= 0), -1 when the fd's buffer is full (EAGAIN)
+/// or the call was interrupted, -2 on a connection error (e.g. EPIPE).
+long send_some(int fd, std::string_view data);
+
+/// Writes all of `data`, retrying short writes; waits (poll) when the fd's
+/// buffer is full. Returns false on a connection error (e.g. EPIPE).
+bool send_all(int fd, std::string_view data);
+
+/// Reads whatever is available into `out` (appends). Returns the byte
+/// count, 0 on orderly EOF, -1 when the read would block, -2 on error.
+long recv_some(int fd, std::string* out);
+
+/// Sets O_NONBLOCK; returns false on failure.
+bool set_nonblocking(int fd);
+
+void close_fd(int fd);
+
+}  // namespace rs::support

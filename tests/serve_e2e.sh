@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# End-to-end exercise of `rsat serve`:
+#   1. start on an ephemeral port with a persistent --cache-dir,
+#   2. drive analyze / cancel / drain through a client socket (/dev/tcp),
+#   3. SIGINT: the server drains and exits 0 with a summary,
+#   4. restart with the same --cache-dir: the same request must be served
+#      from the disk tier (cached=1 with an empty memory store, and the
+#      summary reports a disk hit).
+# Usage: serve_e2e.sh /path/to/rsat
+set -u
+
+RSAT="$1"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+trap 'kill "$SERVER_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  for log in "$WORK"/log*; do
+    [ -f "$log" ] && { echo "--- $log" >&2; cat "$log" >&2; }
+  done
+  exit 1
+}
+
+start_server() { # $1 = log path
+  rm -f "$WORK/port"
+  "$RSAT" serve --port 0 --port-file "$WORK/port" \
+      --cache-dir "$WORK/cache" --threads 2 2>"$1" &
+  SERVER_PID=$!
+  for _ in $(seq 1 300); do
+    [ -s "$WORK/port" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server died during startup"
+    sleep 0.1
+  done
+  [ -s "$WORK/port" ] || fail "port file never appeared"
+  PORT="$(cat "$WORK/port")"
+}
+
+stop_server() { # $1 = log path
+  kill -INT "$SERVER_PID" || fail "cannot signal server"
+  wait "$SERVER_PID" || fail "server exited nonzero after SIGINT"
+  SERVER_PID=""
+}
+
+request() { # $1 = request lines (\n-separated), $2 = expected reply count
+  exec 3<>"/dev/tcp/127.0.0.1/$PORT" || fail "cannot connect to port $PORT"
+  printf '%b' "$1" >&3
+  REPLY=""
+  local line i
+  for i in $(seq 1 "$2"); do
+    IFS= read -r -t 60 line <&3 || fail "timed out waiting for reply $i"
+    REPLY="$REPLY$line
+"
+  done
+  exec 3<&- 3>&-
+}
+
+line_n() { printf '%s' "$REPLY" | sed -n "${1}p"; }
+
+# --- first server: cold compute, cancel ack, drain ack ---------------------
+start_server "$WORK/log1"
+request 'analyze kernel=fir8\ncancel 999\ndrain\n' 3
+line_n 1 | grep -q 'status=ok kind=analyze name=fir8' ||
+  fail "unexpected analyze result: $(line_n 1)"
+line_n 1 | grep -q 'cached=0' || fail "first analyze should be a cold miss"
+[ "$(line_n 2)" = "cancelled id=999 found=0" ] ||
+  fail "unexpected cancel ack: $(line_n 2)"
+[ "$(line_n 3)" = "drained" ] || fail "unexpected drain ack: $(line_n 3)"
+COLD_RESULT="$(line_n 1)"
+stop_server "$WORK/log1"
+grep -q 'interrupted, drained' "$WORK/log1" ||
+  fail "SIGINT summary missing the drain marker"
+
+# --- restart with the same cache dir: must hit the disk tier ---------------
+start_server "$WORK/log2"
+request 'analyze kernel=fir8\n' 1
+line_n 1 | grep -q 'cached=1' ||
+  fail "restart did not serve from the disk tier: $(line_n 1)"
+# Byte-identical modulo the delivery fields (cached=, ms=).
+strip() { printf '%s\n' "$1" | tr ' ' '\n' | grep -v -e '^cached=' -e '^ms=' | tr '\n' ' '; }
+[ "$(strip "$COLD_RESULT")" = "$(strip "$(line_n 1)")" ] ||
+  fail "disk-served line differs beyond cached=/ms=: $COLD_RESULT vs $(line_n 1)"
+stop_server "$WORK/log2"
+grep -q '1 disk hits' "$WORK/log2" ||
+  fail "restart summary did not report the disk hit"
+
+echo "PASS serve_e2e"

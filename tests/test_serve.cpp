@@ -1,0 +1,218 @@
+// SocketServer: the line protocol over TCP — ordered responses, cancel and
+// drain acks, per-line error recovery, cross-connection cache sharing, and
+// the cancel-drain shutdown path.
+#include <gtest/gtest.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "ddg/generators.hpp"
+#include "ddg/io.hpp"
+#include "service/protocol.hpp"
+#include "service/serve.hpp"
+#include "support/fs.hpp"
+#include "support/random.hpp"
+#include "support/socket.hpp"
+#include "support/timer.hpp"
+
+namespace rs {
+namespace {
+
+using service::ServeConfig;
+using service::SocketServer;
+
+/// Blocking line-at-a-time protocol client over a non-blocking socket.
+class LineClient {
+ public:
+  explicit LineClient(int port)
+      : fd_(support::connect_tcp("127.0.0.1", port)) {
+    EXPECT_TRUE(support::set_nonblocking(fd_));
+  }
+  ~LineClient() { support::close_fd(fd_); }
+
+  void send(const std::string& data) {
+    ASSERT_TRUE(support::send_all(fd_, data));
+  }
+
+  /// Half-close: no more requests, but responses can still be read.
+  void close_write() { ::shutdown(fd_, SHUT_WR); }
+
+  /// Next '\n'-terminated line (stripped), or "" after timeout_s.
+  std::string next_line(double timeout_s = 30.0) {
+    const support::Timer t;
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      if (t.seconds() > timeout_s) return "";
+      pollfd p = {fd_, POLLIN, 0};
+      ::poll(&p, 1, 100);
+      if (support::recv_some(fd_, &buf_) == -2) return "";
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buf_;
+};
+
+/// Server running on a background thread; joined + shut down on scope exit.
+class ServerFixture {
+ public:
+  explicit ServerFixture(ServeConfig cfg = {})
+      : server_(std::move(cfg)), thread_([this] { server_.run(); }) {}
+  ~ServerFixture() {
+    server_.shutdown();
+    thread_.join();
+  }
+  SocketServer& operator*() { return server_; }
+  SocketServer* operator->() { return &server_; }
+
+ private:
+  SocketServer server_;
+  std::thread thread_;
+};
+
+TEST(Serve, AnalyzeCancelDrainOverOneConnection) {
+  ServeConfig cfg;
+  cfg.engine.threads = 2;
+  ServerFixture server(cfg);
+  ASSERT_GT(server->port(), 0);
+
+  LineClient client(server->port());
+  client.send("analyze kernel=fir8\n# a comment\n\ncancel 999\ndrain\n");
+
+  const auto result = service::parse_fields(client.next_line());
+  EXPECT_EQ(result.at(""), "result");
+  EXPECT_EQ(result.at("status"), "ok");
+  EXPECT_EQ(result.at("kind"), "analyze");
+  EXPECT_EQ(result.at("name"), "fir8");
+  EXPECT_EQ(result.at("cached"), "0");
+  EXPECT_TRUE(result.count("t0.rs"));
+
+  EXPECT_EQ(client.next_line(), "cancelled id=999 found=0");
+  EXPECT_EQ(client.next_line(), "drained");
+
+  const auto ss = server->serve_stats();
+  EXPECT_EQ(ss.connections, 1u);
+  EXPECT_EQ(ss.requests, 1u);
+  EXPECT_EQ(ss.responses, 3u);
+  EXPECT_EQ(ss.parse_errors, 0u);
+}
+
+TEST(Serve, MalformedLineAnswersErrorAndConnectionSurvives) {
+  ServerFixture server;
+  LineClient client(server->port());
+  client.send("frobnicate kernel=fir8\nanalyze kernel=fir8\n");
+
+  const auto err = service::parse_fields(client.next_line());
+  EXPECT_EQ(err.at("status"), "error");
+  EXPECT_EQ(err.at("name"), "line1");
+  EXPECT_FALSE(err.at("msg").empty());
+
+  const auto ok = service::parse_fields(client.next_line());
+  EXPECT_EQ(ok.at("status"), "ok");
+  EXPECT_EQ(server->serve_stats().parse_errors, 1u);
+}
+
+TEST(Serve, ConnectionsShareTheEngineCache) {
+  ServerFixture server;
+  std::string first, second;
+  {
+    LineClient a(server->port());
+    a.send("analyze kernel=lin-ddot\n");
+    first = a.next_line();
+  }
+  {
+    LineClient b(server->port());
+    b.send("analyze kernel=lin-ddot\n");
+    second = b.next_line();
+  }
+  const auto f1 = service::parse_fields(first);
+  const auto f2 = service::parse_fields(second);
+  EXPECT_EQ(f1.at("cached"), "0");
+  EXPECT_EQ(f2.at("cached"), "1");
+  // Identical everything else — including the engine-assigned default ids
+  // being distinct (server-wide sequence).
+  EXPECT_EQ(f1.at("fp"), f2.at("fp"));
+  EXPECT_EQ(f1.at("t0.rs"), f2.at("t0.rs"));
+  EXPECT_NE(f1.at("id"), f2.at("id"));
+  EXPECT_EQ(server->serve_stats().connections, 2u);
+}
+
+TEST(Serve, PortFileIsWrittenOnceListening) {
+  const auto path = std::filesystem::temp_directory_path() / "rs_serve_port";
+  std::filesystem::remove(path);
+  ServeConfig cfg;
+  cfg.port_file = path.string();
+  ServerFixture server(cfg);
+  std::string text;
+  ASSERT_TRUE(support::read_file_to_string(path.string(), &text));
+  EXPECT_EQ(text, std::to_string(server->port()) + "\n");
+  std::filesystem::remove(path);
+}
+
+TEST(Serve, UnterminatedFinalLineIsAnsweredAtEof) {
+  // `printf 'analyze kernel=fir8' | nc host port` — no trailing newline.
+  // rsat batch answers such a line (getline semantics); serve must too.
+  ServerFixture server;
+  LineClient client(server->port());
+  client.send("analyze kernel=fir8");
+  client.close_write();
+  const auto fields = service::parse_fields(client.next_line());
+  EXPECT_EQ(fields.at("status"), "ok");
+  EXPECT_EQ(fields.at("name"), "fir8");
+}
+
+TEST(Serve, OversizedLineIsRejectedInsteadOfBufferedForever) {
+  ServerFixture server;
+  LineClient client(server->port());
+  // More than kMaxLineBytes with no newline: the server must answer with
+  // an error and stop reading, not grow its input buffer without bound.
+  client.send(std::string(SocketServer::kMaxLineBytes + 1000, 'x'));
+  const auto fields = service::parse_fields(client.next_line(60));
+  EXPECT_EQ(fields.at("status"), "error");
+  EXPECT_NE(fields.at("msg").find("exceeds"), std::string::npos);
+  EXPECT_EQ(server->serve_stats().parse_errors, 1u);
+}
+
+TEST(Serve, ShutdownCancelsInFlightAndFlushesResultLines) {
+  // A dense layered DAG whose exact RS solve runs for many seconds
+  // unbudgeted: shutdown must cancel it cooperatively and still deliver
+  // its (stop=cancelled) result line before closing.
+  support::Rng rng(11);
+  ddg::LayeredDagParams p;
+  p.layers = 6;
+  p.min_width = 4;
+  p.max_width = 6;
+  p.edge_prob = 0.8;
+  const ddg::Ddg slow =
+      ddg::random_layered(rng, ddg::superscalar_model(), p);
+
+  ServeConfig cfg;
+  cfg.engine.threads = 1;
+  ServerFixture server(cfg);
+  LineClient client(server->port());
+  client.send("analyze ddg=" + service::escape_field(ddg::to_text(slow)) +
+              "\n");
+  // Give the worker a moment to actually start the solve, then shut down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  server->shutdown();
+  const auto fields = service::parse_fields(client.next_line());
+  EXPECT_EQ(fields.at("status"), "ok");
+  EXPECT_EQ(fields.at("stop"), "cancelled");
+}
+
+}  // namespace
+}  // namespace rs
+
+#endif  // __unix__ || __APPLE__

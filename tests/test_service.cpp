@@ -16,10 +16,11 @@
 #include "ddg/generators.hpp"
 #include "ddg/io.hpp"
 #include "ddg/kernels.hpp"
-#include "service/cache.hpp"
 #include "service/engine.hpp"
 #include "service/protocol.hpp"
+#include "service/store.hpp"
 #include "support/assert.hpp"
+#include "support/parse.hpp"
 #include "support/random.hpp"
 #include "support/solve_context.hpp"
 
@@ -31,11 +32,12 @@ using ddg::Fingerprint;
 using service::AnalysisEngine;
 using service::CacheKey;
 using service::EngineConfig;
+using service::MemoryStore;
 using service::Request;
 using service::RequestKind;
 using service::Response;
-using service::ResultCache;
 using service::ResultPayload;
+using service::StoreTier;
 
 // Rebuilds `d` with ops inserted in the order given by `order` (a
 // permutation of old node ids) and arcs inserted in reverse, optionally
@@ -188,19 +190,22 @@ std::shared_ptr<const ResultPayload> payload_named(const std::string& n) {
 }
 
 TEST(Cache, HitMissAndLruEviction) {
-  ResultCache::Config cfg;
+  MemoryStore::Config cfg;
   cfg.shards = 1;
   cfg.max_entries = 2;
-  ResultCache cache(cfg);
+  MemoryStore cache(cfg);
   const CacheKey k1{1, 10}, k2{2, 20}, k3{3, 30};
-  EXPECT_EQ(cache.get(k1), nullptr);
+  EXPECT_EQ(cache.get(k1).payload, nullptr);
+  EXPECT_EQ(cache.get(k1).tier, StoreTier::None);
   cache.put(k1, payload_named("a"), 100);
   cache.put(k2, payload_named("b"), 100);
-  ASSERT_NE(cache.get(k1), nullptr);  // refresh k1: k2 is now LRU
+  ASSERT_NE(cache.get(k1).payload, nullptr);  // refresh k1: k2 is now LRU
+  EXPECT_EQ(cache.get(k1).tier, StoreTier::Memory);
   cache.put(k3, payload_named("c"), 100);
-  EXPECT_EQ(cache.get(k2), nullptr) << "LRU entry should have been evicted";
-  EXPECT_NE(cache.get(k1), nullptr);
-  EXPECT_NE(cache.get(k3), nullptr);
+  EXPECT_EQ(cache.get(k2).payload, nullptr)
+      << "LRU entry should have been evicted";
+  EXPECT_NE(cache.get(k1).payload, nullptr);
+  EXPECT_NE(cache.get(k3).payload, nullptr);
   const auto st = cache.stats();
   EXPECT_EQ(st.entries, 2u);
   EXPECT_EQ(st.evictions, 1u);
@@ -208,26 +213,26 @@ TEST(Cache, HitMissAndLruEviction) {
 }
 
 TEST(Cache, ByteCapacityEvictsAndRejectsOversized) {
-  ResultCache::Config cfg;
+  MemoryStore::Config cfg;
   cfg.shards = 1;
   cfg.max_bytes = 1000;
-  ResultCache cache(cfg);
+  MemoryStore cache(cfg);
   cache.put(CacheKey{1, 1}, payload_named("a"), 600);
   cache.put(CacheKey{2, 2}, payload_named("b"), 600);  // evicts the first
-  EXPECT_EQ(cache.get(CacheKey{1, 1}), nullptr);
-  EXPECT_NE(cache.get(CacheKey{2, 2}), nullptr);
+  EXPECT_EQ(cache.get(CacheKey{1, 1}).payload, nullptr);
+  EXPECT_NE(cache.get(CacheKey{2, 2}).payload, nullptr);
   cache.put(CacheKey{3, 3}, payload_named("c"), 5000);  // larger than budget
-  EXPECT_EQ(cache.get(CacheKey{3, 3}), nullptr);
+  EXPECT_EQ(cache.get(CacheKey{3, 3}).payload, nullptr);
   EXPECT_LE(cache.stats().bytes, 1000u);
 }
 
 TEST(Cache, ZeroCapacityDisables) {
-  ResultCache::Config cfg;
+  MemoryStore::Config cfg;
   cfg.max_bytes = 0;
-  ResultCache cache(cfg);
+  MemoryStore cache(cfg);
   EXPECT_FALSE(cache.enabled());
   cache.put(CacheKey{1, 1}, payload_named("a"), 10);
-  EXPECT_EQ(cache.get(CacheKey{1, 1}), nullptr);
+  EXPECT_EQ(cache.get(CacheKey{1, 1}).payload, nullptr);
 }
 
 // ---------------------------------------------------------------------------
@@ -327,6 +332,35 @@ TEST(Protocol, RenderedResultParsesBack) {
   EXPECT_EQ(fields.at("fp"), resp.fingerprint.hex());
   EXPECT_EQ(fields.at("cached"), "0");
   ASSERT_TRUE(fields.count("t1.rs"));
+}
+
+TEST(Protocol, NameWithWhitespaceRoundTrips) {
+  // A kernel/file display name containing spaces (or worse) must not
+  // corrupt the key=value token stream: escaped on render, unescaped on
+  // parse, symmetrically.
+  AnalysisEngine engine{EngineConfig{}};
+  Request req = service::parse_request_line(
+      "analyze kernel=fir8 name=my%20noisy%09loop", 1);
+  EXPECT_EQ(req.name, "my noisy\tloop");
+  const Response resp = engine.run(std::move(req));
+  const std::string line = service::render_response(resp);
+  // Every token still splits cleanly at whitespace into key=value form.
+  for (const std::string& tok : support::split_ws(line)) {
+    EXPECT_TRUE(tok == "result" || tok.find('=') != std::string::npos)
+        << "corrupted token '" << tok << "' in: " << line;
+  }
+  const auto fields = service::parse_fields(line);
+  EXPECT_EQ(fields.at("name"), "my noisy\tloop");
+  EXPECT_EQ(fields.at("status"), "ok");
+
+  // The error path escapes the echoed name the same way.
+  Request bad = service::parse_request_line(
+      "reduce kernel=fir8 limits=4 name=spaced%20name", 2);
+  const Response err = engine.run(std::move(bad));
+  ASSERT_FALSE(err.payload->ok);
+  const auto efields = service::parse_fields(service::render_response(err));
+  EXPECT_EQ(efields.at("name"), "spaced name");
+  EXPECT_EQ(efields.at("status"), "error");
 }
 
 // ---------------------------------------------------------------------------

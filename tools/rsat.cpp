@@ -12,17 +12,28 @@
 //       list built-in reconstructed kernels.
 //   rsat dump <kernel> [--vliw]
 //       emit a built-in kernel in the .ddg text format.
-//   rsat batch [manifest] [--threads N] [--cache-mb M] [--vliw]
+//   rsat batch [manifest] [--threads N] [--cache-mb M] [--cache-dir D]
+//       [--vliw]
 //       stream protocol requests (stdin or manifest file) through the
 //       cached concurrent analysis engine; result lines on stdout, a
-//       summary with hit rate and latency percentiles on stderr.
-//       Understands cancel/drain control verbs; Ctrl-C (SIGINT) stops
-//       reading, cancels in-flight solves cooperatively, prints every
-//       pending result plus the summary, and exits 0.
+//       summary with hit rate (split by memory/disk tier) and latency
+//       percentiles on stderr. Understands cancel/drain control verbs;
+//       Ctrl-C (SIGINT) stops reading, cancels in-flight solves
+//       cooperatively, prints every pending result plus the summary, and
+//       exits 0.
+//   rsat serve [--host H] [--port P] [--port-file F] [--threads N]
+//       [--cache-mb M] [--cache-dir D] [--vliw]
+//       poll-based TCP front end speaking the same line protocol, one
+//       stream per connection (port 0 = ephemeral; the bound port goes to
+//       stderr and --port-file). SIGINT cancels in-flight solves, flushes
+//       every pending result line, then shuts down cleanly.
 //
-// --budget S bounds total solve seconds (0 = no deadline); S must be a
-// finite non-negative number. --stats prints aggregate solver statistics
-// (nodes, prunes, simplex iterations, stop cause).
+// --cache-dir D enables the persistent on-disk result tier under D (shared
+// by batch and serve; entries survive restarts and are keyed by the
+// canonical DDG fingerprint + request options). --budget S bounds total
+// solve seconds (0 = no deadline); S must be a finite non-negative number.
+// --stats prints aggregate solver statistics (nodes, prunes, simplex
+// iterations, stop cause).
 //
 // The .ddg text format is documented in src/ddg/io.hpp; the batch request/
 // result protocol in src/service/protocol.hpp.
@@ -50,7 +61,9 @@
 #include "graph/paths.hpp"
 #include "service/engine.hpp"
 #include "service/protocol.hpp"
+#include "service/serve.hpp"
 #include "support/assert.hpp"
+#include "support/fs.hpp"
 #include "support/parse.hpp"
 #include "support/timer.hpp"
 
@@ -66,7 +79,10 @@ int usage() {
       "  rsat dot     <file.ddg>\n"
       "  rsat kernels\n"
       "  rsat dump <kernel> [--vliw]\n"
-      "  rsat batch [manifest] [--threads N] [--cache-mb M] [--vliw]\n",
+      "  rsat batch [manifest] [--threads N] [--cache-mb M] [--cache-dir D]\n"
+      "             [--vliw]\n"
+      "  rsat serve [--host H] [--port P] [--port-file F] [--threads N]\n"
+      "             [--cache-mb M] [--cache-dir D] [--vliw]\n",
       stderr);
   return 2;
 }
@@ -76,11 +92,10 @@ double parse_budget(const std::string& s) {
 }
 
 std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  RS_REQUIRE(in.good(), "cannot open " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
+  std::string text;
+  RS_REQUIRE(rs::support::read_file_to_string(path, &text),
+             "cannot open " + path);
+  return text;
 }
 
 rs::ddg::Ddg load(const std::string& path) {
@@ -232,6 +247,106 @@ void mask_sigint(bool block) {
 #endif
 }
 
+/// Shared by batch and serve: the hit-rate line split by store tier, plus
+/// the effective persistent-cache directory and its counters when enabled.
+void print_cache_summary(const rs::service::EngineStats& st,
+                         const std::string& cache_dir) {
+  std::fprintf(stderr,
+               "cache: %llu hits (%llu mem, %llu disk) + %llu coalesced / "
+               "%llu lookups (%.1f%% hit rate), %zu entries, %zu bytes\n",
+               static_cast<unsigned long long>(st.cache_hits),
+               static_cast<unsigned long long>(st.memory_hits),
+               static_cast<unsigned long long>(st.disk_hits),
+               static_cast<unsigned long long>(st.coalesced),
+               static_cast<unsigned long long>(st.cache_hits + st.coalesced +
+                                               st.misses),
+               100.0 * st.hit_rate(), st.cache_entries, st.cache_bytes);
+  if (st.disk_enabled) {
+    std::fprintf(stderr,
+                 "cache dir: %s (%llu disk hits, %llu writes, %llu corrupt, "
+                 "%llu write errors)\n",
+                 cache_dir.c_str(),
+                 static_cast<unsigned long long>(st.disk.hits),
+                 static_cast<unsigned long long>(st.disk.insertions),
+                 static_cast<unsigned long long>(st.disk.corrupt),
+                 static_cast<unsigned long long>(st.disk.write_errors));
+  }
+}
+
+int cmd_serve(int argc, char** argv) {
+  rs::service::ServeConfig cfg;
+  try {
+    for (int i = 2; i < argc; ++i) {
+      if (!std::strcmp(argv[i], "--host") && i + 1 < argc) {
+        cfg.host = argv[++i];
+      } else if (!std::strcmp(argv[i], "--port") && i + 1 < argc) {
+        cfg.port = rs::support::parse_int(argv[++i], "--port");
+        RS_REQUIRE(cfg.port >= 0 && cfg.port <= 65535,
+                   "--port must be in [0, 65535]");
+      } else if (!std::strcmp(argv[i], "--port-file") && i + 1 < argc) {
+        cfg.port_file = argv[++i];
+      } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+        const int threads = rs::support::parse_int(argv[++i], "--threads");
+        RS_REQUIRE(threads >= 0, "--threads must be >= 0");
+        cfg.engine.threads = static_cast<std::size_t>(threads);
+      } else if (!std::strcmp(argv[i], "--cache-mb") && i + 1 < argc) {
+        const int mb = rs::support::parse_int(argv[++i], "--cache-mb");
+        RS_REQUIRE(mb >= 0, "--cache-mb must be >= 0");
+        cfg.engine.cache.max_bytes = static_cast<std::size_t>(mb) << 20;
+      } else if (!std::strcmp(argv[i], "--cache-dir") && i + 1 < argc) {
+        cfg.engine.cache_dir = argv[++i];
+        RS_REQUIRE(!cfg.engine.cache_dir.empty(),
+                   "--cache-dir must not be empty");
+      } else if (!std::strcmp(argv[i], "--vliw")) {
+        cfg.protocol.default_model = rs::ddg::vliw_model();
+      } else {
+        RS_REQUIRE(false, std::string("unknown serve flag ") + argv[i]);
+      }
+    }
+  } catch (const rs::support::PreconditionError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return usage();
+  }
+
+  install_sigint_handler();
+#if defined(__unix__) || defined(__APPLE__)
+  // Without this, platforms lacking MSG_NOSIGNAL (macOS) would let one
+  // client that disconnects before reading its result kill the whole
+  // server with SIGPIPE on the write-back.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+  mask_sigint(true);  // engine workers spawn inside SocketServer
+  rs::service::SocketServer server(cfg);
+  mask_sigint(false);
+
+  std::fprintf(stderr, "serve: listening on %s:%d\n", cfg.host.c_str(),
+               server.port());
+  if (!cfg.engine.cache_dir.empty()) {
+    std::fprintf(stderr, "cache dir: %s\n", cfg.engine.cache_dir.c_str());
+  }
+  std::fflush(stderr);
+
+  const rs::support::Timer wall;
+  server.run([] { return g_interrupted != 0; });
+
+  const rs::service::ServeStats ss = server.serve_stats();
+  const rs::service::EngineStats st = server.engine().stats();
+  std::fprintf(stderr,
+               "serve: %llu connections, %llu requests, %llu responses "
+               "(%llu parse errors)%s\n",
+               static_cast<unsigned long long>(ss.connections),
+               static_cast<unsigned long long>(ss.requests),
+               static_cast<unsigned long long>(ss.responses),
+               static_cast<unsigned long long>(ss.parse_errors),
+               g_interrupted ? " [interrupted, drained]" : "");
+  print_cache_summary(st, cfg.engine.cache_dir);
+  std::fprintf(stderr, "latency: p50 %.3f ms, p95 %.3f ms, max %.3f ms\n",
+               st.p50_ms, st.p95_ms, st.max_ms);
+  std::fprintf(stderr, "wall: %.3f s, %zu threads\n", wall.seconds(),
+               server.engine().thread_count());
+  return 0;
+}
+
 int cmd_batch(int argc, char** argv) {
   std::string manifest_path;
   rs::service::EngineConfig cfg;
@@ -246,6 +361,9 @@ int cmd_batch(int argc, char** argv) {
         const int mb = rs::support::parse_int(argv[++i], "--cache-mb");
         RS_REQUIRE(mb >= 0, "--cache-mb must be >= 0");
         cfg.cache.max_bytes = static_cast<std::size_t>(mb) << 20;
+      } else if (!std::strcmp(argv[i], "--cache-dir") && i + 1 < argc) {
+        cfg.cache_dir = argv[++i];
+        RS_REQUIRE(!cfg.cache_dir.empty(), "--cache-dir must not be empty");
       } else if (!std::strcmp(argv[i], "--vliw")) {
         popts.default_model = rs::ddg::vliw_model();
       } else if (argv[i][0] == '-') {
@@ -428,14 +546,7 @@ int cmd_batch(int argc, char** argv) {
                static_cast<unsigned long long>(cancelled),
                static_cast<unsigned long long>(timed_out),
                g_interrupted ? " [interrupted, drained]" : "");
-  std::fprintf(stderr,
-               "cache: %llu hits + %llu coalesced / %llu lookups "
-               "(%.1f%% hit rate), %zu entries, %zu bytes\n",
-               static_cast<unsigned long long>(st.cache_hits),
-               static_cast<unsigned long long>(st.coalesced),
-               static_cast<unsigned long long>(st.cache_hits + st.coalesced +
-                                               st.misses),
-               100.0 * st.hit_rate(), st.cache_entries, st.cache_bytes);
+  print_cache_summary(st, cfg.cache_dir);
   std::fprintf(stderr, "latency: p50 %.3f ms, p95 %.3f ms, max %.3f ms\n",
                st.p50_ms, st.p95_ms, st.max_ms);
   std::fprintf(stderr, "wall: %.3f s (%.1f req/s), %zu threads\n", wall_s,
@@ -474,6 +585,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "dump") return cmd_dump(argc, argv);
     if (cmd == "batch") return cmd_batch(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
     return usage();
   } catch (const rs::support::PreconditionError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
