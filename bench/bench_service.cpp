@@ -17,6 +17,11 @@
 #include "ddg/generators.hpp"
 #include "ddg/kernels.hpp"
 #include "service/engine.hpp"
+#include "service/ops/analyze.hpp"
+#include "service/ops/minreg.hpp"
+#include "service/ops/reduce.hpp"
+#include "service/ops/schedule.hpp"
+#include "service/ops/spill.hpp"
 #include "service/protocol.hpp"
 #include "support/random.hpp"
 #include "support/timer.hpp"
@@ -26,7 +31,6 @@ namespace {
 using rs::service::AnalysisEngine;
 using rs::service::EngineConfig;
 using rs::service::Request;
-using rs::service::RequestKind;
 using rs::service::Response;
 
 // The "repeated corpus": every kernel analyzed and reduced, three times
@@ -37,17 +41,12 @@ std::vector<Request> corpus_batch(int repeats) {
   std::uint64_t id = 1;
   for (int r = 0; r < repeats; ++r) {
     for (const auto& [name, dag] : corpus) {
-      Request a;
+      Request a = rs::service::make_analyze_request(dag);
       a.id = id++;
-      a.kind = RequestKind::Analyze;
-      a.ddg = dag;
-      batch.push_back(a);
-      Request red;
+      batch.push_back(std::move(a));
+      Request red = rs::service::make_reduce_request(dag, {16, 16});
       red.id = id++;
-      red.kind = RequestKind::Reduce;
-      red.ddg = dag;
-      red.limits = {16, 16};
-      batch.push_back(red);
+      batch.push_back(std::move(red));
     }
   }
   return batch;
@@ -134,6 +133,29 @@ void BM_CorpusDiskRestart(benchmark::State& state) {
 }
 BENCHMARK(BM_CorpusDiskRestart)->Unit(benchmark::kMillisecond);
 
+// Warm-path throughput of the three registry-opened workloads (minreg,
+// spill, schedule): one cold solve up front, then every lookup is a
+// memory-tier hit — the operation dispatch itself must stay off the hot
+// path.
+void BM_NewOpsWarm(benchmark::State& state) {
+  AnalysisEngine engine(EngineConfig{});
+  const auto dag =
+      rs::ddg::build_kernel("lin-ddot", rs::ddg::superscalar_model());
+  std::vector<Request> batch;
+  batch.push_back(rs::service::make_minreg_request(dag));
+  batch.push_back(rs::service::make_spill_request(dag, {2, 2}));
+  batch.push_back(rs::service::make_schedule_request(dag));
+  drain(engine, batch);  // populate the cache
+  for (auto _ : state) {
+    for (const Request& req : batch) {
+      benchmark::DoNotOptimize(engine.run(req).payload->ok);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_NewOpsWarm)->Unit(benchmark::kMicrosecond);
+
 void BM_CancellationDrain(benchmark::State& state) {
   // Drain latency for the cancel path: submit a batch of budgeted slow
   // solves (dense layered DAGs whose exact RS search would run far past the
@@ -148,10 +170,9 @@ void BM_CancellationDrain(benchmark::State& state) {
     p.min_width = 4;
     p.max_width = 6;
     p.edge_prob = 0.8;
-    Request req;
+    Request req = rs::service::make_analyze_request(
+        rs::ddg::random_layered(rng, rs::ddg::superscalar_model(), p));
     req.id = id;
-    req.kind = RequestKind::Analyze;
-    req.ddg = rs::ddg::random_layered(rng, rs::ddg::superscalar_model(), p);
     req.budget_seconds = 0.25;
     batch.push_back(std::move(req));
   }

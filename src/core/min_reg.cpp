@@ -20,9 +20,18 @@ MinRegResult minimize_register_need(const TypeContext& ctx,
     result.critical_path = budget;
     return result;
   }
+  // Paper (end of section 4): only schedules whose Theorem-4.2 extension
+  // keeps the DAG property are admissible witnesses — otherwise the
+  // "minimal-need DAG" this function promises would be cyclic. Compose
+  // with any caller-provided filter.
+  SrcOptions filtered = opts;
+  filtered.leaf_filter = [&ctx, mode, &opts](const sched::Schedule& s) {
+    if (opts.leaf_filter && !opts.leaf_filter(s)) return false;
+    return extend_by_schedule(ctx, s, mode).is_dag;
+  };
   for (int r = 1; r <= ctx.value_count(); ++r) {
     SrcSolver solver(ctx, r);
-    SrcResult feas = solver.feasible(budget, 0, opts, solve);
+    SrcResult feas = solver.feasible(budget, 0, filtered, solve);
     result.nodes += feas.nodes;
     result.stats.merge(feas.stats);
     if (feas.status == SrcStatus::LimitHit && !feas.feasible) {
@@ -41,7 +50,14 @@ MinRegResult minimize_register_need(const TypeContext& ctx,
       return result;
     }
   }
-  RS_CHECK(false);  // r == value_count is always feasible
+  // Every register count was infeasible within the budget: the makespan
+  // budget is below the critical path, or (with visible write offsets) no
+  // schedule admits a DAG-preserving Theorem-4.2 extension. Report an
+  // unproven |values| bound with no extension — the reduce path treats the
+  // analogous exhaustion as SpillNeeded rather than asserting, and a
+  // user-supplied cp= must not be able to trip an internal invariant.
+  result.proven = false;
+  result.min_need = ctx.value_count();
   return result;
 }
 

@@ -86,6 +86,7 @@ SpillResult spill_and_reduce(const TypeContext& ctx, int R,
   for (int round = 0; round <= opts.max_spills; ++round) {
     const TypeContext cur(result.out, ctx.type());
     const ReduceResult red = reduce_greedy(cur, R, opts.reduce, solve);
+    result.stats.merge(red.stats);
     if (red.status == ReduceStatus::AlreadyFits ||
         red.status == ReduceStatus::Reduced) {
       result.status = red.status;
@@ -96,6 +97,9 @@ SpillResult spill_and_reduce(const TypeContext& ctx, int R,
     }
     if (red.status == ReduceStatus::LimitHit || round == opts.max_spills) {
       result.status = red.status;
+      // SpillNeeded carries the witnessed saturating estimate of `out`;
+      // LimitHit was interrupted before a witness and reports 0 (unknown).
+      result.achieved_rs = red.achieved_rs;
       result.critical_path = graph::critical_path(result.out.graph());
       return result;
     }
@@ -103,6 +107,7 @@ SpillResult spill_and_reduce(const TypeContext& ctx, int R,
     // (ties: smallest index, for determinism). Late set: the last half of
     // its consumers in ASAP order (at least one).
     const RsEstimate est = greedy_k(cur, opts.reduce.greedy, solve);
+    result.stats.merge(est.stats);
     int chosen = -1;
     std::size_t best_consumers = 0;
     for (const int i : est.antichain) {
@@ -114,6 +119,7 @@ SpillResult spill_and_reduce(const TypeContext& ctx, int R,
     }
     if (chosen < 0) {  // no antichain? nothing sensible left to do
       result.status = ReduceStatus::SpillNeeded;
+      result.achieved_rs = red.achieved_rs;
       result.critical_path = graph::critical_path(result.out.graph());
       return result;
     }

@@ -26,8 +26,12 @@ struct SpillResult {
   ddg::Ddg out;              // rewritten (and possibly reduced) DDG
   int spills_inserted = 0;   // store/reload pairs added
   ReduceStatus status = ReduceStatus::LimitHit;
-  int achieved_rs = 0;       // witnessed RS of `out` for the target type
+  /// Witnessed RS of `out` for the target type. On failure this is the
+  /// last reduction round's witnessed estimate (still above the limit);
+  /// 0 only when the budget interrupted before any witness existed.
+  int achieved_rs = 0;
   sched::Time critical_path = 0;
+  support::SolveStats stats;  // aggregated over every reduction round
 };
 
 /// Splits the lifetime of value `value_index`: its consumers at or after

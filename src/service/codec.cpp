@@ -1,9 +1,10 @@
 #include "service/codec.hpp"
 
+#include <functional>
 #include <optional>
 #include <sstream>
-#include <vector>
 
+#include "service/operation.hpp"
 #include "service/protocol.hpp"
 #include "support/parse.hpp"
 
@@ -21,18 +22,8 @@ std::optional<support::StopCause> stop_cause_from_token(
   return std::nullopt;
 }
 
-std::optional<core::ReduceStatus> reduce_status_from_token(
-    const std::string& tok) {
-  using core::ReduceStatus;
-  if (tok == "fits") return ReduceStatus::AlreadyFits;
-  if (tok == "reduced") return ReduceStatus::Reduced;
-  if (tok == "spill") return ReduceStatus::SpillNeeded;
-  if (tok == "limit") return ReduceStatus::LimitHit;
-  return std::nullopt;
-}
+}  // namespace
 
-/// Splits "a:b:c" on ':' — entry fields never contain ':' (all numeric or
-/// status tokens), so no escaping is needed inside entries.
 std::vector<std::string> split_colon(const std::string& s) {
   std::vector<std::string> out;
   std::size_t start = 0;
@@ -46,21 +37,49 @@ std::vector<std::string> split_colon(const std::string& s) {
   }
 }
 
-long long req_ll(const std::map<std::string, std::string>& fields,
-                 const char* key) {
+long long require_ll(const std::map<std::string, std::string>& fields,
+                     const char* key) {
   const auto it = fields.find(key);
   RS_REQUIRE(it != fields.end(), std::string("missing ") + key + "=");
   return support::parse_ll(it->second, key);
 }
 
-bool req_flag(const std::map<std::string, std::string>& fields,
-              const char* key) {
-  const long long v = req_ll(fields, key);
+bool require_flag(const std::map<std::string, std::string>& fields,
+                  const char* key) {
+  const long long v = require_ll(fields, key);
   RS_REQUIRE(v == 0 || v == 1, std::string(key) + "= must be 0 or 1");
   return v == 1;
 }
 
-}  // namespace
+void encode_entries(std::ostream& os, const char* count_key,
+                    const char* prefix, std::size_t count,
+                    const std::function<void(std::size_t, std::ostream&)>&
+                        entry) {
+  os << ' ' << count_key << '=' << count;
+  for (std::size_t i = 0; i < count; ++i) {
+    os << ' ' << prefix << i << '=';
+    entry(i, os);
+  }
+}
+
+void decode_entries(const std::map<std::string, std::string>& fields,
+                    const char* count_key, const char* prefix,
+                    std::size_t arity,
+                    const std::function<void(const std::vector<std::string>&)>&
+                        entry) {
+  const long long n = require_ll(fields, count_key);
+  RS_REQUIRE(n >= 0 && n <= 4096,
+             std::string("implausible ") + count_key + "=");
+  for (long long i = 0; i < n; ++i) {
+    const auto it = fields.find(prefix + std::to_string(i));
+    RS_REQUIRE(it != fields.end(),
+               std::string("missing ") + prefix + " entry");
+    const std::vector<std::string> parts = split_colon(it->second);
+    RS_REQUIRE(parts.size() == arity,
+               std::string("malformed ") + prefix + " entry");
+    entry(parts);
+  }
+}
 
 std::string render_payload_fields(const ResultPayload& p, bool include_ddg) {
   std::ostringstream os;
@@ -68,51 +87,27 @@ std::string render_payload_fields(const ResultPayload& p, bool include_ddg) {
     os << " msg=" << escape_field(p.error);
     return os.str();
   }
+  RS_REQUIRE(p.op != nullptr, "payload names no operation");
   os << " stop=" << support::stop_cause_token(p.stats.stop)
      << " nodes=" << p.stats.nodes;
-  if (p.kind == RequestKind::Analyze) {
-    for (const TypeAnalysis& t : p.analyze) {
-      os << " t" << t.type << ".vals=" << t.value_count << " t" << t.type
-         << ".rs=" << t.rs << " t" << t.type
-         << ".proven=" << (t.proven ? 1 : 0);
-    }
-  } else {
-    os << " success=" << (p.success ? 1 : 0);
-    for (const TypeReduce& t : p.reduce) {
-      os << " t" << t.type << ".status=" << reduce_status_token(t.status)
-         << " t" << t.type << ".rs=" << t.achieved_rs << " t" << t.type
-         << ".arcs=" << t.arcs_added << " t" << t.type
-         << ".loss=" << t.ilp_loss;
-    }
-    if (include_ddg && !p.out_ddg.empty()) {
-      os << " ddg=" << escape_field(p.out_ddg);
-    }
+  p.op->render_result_fields(p, os);
+  if (include_ddg && !p.out_ddg.empty()) {
+    os << " ddg=" << escape_field(p.out_ddg);
   }
   return os.str();
 }
 
 std::string encode_payload(const ResultPayload& p) {
+  RS_REQUIRE(p.op != nullptr, "payload names no operation");
   std::ostringstream os;
   os << "rsres v=" << kPayloadFormatVersion << " ok=" << (p.ok ? 1 : 0)
-     << " kind=" << (p.kind == RequestKind::Analyze ? "analyze" : "reduce")
-     << " success=" << (p.success ? 1 : 0)
+     << " kind=" << p.op->name() << " success=" << (p.success ? 1 : 0)
      << " stop=" << support::stop_cause_token(p.stats.stop)
      << " nodes=" << p.stats.nodes << " prunes=" << p.stats.prunes
      << " simplex=" << p.stats.simplex_iterations
      << " refine=" << p.stats.refine_passes << " solves=" << p.stats.solves;
   if (!p.error.empty()) os << " err=" << escape_field(p.error);
-  os << " na=" << p.analyze.size();
-  for (std::size_t i = 0; i < p.analyze.size(); ++i) {
-    const TypeAnalysis& t = p.analyze[i];
-    os << " a" << i << "=" << t.type << ':' << t.value_count << ':' << t.rs
-       << ':' << (t.proven ? 1 : 0);
-  }
-  os << " nr=" << p.reduce.size();
-  for (std::size_t i = 0; i < p.reduce.size(); ++i) {
-    const TypeReduce& t = p.reduce[i];
-    os << " r" << i << "=" << t.type << ':' << reduce_status_token(t.status)
-       << ':' << t.achieved_rs << ':' << t.arcs_added << ':' << t.ilp_loss;
-  }
+  p.op->encode_payload_fields(p, os);
   if (!p.out_ddg.empty()) os << " ddg=" << escape_field(p.out_ddg);
   // End-of-record sentinel: entry counts cannot detect a truncation inside
   // the *last* variable-length value (a shortened ddg= is still a
@@ -145,73 +140,36 @@ std::shared_ptr<const ResultPayload> decode_payload(std::string_view text) {
     const std::map<std::string, std::string> fields = parse_fields(line);
     const auto head = fields.find("");
     if (head == fields.end() || head->second != "rsres") return nullptr;
-    if (req_ll(fields, "v") != kPayloadFormatVersion) return nullptr;
+    if (require_ll(fields, "v") != kPayloadFormatVersion) return nullptr;
     const auto eol = fields.find("eol");
     if (eol == fields.end() || eol->second != "2") return nullptr;  // truncated
 
     auto p = std::make_shared<ResultPayload>();
-    p->ok = req_flag(fields, "ok");
+    p->ok = require_flag(fields, "ok");
     const auto kind_it = fields.find("kind");
     RS_REQUIRE(kind_it != fields.end(), "missing kind=");
-    if (kind_it->second == "analyze") {
-      p->kind = RequestKind::Analyze;
-    } else if (kind_it->second == "reduce") {
-      p->kind = RequestKind::Reduce;
-    } else {
-      return nullptr;
-    }
-    p->success = req_flag(fields, "success");
+    // An unregistered kind= is a miss, not corruption: an entry written by
+    // a newer build with more operations must not crash this reader.
+    p->op = find_operation(kind_it->second);
+    if (p->op == nullptr) return nullptr;
+    p->success = require_flag(fields, "success");
     const auto stop_it = fields.find("stop");
     RS_REQUIRE(stop_it != fields.end(), "missing stop=");
     const auto stop = stop_cause_from_token(stop_it->second);
     if (!stop.has_value()) return nullptr;
     p->stats.stop = *stop;
-    p->stats.nodes = req_ll(fields, "nodes");
-    p->stats.prunes = req_ll(fields, "prunes");
-    p->stats.simplex_iterations = req_ll(fields, "simplex");
-    p->stats.refine_passes = req_ll(fields, "refine");
-    p->stats.solves = req_ll(fields, "solves");
+    p->stats.nodes = require_ll(fields, "nodes");
+    p->stats.prunes = require_ll(fields, "prunes");
+    p->stats.simplex_iterations = require_ll(fields, "simplex");
+    p->stats.refine_passes = require_ll(fields, "refine");
+    p->stats.solves = require_ll(fields, "solves");
     if (const auto it = fields.find("err"); it != fields.end()) {
       p->error = it->second;
     }
     if (const auto it = fields.find("ddg"); it != fields.end()) {
       p->out_ddg = it->second;
     }
-
-    const long long na = req_ll(fields, "na");
-    RS_REQUIRE(na >= 0 && na <= 4096, "implausible na=");
-    for (long long i = 0; i < na; ++i) {
-      const auto it = fields.find("a" + std::to_string(i));
-      RS_REQUIRE(it != fields.end(), "missing analyze entry");
-      const std::vector<std::string> parts = split_colon(it->second);
-      RS_REQUIRE(parts.size() == 4, "malformed analyze entry");
-      TypeAnalysis t;
-      t.type = static_cast<ddg::RegType>(support::parse_int(parts[0], "a.type"));
-      t.value_count = support::parse_int(parts[1], "a.vals");
-      t.rs = support::parse_int(parts[2], "a.rs");
-      const int proven = support::parse_int(parts[3], "a.proven");
-      RS_REQUIRE(proven == 0 || proven == 1, "a.proven must be 0 or 1");
-      t.proven = proven == 1;
-      p->analyze.push_back(t);
-    }
-
-    const long long nr = req_ll(fields, "nr");
-    RS_REQUIRE(nr >= 0 && nr <= 4096, "implausible nr=");
-    for (long long i = 0; i < nr; ++i) {
-      const auto it = fields.find("r" + std::to_string(i));
-      RS_REQUIRE(it != fields.end(), "missing reduce entry");
-      const std::vector<std::string> parts = split_colon(it->second);
-      RS_REQUIRE(parts.size() == 5, "malformed reduce entry");
-      TypeReduce t;
-      t.type = static_cast<ddg::RegType>(support::parse_int(parts[0], "r.type"));
-      const auto status = reduce_status_from_token(parts[1]);
-      if (!status.has_value()) return nullptr;
-      t.status = *status;
-      t.achieved_rs = support::parse_int(parts[2], "r.rs");
-      t.arcs_added = support::parse_int(parts[3], "r.arcs");
-      t.ilp_loss = support::parse_ll(parts[4], "r.loss");
-      p->reduce.push_back(t);
-    }
+    if (!p->op->decode_payload_fields(fields, p.get())) return nullptr;
     return p;
   } catch (const std::exception&) {
     // Malformed numbers, bad %XX escapes, duplicate keys, missing required

@@ -6,7 +6,7 @@
 // Two layers:
 //
 //  * render_payload_fields() — the payload-derived tail of a protocol
-//    result line (" stop=... nodes=..." plus the per-type fields). The
+//    result line (" stop=... nodes=..." plus the operation's fields). The
 //    protocol renderer and any re-render of a decoded payload call this one
 //    function, which is what makes result lines byte-identical whether the
 //    payload was computed, served from memory, or read back from disk.
@@ -15,28 +15,34 @@
 //    whitespace-separated key=value tokens opened by a header:
 //
 //      rsres v=1 ok=1 kind=analyze stop=proven nodes=8 prunes=2 simplex=0
-//            refine=1 solves=3 na=2 a0=0:12:5:1 a1=1:3:2:1
-//      rsres v=1 ok=1 kind=reduce success=1 stop=limit ... nr=2
+//            refine=1 solves=3 na=2 a0=0:12:5:1 a1=1:3:2:1 nr=0
+//      rsres v=1 ok=1 kind=reduce success=1 stop=limit ... na=0 nr=2
 //            r0=0:reduced:4:3:12 r1=1:fits:2:0:0 ddg=<escaped>
 //
-//    a<i> entries are <type>:<values>:<rs>:<proven>; r<i> entries are
-//    <type>:<status>:<rs>:<arcs>:<loss>; na=/nr= carry the expected entry
-//    counts and a final eol=2 sentinel closes the record, so truncation
-//    anywhere — including inside the last variable-length value — is
-//    detectable. Values that may contain whitespace (ddg=, err=) use the
-//    protocol's %XX escaping.
+//    The generic header (ok/kind/success/stop/solver counters/err=) and
+//    trailer (ddg= when the payload carries output-DDG text, then a final
+//    eol=2 sentinel) bracket the operation's own fields, written and read
+//    back by the service::Operation named in kind= — the registry
+//    (service/operation.hpp) is consulted on decode, so this file knows no
+//    operation specifics. Entry-count keys (na=/nr=/nm=/...) inside the op
+//    fields plus the eol=2 sentinel make truncation anywhere — including
+//    inside the last variable-length value — detectable. Values that may
+//    contain whitespace (ddg=, err=) use the protocol's %XX escaping.
 //
 //    Decoding is forward-compatible: tokens with unknown keys are skipped,
 //    so a newer writer may append fields without breaking this reader.
-//    Anything else — a missing/mismatched version header, a malformed or
-//    missing required field, an entry-count mismatch — decodes to nullptr,
-//    which the disk tier treats as a cache miss (never a crash, never a
-//    poisoned payload).
+//    Anything else — a missing/mismatched version header, an unregistered
+//    kind=, a malformed or missing required field, an entry-count mismatch
+//    — decodes to nullptr, which the disk tier treats as a cache miss
+//    (never a crash, never a poisoned payload).
 #pragma once
 
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "service/engine.hpp"
 
@@ -52,15 +58,50 @@ inline constexpr int kPayloadFormatVersion = 1;
 std::string encode_payload(const ResultPayload& p);
 
 /// Parses an encoded payload; nullptr on version mismatch or any
-/// corruption (truncation, malformed numbers, bad escapes, entry-count
-/// mismatch). Unknown keys are skipped. Never throws.
+/// corruption (truncation, malformed numbers, bad escapes, unregistered
+/// kind=, entry-count mismatch). Unknown keys are skipped. Never throws.
 std::shared_ptr<const ResultPayload> decode_payload(std::string_view text);
 
 /// The payload-derived tail of a protocol result line, starting with a
-/// leading space: " stop=<c> nodes=<n>" then per-type analyze fields, or
-/// " success=0|1" + per-type reduce fields (+ " ddg=<escaped>" when
-/// include_ddg and the payload carries reduced-DDG text). Error payloads
-/// render as " msg=<escaped>".
+/// leading space: " stop=<c> nodes=<n>" then the operation's result fields
+/// (+ " ddg=<escaped>" when include_ddg and the payload carries output-DDG
+/// text). Error payloads render as " msg=<escaped>".
 std::string render_payload_fields(const ResultPayload& p, bool include_ddg);
+
+// --------------------------------------------------------------------------
+// Helpers for Operation::encode_payload_fields / decode_payload_fields
+// implementations (service/ops/*.cpp). All throw support::PreconditionError
+// on malformed input; decode_payload() maps that to a miss.
+
+/// Splits "a:b:c" on ':' — entry fields never contain ':' (all numeric or
+/// status tokens), so no escaping is needed inside entries.
+std::vector<std::string> split_colon(const std::string& s);
+
+/// The value of a required integer field; throws when absent or malformed.
+long long require_ll(const std::map<std::string, std::string>& fields,
+                     const char* key);
+
+/// The value of a required 0|1 field; throws when absent or out of range.
+bool require_flag(const std::map<std::string, std::string>& fields,
+                  const char* key);
+
+/// Writes the shared entry-list scheme: " <count_key>=N" then one
+/// " <prefix><i>=" token per entry, whose colon-joined value is streamed
+/// by `entry(i, os)`. The count key is what makes truncation of a
+/// fixed-arity entry list detectable.
+void encode_entries(std::ostream& os, const char* count_key,
+                    const char* prefix, std::size_t count,
+                    const std::function<void(std::size_t, std::ostream&)>&
+                        entry);
+
+/// Reads the scheme back: validates the count (0..4096), looks up each
+/// " <prefix><i>=" token, splits on ':' and checks `arity`, then hands the
+/// parts to `entry`. Throws support::PreconditionError on any violation
+/// (decode_payload() maps that to a miss).
+void decode_entries(const std::map<std::string, std::string>& fields,
+                    const char* count_key, const char* prefix,
+                    std::size_t arity,
+                    const std::function<void(const std::vector<std::string>&)>&
+                        entry);
 
 }  // namespace rs::service

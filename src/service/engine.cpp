@@ -1,12 +1,9 @@
 #include "service/engine.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <chrono>
 
-#include "ddg/io.hpp"
 #include "support/assert.hpp"
-#include "support/hash.hpp"
 
 namespace rs::service {
 
@@ -14,49 +11,20 @@ namespace {
 
 constexpr std::size_t kLatencyWindow = 1 << 16;
 
-struct Digest {
-  std::uint64_t h = 0x524571446967ULL;
-  void add(std::uint64_t v) { h = support::hash_combine(h, v); }
-  void add_double(double v) { add(std::bit_cast<std::uint64_t>(v)); }
-};
-
-void digest_analyze(Digest& d, const core::AnalyzeOptions& o) {
-  d.add(static_cast<std::uint64_t>(o.engine));
-  d.add(static_cast<std::uint64_t>(o.greedy.refine_passes));
-}
-
-void digest_reduce(Digest& d, const core::ReduceOptions& o) {
-  d.add(static_cast<std::uint64_t>(o.src.node_limit));
-  d.add(static_cast<std::uint64_t>(o.src.slack_limit));
-  d.add(static_cast<std::uint64_t>(o.greedy.refine_passes));
-  d.add(static_cast<std::uint64_t>(o.arc_mode));
-  d.add(static_cast<std::uint64_t>(o.rs_upper));
-  d.add(static_cast<std::uint64_t>(o.max_rounds));
-}
-
 }  // namespace
 
 std::size_t ResultPayload::bytes() const {
   return sizeof(ResultPayload) + error.size() + out_ddg.size() +
-         analyze.capacity() * sizeof(TypeAnalysis) +
-         reduce.capacity() * sizeof(TypeReduce);
+         (data != nullptr ? data->bytes() : 0);
 }
 
 CacheKey request_key(const Request& req, const ddg::Fingerprint& fp) {
-  Digest d;
-  d.add(static_cast<std::uint64_t>(req.kind));
+  RS_REQUIRE(req.op != nullptr, "request names no operation");
+  OptionDigest d;
+  d.add(req.op->digest_tag());
   d.add_double(req.budget_seconds);
-  if (req.kind == RequestKind::Analyze) {
-    digest_analyze(d, req.analyze);
-  } else {
-    digest_analyze(d, req.pipeline.analyze);
-    digest_reduce(d, req.pipeline.reduce);
-    d.add(req.pipeline.exact_reduction ? 1 : 0);
-    d.add(req.pipeline.verify ? 1 : 0);
-    d.add(req.limits.size());
-    for (const int l : req.limits) d.add(static_cast<std::uint64_t>(l) + 1);
-  }
-  return ddg::extend(fp, d.h);
+  req.op->digest_options(req, &d);
+  return ddg::extend(fp, d.value());
 }
 
 AnalysisEngine::AnalysisEngine(const EngineConfig& cfg)
@@ -173,6 +141,7 @@ Response AnalysisEngine::process(Request req, support::Timer started,
   CacheKey key;
 
   try {
+    RS_REQUIRE(req.op != nullptr, "request names no operation");
     const ddg::Ddg normalized = req.ddg.normalized();
     resp.fingerprint = ddg::fingerprint(normalized);
     key = request_key(req, resp.fingerprint);
@@ -228,7 +197,7 @@ Response AnalysisEngine::process(Request req, support::Timer started,
         }
         if (token.cancelled()) {
           auto aborted = std::make_shared<ResultPayload>();
-          aborted->kind = req.kind;
+          aborted->op = req.op;
           aborted->success = false;
           aborted->stats.stop = support::StopCause::Cancelled;
           payload = std::move(aborted);
@@ -263,7 +232,7 @@ Response AnalysisEngine::process(Request req, support::Timer started,
   } catch (...) {
     auto failed = std::make_shared<ResultPayload>();
     failed->ok = false;
-    failed->kind = req.kind;
+    failed->op = req.op;
     try {
       throw;
     } catch (const std::exception& e) {
@@ -295,44 +264,18 @@ AnalysisEngine::SharedPayload AnalysisEngine::compute(
     const Request& req, const ddg::Ddg& normalized,
     const support::CancelToken& token) {
   auto payload = std::make_shared<ResultPayload>();
-  payload->kind = req.kind;
+  payload->op = req.op;
   // One context for the whole request: the deadline and the cancel token
   // thread through every solver layer below. process() has already
   // normalized an unset budget to the engine default, so no request can
   // pin a worker past the structural node limits' worst case.
   const support::SolveContext solve(req.budget_seconds, token);
   try {
-    if (req.kind == RequestKind::Analyze) {
-      const core::SaturationReport report =
-          core::analyze(normalized, req.analyze, solve);
-      payload->stats = report.stats;
-      for (const core::TypeSaturation& t : report.per_type) {
-        payload->analyze.push_back(
-            TypeAnalysis{t.type, t.value_count, t.rs, t.proven});
-      }
-    } else {
-      RS_REQUIRE(static_cast<int>(req.limits.size()) == normalized.type_count(),
-                 "need " + std::to_string(normalized.type_count()) +
-                     " register limits, got " +
-                     std::to_string(req.limits.size()));
-      const core::PipelineResult result =
-          core::ensure_limits(normalized, req.limits, req.pipeline, solve);
-      payload->stats = result.stats;
-      payload->success = result.success;
-      if (!result.success) payload->error = result.note;
-      for (ddg::RegType t = 0; t < normalized.type_count(); ++t) {
-        const core::ReduceResult& r = result.per_type[t];
-        payload->reduce.push_back(TypeReduce{
-            t, r.status, r.achieved_rs, r.arcs_added,
-            static_cast<long long>(r.ilp_loss())});
-      }
-      payload->out_ddg = ddg::to_text(result.out);
-    }
+    req.op->run(req, normalized, solve, payload.get());
   } catch (const std::exception& e) {
     payload->ok = false;
     payload->error = e.what();
-    payload->analyze.clear();
-    payload->reduce.clear();
+    payload->data.reset();
     payload->out_ddg.clear();
   }
   return payload;

@@ -1,21 +1,25 @@
-// AnalysisEngine: a long-lived, concurrent, cached front end over the
-// figure-1 pipeline (core::analyze / core::ensure_limits).
+// AnalysisEngine: a long-lived, concurrent, cached, operation-agnostic
+// front end over the registered service operations (service/operation.hpp).
 //
-// Callers submit batches of analysis or reduction requests; the engine runs
-// them on a shared rs::support::ThreadPool and memoizes results in a
-// service::TieredStore (service/store.hpp): a sharded in-memory LRU over an
-// optional persistent on-disk tier (EngineConfig::cache_dir), keyed by the
-// canonical DDG fingerprint (ddg/canon.hpp) extended with a digest of the
-// request options. Renumbered or renamed copies of the same DAG therefore
-// hit the same entry — across processes and restarts when the disk tier is
-// enabled. Identical requests arriving while the first is still computing
-// are coalesced onto its in-flight result (single-flight), so a burst of
+// Callers submit batches of requests — each naming a registered
+// service::Operation (analyze, reduce, minreg, spill, schedule, ...) — and
+// the engine runs them on a shared rs::support::ThreadPool, memoizing
+// results in a service::TieredStore (service/store.hpp): a sharded
+// in-memory LRU over an optional persistent on-disk tier
+// (EngineConfig::cache_dir), keyed by the canonical DDG fingerprint
+// (ddg/canon.hpp) extended with the operation's tag and option digest.
+// Renumbered or renamed copies of the same DAG therefore hit the same
+// entry — across processes and restarts when the disk tier is enabled.
+// Identical requests arriving while the first is still computing are
+// coalesced onto its in-flight result (single-flight), so a burst of
 // duplicates costs one solve.
 //
 // Results are immutable shared payloads carrying only renumbering-invariant
-// data (RS values, proven flags, reduction outcomes, solver statistics, and
-// the reduced DDG text), never node-indexed witnesses — which is what makes
-// serving them across isomorphic inputs sound.
+// data (scalar metrics, solver statistics, and emitted DDG text), never
+// node-indexed witnesses — which is what makes serving them across
+// isomorphic inputs sound. The engine never inspects an operation's data:
+// everything op-specific lives behind the Operation interface, so a new
+// workload touches only its own src/service/ops/ file.
 //
 // Every request solves under a support::SolveContext: its budget_seconds
 // becomes the deadline, and a per-request CancelToken enables cancel(id) /
@@ -24,9 +28,10 @@
 // excluded from the cache (coalesced waiters of a cancelled owner receive
 // the cancelled payload; a later identical request recomputes).
 //
-// Caveat: the options digest covers every numeric/enum field of
-// AnalyzeOptions / PipelineOptions. A custom SrcOptions::leaf_filter is not
-// hashable; callers installing one should use a dedicated engine instance.
+// Caveat: Operation::digest_options must cover every option that changes
+// the result. Options that cannot be hashed (e.g. a custom
+// SrcOptions::leaf_filter callback) must not be reachable through a shared
+// engine; callers installing one should use a dedicated engine instance.
 #pragma once
 
 #include <atomic>
@@ -38,9 +43,9 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/saturation.hpp"
 #include "ddg/canon.hpp"
 #include "ddg/ddg.hpp"
+#include "service/operation.hpp"
 #include "service/store.hpp"
 #include "support/solve_context.hpp"
 #include "support/thread_pool.hpp"
@@ -48,44 +53,27 @@
 
 namespace rs::service {
 
-enum class RequestKind { Analyze, Reduce };
-
 struct Request {
   std::uint64_t id = 0;
-  RequestKind kind = RequestKind::Analyze;
+  /// The operation to run — a registry pointer (service/operation.hpp).
+  /// Must be non-null by the time the request reaches the engine;
+  /// parse_request_line() always sets it.
+  const Operation* op = nullptr;
   ddg::Ddg ddg;
   /// Display name in responses; defaults to ddg.name() when empty.
   std::string name;
-  /// Engine/budget options for Analyze requests.
-  core::AnalyzeOptions analyze;
-  /// Pipeline options for Reduce requests.
-  core::PipelineOptions pipeline;
-  /// Per-type register limits (Reduce only; size must equal type_count).
-  std::vector<int> limits;
+  /// Operation-specific options parsed by Operation::parse_options; null
+  /// means the operation's defaults.
+  std::shared_ptr<const OpOptions> options;
   /// > 0 bounds this request's *total* solve time: one SolveContext with
   /// this deadline is threaded through every solver layer (per-type budget
   /// splitting included). <= 0 selects the engine default
   /// (kDefaultBudgetSeconds) so no request holds a worker indefinitely.
   double budget_seconds = 0;
-  /// Ask the protocol renderer to include the reduced DDG's text in the
-  /// result line (Reduce only). The text is always computed and cached, so
-  /// this flag does not split the cache key.
+  /// Ask the protocol renderer to include the operation's output DDG text
+  /// in the result line (ops that emit one). The text is always computed
+  /// and cached, so this flag does not split the cache key.
   bool want_ddg = false;
-};
-
-struct TypeAnalysis {
-  ddg::RegType type = 0;
-  int value_count = 0;
-  int rs = 0;
-  bool proven = false;
-};
-
-struct TypeReduce {
-  ddg::RegType type = 0;
-  core::ReduceStatus status = core::ReduceStatus::LimitHit;
-  int achieved_rs = 0;
-  int arcs_added = 0;
-  long long ilp_loss = 0;
 };
 
 /// The cacheable part of a response: everything except per-delivery state.
@@ -93,12 +81,19 @@ struct TypeReduce {
 /// not leak the first requester's display name.
 struct ResultPayload {
   bool ok = true;
-  std::string error;  // set when !ok
-  RequestKind kind = RequestKind::Analyze;
-  bool success = true;  // Reduce: every type within its limit
-  std::vector<TypeAnalysis> analyze;
-  std::vector<TypeReduce> reduce;
-  std::string out_ddg;  // reduced DDG text (Reduce with want_ddg)
+  std::string error;  // set when !ok (and for diagnostics when !success)
+  /// The operation that produced this payload (registry pointer; stable
+  /// for the process lifetime). Null only on error payloads that failed
+  /// before an operation was resolved.
+  const Operation* op = nullptr;
+  /// Operation-defined "achieved its objective" flag (e.g. reduce: every
+  /// type within its limit; minreg: every type proven).
+  bool success = true;
+  /// Output DDG text for operations that emit a transformed DAG (reduce,
+  /// minreg, spill); empty otherwise.
+  std::string out_ddg;
+  /// Operation-specific result data (see the op's header in service/ops/).
+  std::shared_ptr<const OpData> data;
   /// Aggregate solver statistics (nodes, prunes, stop cause) for the
   /// request. stop == Cancelled payloads are never admitted to the cache.
   support::SolveStats stats;
@@ -258,8 +253,9 @@ class AnalysisEngine {
 };
 
 /// The cache key for a request: canonical fingerprint of the normalized DDG
-/// extended with a digest of kind, options, limits and budget. Exposed for
-/// tests and for future remote/persistent cache tiers.
+/// extended with a digest of the operation tag, budget and the operation's
+/// option digest (Operation::digest_options). Exposed for tests and for
+/// future remote/persistent cache tiers.
 CacheKey request_key(const Request& req, const ddg::Fingerprint& fp);
 
 }  // namespace rs::service

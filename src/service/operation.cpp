@@ -1,0 +1,69 @@
+#include "service/operation.hpp"
+
+#include <bit>
+
+#include "support/assert.hpp"
+#include "support/hash.hpp"
+
+namespace rs::service {
+
+void OptionDigest::add(std::uint64_t v) { h_ = support::hash_combine(h_, v); }
+
+void OptionDigest::add_double(double v) {
+  add(std::bit_cast<std::uint64_t>(v));
+}
+
+namespace {
+
+struct Registry {
+  std::vector<const Operation*> ops;
+
+  void add(const Operation* op) {
+    RS_REQUIRE(op != nullptr, "cannot register a null operation");
+    RS_REQUIRE(!op->name().empty(), "operation name must not be empty");
+    for (const Operation* existing : ops) {
+      RS_REQUIRE(existing->name() != op->name(),
+                 "duplicate operation name '" + std::string(op->name()) + "'");
+      RS_REQUIRE(existing->digest_tag() != op->digest_tag(),
+                 "operation '" + std::string(op->name()) +
+                     "' reuses digest tag of '" +
+                     std::string(existing->name()) + "'");
+    }
+    ops.push_back(op);
+  }
+};
+
+Registry& registry() {
+  // Seeded once, thread-safely, with the built-in roster; extensions append
+  // via register_operation() during startup.
+  static Registry reg = [] {
+    Registry r;
+    for (const Operation* op : builtin_operations()) r.add(op);
+    return r;
+  }();
+  return reg;
+}
+
+}  // namespace
+
+const Operation* find_operation(std::string_view name) {
+  for (const Operation* op : registry().ops) {
+    if (op->name() == name) return op;
+  }
+  return nullptr;
+}
+
+const std::vector<const Operation*>& operations() { return registry().ops; }
+
+std::string operation_names(std::string_view sep) {
+  std::string out;
+  for (const Operation* op : registry().ops) {
+    if (!out.empty()) out += sep;
+    out += op->name();
+  }
+  return out;
+}
+
+void register_operation(const Operation* op) { registry().add(op); }
+
+}  // namespace rs::service

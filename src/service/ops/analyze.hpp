@@ -1,0 +1,41 @@
+// The `analyze` operation: per-type register saturation (the paper's RS
+// computation), the original workload of the service spine.
+#pragma once
+
+#include <vector>
+
+#include "core/saturation.hpp"
+#include "service/engine.hpp"
+
+namespace rs::service {
+
+struct TypeAnalysis {
+  ddg::RegType type = 0;
+  int value_count = 0;
+  int rs = 0;
+  bool proven = false;
+};
+
+struct AnalyzeData : OpData {
+  std::vector<TypeAnalysis> per_type;
+
+  std::size_t bytes() const override {
+    return sizeof(AnalyzeData) + per_type.capacity() * sizeof(TypeAnalysis);
+  }
+};
+
+struct AnalyzeOpOptions : OpOptions {
+  core::AnalyzeOptions core;
+};
+
+const Operation& analyze_operation();
+
+/// Typed view of an analyze payload's data; throws unless the payload was
+/// produced by the analyze operation (or is data-free, e.g. cancelled
+/// before computing — then returns an empty instance).
+const AnalyzeData& analyze_data(const ResultPayload& p);
+
+/// Direct-construction convenience for engine callers (tests, benches).
+Request make_analyze_request(ddg::Ddg ddg, core::AnalyzeOptions opts = {});
+
+}  // namespace rs::service

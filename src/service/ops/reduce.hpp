@@ -1,0 +1,50 @@
+// The `reduce` operation: the paper's figure-1 RS reduction pipeline
+// (core::ensure_limits) against per-type register limits.
+#pragma once
+
+#include <vector>
+
+#include "core/saturation.hpp"
+#include "service/engine.hpp"
+
+namespace rs::service {
+
+struct TypeReduce {
+  ddg::RegType type = 0;
+  core::ReduceStatus status = core::ReduceStatus::LimitHit;
+  int achieved_rs = 0;
+  int arcs_added = 0;
+  long long ilp_loss = 0;
+};
+
+struct ReduceData : OpData {
+  std::vector<TypeReduce> per_type;
+
+  std::size_t bytes() const override {
+    return sizeof(ReduceData) + per_type.capacity() * sizeof(TypeReduce);
+  }
+};
+
+struct ReduceOpOptions : OpOptions {
+  core::PipelineOptions pipeline;
+  /// Per-type register limits; size must equal the DDG's type_count.
+  std::vector<int> limits;
+};
+
+/// Short token for a reduce outcome (fits|reduced|spill|limit). Shared with
+/// the spill operation, whose per-type statuses use the same vocabulary.
+const char* reduce_status_token(core::ReduceStatus s);
+/// Inverse of reduce_status_token; throws on an unknown token.
+core::ReduceStatus reduce_status_from_token(const std::string& tok);
+
+const Operation& reduce_operation();
+
+/// Typed view of a reduce payload's data; throws unless the payload was
+/// produced by the reduce operation (data-free payloads decode as empty).
+const ReduceData& reduce_data(const ResultPayload& p);
+
+/// Direct-construction convenience for engine callers (tests, benches).
+Request make_reduce_request(ddg::Ddg ddg, std::vector<int> limits,
+                            core::PipelineOptions opts = {});
+
+}  // namespace rs::service

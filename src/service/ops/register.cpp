@@ -1,0 +1,21 @@
+// The built-in operation roster. Adding a workload to the service means
+// writing its src/service/ops/<name>.{hpp,cpp} and listing it here — the
+// protocol parser, engine, codec, store and socket server pick it up
+// through the registry without edits.
+#include "service/operation.hpp"
+#include "service/ops/analyze.hpp"
+#include "service/ops/minreg.hpp"
+#include "service/ops/reduce.hpp"
+#include "service/ops/schedule.hpp"
+#include "service/ops/spill.hpp"
+
+namespace rs::service {
+
+std::vector<const Operation*> builtin_operations() {
+  return {
+      &analyze_operation(),  &reduce_operation(), &minreg_operation(),
+      &spill_operation(),    &schedule_operation(),
+  };
+}
+
+}  // namespace rs::service

@@ -1,0 +1,46 @@
+// The `schedule` operation: the pipeline's downstream consumer — resource-
+// constrained, register-blind list scheduling (sched::list_schedule) plus
+// the lifetime metrics the paper reasons about: makespan and the per-type
+// maximum register pressure (MAXLIVE) of the produced schedule. Useful for
+// checking what pressure a register-blind scheduler actually reaches on a
+// DAG before/after reduction, minimization or spilling.
+#pragma once
+
+#include <vector>
+
+#include "sched/list_sched.hpp"
+#include "service/engine.hpp"
+
+namespace rs::service {
+
+struct TypeSchedule {
+  ddg::RegType type = 0;
+  int value_count = 0;
+  int max_live = 0;  // RN^t of the list schedule (MAXLIVE)
+};
+
+struct ScheduleData : OpData {
+  std::vector<TypeSchedule> per_type;
+  long long makespan = 0;
+
+  std::size_t bytes() const override {
+    return sizeof(ScheduleData) + per_type.capacity() * sizeof(TypeSchedule);
+  }
+};
+
+struct ScheduleOpOptions : OpOptions {
+  /// Issue width of the modeled machine (other per-class unit counts keep
+  /// the sched::Resources defaults).
+  int issue_width = 4;
+};
+
+const Operation& schedule_operation();
+
+/// Typed view of a schedule payload's data; throws unless the payload was
+/// produced by the schedule operation (data-free payloads decode as empty).
+const ScheduleData& schedule_data(const ResultPayload& p);
+
+/// Direct-construction convenience for engine callers (tests, benches).
+Request make_schedule_request(ddg::Ddg ddg, int issue_width = 4);
+
+}  // namespace rs::service

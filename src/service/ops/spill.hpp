@@ -1,0 +1,52 @@
+// The `spill` operation: graph-level spill insertion, the paper's stated
+// future work (section 7) — core::spill_and_reduce per register type:
+// iteratively split a saturating value's lifetime through memory
+// (store/reload pair) and re-run reduction until RS fits the limit or the
+// spill budget is exhausted. Types run in order on the evolving DAG.
+#pragma once
+
+#include <vector>
+
+#include "core/spill.hpp"
+#include "service/engine.hpp"
+#include "service/ops/reduce.hpp"
+
+namespace rs::service {
+
+struct TypeSpill {
+  ddg::RegType type = 0;
+  core::ReduceStatus status = core::ReduceStatus::LimitHit;
+  int spills_inserted = 0;  // store/reload pairs added for this type
+  /// Witnessed RS after spilling + reduction; for non-fit statuses the
+  /// last witnessed estimate (above the limit), 0 = interrupted unknown.
+  int achieved_rs = 0;
+};
+
+struct SpillData : OpData {
+  std::vector<TypeSpill> per_type;
+  /// Critical path of the final rewritten DAG.
+  long long critical_path = 0;
+
+  std::size_t bytes() const override {
+    return sizeof(SpillData) + per_type.capacity() * sizeof(TypeSpill);
+  }
+};
+
+struct SpillOpOptions : OpOptions {
+  /// Per-type register limits; size must equal the DDG's type_count.
+  std::vector<int> limits;
+  /// Cap on inserted store/reload pairs per type before giving up.
+  int max_spills = 8;
+};
+
+const Operation& spill_operation();
+
+/// Typed view of a spill payload's data; throws unless the payload was
+/// produced by the spill operation (data-free payloads decode as empty).
+const SpillData& spill_data(const ResultPayload& p);
+
+/// Direct-construction convenience for engine callers (tests, benches).
+Request make_spill_request(ddg::Ddg ddg, std::vector<int> limits,
+                           int max_spills = 8);
+
+}  // namespace rs::service

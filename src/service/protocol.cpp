@@ -7,6 +7,7 @@
 #include "ddg/io.hpp"
 #include "ddg/kernels.hpp"
 #include "service/codec.hpp"
+#include "service/operation.hpp"
 #include "support/assert.hpp"
 #include "support/fs.hpp"
 #include "support/parse.hpp"
@@ -32,21 +33,11 @@ std::string read_file(const std::string& path) {
   return text;
 }
 
-core::RsEngine engine_from_token(const std::string& e) {
-  if (e == "greedy") return core::RsEngine::Greedy;
-  if (e == "exact") return core::RsEngine::ExactCombinatorial;
-  if (e == "ilp") return core::RsEngine::ExactIlp;
-  RS_REQUIRE(false, "unknown engine '" + e + "' (greedy|exact|ilp)");
-  return core::RsEngine::Greedy;
-}
-
-bool flag_from(const std::map<std::string, std::string>& fields,
-               const std::string& key, bool fallback) {
-  const auto it = fields.find(key);
-  if (it == fields.end()) return fallback;
-  RS_REQUIRE(it->second == "0" || it->second == "1",
-             key + "= must be 0 or 1, got '" + it->second + "'");
-  return it->second == "1";
+/// Keys the protocol layer owns for every operation: delivery metadata and
+/// the payload sources. Everything else is the operation's vocabulary.
+bool is_generic_key(const std::string& key) {
+  return key.empty() || key == "id" || key == "name" || key == "budget" ||
+         key == "kernel" || key == "file" || key == "ddg" || key == "model";
 }
 
 }  // namespace
@@ -117,16 +108,6 @@ std::map<std::string, std::string> parse_fields(const std::string& line) {
   return out;
 }
 
-const char* reduce_status_token(core::ReduceStatus s) {
-  switch (s) {
-    case core::ReduceStatus::AlreadyFits: return "fits";
-    case core::ReduceStatus::Reduced: return "reduced";
-    case core::ReduceStatus::SpillNeeded: return "spill";
-    case core::ReduceStatus::LimitHit: return "limit";
-  }
-  return "?";
-}
-
 Command parse_command_line(const std::string& line, std::uint64_t default_id,
                            const ProtocolOptions& opts) {
   const std::vector<std::string> tokens = support::split_ws(line);
@@ -157,26 +138,30 @@ Request parse_request_line(const std::string& line, std::uint64_t default_id,
   RS_REQUIRE(cmd_it != fields.end(),
              "request line must start with a command: " + line);
   const std::string& cmd = cmd_it->second;
-  RS_REQUIRE(cmd == "analyze" || cmd == "reduce",
-             "unknown request '" + cmd + "' (analyze|reduce|cancel|drain)");
+  const Operation* op = find_operation(cmd);
+  RS_REQUIRE(op != nullptr, "unknown request '" + cmd + "' (" +
+                                operation_names("|") + "|cancel|drain)");
 
   Request req;
-  req.kind = cmd == "analyze" ? RequestKind::Analyze : RequestKind::Reduce;
+  req.op = op;
 
-  // Reject typo'd options outright: a silently dropped budget= or emit=
-  // would run with defaults and return a plausible-looking result.
+  // Reject typo'd and misplaced options outright: a silently dropped
+  // budget= or emit= would run with defaults and return a plausible-looking
+  // result. An option some *other* registered operation accepts gets the
+  // more helpful misplacement message.
   for (const auto& [key, value] : fields) {
     static_cast<void>(value);
-    if (key.empty() || key == "id" || key == "name" || key == "budget" ||
-        key == "engine" || key == "kernel" || key == "file" || key == "ddg" ||
-        key == "model") {
-      continue;
+    if (is_generic_key(key) || op->accepts_option(key)) continue;
+    bool known_elsewhere = false;
+    for (const Operation* other : operations()) {
+      if (other->accepts_option(key)) {
+        known_elsewhere = true;
+        break;
+      }
     }
-    const bool reduce_only =
-        key == "limits" || key == "exact" || key == "verify" || key == "emit";
-    RS_REQUIRE(reduce_only, "unknown option '" + key + "='");
-    RS_REQUIRE(req.kind == RequestKind::Reduce,
-               "option '" + key + "=' only applies to reduce requests");
+    RS_REQUIRE(known_elsewhere, "unknown option '" + key + "='");
+    RS_REQUIRE(false, "option '" + key + "=' does not apply to " + cmd +
+                          " requests");
   }
   RS_REQUIRE(!fields.count("model") || fields.count("kernel"),
              "model= only applies to kernel= payloads");
@@ -221,21 +206,8 @@ Request parse_request_line(const std::string& line, std::uint64_t default_id,
     req.budget_seconds = support::parse_budget_seconds(it->second, "budget");
     RS_REQUIRE(req.budget_seconds > 0, "budget= must be positive");
   }
-  if (const auto it = fields.find("engine"); it != fields.end()) {
-    const core::RsEngine engine = engine_from_token(it->second);
-    req.analyze.engine = engine;
-    req.pipeline.analyze.engine = engine;
-  }
 
-  if (req.kind == RequestKind::Reduce) {
-    const auto it = fields.find("limits");
-    RS_REQUIRE(it != fields.end(), "reduce requires limits=<n>[,<n>...]");
-    req.limits = support::parse_int_list(it->second, ',', "limits");
-    RS_REQUIRE(!req.limits.empty(), "limits= must name at least one limit");
-    req.pipeline.exact_reduction = flag_from(fields, "exact", false);
-    req.pipeline.verify = flag_from(fields, "verify", true);
-    req.want_ddg = flag_from(fields, "emit", false);
-  }
+  op->parse_options(fields, &req);
   return req;
 }
 
@@ -254,8 +226,7 @@ std::string render_response(const Response& resp) {
        << render_payload_fields(p, false);
     return os.str();
   }
-  os << " status=ok kind="
-     << (p.kind == RequestKind::Analyze ? "analyze" : "reduce")
+  os << " status=ok kind=" << p.op->name()
      << " name=" << escape_field(resp.name) << " fp=" << resp.fingerprint.hex()
      << " cached=" << (resp.cache_hit ? 1 : 0);
   char ms[32];

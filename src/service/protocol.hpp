@@ -1,15 +1,35 @@
-// Line-oriented text protocol for the batch analysis engine: one request per
+// Line-oriented text protocol for the analysis service: one request per
 // line in, one result line per response out. Machine-parseable, diff-able,
 // and easy to generate from scripts — the `rsat batch` front end streams it
-// from stdin or a manifest file.
+// from stdin or a manifest file, `rsat serve` speaks it over TCP, and
+// `rsat <op> <file.ddg>` runs a single line's worth one-shot.
 //
-// Request lines (all parameters are key=value tokens; order is free):
+// The command token of a request line names a registered
+// service::Operation (service/operation.hpp); the option vocabulary of
+// each operation lives with the operation, so this grammar never needs
+// editing to add a workload. The built-in operations:
 //
-//   analyze <payload> [engine=greedy|exact|ilp] [budget=<sec>] [id=<n>]
-//           [name=<str>]
-//   reduce  <payload> limits=<n>[,<n>...] [engine=...] [budget=<sec>]
-//           [exact=0|1] [verify=0|1] [emit=0|1] [id=<n>] [name=<str>]
-//   cancel  <id>     cooperative cancel of a pending/running request; its
+//   analyze  <payload> [engine=greedy|exact|ilp] [budget=<sec>] [id=<n>]
+//            [name=<str>]
+//            register saturation per type (the paper's RS computation)
+//   reduce   <payload> limits=<n>[,<n>...] [engine=...] [exact=0|1]
+//            [verify=0|1] [emit=0|1] [budget=<sec>] [id=<n>] [name=<str>]
+//            figure-1 RS reduction against per-type register limits
+//   minreg   <payload> [cp=<n>] [emit=0|1] [budget=<sec>] [id=<n>]
+//            [name=<str>]
+//            the literature's register minimization under a makespan
+//            budget (cp= cycles; unset/0 = the critical path, the paper's
+//            figure-2(b) baseline), freezing the minimal-need schedule
+//            into the DAG via the Theorem-4.2 arcs
+//   spill    <payload> limits=<n>[,<n>...] [max_spills=<n>] [emit=0|1]
+//            [budget=<sec>] [id=<n>] [name=<str>]
+//            graph-level lifetime splitting (the paper's section-7 future
+//            work): iteratively insert store/reload pairs and re-reduce
+//            until RS fits the limits
+//   schedule <payload> [width=<n>] [budget=<sec>] [id=<n>] [name=<str>]
+//            resource-constrained list scheduling plus lifetime metrics
+//            (makespan, per-type maximum register pressure)
+//   cancel   <id>    cooperative cancel of a pending/running request; its
 //                    result line still arrives (stop=cancelled, not cached)
 //   drain            block until every previously submitted request is done
 //
@@ -19,19 +39,27 @@
 //   ddg=<escaped>                            inline .ddg text, escaped
 //
 // '#' starts a comment line; blank lines are ignored. `emit=1` asks for the
-// reduced DDG text in the result. Unset `id` defaults to the caller-supplied
-// sequence number; unset `budget` defaults to the engine's 30 s cap
+// operation's output DDG text in the result (reduce/minreg/spill emit a
+// transformed DAG). Unset `id` defaults to the caller-supplied sequence
+// number; unset `budget` defaults to the engine's 30 s cap
 // (service::kDefaultBudgetSeconds).
 //
-// Result lines:
+// Result lines (`kind=` echoes the operation name):
 //
 //   result id=<n> status=ok kind=analyze name=<str> fp=<hex32> cached=0|1
 //          ms=<t> stop=proven|limit|timeout|cancelled nodes=<n>
 //          t<k>.vals=<n> t<k>.rs=<n> t<k>.proven=0|1 ...
-//   result id=<n> status=ok kind=reduce name=<str> fp=<hex32> cached=0|1
-//          ms=<t> stop=... nodes=<n> success=0|1
+//   result id=<n> status=ok kind=reduce ... stop=... nodes=<n> success=0|1
 //          t<k>.status=fits|reduced|spill|limit
 //          t<k>.rs=<n> t<k>.arcs=<n> t<k>.loss=<n> ... [ddg=<escaped>]
+//   result id=<n> status=ok kind=minreg ... stop=... nodes=<n> success=0|1
+//          t<k>.need=<n> t<k>.proven=0|1 t<k>.arcs=<n> ... cp=<n>
+//          [ddg=<escaped>]
+//   result id=<n> status=ok kind=spill ... stop=... nodes=<n> success=0|1
+//          t<k>.status=fits|reduced|spill|limit t<k>.spills=<n>
+//          t<k>.rs=<n> ... cp=<n> [ddg=<escaped>]
+//   result id=<n> status=ok kind=schedule ... stop=... nodes=<n>
+//          makespan=<n> t<k>.vals=<n> t<k>.maxlive=<n> ...
 //   result id=<n> status=error name=<str> msg=<escaped>
 //   cancelled id=<n> found=0|1               ack for a cancel line
 //   drained                                   ack for a drain line
@@ -41,7 +69,7 @@
 // (cancel token). `nodes=` is the aggregate search-node count. Consumers
 // must treat `stop=cancelled` lines as potentially data-free: a cancelled
 // request that had coalesced onto an identical in-flight solve detaches
-// with status=ok but *no* per-type fields (nothing was computed for it);
+// with status=ok but *no* operation fields (nothing was computed for it);
 // a cancelled request that computed carries its witnessed partial bounds.
 //
 // Escaping: '%', space, TAB, CR and LF become %XX (uppercase hex), applied to
@@ -73,8 +101,8 @@ struct ProtocolOptions {
   ddg::MachineModel default_model = ddg::superscalar_model();
 };
 
-/// One parsed protocol line: either an analysis/reduction submission, or a
-/// control verb (cancel/drain) targeting the engine itself.
+/// One parsed protocol line: either an operation submission, or a control
+/// verb (cancel/drain) targeting the engine itself.
 enum class CommandKind { Submit, Cancel, Drain };
 
 struct Command {
@@ -90,7 +118,7 @@ struct Command {
 Command parse_command_line(const std::string& line, std::uint64_t default_id,
                            const ProtocolOptions& opts = {});
 
-/// Parses one *request* line (analyze/reduce only; control verbs are
+/// Parses one *request* line (a registered operation; control verbs are
 /// rejected). Kept for callers that feed the engine directly.
 Request parse_request_line(const std::string& line, std::uint64_t default_id,
                            const ProtocolOptions& opts = {});
@@ -108,8 +136,5 @@ std::string render_drain_ack();
 /// The leading command token appears under the empty key "". Bare tokens map
 /// to "1". Used by tests and downstream consumers of result lines.
 std::map<std::string, std::string> parse_fields(const std::string& line);
-
-/// Short token for a reduce outcome (fits|reduced|spill|limit).
-const char* reduce_status_token(core::ReduceStatus s);
 
 }  // namespace rs::service

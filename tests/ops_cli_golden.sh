@@ -1,0 +1,43 @@
+#!/bin/sh
+# Golden byte-identity of the one-shot CLI path vs `rsat batch`: for the
+# new operations (minreg, spill, schedule), `rsat <op> ...` must emit the
+# *same protocol result line* as a batch run fed the equivalent request
+# line, modulo the delivery fields cached= and ms= — they share the
+# protocol parser and renderer, and this test keeps it that way.
+RSAT="$1"
+[ -x "$RSAT" ] || { echo "usage: ops_cli_golden.sh <path-to-rsat>"; exit 2; }
+
+tmpdir=$(mktemp -d) || exit 2
+trap 'rm -rf "$tmpdir"' EXIT
+fail=0
+
+strip_delivery() { sed -E 's/ (cached|ms)=[^ ]*//g'; }
+
+# check <batch-request-line> <one-shot argv...>
+check() {
+  line="$1"
+  shift
+  oneshot=$("$RSAT" "$@" 2>/dev/null | strip_delivery)
+  batch=$(printf '%s\n' "$line" | "$RSAT" batch 2>/dev/null | strip_delivery)
+  if [ -z "$oneshot" ] || [ "$oneshot" != "$batch" ]; then
+    echo "MISMATCH for: $line"
+    echo "  one-shot: $oneshot"
+    echo "  batch:    $batch"
+    fail=1
+  fi
+}
+
+check "minreg kernel=lin-ddot id=1" minreg kernel=lin-ddot id=1
+check "minreg kernel=lin-ddot emit=1 id=1" minreg kernel=lin-ddot emit=1 id=1
+check "spill kernel=lin-ddot limits=2,2 id=1" spill kernel=lin-ddot limits=2,2 id=1
+check "spill kernel=lin-ddot limits=2,2 max_spills=2 emit=1 id=1" \
+      spill kernel=lin-ddot limits=2,2 max_spills=2 emit=1 id=1
+check "schedule kernel=lin-ddot id=1" schedule kernel=lin-ddot id=1
+check "schedule kernel=lin-ddot width=2 id=1" schedule kernel=lin-ddot width=2 id=1
+
+# The bare-path shorthand: `rsat minreg <file.ddg>` == `minreg file=...`.
+"$RSAT" dump lin-ddot > "$tmpdir/k.ddg" || fail=1
+check "minreg file=$tmpdir/k.ddg id=1" minreg "$tmpdir/k.ddg" id=1
+
+[ "$fail" -eq 0 ] && echo "PASS ops_cli_golden"
+exit "$fail"

@@ -1,0 +1,294 @@
+// The operation-registry contract, asserted for *every* registered
+// operation — present and future: protocol parse → run → render
+// round-trips, payload encode → decode → encode byte-identity through the
+// DiskStore, cache hits across renumbered isomorphic DDGs, and the
+// acceptance bar that a brand-new operation (defined entirely inside this
+// test) flows through protocol, engine, store and codec with no edits to
+// any service layer.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "ddg/canon.hpp"
+#include "ddg/io.hpp"
+#include "ddg/kernels.hpp"
+#include "service/codec.hpp"
+#include "service/engine.hpp"
+#include "service/operation.hpp"
+#include "service/ops/analyze.hpp"
+#include "service/ops/minreg.hpp"
+#include "service/ops/reduce.hpp"
+#include "service/ops/schedule.hpp"
+#include "service/ops/spill.hpp"
+#include "service/protocol.hpp"
+#include "service/store.hpp"
+#include "support/assert.hpp"
+#include "support/fs.hpp"
+
+#include "test_util.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace rs {
+namespace {
+
+using service::AnalysisEngine;
+using service::EngineConfig;
+using service::Operation;
+using service::Request;
+using service::Response;
+using service::ResultPayload;
+using service::StoreTier;
+
+std::string fresh_dir(const std::string& name) {
+#if defined(__unix__) || defined(__APPLE__)
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  const auto p = std::filesystem::temp_directory_path() /
+                 ("rs_ops_" + name + "_" + std::to_string(pid));
+  std::filesystem::remove_all(p);
+  std::filesystem::create_directories(p);
+  return p.string();
+}
+
+// ---------------------------------------------------------------------------
+// registry basics
+
+TEST(OperationRegistry, BuiltinsAreRegisteredUniquely) {
+  const auto& ops = service::operations();
+  ASSERT_GE(ops.size(), 5u);
+  for (const char* name : {"analyze", "reduce", "minreg", "spill",
+                           "schedule"}) {
+    const Operation* op = service::find_operation(name);
+    ASSERT_NE(op, nullptr) << name;
+    EXPECT_EQ(op->name(), name);
+  }
+  // Grandfathered tags keep pre-registry cache keys addressable.
+  EXPECT_EQ(service::find_operation("analyze")->digest_tag(), 0u);
+  EXPECT_EQ(service::find_operation("reduce")->digest_tag(), 1u);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    for (std::size_t j = i + 1; j < ops.size(); ++j) {
+      EXPECT_NE(ops[i]->name(), ops[j]->name());
+      EXPECT_NE(ops[i]->digest_tag(), ops[j]->digest_tag());
+    }
+  }
+  EXPECT_EQ(service::find_operation("frobnicate"), nullptr);
+  EXPECT_NE(service::operation_names("|").find("minreg"), std::string::npos);
+}
+
+TEST(OperationRegistry, DuplicateRegistrationIsRejected) {
+  EXPECT_THROW(
+      service::register_operation(&service::analyze_operation()),
+      support::PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// the registry contract, for every registered operation
+
+TEST(OperationContract, ParseRunRenderRoundTripsForEveryOperation) {
+  for (const Operation* op : service::operations()) {
+    const std::string line = test::request_line(*op);
+    AnalysisEngine engine{EngineConfig{}};
+    const Response resp = engine.run(service::parse_request_line(line, 7));
+    ASSERT_TRUE(resp.payload->ok) << line << ": " << resp.payload->error;
+    EXPECT_EQ(resp.payload->op, op);
+    const std::string rendered = service::render_response(resp);
+    const auto fields = service::parse_fields(rendered);
+    EXPECT_EQ(fields.at(""), "result") << line;
+    EXPECT_EQ(fields.at("id"), "7") << line;
+    EXPECT_EQ(fields.at("status"), "ok") << line;
+    EXPECT_EQ(fields.at("kind"), std::string(op->name())) << line;
+    EXPECT_EQ(fields.at("name"), "lin-ddot") << line;
+    EXPECT_EQ(fields.at("fp"), resp.fingerprint.hex()) << line;
+    ASSERT_TRUE(fields.count("stop")) << line;
+    ASSERT_TRUE(fields.count("nodes")) << line;
+    // Unknown options are rejected per operation, not globally.
+    EXPECT_THROW(service::parse_request_line(
+                     line + " definitely_not_an_option=1", 1),
+                 support::PreconditionError)
+        << line;
+  }
+}
+
+TEST(OperationContract, PayloadsRoundTripThroughCodecAndDiskByteIdentically) {
+  for (const Operation* op : service::operations()) {
+    const std::string line = test::request_line(*op);
+    AnalysisEngine engine{EngineConfig{}};
+    const Response resp = engine.run(service::parse_request_line(line, 1));
+    ASSERT_TRUE(resp.payload->ok) << line;
+
+    // encode -> decode -> encode is byte-identical...
+    const std::string encoded = service::encode_payload(*resp.payload);
+    const auto decoded = service::decode_payload(encoded);
+    ASSERT_NE(decoded, nullptr) << line;
+    EXPECT_EQ(service::encode_payload(*decoded), encoded) << line;
+    // ...and the decoded payload renders byte-identically, ddg included.
+    EXPECT_EQ(service::render_payload_fields(*decoded, true),
+              service::render_payload_fields(*resp.payload, true))
+        << line;
+
+    // The same bytes ride the DiskStore: put, re-read, compare.
+    service::DiskStore store(
+        service::DiskStore::Config{fresh_dir(std::string(op->name()))});
+    const service::CacheKey key{0x1234, 0x5678};
+    store.put(key, resp.payload, resp.payload->bytes());
+    const service::StoreHit hit = store.get(key);
+    ASSERT_NE(hit.payload, nullptr) << line;
+    EXPECT_EQ(hit.tier, StoreTier::Disk);
+    EXPECT_EQ(service::encode_payload(*hit.payload), encoded) << line;
+  }
+}
+
+TEST(OperationContract, ColdWarmAndDiskRestartLinesMatchForEveryOperation) {
+  for (const Operation* op : service::operations()) {
+    const std::string dir = fresh_dir("restart_" + std::string(op->name()));
+    EngineConfig cfg;
+    cfg.cache_dir = dir;
+    const std::string line = test::request_line(*op) + " id=3";
+    std::string cold, warm, restart;
+    {
+      AnalysisEngine engine(cfg);
+      const Response r1 = engine.run(service::parse_request_line(line, 3));
+      ASSERT_TRUE(r1.payload->ok) << line << ": " << r1.payload->error;
+      EXPECT_FALSE(r1.cache_hit);
+      cold = service::render_response(r1);
+      const Response r2 = engine.run(service::parse_request_line(line, 3));
+      EXPECT_TRUE(r2.cache_hit) << line;
+      EXPECT_EQ(r2.tier, StoreTier::Memory) << line;
+      warm = service::render_response(r2);
+    }
+    AnalysisEngine engine(cfg);  // fresh memory tier: disk must serve
+    const Response r3 = engine.run(service::parse_request_line(line, 3));
+    EXPECT_TRUE(r3.cache_hit) << line;
+    EXPECT_EQ(r3.tier, StoreTier::Disk) << line;
+    restart = service::render_response(r3);
+    EXPECT_EQ(test::strip_delivery(cold), test::strip_delivery(warm)) << line;
+    EXPECT_EQ(test::strip_delivery(cold), test::strip_delivery(restart)) << line;
+  }
+}
+
+TEST(OperationContract, RenumberedIsomorphicInputHitsCacheForEveryOperation) {
+  for (const Operation* op : service::operations()) {
+    AnalysisEngine engine{EngineConfig{}};
+    Request req = service::parse_request_line(test::request_line(*op), 1);
+    Request perm = req;  // same operation + options...
+    perm.ddg = test::permuted_copy(
+        req.ddg, test::reversed_order(req.ddg), /*rename=*/true);
+    perm.name = "permuted";
+    const Response first = engine.run(std::move(req));
+    ASSERT_TRUE(first.payload->ok) << op->name();
+    const Response second = engine.run(std::move(perm));
+    EXPECT_TRUE(second.cache_hit) << op->name();
+    EXPECT_EQ(second.fingerprint, first.fingerprint) << op->name();
+    EXPECT_EQ(second.payload, first.payload)
+        << op->name() << ": hit must share the payload";
+    // Identical result lines modulo the requester's own display name.
+    auto a = service::parse_fields(service::render_response(first));
+    auto b = service::parse_fields(service::render_response(second));
+    for (auto* f : {&a, &b}) {
+      f->erase("cached"), f->erase("ms"), f->erase("name");
+    }
+    EXPECT_EQ(a, b) << op->name();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// extensibility: a new operation defined *here* flows through every layer
+
+/// Counts operations per op class — no solver, no options. Exists to prove
+/// the acceptance criterion: a new operation needs only its own definition
+/// and a register_operation() call; engine/store/serve are untouched.
+struct OpCountData : service::OpData {
+  int ops = 0;
+  int arcs = 0;
+};
+
+class OpCountOperation final : public Operation {
+ public:
+  std::string_view name() const override { return "opcount"; }
+  std::uint64_t digest_tag() const override { return 0x7e57; }
+  std::string_view synopsis() const override { return ""; }
+  std::string_view example_options() const override { return ""; }
+  bool accepts_option(std::string_view) const override { return false; }
+  void parse_options(const std::map<std::string, std::string>&,
+                     Request*) const override {}
+  void digest_options(const Request&, service::OptionDigest*) const override {}
+
+  void run(const Request&, const ddg::Ddg& normalized,
+           const support::SolveContext&, ResultPayload* out) const override {
+    auto data = std::make_shared<OpCountData>();
+    data->ops = normalized.op_count();
+    data->arcs = normalized.graph().edge_count();
+    out->data = std::move(data);
+  }
+
+  void encode_payload_fields(const ResultPayload& p,
+                             std::ostream& os) const override {
+    const auto& d = dynamic_cast<const OpCountData&>(*p.data);
+    os << " oc.ops=" << d.ops << " oc.arcs=" << d.arcs;
+  }
+
+  bool decode_payload_fields(const std::map<std::string, std::string>& fields,
+                             ResultPayload* out) const override {
+    auto data = std::make_shared<OpCountData>();
+    data->ops = static_cast<int>(service::require_ll(fields, "oc.ops"));
+    data->arcs = static_cast<int>(service::require_ll(fields, "oc.arcs"));
+    out->data = std::move(data);
+    return true;
+  }
+
+  void render_result_fields(const ResultPayload& p,
+                            std::ostream& os) const override {
+    const auto& d = dynamic_cast<const OpCountData&>(*p.data);
+    os << " ops=" << d.ops << " arcs=" << d.arcs;
+  }
+};
+
+TEST(OperationRegistry, NewOperationServesEndToEndWithoutServiceEdits) {
+  // Once registered, opcount joins the roster the OperationContract sweeps
+  // iterate — so the extension is held to the same contract as the
+  // built-ins for the rest of this process.
+  static const OpCountOperation op;
+  // Idempotent under --gtest_repeat: the registry is process-global.
+  if (service::find_operation("opcount") == nullptr) {
+    service::register_operation(&op);
+  }
+  ASSERT_EQ(service::find_operation("opcount"), &op);
+
+  const std::string dir = fresh_dir("opcount");
+  EngineConfig cfg;
+  cfg.cache_dir = dir;
+  std::string cold;
+  {
+    AnalysisEngine engine(cfg);
+    const Response r = engine.run(
+        service::parse_request_line("opcount kernel=fir8 id=9", 9));
+    ASSERT_TRUE(r.payload->ok) << r.payload->error;
+    cold = service::render_response(r);
+    const auto fields = service::parse_fields(cold);
+    EXPECT_EQ(fields.at("kind"), "opcount");
+    const int want_ops = ddg::build_kernel("fir8", ddg::superscalar_model())
+                             .normalized()
+                             .op_count();
+    EXPECT_EQ(fields.at("ops"), std::to_string(want_ops));
+    EXPECT_TRUE(fields.count("arcs"));
+  }
+  // Disk restart serves the new op's payload through the shared codec.
+  AnalysisEngine engine(cfg);
+  const Response r = engine.run(
+      service::parse_request_line("opcount kernel=fir8 id=9", 9));
+  EXPECT_TRUE(r.cache_hit);
+  EXPECT_EQ(r.tier, StoreTier::Disk);
+  EXPECT_EQ(test::strip_delivery(cold),
+            test::strip_delivery(service::render_response(r)));
+}
+
+}  // namespace
+}  // namespace rs

@@ -14,12 +14,15 @@
 
 #include "ddg/generators.hpp"
 #include "ddg/io.hpp"
+#include "service/operation.hpp"
 #include "service/protocol.hpp"
 #include "service/serve.hpp"
 #include "support/fs.hpp"
 #include "support/random.hpp"
 #include "support/socket.hpp"
 #include "support/timer.hpp"
+
+#include "test_util.hpp"
 
 namespace rs {
 namespace {
@@ -147,6 +150,52 @@ TEST(Serve, ConnectionsShareTheEngineCache) {
   EXPECT_EQ(f1.at("t0.rs"), f2.at("t0.rs"));
   EXPECT_NE(f1.at("id"), f2.at("id"));
   EXPECT_EQ(server->serve_stats().connections, 2u);
+}
+
+TEST(Serve, EveryRegisteredOperationServesColdWarmAndDiskHit) {
+  // The registry contract over TCP: each operation answers over a socket
+  // cold, then memory-hit, then — across a server restart sharing the
+  // cache dir — disk-hit, with byte-identical lines modulo cached=/ms=.
+  const auto dir = std::filesystem::temp_directory_path() / "rs_serve_ops";
+  std::filesystem::remove_all(dir);
+  std::vector<std::string> lines;
+  std::size_t id = 1;
+  for (const service::Operation* op : service::operations()) {
+    lines.push_back(test::request_line(*op) + " id=" + std::to_string(id++));
+  }
+  std::vector<std::string> cold(lines.size()), warm(lines.size());
+  {
+    ServeConfig cfg;
+    cfg.engine.cache_dir = dir.string();
+    ServerFixture server(cfg);
+    LineClient client(server->port());
+    for (const std::string& line : lines) client.send(line + "\n");
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      cold[i] = client.next_line();
+      ASSERT_NE(service::parse_fields(cold[i]).at("status"), "error")
+          << lines[i] << " -> " << cold[i];
+      EXPECT_EQ(service::parse_fields(cold[i]).at("cached"), "0") << lines[i];
+    }
+    for (const std::string& line : lines) client.send(line + "\n");
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      warm[i] = client.next_line();
+      EXPECT_EQ(service::parse_fields(warm[i]).at("cached"), "1") << lines[i];
+      EXPECT_EQ(test::strip_delivery(cold[i]), test::strip_delivery(warm[i])) << lines[i];
+    }
+  }
+  // Restarted server, fresh memory tier, same disk tier.
+  ServeConfig cfg;
+  cfg.engine.cache_dir = dir.string();
+  ServerFixture server(cfg);
+  LineClient client(server->port());
+  for (const std::string& line : lines) client.send(line + "\n");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string hit = client.next_line();
+    EXPECT_EQ(service::parse_fields(hit).at("cached"), "1") << lines[i];
+    EXPECT_EQ(test::strip_delivery(cold[i]), test::strip_delivery(hit)) << lines[i];
+  }
+  EXPECT_GE(server->engine().stats().disk_hits, lines.size());
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Serve, PortFileIsWrittenOnceListening) {

@@ -17,12 +17,17 @@
 #include "ddg/io.hpp"
 #include "ddg/kernels.hpp"
 #include "service/engine.hpp"
+#include "service/operation.hpp"
+#include "service/ops/analyze.hpp"
+#include "service/ops/reduce.hpp"
 #include "service/protocol.hpp"
 #include "service/store.hpp"
 #include "support/assert.hpp"
 #include "support/parse.hpp"
 #include "support/random.hpp"
 #include "support/solve_context.hpp"
+
+#include "test_util.hpp"
 
 namespace rs {
 namespace {
@@ -34,42 +39,9 @@ using service::CacheKey;
 using service::EngineConfig;
 using service::MemoryStore;
 using service::Request;
-using service::RequestKind;
 using service::Response;
 using service::ResultPayload;
 using service::StoreTier;
-
-// Rebuilds `d` with ops inserted in the order given by `order` (a
-// permutation of old node ids) and arcs inserted in reverse, optionally
-// renaming every op. The result describes the same scheduling problem.
-Ddg permuted_copy(const Ddg& d, const std::vector<graph::NodeId>& order,
-                  bool rename) {
-  Ddg out(d.type_count(), d.name());
-  std::vector<graph::NodeId> new_id(d.op_count(), -1);
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    ddg::Operation op = d.op(order[i]);
-    if (rename) op.name = "perm" + std::to_string(i);
-    new_id[order[i]] = out.add_op(std::move(op));
-  }
-  const graph::Digraph& g = d.graph();
-  for (graph::EdgeId e = g.edge_count() - 1; e >= 0; --e) {
-    const graph::Edge& ed = g.edge(e);
-    const ddg::EdgeAttr& a = d.edge_attr(e);
-    if (a.kind == ddg::EdgeKind::Flow) {
-      out.add_flow(new_id[ed.src], new_id[ed.dst], a.type, ed.latency);
-    } else {
-      out.add_serial(new_id[ed.src], new_id[ed.dst], ed.latency);
-    }
-  }
-  if (d.bottom().has_value()) out.set_bottom(new_id[*d.bottom()]);
-  return out;
-}
-
-std::vector<graph::NodeId> reversed_order(const Ddg& d) {
-  std::vector<graph::NodeId> order(d.op_count());
-  for (int i = 0; i < d.op_count(); ++i) order[i] = d.op_count() - 1 - i;
-  return order;
-}
 
 // ---------------------------------------------------------------------------
 // .ddg text round-tripping
@@ -127,9 +99,9 @@ TEST(Canon, InvariantUnderRenumberingAndRenaming) {
   for (const std::string& name : ddg::kernel_names()) {
     const Ddg d = ddg::build_kernel(name, ddg::superscalar_model());
     const Fingerprint fp = ddg::fingerprint(d);
-    const Ddg renumbered = permuted_copy(d, reversed_order(d), false);
+    const Ddg renumbered = test::permuted_copy(d, test::reversed_order(d), false);
     EXPECT_EQ(ddg::fingerprint(renumbered), fp) << name;
-    const Ddg renamed = permuted_copy(d, reversed_order(d), true);
+    const Ddg renamed = test::permuted_copy(d, test::reversed_order(d), true);
     EXPECT_EQ(ddg::fingerprint(renamed), fp) << name;
     // And the permuted copy still serializes to *different* text, so the
     // fingerprint is doing real work.
@@ -252,19 +224,23 @@ TEST(Protocol, EscapeRoundTrip) {
 TEST(Protocol, ParseAnalyzeAndReduceRequests) {
   const Request a = service::parse_request_line(
       "analyze kernel=lin-ddot engine=greedy budget=2.5 name=dd", 7);
-  EXPECT_EQ(a.kind, RequestKind::Analyze);
+  EXPECT_EQ(a.op, &service::analyze_operation());
   EXPECT_EQ(a.id, 7u);
   EXPECT_EQ(a.name, "dd");
-  EXPECT_EQ(a.analyze.engine, core::RsEngine::Greedy);
+  const auto& aopts =
+      dynamic_cast<const service::AnalyzeOpOptions&>(*a.options);
+  EXPECT_EQ(aopts.core.engine, core::RsEngine::Greedy);
   EXPECT_DOUBLE_EQ(a.budget_seconds, 2.5);
 
   const Request r = service::parse_request_line(
       "reduce kernel=fir8 limits=4,8 exact=1 verify=0 emit=1 id=42", 1);
-  EXPECT_EQ(r.kind, RequestKind::Reduce);
+  EXPECT_EQ(r.op, &service::reduce_operation());
   EXPECT_EQ(r.id, 42u);
-  EXPECT_EQ(r.limits, (std::vector<int>{4, 8}));
-  EXPECT_TRUE(r.pipeline.exact_reduction);
-  EXPECT_FALSE(r.pipeline.verify);
+  const auto& ropts =
+      dynamic_cast<const service::ReduceOpOptions&>(*r.options);
+  EXPECT_EQ(ropts.limits, (std::vector<int>{4, 8}));
+  EXPECT_TRUE(ropts.pipeline.exact_reduction);
+  EXPECT_FALSE(ropts.pipeline.verify);
   EXPECT_TRUE(r.want_ddg);
 }
 
@@ -374,18 +350,15 @@ TEST(Engine, AnalyzeMatchesOneShotCoreCall) {
     const core::SaturationReport want = core::analyze(d.normalized(), opts);
 
     AnalysisEngine engine{EngineConfig{}};
-    Request req;
-    req.ddg = d;
-    req.analyze = opts;
-    const Response resp = engine.run(std::move(req));
+    const Response resp = engine.run(service::make_analyze_request(d, opts));
     ASSERT_TRUE(resp.payload->ok) << resp.payload->error;
-    ASSERT_EQ(resp.payload->analyze.size(), want.per_type.size()) << name;
+    const auto& got = service::analyze_data(*resp.payload).per_type;
+    ASSERT_EQ(got.size(), want.per_type.size()) << name;
     for (std::size_t t = 0; t < want.per_type.size(); ++t) {
-      EXPECT_EQ(resp.payload->analyze[t].type, want.per_type[t].type);
-      EXPECT_EQ(resp.payload->analyze[t].value_count,
-                want.per_type[t].value_count);
-      EXPECT_EQ(resp.payload->analyze[t].rs, want.per_type[t].rs) << name;
-      EXPECT_EQ(resp.payload->analyze[t].proven, want.per_type[t].proven);
+      EXPECT_EQ(got[t].type, want.per_type[t].type);
+      EXPECT_EQ(got[t].value_count, want.per_type[t].value_count);
+      EXPECT_EQ(got[t].rs, want.per_type[t].rs) << name;
+      EXPECT_EQ(got[t].proven, want.per_type[t].proven);
     }
   }
 }
@@ -398,22 +371,19 @@ TEST(Engine, ReduceMatchesOneShotCoreCallByteForByte) {
       core::ensure_limits(d.normalized(), limits, opts);
 
   AnalysisEngine engine{EngineConfig{}};
-  Request req;
-  req.kind = RequestKind::Reduce;
-  req.ddg = d;
-  req.limits = limits;
-  req.pipeline = opts;
-  const Response resp = engine.run(std::move(req));
+  const Response resp =
+      engine.run(service::make_reduce_request(d, limits, opts));
   ASSERT_TRUE(resp.payload->ok) << resp.payload->error;
   EXPECT_EQ(resp.payload->success, want.success);
   // Byte-identical reduced DDG.
   EXPECT_EQ(resp.payload->out_ddg, ddg::to_text(want.out));
-  ASSERT_EQ(resp.payload->reduce.size(), want.per_type.size());
+  const auto& got = service::reduce_data(*resp.payload).per_type;
+  ASSERT_EQ(got.size(), want.per_type.size());
   for (std::size_t t = 0; t < want.per_type.size(); ++t) {
-    EXPECT_EQ(resp.payload->reduce[t].status, want.per_type[t].status);
-    EXPECT_EQ(resp.payload->reduce[t].achieved_rs, want.per_type[t].achieved_rs);
-    EXPECT_EQ(resp.payload->reduce[t].arcs_added, want.per_type[t].arcs_added);
-    EXPECT_EQ(resp.payload->reduce[t].ilp_loss,
+    EXPECT_EQ(got[t].status, want.per_type[t].status);
+    EXPECT_EQ(got[t].achieved_rs, want.per_type[t].achieved_rs);
+    EXPECT_EQ(got[t].arcs_added, want.per_type[t].arcs_added);
+    EXPECT_EQ(got[t].ilp_loss,
               static_cast<long long>(want.per_type[t].ilp_loss()));
   }
 }
@@ -441,18 +411,18 @@ TEST(Engine, DuplicateRequestHitsCacheWithIdenticalBytes) {
 TEST(Engine, RenumberedAndRenamedInputHitsSameEntry) {
   const Ddg d = ddg::build_kernel("liv-loop5", ddg::superscalar_model());
   AnalysisEngine engine{EngineConfig{}};
-  Request req;
-  req.ddg = d;
-  const Response first = engine.run(std::move(req));
-  Request perm;
-  perm.ddg = permuted_copy(d, reversed_order(d), /*rename=*/true);
+  const Response first = engine.run(service::make_analyze_request(d));
+  Request perm = service::make_analyze_request(
+      test::permuted_copy(d, test::reversed_order(d), /*rename=*/true));
   perm.name = "permuted";
   const Response second = engine.run(std::move(perm));
   EXPECT_TRUE(second.cache_hit);
   EXPECT_EQ(second.fingerprint, first.fingerprint);
-  ASSERT_EQ(second.payload->analyze.size(), first.payload->analyze.size());
-  for (std::size_t t = 0; t < first.payload->analyze.size(); ++t) {
-    EXPECT_EQ(second.payload->analyze[t].rs, first.payload->analyze[t].rs);
+  const auto& fa = service::analyze_data(*first.payload).per_type;
+  const auto& sa = service::analyze_data(*second.payload).per_type;
+  ASSERT_EQ(sa.size(), fa.size());
+  for (std::size_t t = 0; t < fa.size(); ++t) {
+    EXPECT_EQ(sa[t].rs, fa[t].rs);
   }
 }
 
@@ -493,10 +463,9 @@ TEST(Engine, ConcurrentDuplicatesComputeOnce) {
 
 TEST(Engine, ErrorsAreReportedAndNotCached) {
   AnalysisEngine engine{EngineConfig{}};
-  Request bad;
-  bad.kind = RequestKind::Reduce;
-  bad.ddg = ddg::build_kernel("fir8", ddg::superscalar_model());
-  bad.limits = {4};  // needs one limit per type (2)
+  const Request bad = service::make_reduce_request(
+      ddg::build_kernel("fir8", ddg::superscalar_model()),
+      {4});  // needs one limit per type (2)
   const Response r1 = engine.run(Request(bad));
   EXPECT_FALSE(r1.payload->ok);
   EXPECT_FALSE(r1.payload->error.empty());
@@ -582,10 +551,8 @@ Ddg slow_instance(std::uint64_t seed) {
 }
 
 Request slow_analyze(std::uint64_t id, std::uint64_t seed) {
-  Request req;
+  Request req = service::make_analyze_request(slow_instance(seed));
   req.id = id;
-  req.kind = RequestKind::Analyze;
-  req.ddg = slow_instance(seed);
   return req;
 }
 
@@ -601,7 +568,7 @@ TEST(Engine, CancelAbortsInFlightSolveAndSkipsCache) {
   EXPECT_EQ(resp.payload->stats.stop, support::StopCause::Cancelled);
   // The pressured (many-value) type cannot have been proven; value-free
   // types are trivially proven even under cancellation.
-  for (const auto& t : resp.payload->analyze) {
+  for (const auto& t : service::analyze_data(*resp.payload).per_type) {
     if (t.value_count >= 10) {
       EXPECT_FALSE(t.proven);
     }
@@ -676,7 +643,7 @@ TEST(Engine, TimedOutSolveReportsTimeoutAndIsCached) {
   const Response r1 = engine.run(Request(req));
   ASSERT_TRUE(r1.payload->ok);
   EXPECT_EQ(r1.payload->stats.stop, support::StopCause::TimedOut);
-  for (const auto& t : r1.payload->analyze) {
+  for (const auto& t : service::analyze_data(*r1.payload).per_type) {
     if (t.value_count > 0) {
       EXPECT_FALSE(t.proven);
     }

@@ -14,10 +14,14 @@
 #include "ddg/kernels.hpp"
 #include "service/codec.hpp"
 #include "service/engine.hpp"
+#include "service/ops/analyze.hpp"
+#include "service/ops/reduce.hpp"
 #include "service/protocol.hpp"
 #include "service/store.hpp"
 #include "support/fs.hpp"
 #include "support/random.hpp"
+
+#include "test_util.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -32,7 +36,6 @@ using service::DiskStore;
 using service::EngineConfig;
 using service::MemoryStore;
 using service::Request;
-using service::RequestKind;
 using service::Response;
 using service::ResultPayload;
 using service::StoreTier;
@@ -56,9 +59,11 @@ std::string fresh_dir(const std::string& name) {
 
 ResultPayload sample_analyze_payload() {
   ResultPayload p;
-  p.kind = RequestKind::Analyze;
-  p.analyze.push_back(TypeAnalysis{0, 12, 5, true});
-  p.analyze.push_back(TypeAnalysis{1, 3, 2, false});
+  p.op = &service::analyze_operation();
+  auto data = std::make_shared<service::AnalyzeData>();
+  data->per_type.push_back(TypeAnalysis{0, 12, 5, true});
+  data->per_type.push_back(TypeAnalysis{1, 3, 2, false});
+  p.data = std::move(data);
   p.stats.nodes = 123;
   p.stats.prunes = 45;
   p.stats.simplex_iterations = 6;
@@ -70,12 +75,14 @@ ResultPayload sample_analyze_payload() {
 
 ResultPayload sample_reduce_payload() {
   ResultPayload p;
-  p.kind = RequestKind::Reduce;
+  p.op = &service::reduce_operation();
   p.success = false;
-  p.reduce.push_back(
+  auto data = std::make_shared<service::ReduceData>();
+  data->per_type.push_back(
       TypeReduce{0, core::ReduceStatus::Reduced, 4, 3, 12});
-  p.reduce.push_back(
+  data->per_type.push_back(
       TypeReduce{1, core::ReduceStatus::SpillNeeded, 9, 0, 0});
+  p.data = std::move(data);
   p.out_ddg = "ddg x types=2\nop a class=ialu lat=1 dr=0 dw=0\n";
   p.error = "type 1 above limit";
   p.stats.nodes = 9;
@@ -86,49 +93,15 @@ ResultPayload sample_reduce_payload() {
 void expect_payload_eq(const ResultPayload& a, const ResultPayload& b) {
   EXPECT_EQ(a.ok, b.ok);
   EXPECT_EQ(a.error, b.error);
-  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.op, b.op);
   EXPECT_EQ(a.success, b.success);
   EXPECT_EQ(a.out_ddg, b.out_ddg);
-  EXPECT_EQ(a.stats.nodes, b.stats.nodes);
-  EXPECT_EQ(a.stats.prunes, b.stats.prunes);
-  EXPECT_EQ(a.stats.simplex_iterations, b.stats.simplex_iterations);
-  EXPECT_EQ(a.stats.refine_passes, b.stats.refine_passes);
-  EXPECT_EQ(a.stats.solves, b.stats.solves);
-  EXPECT_EQ(a.stats.stop, b.stats.stop);
-  ASSERT_EQ(a.analyze.size(), b.analyze.size());
-  for (std::size_t i = 0; i < a.analyze.size(); ++i) {
-    EXPECT_EQ(a.analyze[i].type, b.analyze[i].type);
-    EXPECT_EQ(a.analyze[i].value_count, b.analyze[i].value_count);
-    EXPECT_EQ(a.analyze[i].rs, b.analyze[i].rs);
-    EXPECT_EQ(a.analyze[i].proven, b.analyze[i].proven);
-  }
-  ASSERT_EQ(a.reduce.size(), b.reduce.size());
-  for (std::size_t i = 0; i < a.reduce.size(); ++i) {
-    EXPECT_EQ(a.reduce[i].type, b.reduce[i].type);
-    EXPECT_EQ(a.reduce[i].status, b.reduce[i].status);
-    EXPECT_EQ(a.reduce[i].achieved_rs, b.reduce[i].achieved_rs);
-    EXPECT_EQ(a.reduce[i].arcs_added, b.reduce[i].arcs_added);
-    EXPECT_EQ(a.reduce[i].ilp_loss, b.reduce[i].ilp_loss);
-  }
-}
-
-/// A rendered result line with the delivery-only fields (cached=, ms=)
-/// removed, order preserved — the byte-identity comparator of the
-/// acceptance criteria.
-std::string strip_delivery(const std::string& line) {
-  std::string out;
-  std::size_t i = 0;
-  while (i < line.size()) {
-    std::size_t j = line.find(' ', i);
-    if (j == std::string::npos) j = line.size();
-    const std::string tok = line.substr(i, j - i);
-    if (tok.rfind("cached=", 0) != 0 && tok.rfind("ms=", 0) != 0) {
-      if (!out.empty()) out += ' ';
-      out += tok;
-    }
-    i = j + 1;
-  }
-  return out;
+  // Stats and op data compared through the codec: encode is deterministic
+  // and total over every field the renderer reads, so identical encodings
+  // (and renderings) mean identical payloads.
+  EXPECT_EQ(service::encode_payload(a), service::encode_payload(b));
+  EXPECT_EQ(service::render_payload_fields(a, true),
+            service::render_payload_fields(b, true));
 }
 
 // ---------------------------------------------------------------------------
@@ -391,8 +364,8 @@ TEST(EngineDisk, ColdWarmAndRestartLinesAreByteIdentical) {
   ASSERT_NE(restart.find("cached=1"), std::string::npos);
   // The acceptance bar: the three lines differ only in cached= and ms=
   // (the reduced-DDG text included — emit=1 rides through the disk tier).
-  EXPECT_EQ(strip_delivery(cold), strip_delivery(warm));
-  EXPECT_EQ(strip_delivery(cold), strip_delivery(restart));
+  EXPECT_EQ(test::strip_delivery(cold), test::strip_delivery(warm));
+  EXPECT_EQ(test::strip_delivery(cold), test::strip_delivery(restart));
 }
 
 TEST(EngineDisk, AnalyzeRestartMatchesAcrossEngines) {
@@ -409,8 +382,8 @@ TEST(EngineDisk, AnalyzeRestartMatchesAcrossEngines) {
   const Response r = engine.run(
       service::parse_request_line("analyze kernel=lin-ddot", 1));
   EXPECT_EQ(r.tier, StoreTier::Disk);
-  EXPECT_EQ(strip_delivery(cold),
-            strip_delivery(service::render_response(r)));
+  EXPECT_EQ(test::strip_delivery(cold),
+            test::strip_delivery(service::render_response(r)));
 }
 
 TEST(EngineDisk, TimedOutResultsAreNotServedAcrossRestart) {
@@ -424,9 +397,9 @@ TEST(EngineDisk, TimedOutResultsAreNotServedAcrossRestart) {
   p.min_width = 4;
   p.max_width = 6;
   p.edge_prob = 0.8;
-  Request req;
+  Request req = service::make_analyze_request(
+      ddg::random_layered(rng, ddg::superscalar_model(), p));
   req.id = 1;
-  req.ddg = ddg::random_layered(rng, ddg::superscalar_model(), p);
   req.budget_seconds = 1e-9;
 
   {

@@ -1,0 +1,80 @@
+// Shared helpers for the service test suites.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ddg/ddg.hpp"
+#include "service/operation.hpp"
+
+namespace rs::test {
+
+/// Rebuilds `d` with ops inserted in the order given by `order` (a
+/// permutation of old node ids) and arcs inserted in reverse, optionally
+/// renaming every op. The result describes the same scheduling problem —
+/// the isomorphic-input fixture of the fingerprint/cache tests.
+inline ddg::Ddg permuted_copy(const ddg::Ddg& d,
+                              const std::vector<graph::NodeId>& order,
+                              bool rename) {
+  ddg::Ddg out(d.type_count(), d.name());
+  std::vector<graph::NodeId> new_id(d.op_count(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    ddg::Operation op = d.op(order[i]);
+    if (rename) op.name = "perm" + std::to_string(i);
+    new_id[order[i]] = out.add_op(std::move(op));
+  }
+  const graph::Digraph& g = d.graph();
+  for (graph::EdgeId e = g.edge_count() - 1; e >= 0; --e) {
+    const graph::Edge& ed = g.edge(e);
+    const ddg::EdgeAttr& a = d.edge_attr(e);
+    if (a.kind == ddg::EdgeKind::Flow) {
+      out.add_flow(new_id[ed.src], new_id[ed.dst], a.type, ed.latency);
+    } else {
+      out.add_serial(new_id[ed.src], new_id[ed.dst], ed.latency);
+    }
+  }
+  if (d.bottom().has_value()) out.set_bottom(new_id[*d.bottom()]);
+  return out;
+}
+
+inline std::vector<graph::NodeId> reversed_order(const ddg::Ddg& d) {
+  std::vector<graph::NodeId> order(d.op_count());
+  for (int i = 0; i < d.op_count(); ++i) order[i] = d.op_count() - 1 - i;
+  return order;
+}
+
+/// A valid protocol request line for any registered operation against a
+/// small two-type corpus kernel: "<op> kernel=<k> <example_options>". The
+/// fixture every registry-contract sweep (test_ops, test_serve) iterates.
+inline std::string request_line(const service::Operation& op,
+                                const std::string& kernel = "lin-ddot") {
+  std::string line{op.name()};
+  line += " kernel=" + kernel;
+  if (!op.example_options().empty()) {
+    line += " ";
+    line += op.example_options();
+  }
+  return line;
+}
+
+/// A rendered result line with the delivery-only fields (cached=, ms=)
+/// removed, order preserved — the byte-identity comparator of the
+/// cold/warm/disk acceptance criteria. Mirrors the sed expression in
+/// tests/ops_cli_golden.sh; extend both together.
+inline std::string strip_delivery(const std::string& line) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    std::size_t j = line.find(' ', i);
+    if (j == std::string::npos) j = line.size();
+    const std::string tok = line.substr(i, j - i);
+    if (tok.rfind("cached=", 0) != 0 && tok.rfind("ms=", 0) != 0) {
+      if (!out.empty()) out += ' ';
+      out += tok;
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+}  // namespace rs::test

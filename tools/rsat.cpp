@@ -6,6 +6,13 @@
 //   rsat reduce <file.ddg> --limits N[,N...] [--exact] [--budget S]
 //       [--stats] [-o out.ddg]
 //       figure-1 pipeline; writes the register-safe DDG.
+//   rsat <operation> <file.ddg | kernel=<name> | ...> [key=value ...]
+//       one-shot protocol request for any registered service operation
+//       (minreg, spill, schedule, ... — `rsat` with no arguments lists
+//       them). Options are the protocol's own key=value tokens, parsed by
+//       the same parser batch and serve use, and the answer is the
+//       protocol result line — byte-identical to what batch/serve emit
+//       for the same request (modulo cached=/ms=).
 //   rsat dot <file.ddg>
 //       Graphviz dump.
 //   rsat kernels
@@ -60,6 +67,7 @@
 #include "ddg/kernels.hpp"
 #include "graph/paths.hpp"
 #include "service/engine.hpp"
+#include "service/operation.hpp"
 #include "service/protocol.hpp"
 #include "service/serve.hpp"
 #include "support/assert.hpp"
@@ -70,21 +78,67 @@
 namespace {
 
 int usage() {
-  std::fputs(
-      "usage:\n"
-      "  rsat analyze <file.ddg> [--engine greedy|exact|ilp] [--budget S]\n"
-      "               [--stats]\n"
-      "  rsat reduce  <file.ddg> --limits N[,N...] [--exact] [--budget S]\n"
-      "               [--stats] [-o out.ddg]\n"
-      "  rsat dot     <file.ddg>\n"
-      "  rsat kernels\n"
-      "  rsat dump <kernel> [--vliw]\n"
-      "  rsat batch [manifest] [--threads N] [--cache-mb M] [--cache-dir D]\n"
-      "             [--vliw]\n"
-      "  rsat serve [--host H] [--port P] [--port-file F] [--threads N]\n"
-      "             [--cache-mb M] [--cache-dir D] [--vliw]\n",
-      stderr);
+  // The operation roster and each operation's option grammar come from the
+  // registry at runtime, so this help text cannot drift from the set of
+  // operations batch/serve/one-shot actually accept.
+  std::ostringstream os;
+  os << "usage:\n"
+        "  rsat analyze <file.ddg> [--engine greedy|exact|ilp] [--budget S]\n"
+        "               [--stats]\n"
+        "  rsat reduce  <file.ddg> --limits N[,N...] [--exact] [--budget S]\n"
+        "               [--stats] [-o out.ddg]\n"
+        "  rsat <op>    <file.ddg | kernel=<k> | ddg=<esc>> [key=value ...]\n"
+        "               one-shot protocol request; prints the result line\n"
+        "               (analyze/reduce with a bare <file.ddg> keep the\n"
+        "               flag forms above)\n"
+        "  rsat dot     <file.ddg>\n"
+        "  rsat kernels\n"
+        "  rsat dump <kernel> [--vliw]\n"
+        "  rsat batch [manifest] [--threads N] [--cache-mb M] [--cache-dir D]\n"
+        "             [--vliw]\n"
+        "  rsat serve [--host H] [--port P] [--port-file F] [--threads N]\n"
+        "             [--cache-mb M] [--cache-dir D] [--vliw]\n"
+        "\n"
+        "operations (one-shot <op> and batch/serve request lines: "
+     << rs::service::operation_names("|")
+     << "|cancel|drain):\n";
+  for (const rs::service::Operation* op : rs::service::operations()) {
+    os << "  " << op->name();
+    for (std::size_t pad = op->name().size(); pad < 9; ++pad) os << ' ';
+    os << op->synopsis() << '\n';
+  }
+  os << "common request options: budget=<sec> id=<n> name=<str>; kernel=\n"
+        "payloads also take model=superscalar|vliw\n";
+  std::fputs(os.str().c_str(), stderr);
   return 2;
+}
+
+/// `rsat <op> <payload> [key=value ...]`: one protocol request through a
+/// single-threaded engine, answered with its protocol result line. The
+/// option tokens are handed to the *protocol parser* verbatim, so the
+/// one-shot path and batch/serve share one option grammar by construction.
+int cmd_oneshot(const rs::service::Operation& op, int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::string line{op.name()};
+  // A bare path is shorthand for file=<path>; anything with '=' is a
+  // protocol token already (kernel=..., ddg=..., or an option).
+  const std::string payload = argv[2];
+  if (payload.find('=') == std::string::npos) {
+    line += " file=" + rs::service::escape_field(payload);
+  } else {
+    line += " " + payload;
+  }
+  for (int i = 3; i < argc; ++i) {
+    line += " ";
+    line += argv[i];
+  }
+  rs::service::EngineConfig cfg;
+  cfg.threads = 1;
+  rs::service::AnalysisEngine engine(cfg);
+  const rs::service::Response resp =
+      engine.run(rs::service::parse_request_line(line, 1));
+  std::puts(rs::service::render_response(resp).c_str());
+  return resp.payload->ok && resp.payload->success ? 0 : 1;
 }
 
 double parse_budget(const std::string& s) {
@@ -570,6 +624,17 @@ int main(int argc, char** argv) {
   try {
     if (argc < 2) return usage();
     const std::string cmd = argv[1];
+    // A protocol-token payload (kernel=..., ddg=...) selects the generic
+    // one-shot path even for analyze/reduce, so every registered operation
+    // accepts every payload form; a bare <file.ddg> keeps their legacy
+    // human-readable flag commands.
+    const bool proto_payload =
+        argc >= 3 && std::strchr(argv[2], '=') != nullptr;
+    if ((cmd != "analyze" && cmd != "reduce") || proto_payload) {
+      if (const auto* op = rs::service::find_operation(cmd)) {
+        return cmd_oneshot(*op, argc, argv);
+      }
+    }
     if (cmd == "analyze") return cmd_analyze(argc, argv);
     if (cmd == "reduce") return cmd_reduce(argc, argv);
     if (cmd == "dot") {
