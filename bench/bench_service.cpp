@@ -13,11 +13,13 @@
 #include <future>
 #include <vector>
 
+#include "cfg/generators.hpp"
 #include "ddg/canon.hpp"
 #include "ddg/generators.hpp"
 #include "ddg/kernels.hpp"
 #include "service/engine.hpp"
 #include "service/ops/analyze.hpp"
+#include "service/ops/globalrs.hpp"
 #include "service/ops/minreg.hpp"
 #include "service/ops/reduce.hpp"
 #include "service/ops/schedule.hpp"
@@ -155,6 +157,44 @@ void BM_NewOpsWarm(benchmark::State& state) {
                           static_cast<std::int64_t>(batch.size()));
 }
 BENCHMARK(BM_NewOpsWarm)->Unit(benchmark::kMicrosecond);
+
+// Program-payload path: cold global-RS over the built-in program corpus
+// vs warm (cfg::canon fingerprint lookup only). The warm/cold gap is what
+// the program fingerprint buys whole-program workloads.
+void BM_GlobalRsCold(benchmark::State& state) {
+  std::vector<Request> batch;
+  for (const std::string& name : rs::cfg::program_names()) {
+    batch.push_back(rs::service::make_globalrs_request(
+        std::make_shared<rs::cfg::Cfg>(
+            rs::cfg::build_program(name, rs::ddg::superscalar_model()))));
+  }
+  for (auto _ : state) {
+    AnalysisEngine engine(EngineConfig{});
+    drain(engine, batch);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_GlobalRsCold)->Unit(benchmark::kMillisecond);
+
+void BM_GlobalRsWarm(benchmark::State& state) {
+  AnalysisEngine engine(EngineConfig{});
+  std::vector<Request> batch;
+  for (const std::string& name : rs::cfg::program_names()) {
+    batch.push_back(rs::service::make_globalrs_request(
+        std::make_shared<rs::cfg::Cfg>(
+            rs::cfg::build_program(name, rs::ddg::superscalar_model()))));
+  }
+  drain(engine, batch);  // populate the cache
+  for (auto _ : state) {
+    for (const Request& req : batch) {
+      benchmark::DoNotOptimize(engine.run(req).payload->ok);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_GlobalRsWarm)->Unit(benchmark::kMicrosecond);
 
 void BM_CancellationDrain(benchmark::State& state) {
   // Drain latency for the cancel path: submit a batch of budgeted slow

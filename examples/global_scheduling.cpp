@@ -1,49 +1,37 @@
 // Global (acyclic CFG) register saturation — the section-6 extension.
 //
-// Builds a small if/else program, runs per-block RS analysis with entry
-// and exit values, and reduces every block against a register file with
-// the one-register move margin the paper recommends for global allocation.
+// Loads a small if/else program from its committed .prog file (format:
+// src/cfg/io.hpp — float r = dot(a, b) unrolled twice; if (r > t) r = r*s;
+// else r = r+s; store r, with several values crossing block boundaries),
+// runs per-block RS analysis with entry and exit values, and reduces every
+// block against a register file with the one-register move margin the
+// paper recommends for global allocation.
+//
+// Usage: global_scheduling [program.prog]   (default: examples/dotcond.prog)
 #include <cstdio>
 
 #include "cfg/cfg.hpp"
 #include "cfg/global_rs.hpp"
+#include "cfg/io.hpp"
 #include "core/rs_exact.hpp"
 #include "sched/lifetime.hpp"
 #include "sched/list_sched.hpp"
+#include "support/fs.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rs;
-  using ddg::OpClass;
 
-  // float r = dot(a, b, n-ish unrolled twice); if (r > t) r = r*s; else
-  // r = r+s; store r — with several values crossing block boundaries.
-  cfg::Program p(ddg::superscalar_model());
-  const int head = p.add_block("head");
-  const int hot = p.add_block("hot");
-  const int cold = p.add_block("cold");
-  const int tail = p.add_block("tail");
-  p.add_edge(head, hot);
-  p.add_edge(head, cold);
-  p.add_edge(hot, tail);
-  p.add_edge(cold, tail);
-
-  p.def(head, "a0", OpClass::Load, ddg::kFloatReg, {"ap"});
-  p.def(head, "b0", OpClass::Load, ddg::kFloatReg, {"bp"});
-  p.def(head, "a1", OpClass::Load, ddg::kFloatReg, {"ap"});
-  p.def(head, "b1", OpClass::Load, ddg::kFloatReg, {"bp"});
-  p.def(head, "m0", OpClass::FpMul, ddg::kFloatReg, {"a0", "b0"});
-  p.def(head, "m1", OpClass::FpMul, ddg::kFloatReg, {"a1", "b1"});
-  p.def(head, "r", OpClass::FpAdd, ddg::kFloatReg, {"m0", "m1"});
-  p.def(head, "s", OpClass::Load, ddg::kFloatReg, {"sp"});
-  p.use(head, OpClass::Branchy, {"r", "s"});
-
-  p.def(hot, "rh", OpClass::FpMul, ddg::kFloatReg, {"r", "s"});
-  p.use(hot, OpClass::Store, {"rh", "ap"});
-  p.def(cold, "rc", OpClass::FpAdd, ddg::kFloatReg, {"r", "s"});
-  p.use(cold, OpClass::Store, {"rc", "ap"});
-  p.use(tail, OpClass::Store, {"r", "bp"});  // r live across both branches
-
-  const cfg::Cfg graph = p.build();
+  const std::string path = argc > 1 ? argv[1] : "examples/dotcond.prog";
+  std::string text;
+  if (!support::read_file_to_string(path, &text)) {
+    std::fprintf(stderr,
+                 "cannot open %s (run from the repository root, or pass a "
+                 ".prog path)\n",
+                 path.c_str());
+    return 1;
+  }
+  const cfg::Cfg graph = cfg::from_text(text, ddg::superscalar_model());
+  std::printf("%s: %d blocks\n\n", graph.name().c_str(), graph.block_count());
 
   // Liveness view.
   for (int b = 0; b < graph.block_count(); ++b) {

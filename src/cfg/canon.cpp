@@ -1,0 +1,90 @@
+#include "cfg/canon.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "support/hash.hpp"
+
+namespace rs::cfg {
+
+namespace {
+
+using support::hash_combine;
+
+// Seeds distinct from ddg/canon.cpp so a one-block program never collides
+// with its own expanded DAG's fingerprint.
+constexpr std::uint64_t kSeed[2] = {0x50726f6743616e31ULL,
+                                    0x4366674670723032ULL};
+constexpr std::uint64_t kPredTag = 0x1d;
+constexpr std::uint64_t kSuccTag = 0x2e;
+
+}  // namespace
+
+std::vector<ddg::Fingerprint> block_fingerprints(const Cfg& cfg) {
+  std::vector<ddg::Fingerprint> fps;
+  fps.reserve(cfg.block_count());
+  for (int b = 0; b < cfg.block_count(); ++b) {
+    fps.push_back(ddg::fingerprint(cfg.expand_block(b)));
+  }
+  return fps;
+}
+
+ddg::Fingerprint fingerprint(const Cfg& cfg) {
+  const int n = cfg.block_count();
+  using Labels = std::vector<std::array<std::uint64_t, 2>>;
+  Labels labels(n);
+  std::vector<std::vector<int>> preds(n);
+  const std::vector<ddg::Fingerprint> block_fps = block_fingerprints(cfg);
+  for (int b = 0; b < n; ++b) {
+    labels[b] = {hash_combine(kSeed[0], block_fps[b].hi),
+                 hash_combine(kSeed[1], block_fps[b].lo)};
+    for (const int s : cfg.block(b).successors) preds[s].push_back(b);
+  }
+
+  // WL refinement over the CFG; an acyclic graph's partition stabilizes
+  // within diameter rounds, so n rounds always suffice (and blocks are
+  // few, so no early-exit bookkeeping is needed).
+  Labels next(n);
+  std::vector<std::uint64_t> sigs;
+  long long edges = 0;
+  for (int round = 0; round < n; ++round) {
+    for (int b = 0; b < n; ++b) {
+      for (int s = 0; s < 2; ++s) {
+        std::uint64_t h = labels[b][s];
+        sigs.clear();
+        for (const int p : preds[b]) sigs.push_back(labels[p][s]);
+        std::sort(sigs.begin(), sigs.end());
+        h = hash_combine(h, kPredTag);
+        for (const std::uint64_t v : sigs) h = hash_combine(h, v);
+        sigs.clear();
+        for (const int q : cfg.block(b).successors) {
+          sigs.push_back(labels[q][s]);
+        }
+        std::sort(sigs.begin(), sigs.end());
+        h = hash_combine(h, kSuccTag);
+        for (const std::uint64_t v : sigs) h = hash_combine(h, v);
+        next[b][s] = h;
+      }
+    }
+    labels.swap(next);
+  }
+  for (int b = 0; b < n; ++b) {
+    edges += static_cast<long long>(cfg.block(b).successors.size());
+  }
+
+  ddg::Fingerprint fp;
+  std::uint64_t* out[2] = {&fp.hi, &fp.lo};
+  std::vector<std::uint64_t> finals(n);
+  for (int s = 0; s < 2; ++s) {
+    for (int b = 0; b < n; ++b) finals[b] = labels[b][s];
+    std::sort(finals.begin(), finals.end());
+    std::uint64_t h = hash_combine(kSeed[s], static_cast<std::uint64_t>(n));
+    h = hash_combine(h, static_cast<std::uint64_t>(edges));
+    for (const std::uint64_t v : finals) h = hash_combine(h, v);
+    *out[s] = h;
+  }
+  return fp;
+}
+
+}  // namespace rs::cfg

@@ -1,0 +1,36 @@
+// Canonical structural fingerprint of a program (acyclic CFG) — the cache
+// key of program-level service operations (globalrs/globalreduce), the
+// CFG companion of ddg/canon.hpp.
+//
+// Two programs that differ only by block insertion order, block/value
+// renaming, or statement reordering that preserves dependences describe
+// the same global-RS problem and must hash identically; programs whose
+// expanded blocks or control-flow shape differ must not.
+//
+// Implementation: each block's initial label is the ddg::canon fingerprint
+// of its *expanded* DAG (entry/exit values included, so liveness structure
+// is part of the label — names never are). Weisfeiler-Leman refinement
+// over the CFG then absorbs the sorted multisets of predecessor/successor
+// labels, and the final fingerprint hashes the sorted multiset of block
+// labels plus global counts — order-invariant by construction, with the
+// same two-seed 128-bit scheme (and the same theoretical WL-collision
+// caveat) as the DDG fingerprint.
+#pragma once
+
+#include "cfg/cfg.hpp"
+#include "ddg/canon.hpp"
+
+namespace rs::cfg {
+
+/// Per-block fingerprints: ddg::fingerprint of every expanded block, in
+/// block order. The shared first pass of fingerprint() and of the service
+/// operations' canonical block ordering — one expansion + hash per block
+/// instead of one per consumer.
+std::vector<ddg::Fingerprint> block_fingerprints(const Cfg& cfg);
+
+/// 128-bit order/rename-invariant structural hash of a program. Shares
+/// ddg::Fingerprint so program keys flow through the engine's CacheKey
+/// machinery unchanged.
+ddg::Fingerprint fingerprint(const Cfg& cfg);
+
+}  // namespace rs::cfg

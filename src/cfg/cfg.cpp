@@ -84,28 +84,61 @@ void Program::use(int block, ddg::OpClass cls,
   blocks_[block].statements.push_back(Statement{"", cls, 0, std::move(operands)});
 }
 
+namespace {
+
+/// The register type a statement reads its operands as: float-class
+/// consumers read float, everything else (loads, stores, integer ALU,
+/// branches) reads int. Only used to type program inputs — defined values
+/// carry their definition's type.
+ddg::RegType consumption_type(ddg::OpClass cls) {
+  switch (cls) {
+    case ddg::OpClass::FpAdd:
+    case ddg::OpClass::FpMul:
+    case ddg::OpClass::FpDiv:
+    case ddg::OpClass::FpLong:
+      return ddg::kFloatReg;
+    default:
+      return ddg::kIntReg;
+  }
+}
+
+}  // namespace
+
 Cfg Program::build() const {
-  Cfg cfg(machine_);
+  Cfg cfg(machine_, name_);
   cfg.blocks_ = blocks_;
 
-  // Value type registry: a name may be defined at most once per program
-  // (SSA-ish; the restriction keeps entry-value types unambiguous).
+  // Value type registry. SSA-ish: a name may be defined at most once per
+  // block; definitions in several blocks (diamond merges) are allowed as
+  // long as every definition agrees on the type, which keeps entry-value
+  // typing unambiguous.
+  std::set<std::string> block_names;
   for (const Block& b : cfg.blocks_) {
+    RS_REQUIRE(!b.name.empty(), "block name must not be empty");
+    RS_REQUIRE(block_names.insert(b.name).second,
+               "duplicate block name: " + b.name);
+    std::set<std::string> defined;
     for (const Statement& st : b.statements) {
       if (st.result.empty()) continue;
-      RS_REQUIRE(!cfg.value_types_.count(st.result),
-                 "value defined twice: " + st.result);
-      cfg.value_types_[st.result] = st.type;
+      RS_REQUIRE(defined.insert(st.result).second,
+                 "value defined twice in block " + b.name + ": " + st.result);
+      const auto [it, fresh] = cfg.value_types_.emplace(st.result, st.type);
+      RS_REQUIRE(fresh || it->second == st.type,
+                 "value defined with conflicting types: " + st.result);
     }
   }
   compute_liveness(cfg.blocks_);
-  // Program inputs (live-in at some block, defined nowhere) default to the
-  // int type unless first consumed by a float-ish reader; keep explicit:
-  // register them as int values so expansion can type their entry ops.
+  // Program inputs (live-in at some block, defined nowhere) take the type
+  // they are first consumed as, in program order (block order, statement
+  // order): float-class consumers type them float, everything else int.
+  // An input read with inconsistent classes across blocks keeps the
+  // program-order first consumer's type.
   for (const Block& b : cfg.blocks_) {
-    for (const std::string& v : b.live_in) {
-      if (!cfg.value_types_.count(v)) {
-        cfg.value_types_[v] = ddg::kIntReg;
+    for (const Statement& st : b.statements) {
+      for (const std::string& v : st.operands) {
+        if (!cfg.value_types_.count(v)) {
+          cfg.value_types_[v] = consumption_type(st.cls);
+        }
       }
     }
   }

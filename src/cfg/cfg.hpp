@@ -4,11 +4,15 @@
 // corresponding flow arcs").
 //
 // A Program is built from named SSA-ish values: each block defines values
-// by name and may read names defined earlier in the block, in a
-// predecessor block, or nowhere (program inputs). Liveness analysis
-// determines per-block entry/exit values; expansion materializes each
-// block as a standalone DDG with latency-0 entry definitions and exit
-// consumers, ready for the per-DAG RS machinery.
+// by name and may read names defined earlier in the block, in another
+// block, or nowhere (program inputs). A name may be defined at most once
+// per block; definitions in several blocks (the classic diamond merge
+// where both arms produce the same name) are allowed as long as every
+// definition agrees on the register type, which keeps entry-value typing
+// unambiguous. Liveness analysis determines per-block entry/exit values;
+// expansion materializes each block as a standalone DDG with latency-0
+// entry definitions and exit consumers, ready for the per-DAG RS
+// machinery.
 #pragma once
 
 #include <map>
@@ -43,14 +47,16 @@ class Program;
 /// An analyzed CFG: blocks with liveness, ready for expansion.
 class Cfg {
  public:
+  const std::string& name() const { return name_; }
   int block_count() const { return static_cast<int>(blocks_.size()); }
   const Block& block(int b) const { return blocks_[b]; }
   const ddg::MachineModel& machine() const { return machine_; }
   int type_count() const { return ddg::kRegTypeCount; }
 
   /// The register type of a named value (defined anywhere in the program
-  /// or appearing as a program input). Inputs default to the type they are
-  /// first consumed as.
+  /// or appearing as a program input). Inputs take the type they are first
+  /// consumed as, in program order: an operand of a float-class statement
+  /// (fadd/fmul/fdiv/flong) reads float, every other class reads int.
   ddg::RegType type_of(const std::string& value) const;
 
   /// Materializes block b as a standalone, normalized DDG: entry values
@@ -60,8 +66,10 @@ class Cfg {
 
  private:
   friend class Program;
-  explicit Cfg(ddg::MachineModel machine) : machine_(std::move(machine)) {}
+  Cfg(ddg::MachineModel machine, std::string name)
+      : name_(std::move(name)), machine_(std::move(machine)) {}
 
+  std::string name_;
   ddg::MachineModel machine_;
   std::vector<Block> blocks_;
   std::map<std::string, ddg::RegType> value_types_;
@@ -75,25 +83,33 @@ class Cfg {
 ///   Cfg cfg = p.build();
 class Program {
  public:
-  explicit Program(const ddg::MachineModel& machine) : machine_(machine) {}
+  explicit Program(const ddg::MachineModel& machine, std::string name = "prog")
+      : machine_(machine), name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
 
   int add_block(std::string name);
   /// CFG arc; the final graph must be acyclic (checked in build()).
   void add_edge(int from, int to);
 
   /// Value-producing statement. Operand names must be defined earlier in
-  /// the block, in some other block, or become program inputs.
+  /// the block, in some other block, or become program inputs. A name may
+  /// be defined in several blocks (one def per block, consistent type).
   void def(int block, std::string result, ddg::OpClass cls, ddg::RegType type,
            std::vector<std::string> operands);
   /// Pure consumer (store/branch-style).
   void use(int block, ddg::OpClass cls, std::vector<std::string> operands);
 
-  /// Runs liveness, validates acyclicity and name consistency, and
-  /// returns the analyzed CFG. Throws PreconditionError on violations.
+  /// Runs liveness, validates acyclicity and name consistency (unique,
+  /// token-safe block names; per-block unique defs with cross-block type
+  /// agreement), and returns the analyzed CFG. Throws PreconditionError on
+  /// violations.
   Cfg build() const;
 
  private:
   ddg::MachineModel machine_;
+  std::string name_;
   std::vector<Block> blocks_;
 };
 

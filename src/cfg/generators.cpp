@@ -1,0 +1,225 @@
+#include "cfg/generators.hpp"
+
+#include "support/assert.hpp"
+
+namespace rs::cfg {
+
+namespace {
+
+using ddg::kFloatReg;
+using ddg::kIntReg;
+using ddg::OpClass;
+
+struct Val {
+  std::string name;
+  ddg::RegType type = kIntReg;
+};
+
+/// Fills block `b` with params.ops value-producing statements whose
+/// operands come from earlier statements of the block, from `inherited`
+/// (cross-block values, taken with params.cross_prob), or from fresh
+/// program inputs. Returns the values the block defined.
+std::vector<Val> fill_block(Program& p, support::Rng& rng, int b,
+                            const std::string& prefix,
+                            const std::vector<Val>& inherited,
+                            const BlockParams& params) {
+  std::vector<Val> local;
+  int inputs = 0;
+  const auto operand = [&](ddg::RegType want) -> std::string {
+    if (!inherited.empty() && rng.next_bool(params.cross_prob)) {
+      // Prefer a cross-block value of the wanted type when one exists.
+      const std::size_t start = rng.next_below(inherited.size());
+      for (std::size_t k = 0; k < inherited.size(); ++k) {
+        const Val& v = inherited[(start + k) % inherited.size()];
+        if (v.type == want) return v.name;
+      }
+    }
+    if (!local.empty() && rng.next_bool(0.6)) {
+      const std::size_t start = rng.next_below(local.size());
+      for (std::size_t k = 0; k < local.size(); ++k) {
+        const Val& v = local[(start + k) % local.size()];
+        if (v.type == want) return v.name;
+      }
+    }
+    // Fresh program input; float inputs are first consumed by a float
+    // class below, so first-consumption typing agrees with `want`.
+    return prefix + ".in" + std::to_string(inputs++);
+  };
+
+  for (int i = 0; i < params.ops; ++i) {
+    const std::string name = prefix + ".v" + std::to_string(i);
+    if (rng.next_bool(params.float_prob)) {
+      const int pick = rng.next_int(0, 3);
+      if (pick == 0) {
+        p.def(b, name, OpClass::Load, kFloatReg, {operand(kIntReg)});
+      } else {
+        const OpClass cls = pick == 1   ? OpClass::FpAdd
+                            : pick == 2 ? OpClass::FpMul
+                                        : OpClass::FpDiv;
+        p.def(b, name, cls, kFloatReg,
+              {operand(kFloatReg), operand(kFloatReg)});
+      }
+      local.push_back(Val{name, kFloatReg});
+    } else {
+      p.def(b, name, OpClass::IntAlu, kIntReg,
+            {operand(kIntReg), operand(kIntReg)});
+      local.push_back(Val{name, kIntReg});
+    }
+  }
+  // Store the last value so every block has an architecturally visible
+  // effect (and a serial-ordering sink, like the hand-written kernels).
+  p.use(b, OpClass::Store, {local.back().name, operand(kIntReg)});
+  return local;
+}
+
+void append(std::vector<Val>& pool, const std::vector<Val>& vals) {
+  pool.insert(pool.end(), vals.begin(), vals.end());
+}
+
+/// The join of a branchy shape: combines one value from each arm (so each
+/// arm's result is live into the join), then does its own local work.
+void fill_join(Program& p, support::Rng& rng, int join,
+               const std::vector<std::vector<Val>>& arms,
+               const std::vector<Val>& entry_vals, const BlockParams& params) {
+  std::vector<Val> inherited = entry_vals;
+  int merged = 0;
+  for (std::size_t a = 0; a + 1 < arms.size(); a += 2) {
+    const Val& x = arms[a].back();
+    const Val& y = arms[a + 1].back();
+    if (x.type == y.type) {
+      const std::string name = "join.m" + std::to_string(merged++);
+      p.def(join, name,
+            x.type == kFloatReg ? OpClass::FpAdd : OpClass::IntAlu, x.type,
+            {x.name, y.name});
+      inherited.push_back(Val{name, x.type});
+      continue;
+    }
+    p.use(join, OpClass::Store, {x.name, y.name});
+  }
+  if (arms.size() % 2 == 1) append(inherited, {arms.back().back()});
+  fill_block(p, rng, join, "join", inherited, params);
+}
+
+}  // namespace
+
+Cfg random_chain(support::Rng& rng, const ddg::MachineModel& model, int blocks,
+                 const BlockParams& params) {
+  RS_REQUIRE(blocks >= 1, "chain needs at least one block");
+  RS_REQUIRE(params.ops >= 1, "blocks need at least one statement");
+  Program p(model, "chain" + std::to_string(blocks));
+  std::vector<Val> pool;
+  int prev = -1;
+  for (int i = 0; i < blocks; ++i) {
+    const int b = p.add_block("b" + std::to_string(i));
+    if (prev >= 0) p.add_edge(prev, b);
+    append(pool, fill_block(p, rng, b, "b" + std::to_string(i), pool, params));
+    prev = b;
+  }
+  return p.build();
+}
+
+Cfg random_diamond(support::Rng& rng, const ddg::MachineModel& model,
+                   const BlockParams& params) {
+  return random_switch(rng, model, 2, params);
+}
+
+Cfg random_switch(support::Rng& rng, const ddg::MachineModel& model, int cases,
+                  const BlockParams& params) {
+  RS_REQUIRE(cases >= 2, "switch needs at least two cases");
+  RS_REQUIRE(params.ops >= 1, "blocks need at least one statement");
+  Program p(model, cases == 2 ? std::string("branch2")
+                              : "switch" + std::to_string(cases));
+  const int entry = p.add_block("entry");
+  const std::vector<Val> entry_vals =
+      fill_block(p, rng, entry, "entry", {}, params);
+  const int join = p.add_block("join");
+  std::vector<std::vector<Val>> arms;
+  for (int c = 0; c < cases; ++c) {
+    const std::string name = "case" + std::to_string(c);
+    const int b = p.add_block(name);
+    p.add_edge(entry, b);
+    p.add_edge(b, join);
+    arms.push_back(fill_block(p, rng, b, name, entry_vals, params));
+  }
+  fill_join(p, rng, join, arms, entry_vals, params);
+  return p.build();
+}
+
+namespace {
+
+/// The hand-written corpus programs. `diamond`: the section-6 running
+/// shape (a dot-product head, two arms transforming its result, a join
+/// keeping the head's value live across both). `dotcond` is its larger
+/// sibling from examples/global_scheduling.
+Cfg diamond_kernel(const ddg::MachineModel& model) {
+  Program p(model, "diamond");
+  const int entry = p.add_block("entry");
+  const int left = p.add_block("left");
+  const int right = p.add_block("right");
+  const int join = p.add_block("join");
+  p.add_edge(entry, left);
+  p.add_edge(entry, right);
+  p.add_edge(left, join);
+  p.add_edge(right, join);
+  p.def(entry, "x", OpClass::Load, kFloatReg, {"p"});
+  p.def(entry, "y", OpClass::FpMul, kFloatReg, {"x", "x"});
+  p.def(left, "a", OpClass::FpAdd, kFloatReg, {"y", "x"});
+  p.def(right, "b", OpClass::FpMul, kFloatReg, {"y", "y"});
+  p.def(join, "r", OpClass::FpAdd, kFloatReg, {"a", "b"});
+  p.use(join, OpClass::Store, {"r", "p"});
+  return p.build();
+}
+
+Cfg dotcond_kernel(const ddg::MachineModel& model) {
+  Program p(model, "dotcond");
+  const int head = p.add_block("head");
+  const int hot = p.add_block("hot");
+  const int cold = p.add_block("cold");
+  const int tail = p.add_block("tail");
+  p.add_edge(head, hot);
+  p.add_edge(head, cold);
+  p.add_edge(hot, tail);
+  p.add_edge(cold, tail);
+  p.def(head, "a0", OpClass::Load, kFloatReg, {"ap"});
+  p.def(head, "b0", OpClass::Load, kFloatReg, {"bp"});
+  p.def(head, "a1", OpClass::Load, kFloatReg, {"ap"});
+  p.def(head, "b1", OpClass::Load, kFloatReg, {"bp"});
+  p.def(head, "m0", OpClass::FpMul, kFloatReg, {"a0", "b0"});
+  p.def(head, "m1", OpClass::FpMul, kFloatReg, {"a1", "b1"});
+  p.def(head, "r", OpClass::FpAdd, kFloatReg, {"m0", "m1"});
+  p.def(head, "s", OpClass::Load, kFloatReg, {"sp"});
+  p.use(head, OpClass::Branchy, {"r", "s"});
+  p.def(hot, "rh", OpClass::FpMul, kFloatReg, {"r", "s"});
+  p.use(hot, OpClass::Store, {"rh", "ap"});
+  p.def(cold, "rc", OpClass::FpAdd, kFloatReg, {"r", "s"});
+  p.use(cold, OpClass::Store, {"rc", "ap"});
+  p.use(tail, OpClass::Store, {"r", "bp"});
+  return p.build();
+}
+
+}  // namespace
+
+std::vector<std::string> program_names() {
+  return {"diamond", "dotcond", "chain4", "switch3"};
+}
+
+Cfg build_program(const std::string& name, const ddg::MachineModel& model) {
+  if (name == "diamond") return diamond_kernel(model);
+  if (name == "dotcond") return dotcond_kernel(model);
+  if (name == "chain4") {
+    support::Rng rng(0xC4A14ULL);
+    return random_chain(rng, model, 4);
+  }
+  if (name == "switch3") {
+    support::Rng rng(0x535733ULL);
+    return random_switch(rng, model, 3);
+  }
+  std::string known;
+  for (const std::string& n : program_names()) {
+    known += (known.empty() ? "" : "|") + n;
+  }
+  RS_REQUIRE(false, "unknown program '" + name + "' (" + known + ")");
+  return diamond_kernel(model);
+}
+
+}  // namespace rs::cfg

@@ -1,0 +1,52 @@
+// Synthetic acyclic-CFG generators — the program-level companions of the
+// DDG generators (ddg/generators.hpp) — plus a small corpus of named
+// program kernels for prog=<name> service payloads. All generators are
+// deterministic in the supplied Rng; the named kernels are deterministic
+// full stop (fixed seeds), so prog= payloads fingerprint identically
+// across processes and platforms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cfg/cfg.hpp"
+#include "support/random.hpp"
+
+namespace rs::cfg {
+
+/// Knobs shared by the CFG shapes: how much work each block carries and
+/// how often operands reach across block boundaries (what drives entry/
+/// exit values and hence global-vs-local RS divergence).
+struct BlockParams {
+  /// Value-producing statements per block.
+  int ops = 5;
+  /// Probability a statement is float-class (fadd/fmul/fdiv vs ialu).
+  double float_prob = 0.7;
+  /// Probability an operand is drawn from a predecessor block's values
+  /// instead of this block's (when any are available).
+  double cross_prob = 0.5;
+};
+
+/// Unrolled-chain shape: B0 -> B1 -> ... -> B{blocks-1}, every block able
+/// to consume values from all earlier blocks.
+Cfg random_chain(support::Rng& rng, const ddg::MachineModel& model, int blocks,
+                 const BlockParams& params = {});
+
+/// Diamond shape: entry -> {then, else} -> join; the join combines one
+/// value from each arm, so both arms' results cross into it.
+Cfg random_diamond(support::Rng& rng, const ddg::MachineModel& model,
+                   const BlockParams& params = {});
+
+/// Switch shape: entry -> {case0..case{cases-1}} -> join, each case
+/// consuming entry values and the join combining one value per case.
+Cfg random_switch(support::Rng& rng, const ddg::MachineModel& model, int cases,
+                  const BlockParams& params = {});
+
+/// Names of the built-in program kernels (stable order, for docs/usage).
+std::vector<std::string> program_names();
+
+/// Builds one named program kernel; throws PreconditionError for unknown
+/// names (message lists the known ones).
+Cfg build_program(const std::string& name, const ddg::MachineModel& model);
+
+}  // namespace rs::cfg

@@ -12,16 +12,39 @@ GlobalReport analyze(const Cfg& cfg, const core::AnalyzeOptions& opts,
   report.global_rs.assign(cfg.type_count(), 0);
   for (int b = 0; b < cfg.block_count(); ++b) {
     const ddg::Ddg dag = cfg.expand_block(b);
-    const core::SaturationReport block_report =
-        core::analyze(dag, opts, solve.split(cfg.block_count() - b));
     BlockSaturation bs;
     bs.block = cfg.block(b).name;
+    if (solve.stop_requested()) {
+      // Budget exhausted (or cancelled) before this block: report the stop
+      // cause per type instead of running every remaining block's solver
+      // stack against a dead deadline. Value counts are still real (they
+      // cost one expansion, no search); rs stays the trivial 0 bound.
+      for (int t = 0; t < cfg.type_count(); ++t) {
+        core::TypeSaturation ts;
+        ts.type = t;
+        ts.value_count = static_cast<int>(dag.values_of_type(t).size());
+        ts.stats.stop = solve.cause_now(false);
+        bs.stats.merge(ts.stats);
+        report.all_proven = false;
+        bs.per_type.push_back(std::move(ts));
+      }
+      report.stats.merge(bs.stats);
+      report.blocks.push_back(std::move(bs));
+      continue;
+    }
+    // Even split of the budget *remaining now* over the blocks still to
+    // analyze (this one included): fast blocks donate their unused slack
+    // to the later ones, because each split re-reads the clock.
+    const core::SaturationReport block_report =
+        core::analyze(dag, opts, solve.split(cfg.block_count() - b));
     bs.per_type = block_report.per_type;
+    bs.stats = block_report.stats;
     for (int t = 0; t < cfg.type_count(); ++t) {
       report.global_rs[t] = std::max(report.global_rs[t],
                                      block_report.per_type[t].rs);
       report.all_proven = report.all_proven && block_report.per_type[t].proven;
     }
+    report.stats.merge(bs.stats);
     report.blocks.push_back(std::move(bs));
   }
   return report;

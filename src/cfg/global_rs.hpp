@@ -17,6 +17,10 @@ namespace rs::cfg {
 struct BlockSaturation {
   std::string block;
   std::vector<core::TypeSaturation> per_type;
+  /// Aggregate solve effort and stop cause for this block (merged over its
+  /// types); a block skipped because the budget was already exhausted
+  /// reports TimedOut/Cancelled here with zero nodes.
+  support::SolveStats stats;
 };
 
 struct GlobalReport {
@@ -24,10 +28,18 @@ struct GlobalReport {
   /// max over blocks, per type.
   std::vector<int> global_rs;
   bool all_proven = true;
+  /// Aggregate over all blocks.
+  support::SolveStats stats;
 };
 
-/// Computes RS of every expanded block and the global per-type maxima. The
-/// context's budget is split evenly across the blocks still to analyze.
+/// Computes RS of every expanded block and the global per-type maxima.
+/// Budget policy: each block gets an even share of the budget *remaining
+/// when it starts* (remaining / blocks-left), so a fast block's unused
+/// slack automatically flows to the later ones. Once the budget is
+/// exhausted (or the context is cancelled) the remaining blocks are not
+/// solved at all — they report their stop cause per block instead of each
+/// burning solver setup against an expired deadline — so the report always
+/// carries one row per block, with per-block stop causes.
 GlobalReport analyze(const Cfg& cfg, const core::AnalyzeOptions& opts = {},
                      const support::SolveContext& solve = {});
 

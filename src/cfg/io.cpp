@@ -1,0 +1,183 @@
+#include "cfg/io.hpp"
+
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/parse.hpp"
+
+namespace rs::cfg {
+
+namespace {
+
+std::string where(int line, const std::string& what) {
+  return "line " + std::to_string(line) + ": " + what;
+}
+
+ddg::OpClass class_from_name(const std::string& s, int line) {
+  for (int c = 0; c <= static_cast<int>(ddg::OpClass::Nop); ++c) {
+    if (s == ddg::op_class_name(static_cast<ddg::OpClass>(c))) {
+      return static_cast<ddg::OpClass>(c);
+    }
+  }
+  RS_REQUIRE(false, where(line, "unknown op class " + s));
+  return ddg::OpClass::Nop;
+}
+
+/// key=value lookup inside one line's tokens (support::token_field with
+/// the .prog line-numbered error).
+std::string field(const std::vector<std::string>& tokens,
+                  const std::string& key, int line) {
+  const auto value = support::token_field(tokens, key);
+  RS_REQUIRE(value.has_value(), where(line, "missing " + key + "="));
+  return *value;
+}
+
+/// Names must survive the whitespace-token key=value format unchanged:
+/// no separators, no comment marker, and no '=' (a name like "uses=a"
+/// would be indistinguishable from an option token when read back).
+void require_token_safe(const std::string& name, const std::string& what) {
+  RS_REQUIRE(!name.empty(), what + " must not be empty");
+  for (const char c : name) {
+    RS_REQUIRE(c != ' ' && c != '\t' && c != '\r' && c != '\n' && c != '#' &&
+                   c != ',' && c != '=',
+               what + " '" + name + "' contains a character the .prog "
+               "format cannot carry");
+  }
+}
+
+/// Parser-side twin of require_token_safe: a declared name containing '='
+/// would round-trip ambiguously, so reject it with the line number.
+void check_name(const std::string& name, int line) {
+  RS_REQUIRE(name.find('=') == std::string::npos,
+             where(line, "name '" + name + "' must not contain '='"));
+}
+
+std::vector<std::string> parse_uses(const std::vector<std::string>& tokens,
+                                    int line) {
+  std::vector<std::string> uses;
+  const auto list = support::token_field(tokens, "uses");
+  if (!list.has_value()) return uses;
+  std::string item;
+  std::istringstream is(*list);
+  while (std::getline(is, item, ',')) {
+    RS_REQUIRE(!item.empty(), where(line, "empty name in uses="));
+    check_name(item, line);
+    uses.push_back(item);
+  }
+  return uses;
+}
+
+}  // namespace
+
+std::string to_text(const Cfg& cfg) {
+  std::ostringstream os;
+  require_token_safe(cfg.name(), "program name");
+  os << "prog " << cfg.name() << '\n';
+  for (int b = 0; b < cfg.block_count(); ++b) {
+    const Block& blk = cfg.block(b);
+    require_token_safe(blk.name, "block name");
+    os << "block " << blk.name << '\n';
+    for (const Statement& st : blk.statements) {
+      if (st.result.empty()) {
+        os << "use class=" << ddg::op_class_name(st.cls);
+      } else {
+        require_token_safe(st.result, "value name");
+        os << "def " << st.result << " class=" << ddg::op_class_name(st.cls)
+           << " type=" << st.type;
+      }
+      if (!st.operands.empty()) {
+        os << " uses=";
+        for (std::size_t i = 0; i < st.operands.size(); ++i) {
+          require_token_safe(st.operands[i], "value name");
+          os << (i ? "," : "") << st.operands[i];
+        }
+      }
+      os << '\n';
+    }
+  }
+  for (int b = 0; b < cfg.block_count(); ++b) {
+    for (const int s : cfg.block(b).successors) {
+      os << "edge " << cfg.block(b).name << ' ' << cfg.block(s).name << '\n';
+    }
+  }
+  return os.str();
+}
+
+Cfg from_text(const std::string& text, const ddg::MachineModel& model) {
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  std::optional<Program> prog;
+  std::map<std::string, int> block_ids;
+  int current = -1;
+  // Edges are resolved after the whole file is read so a block may be
+  // referenced before its `block` line.
+  struct PendingEdge {
+    std::string from, to;
+    int line = 0;
+  };
+  std::vector<PendingEdge> edges;
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const std::vector<std::string> tokens = support::split_ws(line);
+    if (tokens.empty()) continue;
+    const std::string& kind = tokens[0];
+
+    if (kind == "prog") {
+      RS_REQUIRE(!prog.has_value(), where(lineno, "duplicate prog header"));
+      RS_REQUIRE(tokens.size() == 2, where(lineno, "expected 'prog <name>'"));
+      prog.emplace(model, tokens[1]);
+      continue;
+    }
+    RS_REQUIRE(prog.has_value(), where(lineno, "'prog' header missing"));
+
+    if (kind == "block") {
+      RS_REQUIRE(tokens.size() == 2, where(lineno, "expected 'block <name>'"));
+      check_name(tokens[1], lineno);
+      RS_REQUIRE(!block_ids.count(tokens[1]),
+                 where(lineno, "duplicate block " + tokens[1]));
+      current = prog->add_block(tokens[1]);
+      block_ids[tokens[1]] = current;
+    } else if (kind == "def") {
+      RS_REQUIRE(current >= 0, where(lineno, "def before any block"));
+      RS_REQUIRE(tokens.size() >= 2, where(lineno, "def needs a value name"));
+      check_name(tokens[1], lineno);
+      const ddg::RegType t = support::parse_int(field(tokens, "type", lineno),
+                                                where(lineno, "type"));
+      RS_REQUIRE(t >= 0 && t < ddg::kRegTypeCount,
+                 where(lineno, "type= out of range"));
+      prog->def(current, tokens[1],
+                class_from_name(field(tokens, "class", lineno), lineno), t,
+                parse_uses(tokens, lineno));
+    } else if (kind == "use") {
+      RS_REQUIRE(current >= 0, where(lineno, "use before any block"));
+      prog->use(current, class_from_name(field(tokens, "class", lineno), lineno),
+                parse_uses(tokens, lineno));
+    } else if (kind == "edge") {
+      RS_REQUIRE(tokens.size() == 3,
+                 where(lineno, "expected 'edge <from> <to>'"));
+      edges.push_back(PendingEdge{tokens[1], tokens[2], lineno});
+    } else {
+      RS_REQUIRE(false, where(lineno, "unknown directive " + kind));
+    }
+  }
+  RS_REQUIRE(prog.has_value(), "empty program text");
+  for (const PendingEdge& e : edges) {
+    const auto from = block_ids.find(e.from);
+    const auto to = block_ids.find(e.to);
+    RS_REQUIRE(from != block_ids.end(),
+               where(e.line, "edge references unknown block " + e.from));
+    RS_REQUIRE(to != block_ids.end(),
+               where(e.line, "edge references unknown block " + e.to));
+    prog->add_edge(from->second, to->second);
+  }
+  return prog->build();
+}
+
+}  // namespace rs::cfg

@@ -1,0 +1,43 @@
+// Plain-text program (acyclic CFG) serialization — the `.prog` companion
+// of the `.ddg` format (ddg/io.hpp), so whole-program workloads can be
+// saved, diffed and fed to the service without recompiling. Format (one
+// item per line):
+//
+//   prog <name>
+//   block <name>
+//   def <val> class=<cls> type=<t> [uses=<v>[,<v>...]]
+//   use class=<cls> [uses=<v>[,<v>...]]
+//   edge <from-block> <to-block>
+//
+// `prog` opens the file (exactly once); each `block` starts a new basic
+// block; `def`/`use` append statements to the most recent block (`def`
+// writes a value of register type <t>, `use` is a pure consumer — store/
+// branch style); `edge` adds a CFG arc by block name and may appear
+// anywhere (names are resolved at end of parse, so forward references are
+// fine). Operand lists are comma-separated value names; class tokens are
+// the .ddg op classes (ialu|load|store|fadd|fmul|fdiv|flong|br|nop).
+// '#' starts a comment; blank lines are ignored.
+//
+// A `.prog` file carries no latencies: statement timing comes from the
+// machine model supplied at parse time (like kernel= payloads), which is
+// why from_text takes one. Names must be single whitespace-free tokens.
+#pragma once
+
+#include <string>
+
+#include "cfg/cfg.hpp"
+
+namespace rs::cfg {
+
+/// Serializes an analyzed CFG to the text format above (blocks first,
+/// then every edge). Round-trips: from_text(to_text(cfg), model) builds
+/// an equivalent program.
+std::string to_text(const Cfg& cfg);
+
+/// Parses the text format and builds the program (liveness, acyclicity
+/// and name checks included). Throws rs::support::PreconditionError with
+/// a line-numbered message on malformed input; Program::build() failures
+/// (cyclic CFG, conflicting types) propagate with their own messages.
+Cfg from_text(const std::string& text, const ddg::MachineModel& model);
+
+}  // namespace rs::cfg

@@ -21,21 +21,18 @@ OpClass class_from_name(const std::string& s, int line) {
   return OpClass::Nop;
 }
 
-/// Splits "key=value" tokens; returns value for key or throws.
+/// Splits "key=value" tokens (support::token_field); returns value for key
+/// or throws with the line number.
 std::string field(const std::vector<std::string>& tokens,
                   const std::string& key, int line) {
-  for (const std::string& t : tokens) {
-    if (t.rfind(key + "=", 0) == 0) return t.substr(key.size() + 1);
-  }
-  RS_REQUIRE(false, "line " + std::to_string(line) + ": missing " + key + "=");
-  return {};
+  const auto value = support::token_field(tokens, key);
+  RS_REQUIRE(value.has_value(),
+             "line " + std::to_string(line) + ": missing " + key + "=");
+  return *value;
 }
 
 bool has_field(const std::vector<std::string>& tokens, const std::string& key) {
-  for (const std::string& t : tokens) {
-    if (t.rfind(key + "=", 0) == 0) return true;
-  }
-  return false;
+  return support::token_field(tokens, key).has_value();
 }
 
 std::string where(int line, const std::string& key) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "cfg/canon.hpp"
 #include "support/assert.hpp"
 
 namespace rs::service {
@@ -131,19 +132,32 @@ Response AnalysisEngine::process(Request req, support::Timer started,
 
   Response resp;
   resp.id = req.id;
-  resp.name = req.name.empty() ? req.ddg.name() : req.name;
+  resp.name = req.name.empty()
+                  ? (req.program != nullptr ? req.program->name()
+                                            : req.ddg.name())
+                  : req.name;
   resp.include_ddg = req.want_ddg;
 
   SharedPayload payload;
   bool owner = false;
+  bool counted_miss = false;  // mirrors misses_ for the per-op slice
   std::promise<SharedPayload> own_promise;
   std::shared_future<SharedPayload> flight;
   CacheKey key;
 
   try {
     RS_REQUIRE(req.op != nullptr, "request names no operation");
-    const ddg::Ddg normalized = req.ddg.normalized();
-    resp.fingerprint = ddg::fingerprint(normalized);
+    // Program payloads are fingerprinted over the whole CFG (cfg/canon);
+    // DDG payloads keep the normalized-DAG fingerprint. Either way the
+    // fingerprint is order/rename-invariant, so isomorphic inputs share a
+    // cache entry.
+    ddg::Ddg normalized;
+    if (req.program != nullptr) {
+      resp.fingerprint = cfg::fingerprint(*req.program);
+    } else {
+      normalized = req.ddg.normalized();
+      resp.fingerprint = ddg::fingerprint(normalized);
+    }
     key = request_key(req, resp.fingerprint);
 
     // Fast path: probe the store (sharded memory LRU, then the disk tier)
@@ -221,6 +235,7 @@ Response AnalysisEngine::process(Request req, support::Timer started,
         store_.put(key, payload, payload->bytes());
       }
       ++misses_;
+      counted_miss = true;
       if (payload->ok) {
         if (payload->cancelled()) ++cancelled_;
         if (payload->stats.stop == support::StopCause::TimedOut) ++timed_out_;
@@ -256,6 +271,7 @@ Response AnalysisEngine::process(Request req, support::Timer started,
   if (!resp.payload->ok) ++errors_;
   resp.millis = started.millis();
   record_latency(resp.millis);
+  record_op(req.op, resp, counted_miss);
   ++completed_;
   return resp;
 }
@@ -279,6 +295,29 @@ AnalysisEngine::SharedPayload AnalysisEngine::compute(
     payload->out_ddg.clear();
   }
   return payload;
+}
+
+void AnalysisEngine::record_op(const Operation* op, const Response& resp,
+                               bool counted_miss) {
+  if (op == nullptr) return;  // failed before an operation was resolved
+  std::lock_guard<std::mutex> lock(op_mu_);
+  PerOpAcc& acc = per_op_[op];
+  ++acc.counts.submitted;
+  // Exactly mirror the aggregate counters (hits from any tier or a
+  // coalesce; misses wherever misses_ was incremented, error payloads
+  // included), so the per-op slices always tile the cache summary.
+  if (resp.cache_hit) {
+    ++acc.counts.hits;
+  } else if (counted_miss) {
+    ++acc.counts.misses;
+  }
+  constexpr std::size_t kPerOpWindow = 1 << 12;
+  if (acc.latencies.size() < kPerOpWindow) {
+    acc.latencies.push_back(resp.millis);
+  } else {
+    acc.latencies[acc.next] = resp.millis;
+    acc.next = (acc.next + 1) % kPerOpWindow;
+  }
 }
 
 void AnalysisEngine::record_latency(double ms) {
@@ -320,6 +359,18 @@ EngineStats AnalysisEngine::stats() const {
       // Nearest-rank p95: ceil(0.95 * n) - 1.
       out.p95_ms = sorted[(sorted.size() * 95 + 99) / 100 - 1];
       out.max_ms = max_ms_;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(op_mu_);
+    for (const auto& [op, acc] : per_op_) {
+      OpStats slice = acc.counts;
+      if (!acc.latencies.empty()) {
+        std::vector<double> sorted = acc.latencies;
+        std::sort(sorted.begin(), sorted.end());
+        slice.p50_ms = sorted[sorted.size() / 2];
+      }
+      out.per_op.emplace(std::string(op->name()), slice);
     }
   }
   return out;

@@ -37,6 +37,7 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -51,6 +52,13 @@
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
+namespace rs::cfg {
+// Program payloads ride Request behind a shared_ptr; only the sites that
+// build or consume one (protocol.cpp, engine.cpp, the program ops) need
+// the full cfg headers.
+class Cfg;
+}  // namespace rs::cfg
+
 namespace rs::service {
 
 struct Request {
@@ -59,8 +67,17 @@ struct Request {
   /// Must be non-null by the time the request reaches the engine;
   /// parse_request_line() always sets it.
   const Operation* op = nullptr;
+  /// Input DAG for PayloadKind::Ddg operations; ignored when `program` is
+  /// set.
   ddg::Ddg ddg;
-  /// Display name in responses; defaults to ddg.name() when empty.
+  /// Input program for PayloadKind::Program operations (globalrs,
+  /// globalreduce, ...). When set, the request is fingerprinted with
+  /// cfg::fingerprint (order/rename-invariant over blocks) instead of the
+  /// DDG fingerprint, and `ddg` is ignored. Shared and immutable so
+  /// Requests stay cheap to copy.
+  std::shared_ptr<const cfg::Cfg> program;
+  /// Display name in responses; defaults to the program's or DDG's own
+  /// name when empty.
   std::string name;
   /// Operation-specific options parsed by Operation::parse_options; null
   /// means the operation's defaults.
@@ -131,6 +148,19 @@ struct EngineConfig {
 /// Wall-clock cap applied to requests that carry no budget_seconds.
 inline constexpr double kDefaultBudgetSeconds = 30.0;
 
+/// Per-operation slice of the engine counters (EngineStats::per_op, keyed
+/// by Operation::name). hits counts responses served without computing
+/// (store tiers + coalesced) and misses counts computed solves (error
+/// payloads included) — exactly the events the aggregate cache_hits/
+/// coalesced/misses count, so the per-op slices tile them. p50 is over
+/// this operation's completed responses, hits included.
+struct OpStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  double p50_ms = 0;
+};
+
 struct EngineStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
@@ -151,6 +181,9 @@ struct EngineStats {
   double p50_ms = 0;
   double p95_ms = 0;
   double max_ms = 0;
+  /// Per-operation breakdown, one entry per operation that has completed
+  /// at least one response on this engine (ordered by name).
+  std::map<std::string, OpStats> per_op;
 
   /// Fraction of completed lookups served without computing.
   double hit_rate() const {
@@ -222,6 +255,8 @@ class AnalysisEngine {
   SharedPayload compute(const Request& req, const ddg::Ddg& normalized,
                         const support::CancelToken& token);
   void record_latency(double ms);
+  void record_op(const Operation* op, const Response& resp,
+                 bool counted_miss);
 
   EngineConfig cfg_;
   TieredStore store_;
@@ -250,6 +285,16 @@ class AnalysisEngine {
   std::vector<double> latencies_;  // bounded ring, see record_latency()
   std::size_t latency_next_ = 0;
   double max_ms_ = 0;
+
+  /// Per-operation counters + a bounded latency ring each, keyed by the
+  /// operation's (process-lifetime-stable) registry pointer.
+  struct PerOpAcc {
+    OpStats counts;
+    std::vector<double> latencies;
+    std::size_t next = 0;
+  };
+  mutable std::mutex op_mu_;
+  std::map<const Operation*, PerOpAcc> per_op_;
 };
 
 /// The cache key for a request: canonical fingerprint of the normalized DDG

@@ -43,6 +43,14 @@ namespace rs::service {
 struct Request;        // service/engine.hpp
 struct ResultPayload;  // service/engine.hpp
 
+/// What a request must carry as its input payload. Ddg operations consume
+/// one normalized DAG (kernel= | file=<x>.ddg | ddg=); Program operations
+/// consume a whole acyclic CFG (prog=<name> | file=<x>.prog) and are
+/// fingerprinted with cfg::canon instead of ddg::canon. The protocol
+/// parser enforces the match, so an operation's run() can rely on its
+/// declared payload being present.
+enum class PayloadKind { Ddg, Program };
+
 /// Base of the per-operation request-options box (Request::options).
 /// Operations define a subclass holding their parsed option values; a null
 /// box means "this operation's defaults".
@@ -84,6 +92,11 @@ class Operation {
   /// (analyze=0 and reduce=1 are grandfathered from the RequestKind enum,
   /// which is what keeps pre-registry disk caches addressable).
   virtual std::uint64_t digest_tag() const = 0;
+
+  /// The payload this operation consumes; the protocol parser rejects
+  /// mismatches. Defaults to Ddg so single-DAG operations need no
+  /// override.
+  virtual PayloadKind payload_kind() const { return PayloadKind::Ddg; }
 
   /// One-line option grammar for usage()/docs, e.g.
   /// "limits=<n>[,<n>...] [exact=0|1] [verify=0|1] [emit=0|1]".

@@ -1,0 +1,51 @@
+// The `globalreduce` operation: the figure-1 reduction applied per block
+// of an acyclic CFG against limits[t] - margin (cfg::ensure_limits), the
+// paper's section-6 recipe for register-safe global scheduling — a global
+// allocation may need one register above per-block MAXLIVE for cross-block
+// moves, so every block targets the decremented limit.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cfg/global_rs.hpp"
+#include "service/engine.hpp"
+#include "service/ops/reduce.hpp"
+
+namespace rs::service {
+
+/// One (block, type) row; blocks numbered in canonical order (see
+/// GlobalRsRow — same invariance rationale, same ordering helper).
+struct GlobalReduceRow {
+  int block = 0;
+  ddg::RegType type = 0;
+  core::ReduceStatus status = core::ReduceStatus::AlreadyFits;
+  int achieved_rs = 0;
+  int arcs_added = 0;
+};
+
+struct GlobalReduceData : OpData {
+  std::vector<GlobalReduceRow> rows;
+
+  std::size_t bytes() const override {
+    return sizeof(GlobalReduceData) +
+           rows.capacity() * sizeof(GlobalReduceRow);
+  }
+};
+
+struct GlobalReduceOpOptions : OpOptions {
+  std::vector<int> limits;
+  int margin = 1;
+  core::PipelineOptions pipeline;
+};
+
+const Operation& globalreduce_operation();
+
+const GlobalReduceData& globalreduce_data(const ResultPayload& p);
+
+/// Direct-construction convenience for engine callers (tests, benches).
+Request make_globalreduce_request(std::shared_ptr<const cfg::Cfg> program,
+                                  std::vector<int> limits, int margin = 1,
+                                  core::PipelineOptions opts = {});
+
+}  // namespace rs::service

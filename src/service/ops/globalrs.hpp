@@ -1,0 +1,62 @@
+// The `globalrs` operation: global register saturation of an acyclic CFG
+// (the paper's section 6) — per-block RS on the expanded DAGs plus the
+// global per-type maxima — the first PayloadKind::Program workload of the
+// service spine.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cfg/global_rs.hpp"
+#include "service/engine.hpp"
+
+namespace rs::service {
+
+/// One (block, type) row of a global-RS result. Blocks are numbered in
+/// *canonical* order — sorted by the expanded block's structural
+/// fingerprint, not program order — so the payload stays invariant under
+/// block reordering, the same way DDG payloads stay invariant under node
+/// renumbering (block names, like node names, never enter a payload).
+struct GlobalRsRow {
+  int block = 0;
+  ddg::RegType type = 0;
+  int value_count = 0;
+  int rs = 0;
+  bool proven = false;
+};
+
+struct GlobalRsData : OpData {
+  /// Grouped by block ascending, type ascending within a block.
+  std::vector<GlobalRsRow> rows;
+
+  std::size_t bytes() const override {
+    return sizeof(GlobalRsData) + rows.capacity() * sizeof(GlobalRsRow);
+  }
+};
+
+struct GlobalRsOpOptions : OpOptions {
+  core::AnalyzeOptions core;
+};
+
+const Operation& globalrs_operation();
+
+/// Typed view of a globalrs payload's data; empty instance for data-free
+/// payloads (see ops::typed_data).
+const GlobalRsData& globalrs_data(const ResultPayload& p);
+
+/// Direct-construction convenience for engine callers (tests, benches).
+Request make_globalrs_request(std::shared_ptr<const cfg::Cfg> program,
+                              core::AnalyzeOptions opts = {});
+
+namespace ops {
+
+/// Block indices of `cfg` sorted by their expanded DAG's fingerprint (ties
+/// keep program order — tied blocks are isomorphic, so their rows carry
+/// identical metrics and the tie-break cannot leak input order into the
+/// payload bytes). Shared by the program operations so their row order
+/// agrees.
+std::vector<int> canonical_block_order(const cfg::Cfg& cfg);
+
+}  // namespace ops
+
+}  // namespace rs::service

@@ -4,6 +4,8 @@
 // through the registry without edits.
 #include "service/operation.hpp"
 #include "service/ops/analyze.hpp"
+#include "service/ops/globalreduce.hpp"
+#include "service/ops/globalrs.hpp"
 #include "service/ops/minreg.hpp"
 #include "service/ops/reduce.hpp"
 #include "service/ops/schedule.hpp"
@@ -13,8 +15,9 @@ namespace rs::service {
 
 std::vector<const Operation*> builtin_operations() {
   return {
-      &analyze_operation(),  &reduce_operation(), &minreg_operation(),
-      &spill_operation(),    &schedule_operation(),
+      &analyze_operation(),  &reduce_operation(),   &minreg_operation(),
+      &spill_operation(),    &schedule_operation(), &globalrs_operation(),
+      &globalreduce_operation(),
   };
 }
 

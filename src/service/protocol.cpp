@@ -4,6 +4,8 @@
 #include <sstream>
 #include <vector>
 
+#include "cfg/generators.hpp"
+#include "cfg/io.hpp"
 #include "ddg/io.hpp"
 #include "ddg/kernels.hpp"
 #include "service/codec.hpp"
@@ -37,7 +39,13 @@ std::string read_file(const std::string& path) {
 /// the payload sources. Everything else is the operation's vocabulary.
 bool is_generic_key(const std::string& key) {
   return key.empty() || key == "id" || key == "name" || key == "budget" ||
-         key == "kernel" || key == "file" || key == "ddg" || key == "model";
+         key == "kernel" || key == "file" || key == "ddg" || key == "model" ||
+         key == "prog";
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 }  // namespace
@@ -163,38 +171,62 @@ Request parse_request_line(const std::string& line, std::uint64_t default_id,
     RS_REQUIRE(false, "option '" + key + "=' does not apply to " + cmd +
                           " requests");
   }
-  RS_REQUIRE(!fields.count("model") || fields.count("kernel"),
-             "model= only applies to kernel= payloads");
-
   req.id = default_id;
   if (const auto it = fields.find("id"); it != fields.end()) {
     req.id = static_cast<std::uint64_t>(
         support::parse_ll(it->second, "id"));
   }
 
-  // Exactly one payload source.
+  // Exactly one payload source. file= carries either payload kind,
+  // dispatched on its extension (.prog = program, anything else = DDG).
   const int sources = static_cast<int>(fields.count("kernel")) +
                       static_cast<int>(fields.count("file")) +
-                      static_cast<int>(fields.count("ddg"));
+                      static_cast<int>(fields.count("ddg")) +
+                      static_cast<int>(fields.count("prog"));
   RS_REQUIRE(sources == 1,
-             "request needs exactly one of kernel= | file= | ddg=");
-  if (const auto it = fields.find("kernel"); it != fields.end()) {
-    ddg::MachineModel model = opts.default_model;
-    if (const auto m = fields.find("model"); m != fields.end()) {
-      if (m->second == "superscalar") {
-        model = ddg::superscalar_model();
-      } else if (m->second == "vliw") {
-        model = ddg::vliw_model();
-      } else {
-        RS_REQUIRE(false, "unknown model '" + m->second +
-                              "' (superscalar|vliw)");
-      }
+             "request needs exactly one of kernel= | file= | ddg= | prog=");
+  const bool model_applies =
+      fields.count("kernel") || fields.count("prog") ||
+      (fields.count("file") && ends_with(fields.at("file"), ".prog"));
+  RS_REQUIRE(!fields.count("model") || model_applies,
+             "model= only applies to kernel=, prog= and file=<x>.prog "
+             "payloads");
+  ddg::MachineModel model = opts.default_model;
+  if (const auto m = fields.find("model"); m != fields.end()) {
+    if (m->second == "superscalar") {
+      model = ddg::superscalar_model();
+    } else if (m->second == "vliw") {
+      model = ddg::vliw_model();
+    } else {
+      RS_REQUIRE(false, "unknown model '" + m->second +
+                            "' (superscalar|vliw)");
     }
+  }
+  if (const auto it = fields.find("kernel"); it != fields.end()) {
     req.ddg = ddg::build_kernel(it->second, model);
-  } else if (const auto it2 = fields.find("file"); it2 != fields.end()) {
-    req.ddg = ddg::from_text(read_file(it2->second));
+  } else if (const auto it2 = fields.find("prog"); it2 != fields.end()) {
+    req.program = std::make_shared<cfg::Cfg>(cfg::build_program(it2->second,
+                                                                model));
+  } else if (const auto it3 = fields.find("file"); it3 != fields.end()) {
+    if (ends_with(it3->second, ".prog")) {
+      req.program = std::make_shared<cfg::Cfg>(
+          cfg::from_text(read_file(it3->second), model));
+    } else {
+      req.ddg = ddg::from_text(read_file(it3->second));
+    }
   } else {
     req.ddg = ddg::from_text(fields.at("ddg"));
+  }
+  // Program operations must get a program, DDG operations a DAG — a
+  // silently ignored payload would fingerprint (and cache) nonsense.
+  if (op->payload_kind() == PayloadKind::Program) {
+    RS_REQUIRE(req.program != nullptr,
+               cmd + " requires a program payload (prog=<name> | "
+               "file=<x>.prog)");
+  } else {
+    RS_REQUIRE(req.program == nullptr,
+               cmd + " takes a DDG payload (kernel= | file=<x>.ddg | "
+               "ddg=), not a program");
   }
 
   if (const auto it = fields.find("name"); it != fields.end()) {

@@ -29,14 +29,32 @@
 //   schedule <payload> [width=<n>] [budget=<sec>] [id=<n>] [name=<str>]
 //            resource-constrained list scheduling plus lifetime metrics
 //            (makespan, per-type maximum register pressure)
+//   globalrs <program-payload> [engine=greedy|exact|ilp] [budget=<sec>]
+//            [id=<n>] [name=<str>]
+//            global register saturation of an acyclic CFG (section 6):
+//            per-block RS on the expanded DAGs + global per-type maxima
+//   globalreduce <program-payload> limits=<n>[,<n>...] [margin=<n>]
+//            [exact=0|1] [verify=0|1] [budget=<sec>] [id=<n>] [name=<str>]
+//            per-block figure-1 reduction against limits[t]-margin (the
+//            paper's cross-block move margin, default 1)
 //   cancel   <id>    cooperative cancel of a pending/running request; its
 //                    result line still arrives (stop=cancelled, not cached)
 //   drain            block until every previously submitted request is done
 //
-// <payload> is exactly one of:
+// Payloads come in two kinds, matching Operation::payload_kind — the
+// parser rejects a mismatch. <payload> (single-DAG operations) is exactly
+// one of:
 //   kernel=<name> [model=superscalar|vliw]   built-in corpus kernel
 //   file=<path>                              .ddg file on disk
 //   ddg=<escaped>                            inline .ddg text, escaped
+// <program-payload> (CFG-level operations) is exactly one of:
+//   prog=<name> [model=superscalar|vliw]     built-in program kernel
+//                                            (cfg/generators.hpp)
+//   file=<path>.prog [model=...]             .prog file on disk
+//                                            (format: cfg/io.hpp)
+// Program payloads are fingerprinted with cfg::canon (order/rename-
+// invariant over blocks) and carry their timing from the machine model,
+// which is why model= applies to them.
 //
 // '#' starts a comment line; blank lines are ignored. `emit=1` asks for the
 // operation's output DDG text in the result (reduce/minreg/spill emit a
@@ -60,7 +78,19 @@
 //          t<k>.rs=<n> ... cp=<n> [ddg=<escaped>]
 //   result id=<n> status=ok kind=schedule ... stop=... nodes=<n>
 //          makespan=<n> t<k>.vals=<n> t<k>.maxlive=<n> ...
+//   result id=<n> status=ok kind=globalrs ... stop=... nodes=<n>
+//          blocks=<n> b<i>.t<k>.vals=<n> b<i>.t<k>.rs=<n>
+//          b<i>.t<k>.proven=0|1 ... t<k>.rs=<n> ... all_proven=0|1
+//   result id=<n> status=ok kind=globalreduce ... stop=... nodes=<n>
+//          success=0|1 blocks=<n> b<i>.t<k>.status=fits|reduced|spill|limit
+//          b<i>.t<k>.rs=<n> b<i>.t<k>.arcs=<n> ...
 //   result id=<n> status=error name=<str> msg=<escaped>
+//
+// Program-operation block indices b<i> are *canonical* (blocks sorted by
+// their expanded DAG's structural fingerprint), not program order: like
+// every payload field they must stay meaningful when a cached result is
+// served to a block-reordered isomorphic program, so block names and
+// program positions never appear.
 //   cancelled id=<n> found=0|1               ack for a cancel line
 //   drained                                   ack for a drain line
 //

@@ -8,6 +8,7 @@
 #include <charconv>
 #include <climits>
 #include <cmath>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,18 @@ inline std::vector<std::string> split_ws(const std::string& line) {
     i = j;
   }
   return tokens;
+}
+
+/// Value of the first "key=value" token in a split_ws token list, or
+/// nullopt when absent — the shared lookup of the line-oriented text
+/// formats (.ddg, .prog). Callers wrap the nullopt case in their own
+/// line-numbered error.
+inline std::optional<std::string> token_field(
+    const std::vector<std::string>& tokens, const std::string& key) {
+  for (const std::string& t : tokens) {
+    if (t.rfind(key + "=", 0) == 0) return t.substr(key.size() + 1);
+  }
+  return std::nullopt;
 }
 
 /// Parses a base-10 signed integer occupying the whole string.

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Golden end-to-end exercise of the program (CFG-level) workloads on a
+# committed .prog file:
+#   1. the one-shot CLI, `rsat batch` and `rsat serve` answer globalrs and
+#      globalreduce byte-identically (modulo the delivery fields cached=
+#      and ms=) — they share the protocol parser and renderer,
+#   2. a serve restart sharing --cache-dir serves the same lines from the
+#      persistent disk tier (cached=1 plus a disk hit in the summary),
+#   3. the per-operation summary rows name both operations.
+# Usage: globalrs_e2e.sh /path/to/rsat /path/to/program.prog
+set -u
+
+RSAT="$1"
+PROG="$2"
+[ -x "$RSAT" ] || { echo "usage: globalrs_e2e.sh <rsat> <file.prog>"; exit 2; }
+[ -f "$PROG" ] || { echo "missing .prog file $PROG"; exit 2; }
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+trap 'kill "$SERVER_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  for log in "$WORK"/log*; do
+    [ -f "$log" ] && { echo "--- $log" >&2; cat "$log" >&2; }
+  done
+  exit 1
+}
+
+strip_delivery() { sed -E 's/ (cached|ms)=[^ ]*//g'; }
+
+REQ1="globalrs file=$PROG id=1"
+REQ2="globalreduce file=$PROG limits=8,8 id=2"
+
+# --- one-shot CLI ----------------------------------------------------------
+ONE1=$("$RSAT" globalrs "file=$PROG" id=1 2>/dev/null | strip_delivery)
+ONE2=$("$RSAT" globalreduce "file=$PROG" limits=8,8 id=2 2>/dev/null \
+       | strip_delivery)
+[ -n "$ONE1" ] || fail "one-shot globalrs produced nothing"
+[ -n "$ONE2" ] || fail "one-shot globalreduce produced nothing"
+case "$ONE1" in
+  *"status=ok kind=globalrs"*) ;;
+  *) fail "unexpected one-shot globalrs line: $ONE1" ;;
+esac
+
+# --- batch -----------------------------------------------------------------
+BATCH=$(printf '%s\n%s\n' "$REQ1" "$REQ2" | "$RSAT" batch 2>"$WORK/log_batch")
+B1=$(printf '%s\n' "$BATCH" | sed -n 1p | strip_delivery)
+B2=$(printf '%s\n' "$BATCH" | sed -n 2p | strip_delivery)
+[ "$B1" = "$ONE1" ] || fail "batch vs one-shot globalrs:
+  batch:    $B1
+  one-shot: $ONE1"
+[ "$B2" = "$ONE2" ] || fail "batch vs one-shot globalreduce:
+  batch:    $B2
+  one-shot: $ONE2"
+grep -q "op globalrs:" "$WORK/log_batch" \
+  || fail "batch summary lacks the globalrs per-op row"
+grep -q "op globalreduce:" "$WORK/log_batch" \
+  || fail "batch summary lacks the globalreduce per-op row"
+
+# --- serve -----------------------------------------------------------------
+start_server() { # $1 = log path
+  rm -f "$WORK/port"
+  "$RSAT" serve --port 0 --port-file "$WORK/port" \
+      --cache-dir "$WORK/cache" --threads 2 2>"$1" &
+  SERVER_PID=$!
+  for _ in $(seq 1 300); do
+    [ -s "$WORK/port" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server died during startup"
+    sleep 0.1
+  done
+  [ -s "$WORK/port" ] || fail "port file never appeared"
+  PORT="$(cat "$WORK/port")"
+}
+
+stop_server() {
+  kill -INT "$SERVER_PID" || fail "cannot signal server"
+  wait "$SERVER_PID" || fail "server exited nonzero after SIGINT"
+  SERVER_PID=""
+}
+
+request_two() { # sends both requests, fills S1/S2 (stripped) and RAW1/RAW2
+  exec 3<>"/dev/tcp/127.0.0.1/$PORT" || fail "cannot connect to port $PORT"
+  printf '%s\n%s\n' "$REQ1" "$REQ2" >&3
+  IFS= read -r -t 60 RAW1 <&3 || fail "timed out waiting for reply 1"
+  IFS= read -r -t 60 RAW2 <&3 || fail "timed out waiting for reply 2"
+  exec 3<&- 3>&-
+  S1=$(printf '%s' "$RAW1" | strip_delivery)
+  S2=$(printf '%s' "$RAW2" | strip_delivery)
+}
+
+start_server "$WORK/log_serve1"
+request_two
+[ "$S1" = "$ONE1" ] || fail "serve vs one-shot globalrs:
+  serve:    $S1
+  one-shot: $ONE1"
+[ "$S2" = "$ONE2" ] || fail "serve vs one-shot globalreduce:
+  serve:    $S2
+  one-shot: $ONE2"
+# Same connection pattern again: the memory tier must answer identically.
+request_two
+case "$RAW1" in *" cached=1 "*) ;; *) fail "warm globalrs not cached" ;; esac
+[ "$S1" = "$ONE1" ] || fail "memory-tier globalrs line drifted: $S1"
+stop_server
+
+# Fresh server, same cache dir: the disk tier must serve both lines.
+start_server "$WORK/log_serve2"
+request_two
+case "$RAW1" in *" cached=1 "*) ;; *) fail "restart globalrs not a disk hit" ;; esac
+case "$RAW2" in *" cached=1 "*) ;; *) fail "restart globalreduce not a disk hit" ;; esac
+[ "$S1" = "$ONE1" ] || fail "disk-tier globalrs line drifted: $S1"
+[ "$S2" = "$ONE2" ] || fail "disk-tier globalreduce line drifted: $S2"
+stop_server
+grep -Eq '\([0-9]+ mem, [1-9][0-9]* disk\)' "$WORK/log_serve2" \
+  || fail "restart summary reports no disk hit"
+grep -q "op globalrs:" "$WORK/log_serve2" \
+  || fail "serve summary lacks the globalrs per-op row"
+
+echo "PASS globalrs_e2e"
+exit 0

@@ -34,10 +34,17 @@ check "spill kernel=lin-ddot limits=2,2 max_spills=2 emit=1 id=1" \
       spill kernel=lin-ddot limits=2,2 max_spills=2 emit=1 id=1
 check "schedule kernel=lin-ddot id=1" schedule kernel=lin-ddot id=1
 check "schedule kernel=lin-ddot width=2 id=1" schedule kernel=lin-ddot width=2 id=1
+check "globalrs prog=diamond id=1" globalrs prog=diamond id=1
+check "globalreduce prog=diamond limits=8,8 margin=2 id=1" \
+      globalreduce prog=diamond limits=8,8 margin=2 id=1
 
 # The bare-path shorthand: `rsat minreg <file.ddg>` == `minreg file=...`.
 "$RSAT" dump lin-ddot > "$tmpdir/k.ddg" || fail=1
 check "minreg file=$tmpdir/k.ddg id=1" minreg "$tmpdir/k.ddg" id=1
+
+# ... and its .prog twin: `rsat globalrs <file.prog>` == `globalrs file=...`.
+"$RSAT" dumpprog dotcond > "$tmpdir/p.prog" || fail=1
+check "globalrs file=$tmpdir/p.prog id=1" globalrs "$tmpdir/p.prog" id=1
 
 [ "$fail" -eq 0 ] && echo "PASS ops_cli_golden"
 exit "$fail"

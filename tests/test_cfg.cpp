@@ -5,9 +5,11 @@
 #include <algorithm>
 
 #include "cfg/cfg.hpp"
+#include "cfg/generators.hpp"
 #include "cfg/global_rs.hpp"
 #include "core/rs_exact.hpp"
 #include "support/assert.hpp"
+#include "support/random.hpp"
 
 namespace rs::cfg {
 namespace {
@@ -135,6 +137,130 @@ TEST(Cfg, EnsureLimitsAppliesMoveMargin) {
     ASSERT_TRUE(rs.proven);
     EXPECT_LE(rs.rs, rs_f - 1);
   }
+}
+
+TEST(Cfg, ValueDefinedInSeveralPredecessorsMerges) {
+  // Non-SSA diamond merge: both arms define v (same type), join reads it.
+  // Liveness must show v flowing out of each arm into the join — and not
+  // upward past its definitions into the entry.
+  Program p(ddg::superscalar_model());
+  const int entry = p.add_block("entry");
+  const int left = p.add_block("left");
+  const int right = p.add_block("right");
+  const int join = p.add_block("join");
+  p.add_edge(entry, left);
+  p.add_edge(entry, right);
+  p.add_edge(left, join);
+  p.add_edge(right, join);
+  p.def(entry, "x", OpClass::Load, kFloatReg, {"p"});
+  p.def(left, "v", OpClass::FpAdd, kFloatReg, {"x", "x"});
+  p.def(right, "v", OpClass::FpMul, kFloatReg, {"x", "x"});
+  p.use(join, OpClass::Store, {"v", "p"});
+  const Cfg cfg = p.build();
+  EXPECT_EQ(cfg.type_of("v"), kFloatReg);
+  for (const int arm : {left, right}) {
+    EXPECT_TRUE(std::count(cfg.block(arm).live_out.begin(),
+                           cfg.block(arm).live_out.end(), "v"));
+    EXPECT_FALSE(std::count(cfg.block(arm).live_in.begin(),
+                            cfg.block(arm).live_in.end(), "v"));
+  }
+  EXPECT_TRUE(std::count(cfg.block(join).live_in.begin(),
+                         cfg.block(join).live_in.end(), "v"));
+  EXPECT_FALSE(std::count(cfg.block(entry).live_in.begin(),
+                          cfg.block(entry).live_in.end(), "v"));
+  // Every expanded block stays a valid normalized DAG.
+  for (int b = 0; b < cfg.block_count(); ++b) {
+    EXPECT_NO_THROW(cfg.expand_block(b).validate());
+  }
+}
+
+TEST(Cfg, ConflictingCrossBlockDefinitionTypesRejected) {
+  Program p(ddg::superscalar_model());
+  const int a = p.add_block("A");
+  const int b = p.add_block("B");
+  p.add_edge(a, b);
+  p.def(a, "v", OpClass::IntAlu, kIntReg, {});
+  p.def(b, "v", OpClass::FpAdd, kFloatReg, {"v"});
+  EXPECT_THROW(p.build(), support::PreconditionError);
+}
+
+TEST(Cfg, ProgramInputsTypedByFirstConsumption) {
+  // w is only ever an operand: its first consumer (program order) is an
+  // FpMul, so it enters as a *float* value and occupies a float register;
+  // p stays int (first consumed by a load).
+  Program prog(ddg::superscalar_model());
+  const int a = prog.add_block("A");
+  prog.def(a, "x", OpClass::Load, kFloatReg, {"p"});
+  prog.def(a, "m", OpClass::FpMul, kFloatReg, {"x", "w"});
+  prog.use(a, OpClass::Store, {"m", "p"});
+  const Cfg cfg = prog.build();
+  EXPECT_EQ(cfg.type_of("w"), kFloatReg);
+  EXPECT_EQ(cfg.type_of("p"), kIntReg);
+  const ddg::Ddg dag = cfg.expand_block(0);
+  // Entry values are typed accordingly: in.w defines a float value.
+  bool found = false;
+  for (ddg::NodeId n = 0; n < dag.op_count(); ++n) {
+    if (dag.op(n).name == "in.w") {
+      found = true;
+      EXPECT_TRUE(dag.op(n).writes_type(kFloatReg));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Cfg, ExitConsumerKeepsValueLiveThroughTheBlock) {
+  // v passes through B untouched; its expanded DAG must carry the entry
+  // definition in.v, the exit consumer out.v, and a flow arc between them
+  // — that consumer is what stretches v's lifetime across the whole block.
+  Program p(ddg::superscalar_model());
+  const int a = p.add_block("A");
+  const int b = p.add_block("B");
+  const int c = p.add_block("C");
+  p.add_edge(a, b);
+  p.add_edge(b, c);
+  p.def(a, "v", OpClass::Load, kFloatReg, {"p"});
+  p.def(b, "w", OpClass::FpAdd, kFloatReg, {"q"});
+  p.use(b, OpClass::Store, {"w"});
+  p.use(c, OpClass::Store, {"v"});
+  const Cfg cfg = p.build();
+  const ddg::Ddg dag = cfg.expand_block(b);
+  ddg::NodeId in_v = -1, out_v = -1;
+  for (ddg::NodeId n = 0; n < dag.op_count(); ++n) {
+    if (dag.op(n).name == "in.v") in_v = n;
+    if (dag.op(n).name == "out.v") out_v = n;
+  }
+  ASSERT_GE(in_v, 0);
+  ASSERT_GE(out_v, 0);
+  const auto consumers = dag.consumers(in_v, kFloatReg);
+  EXPECT_TRUE(std::count(consumers.begin(), consumers.end(), out_v));
+}
+
+TEST(Cfg, ExhaustedBudgetReportsPerBlockStopCauses) {
+  // A many-block program under an already-exhausted budget: analyze must
+  // return one row per block with the stop cause, without running the
+  // solver stack on the starved tail (zero nodes there).
+  support::Rng rng(11);
+  const Cfg cfg = random_chain(rng, ddg::superscalar_model(), 8);
+  const GlobalReport rep =
+      analyze(cfg, {}, support::SolveContext(1e-9));
+  ASSERT_EQ(rep.blocks.size(), 8u);
+  EXPECT_FALSE(rep.all_proven);
+  for (const auto& bs : rep.blocks) {
+    ASSERT_EQ(static_cast<int>(bs.per_type.size()), cfg.type_count());
+    EXPECT_EQ(bs.stats.stop, support::StopCause::TimedOut) << bs.block;
+    for (const auto& ts : bs.per_type) {
+      // Value counts stay real even for skipped blocks (they cost one
+      // expansion, no search).
+      EXPECT_GT(ts.value_count, 0);
+    }
+  }
+  // The tail was skipped outright, not solved against a dead deadline.
+  EXPECT_EQ(rep.blocks.back().stats.nodes, 0);
+  // With no budget pressure the same program proves every block — and
+  // fast blocks donating slack means the report is fully proven well
+  // within one generous budget rather than one budget-slice per block.
+  const GlobalReport full = analyze(cfg, {}, support::SolveContext(30.0));
+  EXPECT_TRUE(full.all_proven);
 }
 
 TEST(Cfg, CyclicCfgRejected) {

@@ -1,0 +1,214 @@
+// The .prog text format (cfg/io.hpp), the program fingerprint (cfg/canon)
+// and the CFG generators/kernels (cfg/generators): round trips, the
+// line-numbered parse-error table, order/rename invariance, and generator
+// determinism.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cfg/canon.hpp"
+#include "cfg/cfg.hpp"
+#include "cfg/generators.hpp"
+#include "cfg/io.hpp"
+#include "ddg/canon.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+#include "test_util.hpp"
+
+namespace rs::cfg {
+namespace {
+
+using ddg::kFloatReg;
+using ddg::kIntReg;
+using ddg::OpClass;
+
+const ddg::MachineModel& model() {
+  static const ddg::MachineModel m = ddg::superscalar_model();
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// .prog round trips
+
+TEST(ProgIo, EveryProgramKernelRoundTrips) {
+  for (const std::string& name : program_names()) {
+    const Cfg original = build_program(name, model());
+    const std::string text = to_text(original);
+    const Cfg parsed = from_text(text, model());
+    EXPECT_EQ(parsed.name(), original.name()) << name;
+    ASSERT_EQ(parsed.block_count(), original.block_count()) << name;
+    for (int b = 0; b < original.block_count(); ++b) {
+      EXPECT_EQ(parsed.block(b).name, original.block(b).name) << name;
+      EXPECT_EQ(parsed.block(b).live_in, original.block(b).live_in) << name;
+      EXPECT_EQ(parsed.block(b).live_out, original.block(b).live_out) << name;
+      EXPECT_EQ(parsed.block(b).successors, original.block(b).successors)
+          << name;
+    }
+    EXPECT_EQ(fingerprint(parsed), fingerprint(original)) << name;
+    // Serialization is a fixpoint: text -> Cfg -> text is identical.
+    EXPECT_EQ(to_text(parsed), text) << name;
+  }
+}
+
+TEST(ProgIo, CommentsAndBlankLinesAreIgnored) {
+  const Cfg cfg = from_text(
+      "# a comment\n"
+      "prog demo\n"
+      "\n"
+      "block entry  # trailing comment\n"
+      "def x class=load type=1 uses=p\n"
+      "use class=store uses=x,p\n",
+      model());
+  ASSERT_EQ(cfg.block_count(), 1);
+  EXPECT_EQ(cfg.name(), "demo");
+  EXPECT_EQ(cfg.block(0).statements.size(), 2u);
+}
+
+TEST(ProgIo, EdgeMayReferenceABlockDeclaredLater) {
+  const Cfg cfg = from_text(
+      "prog fwd\n"
+      "block a\n"
+      "def x class=ialu type=0\n"
+      "edge a b\n"  // b not declared yet
+      "block b\n"
+      "use class=store uses=x\n",
+      model());
+  ASSERT_EQ(cfg.block_count(), 2);
+  EXPECT_EQ(cfg.block(0).successors, std::vector<int>{1});
+}
+
+// ---------------------------------------------------------------------------
+// parse-error table (satellite: bad edge, duplicate block, cyclic CFG, ...)
+
+TEST(ProgIo, ParseErrorTable) {
+  const struct {
+    const char* text;
+    const char* expect;  // substring of the PreconditionError message
+  } kCases[] = {
+      {"", "empty program text"},
+      {"block a\n", "'prog' header missing"},
+      {"prog p\nprog q\n", "duplicate prog header"},
+      {"prog\n", "expected 'prog <name>'"},
+      {"prog p\ndef x class=ialu type=0\n", "def before any block"},
+      {"prog p\nuse class=store uses=x\n", "use before any block"},
+      {"prog p\nblock a\nblock a\n", "line 3: duplicate block a"},
+      {"prog p\nblock a\ndef x class=wat type=0\n", "unknown op class wat"},
+      {"prog p\nblock a\ndef x class=ialu type=7\n", "type= out of range"},
+      {"prog p\nblock a\ndef x class=ialu\n", "missing type="},
+      {"prog p\nblock a\ndef x type=0\n", "missing class="},
+      {"prog p\nblock a\ndef x class=ialu type=0 uses=,\n",
+       "empty name in uses="},
+      {"prog p\nblock a\nedge a b\n", "line 3: edge references unknown block b"},
+      {"prog p\nblock a\nedge a\n", "expected 'edge <from> <to>'"},
+      {"prog p\nblock a\nfrobnicate\n", "unknown directive frobnicate"},
+      // '=' in a name would be indistinguishable from an option token when
+      // the program is serialized back (round-trip ambiguity).
+      {"prog p\nblock a\ndef x=y class=ialu type=0\n",
+       "name 'x=y' must not contain '='"},
+      {"prog p\nblock a\ndef x class=ialu type=0 uses=a=b\n",
+       "name 'a=b' must not contain '='"},
+      {"prog p\nblock a\ndef x class=ialu type=0\n"
+       "def x class=ialu type=0\n",
+       "value defined twice in block a: x"},
+      {"prog p\nblock a\ndef x class=ialu type=0\nblock b\n"
+       "def x class=fadd type=1\n",
+       "conflicting types: x"},
+      {"prog p\nblock a\ndef x class=ialu type=0\nblock b\n"
+       "use class=store uses=x\nedge a b\nedge b a\n",
+       "must be acyclic"},
+  };
+  for (const auto& c : kCases) {
+    try {
+      from_text(c.text, model());
+      FAIL() << "no error for:\n" << c.text;
+    } catch (const support::PreconditionError& e) {
+      EXPECT_NE(std::string(e.what()).find(c.expect), std::string::npos)
+          << "got '" << e.what() << "', wanted substring '" << c.expect
+          << "' for:\n"
+          << c.text;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// program fingerprint (cfg/canon)
+
+TEST(ProgCanon, InvariantUnderBlockReorderAndRenaming) {
+  for (const std::string& name : program_names()) {
+    const Cfg original = build_program(name, model());
+    const Cfg permuted = test::permuted_program(original);
+    EXPECT_EQ(fingerprint(permuted), fingerprint(original)) << name;
+  }
+}
+
+TEST(ProgCanon, DistinguishesPrograms) {
+  const Cfg diamond = build_program("diamond", model());
+  const Cfg dotcond = build_program("dotcond", model());
+  const Cfg chain = build_program("chain4", model());
+  EXPECT_NE(fingerprint(diamond), fingerprint(dotcond));
+  EXPECT_NE(fingerprint(diamond), fingerprint(chain));
+  // Same blocks, different control flow: drop one diamond edge.
+  Program p(model(), "diamond");
+  const int entry = p.add_block("entry");
+  const int left = p.add_block("left");
+  const int right = p.add_block("right");
+  const int join = p.add_block("join");
+  p.add_edge(entry, left);
+  p.add_edge(entry, right);
+  p.add_edge(left, join);  // right -> join missing
+  p.def(entry, "x", OpClass::Load, kFloatReg, {"p"});
+  p.def(entry, "y", OpClass::FpMul, kFloatReg, {"x", "x"});
+  p.def(left, "a", OpClass::FpAdd, kFloatReg, {"y", "x"});
+  p.def(right, "b", OpClass::FpMul, kFloatReg, {"y", "y"});
+  p.def(join, "r", OpClass::FpAdd, kFloatReg, {"a", "b"});
+  p.use(join, OpClass::Store, {"r", "p"});
+  EXPECT_NE(fingerprint(p.build()), fingerprint(diamond));
+  // The machine model is part of the problem (latencies shape lifetimes).
+  EXPECT_NE(fingerprint(build_program("diamond", ddg::vliw_model())),
+            fingerprint(diamond));
+}
+
+// ---------------------------------------------------------------------------
+// generators
+
+TEST(ProgGenerators, DeterministicInTheSeed) {
+  support::Rng a(42), b(42), c(43);
+  const ddg::Fingerprint fa = fingerprint(random_chain(a, model(), 4));
+  const ddg::Fingerprint fb = fingerprint(random_chain(b, model(), 4));
+  const ddg::Fingerprint fc = fingerprint(random_chain(c, model(), 4));
+  EXPECT_EQ(fa, fb);
+  EXPECT_NE(fa, fc);
+}
+
+TEST(ProgGenerators, ShapesHaveTheAdvertisedStructure) {
+  support::Rng rng(7);
+  const Cfg chain = random_chain(rng, model(), 5);
+  ASSERT_EQ(chain.block_count(), 5);
+  for (int b = 0; b + 1 < 5; ++b) {
+    EXPECT_EQ(chain.block(b).successors, std::vector<int>{b + 1});
+  }
+  const Cfg sw = random_switch(rng, model(), 3);
+  EXPECT_EQ(sw.block_count(), 5);  // entry + 3 cases + join
+  EXPECT_EQ(sw.block(0).successors.size(), 3u);
+  const Cfg diamond = random_diamond(rng, model());
+  EXPECT_EQ(diamond.block_count(), 4);
+  // Cross-block pressure exists: some case block has a nonempty live-in.
+  bool crossing = false;
+  for (int b = 0; b < sw.block_count(); ++b) {
+    crossing = crossing || !sw.block(b).live_in.empty();
+  }
+  EXPECT_TRUE(crossing);
+}
+
+TEST(ProgGenerators, UnknownProgramKernelThrows) {
+  EXPECT_THROW(build_program("frobnicate", model()),
+               support::PreconditionError);
+  for (const std::string& name : program_names()) {
+    EXPECT_NO_THROW(build_program(name, model())) << name;
+  }
+}
+
+}  // namespace
+}  // namespace rs::cfg

@@ -8,10 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "cfg/generators.hpp"
+#include "cfg/io.hpp"
 #include "ddg/canon.hpp"
 #include "ddg/io.hpp"
 #include "ddg/kernels.hpp"
@@ -63,9 +66,9 @@ std::string fresh_dir(const std::string& name) {
 
 TEST(OperationRegistry, BuiltinsAreRegisteredUniquely) {
   const auto& ops = service::operations();
-  ASSERT_GE(ops.size(), 5u);
+  ASSERT_GE(ops.size(), 7u);
   for (const char* name : {"analyze", "reduce", "minreg", "spill",
-                           "schedule"}) {
+                           "schedule", "globalrs", "globalreduce"}) {
     const Operation* op = service::find_operation(name);
     ASSERT_NE(op, nullptr) << name;
     EXPECT_EQ(op->name(), name);
@@ -105,7 +108,7 @@ TEST(OperationContract, ParseRunRenderRoundTripsForEveryOperation) {
     EXPECT_EQ(fields.at("id"), "7") << line;
     EXPECT_EQ(fields.at("status"), "ok") << line;
     EXPECT_EQ(fields.at("kind"), std::string(op->name())) << line;
-    EXPECT_EQ(fields.at("name"), "lin-ddot") << line;
+    EXPECT_EQ(fields.at("name"), test::request_line_name(*op)) << line;
     EXPECT_EQ(fields.at("fp"), resp.fingerprint.hex()) << line;
     ASSERT_TRUE(fields.count("stop")) << line;
     ASSERT_TRUE(fields.count("nodes")) << line;
@@ -179,8 +182,14 @@ TEST(OperationContract, RenumberedIsomorphicInputHitsCacheForEveryOperation) {
     AnalysisEngine engine{EngineConfig{}};
     Request req = service::parse_request_line(test::request_line(*op), 1);
     Request perm = req;  // same operation + options...
-    perm.ddg = test::permuted_copy(
-        req.ddg, test::reversed_order(req.ddg), /*rename=*/true);
+    if (op->payload_kind() == service::PayloadKind::Program) {
+      // Program payloads: blocks reordered, blocks and values renamed.
+      perm.program =
+          std::make_shared<cfg::Cfg>(test::permuted_program(*req.program));
+    } else {
+      perm.ddg = test::permuted_copy(
+          req.ddg, test::reversed_order(req.ddg), /*rename=*/true);
+    }
     perm.name = "permuted";
     const Response first = engine.run(std::move(req));
     ASSERT_TRUE(first.payload->ok) << op->name();
@@ -197,6 +206,108 @@ TEST(OperationContract, RenumberedIsomorphicInputHitsCacheForEveryOperation) {
     }
     EXPECT_EQ(a, b) << op->name();
   }
+}
+
+// ---------------------------------------------------------------------------
+// program payloads
+
+TEST(ProgramPayload, PayloadKindMismatchesAreRejected) {
+  // A program op fed a DDG payload (and vice versa) must fail at parse
+  // time, not silently fingerprint the wrong input.
+  EXPECT_THROW(service::parse_request_line("globalrs kernel=fir8", 1),
+               support::PreconditionError);
+  EXPECT_THROW(service::parse_request_line("globalreduce kernel=fir8 "
+                                           "limits=6,6", 1),
+               support::PreconditionError);
+  EXPECT_THROW(service::parse_request_line("analyze prog=diamond", 1),
+               support::PreconditionError);
+  EXPECT_THROW(service::parse_request_line("globalrs prog=nope", 1),
+               support::PreconditionError);
+  // model= now applies to program payloads; still not to file=<x>.ddg.
+  EXPECT_NO_THROW(service::parse_request_line(
+      "globalrs prog=diamond model=vliw", 1));
+  EXPECT_THROW(service::parse_request_line("analyze file=x.ddg model=vliw", 1),
+               support::PreconditionError);
+}
+
+TEST(ProgramPayload, MachineModelSplitsTheFingerprint) {
+  // The .prog format carries no latencies — the machine model does — so
+  // the same program under superscalar and VLIW models must not share a
+  // cache entry.
+  AnalysisEngine engine{EngineConfig{}};
+  const Response ss = engine.run(
+      service::parse_request_line("globalrs prog=diamond", 1));
+  const Response vliw = engine.run(
+      service::parse_request_line("globalrs prog=diamond model=vliw", 2));
+  ASSERT_TRUE(ss.payload->ok);
+  ASSERT_TRUE(vliw.payload->ok);
+  EXPECT_NE(ss.fingerprint, vliw.fingerprint);
+  EXPECT_FALSE(vliw.cache_hit);
+}
+
+TEST(ProgramPayload, FileProgPayloadMatchesProgKernel) {
+  // file=<x>.prog goes through cfg::io and must fingerprint (and answer)
+  // identically to the built-in kernel it was dumped from.
+  const std::string dir = fresh_dir("progfile");
+  const std::string path = dir + "/diamond.prog";
+  {
+    std::ofstream out(path);
+    out << cfg::to_text(cfg::build_program("diamond",
+                                           ddg::superscalar_model()));
+  }
+  AnalysisEngine engine{EngineConfig{}};
+  const Response a = engine.run(
+      service::parse_request_line("globalrs prog=diamond", 1));
+  const Response b = engine.run(
+      service::parse_request_line("globalrs file=" + path, 2));
+  ASSERT_TRUE(a.payload->ok) << a.payload->error;
+  ASSERT_TRUE(b.payload->ok) << b.payload->error;
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_TRUE(b.cache_hit);
+  EXPECT_EQ(b.payload, a.payload);
+}
+
+// ---------------------------------------------------------------------------
+// per-operation engine metrics
+
+TEST(EngineStats, PerOperationBreakdownCountsHitsAndMisses) {
+  AnalysisEngine engine{EngineConfig{}};
+  engine.run(service::parse_request_line("analyze kernel=fir8", 1));
+  engine.run(service::parse_request_line("analyze kernel=fir8", 2));
+  engine.run(service::parse_request_line("analyze kernel=lin-ddot", 3));
+  engine.run(service::parse_request_line("globalrs prog=diamond", 4));
+  const service::EngineStats st = engine.stats();
+  ASSERT_TRUE(st.per_op.count("analyze"));
+  ASSERT_TRUE(st.per_op.count("globalrs"));
+  EXPECT_FALSE(st.per_op.count("reduce"));  // never exercised
+  const service::OpStats& an = st.per_op.at("analyze");
+  EXPECT_EQ(an.submitted, 3u);
+  EXPECT_EQ(an.hits, 1u);
+  EXPECT_EQ(an.misses, 2u);
+  EXPECT_GE(an.p50_ms, 0.0);
+  const service::OpStats& grs = st.per_op.at("globalrs");
+  EXPECT_EQ(grs.submitted, 1u);
+  EXPECT_EQ(grs.misses, 1u);
+  // An error-producing compute counts as a miss in both the aggregate and
+  // the per-op slice (wrong limit count -> run() throws -> error payload).
+  const Response err = engine.run(service::parse_request_line(
+      "globalreduce prog=diamond limits=1,1,1", 5));
+  ASSERT_FALSE(err.payload->ok);
+  EXPECT_EQ(st.per_op.count("globalreduce"), 0u);  // pre-error snapshot
+  // The per-op slices tile the aggregate counters, error payloads
+  // included.
+  const service::EngineStats after = engine.stats();
+  EXPECT_EQ(after.per_op.at("globalreduce").misses, 1u);
+  std::uint64_t submitted = 0, hits = 0, misses = 0;
+  for (const auto& [name, slice] : after.per_op) {
+    static_cast<void>(name);
+    submitted += slice.submitted;
+    hits += slice.hits;
+    misses += slice.misses;
+  }
+  EXPECT_EQ(submitted, after.submitted);
+  EXPECT_EQ(hits, after.cache_hits + after.coalesced);
+  EXPECT_EQ(misses, after.misses);
 }
 
 // ---------------------------------------------------------------------------

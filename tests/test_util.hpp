@@ -1,9 +1,11 @@
 // Shared helpers for the service test suites.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
+#include "cfg/cfg.hpp"
 #include "ddg/ddg.hpp"
 #include "service/operation.hpp"
 
@@ -43,18 +45,64 @@ inline std::vector<graph::NodeId> reversed_order(const ddg::Ddg& d) {
   return order;
 }
 
-/// A valid protocol request line for any registered operation against a
-/// small two-type corpus kernel: "<op> kernel=<k> <example_options>". The
-/// fixture every registry-contract sweep (test_ops, test_serve) iterates.
+/// Rebuilds `in`'s program with blocks inserted in reverse order and every
+/// block and value renamed — the CFG analogue of permuted_copy, the
+/// isomorphic-input fixture of the program-fingerprint/cache tests.
+inline cfg::Cfg permuted_program(const cfg::Cfg& in) {
+  cfg::Program out(in.machine(), in.name() + "-perm");
+  const int n = in.block_count();
+  std::vector<int> new_id(n);
+  for (int i = n - 1; i >= 0; --i) {
+    new_id[i] = out.add_block("pb" + std::to_string(n - 1 - i));
+  }
+  std::map<std::string, std::string> rename;
+  const auto renamed = [&rename](const std::string& v) {
+    return rename.emplace(v, "pv" + std::to_string(rename.size()))
+        .first->second;
+  };
+  for (int b = 0; b < n; ++b) {
+    for (const cfg::Statement& st : in.block(b).statements) {
+      std::vector<std::string> operands;
+      for (const std::string& o : st.operands) operands.push_back(renamed(o));
+      if (st.result.empty()) {
+        out.use(new_id[b], st.cls, std::move(operands));
+      } else {
+        out.def(new_id[b], renamed(st.result), st.cls, st.type,
+                std::move(operands));
+      }
+    }
+    for (const int s : in.block(b).successors) {
+      out.add_edge(new_id[b], new_id[s]);
+    }
+  }
+  return out.build();
+}
+
+/// A valid protocol request line for any registered operation:
+/// "<op> kernel=<k> <example_options>" for DDG operations, the `diamond`
+/// program kernel for program operations. The fixture every
+/// registry-contract sweep (test_ops, test_serve) iterates.
 inline std::string request_line(const service::Operation& op,
                                 const std::string& kernel = "lin-ddot") {
   std::string line{op.name()};
-  line += " kernel=" + kernel;
+  if (op.payload_kind() == service::PayloadKind::Program) {
+    line += " prog=diamond";
+  } else {
+    line += " kernel=" + kernel;
+  }
   if (!op.example_options().empty()) {
     line += " ";
     line += op.example_options();
   }
   return line;
+}
+
+/// The display name request_line's payload resolves to (assertions on the
+/// rendered name= field).
+inline std::string request_line_name(const service::Operation& op,
+                                     const std::string& kernel = "lin-ddot") {
+  return op.payload_kind() == service::PayloadKind::Program ? "diamond"
+                                                            : kernel;
 }
 
 /// A rendered result line with the delivery-only fields (cached=, ms=)

@@ -62,6 +62,8 @@
 #include <utility>
 #include <vector>
 
+#include "cfg/generators.hpp"
+#include "cfg/io.hpp"
 #include "core/saturation.hpp"
 #include "ddg/io.hpp"
 #include "ddg/kernels.hpp"
@@ -90,10 +92,13 @@ int usage() {
         "  rsat <op>    <file.ddg | kernel=<k> | ddg=<esc>> [key=value ...]\n"
         "               one-shot protocol request; prints the result line\n"
         "               (analyze/reduce with a bare <file.ddg> keep the\n"
-        "               flag forms above)\n"
+        "               flag forms above). Program operations take\n"
+        "               <file.prog | prog=<p>> payloads instead\n"
         "  rsat dot     <file.ddg>\n"
         "  rsat kernels\n"
+        "  rsat programs\n"
         "  rsat dump <kernel> [--vliw]\n"
+        "  rsat dumpprog <program> [--vliw]\n"
         "  rsat batch [manifest] [--threads N] [--cache-mb M] [--cache-dir D]\n"
         "             [--vliw]\n"
         "  rsat serve [--host H] [--port P] [--port-file F] [--threads N]\n"
@@ -107,8 +112,8 @@ int usage() {
     for (std::size_t pad = op->name().size(); pad < 9; ++pad) os << ' ';
     os << op->synopsis() << '\n';
   }
-  os << "common request options: budget=<sec> id=<n> name=<str>; kernel=\n"
-        "payloads also take model=superscalar|vliw\n";
+  os << "common request options: budget=<sec> id=<n> name=<str>; kernel=,\n"
+        "prog= and file=<x>.prog payloads also take model=superscalar|vliw\n";
   std::fputs(os.str().c_str(), stderr);
   return 2;
 }
@@ -324,6 +329,15 @@ void print_cache_summary(const rs::service::EngineStats& st,
                  static_cast<unsigned long long>(st.disk.insertions),
                  static_cast<unsigned long long>(st.disk.corrupt),
                  static_cast<unsigned long long>(st.disk.write_errors));
+  }
+  // One row per operation actually exercised (EngineStats::per_op).
+  for (const auto& [name, op] : st.per_op) {
+    std::fprintf(stderr,
+                 "op %s: %llu submitted, %llu hits, %llu misses, "
+                 "p50 %.3f ms\n",
+                 name.c_str(), static_cast<unsigned long long>(op.submitted),
+                 static_cast<unsigned long long>(op.hits),
+                 static_cast<unsigned long long>(op.misses), op.p50_ms);
   }
 }
 
@@ -618,6 +632,15 @@ int cmd_dump(int argc, char** argv) {
   return 0;
 }
 
+int cmd_dumpprog(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const bool vliw = argc > 3 && !std::strcmp(argv[3], "--vliw");
+  const auto model = vliw ? rs::ddg::vliw_model() : rs::ddg::superscalar_model();
+  std::fputs(rs::cfg::to_text(rs::cfg::build_program(argv[2], model)).c_str(),
+             stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -648,7 +671,14 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    if (cmd == "programs") {
+      for (const auto& name : rs::cfg::program_names()) {
+        std::puts(name.c_str());
+      }
+      return 0;
+    }
     if (cmd == "dump") return cmd_dump(argc, argv);
+    if (cmd == "dumpprog") return cmd_dumpprog(argc, argv);
     if (cmd == "batch") return cmd_batch(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
     return usage();
