@@ -4,15 +4,10 @@
 #include <chrono>
 
 #include "cfg/canon.hpp"
+#include "service/trace.hpp"
 #include "support/assert.hpp"
 
 namespace rs::service {
-
-namespace {
-
-constexpr std::size_t kLatencyWindow = 1 << 16;
-
-}  // namespace
 
 std::size_t ResultPayload::bytes() const {
   return sizeof(ResultPayload) + error.size() + out_ddg.size() +
@@ -30,14 +25,23 @@ CacheKey request_key(const Request& req, const ddg::Fingerprint& fp) {
 
 AnalysisEngine::AnalysisEngine(const EngineConfig& cfg)
     : cfg_(cfg),
-      store_(std::make_unique<MemoryStore>(cfg.cache),
+      store_(std::make_unique<MemoryStore>(cfg.cache, &metrics_),
              cfg.cache_dir.empty()
                  ? std::unique_ptr<DiskStore>()
                  : std::make_unique<DiskStore>(
-                       DiskStore::Config{cfg.cache_dir})),
-      pool_(cfg.threads) {
-  latencies_.reserve(1024);
-}
+                       DiskStore::Config{cfg.cache_dir}, &metrics_),
+             &metrics_),
+      pool_(cfg.threads, &metrics_),
+      submitted_(metrics_.counter("engine.submitted")),
+      completed_(metrics_.counter("engine.completed")),
+      errors_(metrics_.counter("engine.errors")),
+      memory_hits_(metrics_.counter("engine.memory_hits")),
+      disk_hits_(metrics_.counter("engine.disk_hits")),
+      coalesced_(metrics_.counter("engine.coalesced")),
+      misses_(metrics_.counter("engine.misses")),
+      cancelled_(metrics_.counter("engine.cancelled")),
+      timed_out_(metrics_.counter("engine.timed_out")),
+      latency_ms_(metrics_.histogram("engine.latency_ms")) {}
 
 AnalysisEngine::~AnalysisEngine() { pool_.wait_idle(); }
 
@@ -96,7 +100,7 @@ void AnalysisEngine::drain() {
 }
 
 std::future<Response> AnalysisEngine::submit(Request req) {
-  ++submitted_;
+  submitted_.inc();
   const std::uint64_t seq = next_seq_++;
   support::CancelToken token = register_flight(seq, req.id);
   auto prom = std::make_shared<std::promise<Response>>();
@@ -112,7 +116,7 @@ std::future<Response> AnalysisEngine::submit(Request req) {
 }
 
 Response AnalysisEngine::run(Request req) {
-  ++submitted_;
+  submitted_.inc();
   const std::uint64_t seq = next_seq_++;
   support::CancelToken token = register_flight(seq, req.id);
   mark_started(seq);
@@ -138,8 +142,22 @@ Response AnalysisEngine::process(Request req, support::Timer started,
                   : req.name;
   resp.include_ddg = req.want_ddg;
 
+  // Span collection is opt-in (EngineConfig::trace): one allocation and a
+  // handful of Timer reads per request when on, nothing when off.
+  std::shared_ptr<TraceSpan> span;
+  if (cfg_.trace) {
+    span = std::make_shared<TraceSpan>();
+    span->id = req.id;
+    span->name = resp.name;
+    if (req.op != nullptr) span->op = req.op->name();
+    span->parse_ms = req.parse_ms;
+    // `started` began at submit(); process() entry is worker pickup.
+    span->queue_ms = started.millis();
+  }
+
   SharedPayload payload;
   bool owner = false;
+  bool counted_hit = false;   // mirrors the hit/coalesce counters (per-op)
   bool counted_miss = false;  // mirrors misses_ for the per-op slice
   std::promise<SharedPayload> own_promise;
   std::shared_future<SharedPayload> flight;
@@ -151,6 +169,7 @@ Response AnalysisEngine::process(Request req, support::Timer started,
     // DDG payloads keep the normalized-DAG fingerprint. Either way the
     // fingerprint is order/rename-invariant, so isomorphic inputs share a
     // cache entry.
+    support::Timer phase;
     ddg::Ddg normalized;
     if (req.program != nullptr) {
       resp.fingerprint = cfg::fingerprint(*req.program);
@@ -159,14 +178,21 @@ Response AnalysisEngine::process(Request req, support::Timer started,
       resp.fingerprint = ddg::fingerprint(normalized);
     }
     key = request_key(req, resp.fingerprint);
+    if (span != nullptr) {
+      span->fp_ms = phase.millis();
+      span->fp = resp.fingerprint.hex();
+    }
 
     // Fast path: probe the store (sharded memory LRU, then the disk tier)
     // without touching the global single-flight mutex, so concurrent hits
     // only contend per shard.
+    phase.reset();
     StoreHit hit = store_.get(key);
+    if (span != nullptr) span->lookup_ms = phase.millis();
     payload = hit.payload;
     if (payload != nullptr) {
-      (hit.tier == StoreTier::Disk ? disk_hits_ : memory_hits_)++;
+      (hit.tier == StoreTier::Disk ? disk_hits_ : memory_hits_).inc();
+      counted_hit = true;
       resp.cache_hit = true;
       resp.tier = hit.tier;
     } else {
@@ -181,7 +207,8 @@ Response AnalysisEngine::process(Request req, support::Timer started,
       hit = store_.probe_memory(key);
       payload = hit.payload;
       if (payload != nullptr) {
-        ++memory_hits_;  // probe_memory never reports the disk tier
+        memory_hits_.inc();  // probe_memory never reports the disk tier
+        counted_hit = true;
         resp.cache_hit = true;
         resp.tier = StoreTier::Memory;
       } else {
@@ -205,7 +232,8 @@ Response AnalysisEngine::process(Request req, support::Timer started,
         if (flight.wait_for(std::chrono::milliseconds(20)) ==
             std::future_status::ready) {
           payload = flight.get();
-          ++coalesced_;
+          coalesced_.inc();
+          counted_hit = true;
           resp.cache_hit = true;
           break;
         }
@@ -215,14 +243,23 @@ Response AnalysisEngine::process(Request req, support::Timer started,
           aborted->success = false;
           aborted->stats.stop = support::StopCause::Cancelled;
           payload = std::move(aborted);
-          ++cancelled_;
+          // A detached waiter still *was* coalesced onto the in-flight
+          // solve — count it there too, so the hit/coalesce/miss buckets
+          // tile completed responses (EngineStats::counters_tile). The
+          // response itself stays cache_hit == false: nothing was served
+          // from a cache.
+          cancelled_.inc();
+          coalesced_.inc();
+          counted_hit = true;
           break;
         }
       }
     }
 
     if (owner) {
+      phase.reset();
       payload = compute(req, normalized, token);
+      if (span != nullptr) span->solve_ms = phase.millis();
       // Cancelled results are never stored: a cancel is an explicit "this
       // answer is unwanted", so the next identical request must recompute.
       // Timed-out results ARE cached in memory: the budget is part of the
@@ -234,11 +271,13 @@ Response AnalysisEngine::process(Request req, support::Timer started,
       if (payload->ok && !payload->cancelled()) {
         store_.put(key, payload, payload->bytes());
       }
-      ++misses_;
+      misses_.inc();
       counted_miss = true;
       if (payload->ok) {
-        if (payload->cancelled()) ++cancelled_;
-        if (payload->stats.stop == support::StopCause::TimedOut) ++timed_out_;
+        if (payload->cancelled()) cancelled_.inc();
+        if (payload->stats.stop == support::StopCause::TimedOut) {
+          timed_out_.inc();
+        }
       }
       own_promise.set_value(payload);
       std::lock_guard<std::mutex> lock(flight_mu_);
@@ -256,6 +295,14 @@ Response AnalysisEngine::process(Request req, support::Timer started,
       failed->error = "unknown error";
     }
     payload = std::move(failed);
+    // A failure before any bucket was counted (bad operation, fingerprint
+    // or option error) is still a completed response that computed nothing
+    // from a cache: count it as a miss so the buckets keep tiling
+    // `completed` (EngineStats::counters_tile).
+    if (!counted_hit && !counted_miss) {
+      misses_.inc();
+      counted_miss = true;
+    }
     if (owner) {
       try {
         own_promise.set_value(payload);
@@ -268,11 +315,21 @@ Response AnalysisEngine::process(Request req, support::Timer started,
   }
 
   resp.payload = std::move(payload);
-  if (!resp.payload->ok) ++errors_;
+  if (!resp.payload->ok) errors_.inc();
   resp.millis = started.millis();
-  record_latency(resp.millis);
-  record_op(req.op, resp, counted_miss);
-  ++completed_;
+  latency_ms_.observe(resp.millis);
+  record_op(req.op, resp, counted_hit, counted_miss);
+  completed_.inc();
+  if (span != nullptr) {
+    span->ok = resp.payload->ok;
+    span->error = resp.payload->error;
+    span->cached = resp.cache_hit;
+    span->tier = store_tier_token(resp.tier);
+    span->stop = support::stop_cause_token(resp.payload->stats.stop);
+    span->nodes = resp.payload->stats.nodes;
+    span->total_ms = resp.millis;
+    resp.trace = std::move(span);
+  }
   return resp;
 }
 
@@ -298,51 +355,48 @@ AnalysisEngine::SharedPayload AnalysisEngine::compute(
 }
 
 void AnalysisEngine::record_op(const Operation* op, const Response& resp,
-                               bool counted_miss) {
+                               bool counted_hit, bool counted_miss) {
   if (op == nullptr) return;  // failed before an operation was resolved
-  std::lock_guard<std::mutex> lock(op_mu_);
-  PerOpAcc& acc = per_op_[op];
-  ++acc.counts.submitted;
-  // Exactly mirror the aggregate counters (hits from any tier or a
-  // coalesce; misses wherever misses_ was incremented, error payloads
-  // included), so the per-op slices always tile the cache summary.
-  if (resp.cache_hit) {
-    ++acc.counts.hits;
+  PerOpMetrics m;
+  {
+    std::lock_guard<std::mutex> lock(op_mu_);
+    auto it = per_op_.find(op);
+    if (it == per_op_.end()) {
+      const std::string prefix = "op." + std::string(op->name()) + ".";
+      PerOpMetrics fresh;
+      fresh.submitted = &metrics_.counter(prefix + "submitted");
+      fresh.hits = &metrics_.counter(prefix + "hits");
+      fresh.misses = &metrics_.counter(prefix + "misses");
+      fresh.ms = &metrics_.histogram(prefix + "ms");
+      it = per_op_.emplace(op, fresh).first;
+    }
+    m = it->second;
+  }
+  m.submitted->inc();
+  // Exactly mirror the aggregate counters (hits wherever a tier-hit or
+  // coalesce counter fired — detached waiters included; misses wherever
+  // misses_ was incremented, error payloads included), so the per-op
+  // slices always tile the cache summary.
+  if (counted_hit) {
+    m.hits->inc();
   } else if (counted_miss) {
-    ++acc.counts.misses;
+    m.misses->inc();
   }
-  constexpr std::size_t kPerOpWindow = 1 << 12;
-  if (acc.latencies.size() < kPerOpWindow) {
-    acc.latencies.push_back(resp.millis);
-  } else {
-    acc.latencies[acc.next] = resp.millis;
-    acc.next = (acc.next + 1) % kPerOpWindow;
-  }
-}
-
-void AnalysisEngine::record_latency(double ms) {
-  std::lock_guard<std::mutex> lock(latency_mu_);
-  max_ms_ = std::max(max_ms_, ms);
-  if (latencies_.size() < kLatencyWindow) {
-    latencies_.push_back(ms);
-  } else {
-    latencies_[latency_next_] = ms;
-    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
-  }
+  m.ms->observe(resp.millis);
 }
 
 EngineStats AnalysisEngine::stats() const {
   EngineStats out;
-  out.submitted = submitted_.load();
-  out.completed = completed_.load();
-  out.errors = errors_.load();
-  out.memory_hits = memory_hits_.load();
-  out.disk_hits = disk_hits_.load();
+  out.submitted = submitted_.value();
+  out.completed = completed_.value();
+  out.errors = errors_.value();
+  out.memory_hits = memory_hits_.value();
+  out.disk_hits = disk_hits_.value();
   out.cache_hits = out.memory_hits + out.disk_hits;
-  out.coalesced = coalesced_.load();
-  out.misses = misses_.load();
-  out.cancelled = cancelled_.load();
-  out.timed_out = timed_out_.load();
+  out.coalesced = coalesced_.value();
+  out.misses = misses_.value();
+  out.cancelled = cancelled_.value();
+  out.timed_out = timed_out_.value();
   out.queue_depth =
       static_cast<std::size_t>(out.submitted - std::min(out.submitted, out.completed));
   const StoreStats cs = store_.stats();
@@ -350,26 +404,18 @@ EngineStats AnalysisEngine::stats() const {
   out.cache_bytes = cs.bytes;
   out.disk_enabled = store_.has_disk();
   out.disk = store_.disk_stats();
-  {
-    std::lock_guard<std::mutex> lock(latency_mu_);
-    if (!latencies_.empty()) {
-      std::vector<double> sorted = latencies_;
-      std::sort(sorted.begin(), sorted.end());
-      out.p50_ms = sorted[sorted.size() / 2];
-      // Nearest-rank p95: ceil(0.95 * n) - 1.
-      out.p95_ms = sorted[(sorted.size() * 95 + 99) / 100 - 1];
-      out.max_ms = max_ms_;
-    }
-  }
+  out.p50_ms = latency_ms_.quantile(0.50);
+  out.p95_ms = latency_ms_.quantile(0.95);
+  out.p99_ms = latency_ms_.quantile(0.99);
+  out.max_ms = latency_ms_.max();
   {
     std::lock_guard<std::mutex> lock(op_mu_);
-    for (const auto& [op, acc] : per_op_) {
-      OpStats slice = acc.counts;
-      if (!acc.latencies.empty()) {
-        std::vector<double> sorted = acc.latencies;
-        std::sort(sorted.begin(), sorted.end());
-        slice.p50_ms = sorted[sorted.size() / 2];
-      }
+    for (const auto& [op, m] : per_op_) {
+      OpStats slice;
+      slice.submitted = m.submitted->value();
+      slice.hits = m.hits->value();
+      slice.misses = m.misses->value();
+      slice.p50_ms = m.ms->quantile(0.50);
       out.per_op.emplace(std::string(op->name()), slice);
     }
   }

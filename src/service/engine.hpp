@@ -48,6 +48,7 @@
 #include "ddg/ddg.hpp"
 #include "service/operation.hpp"
 #include "service/store.hpp"
+#include "support/metrics.hpp"
 #include "support/solve_context.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
@@ -60,6 +61,8 @@ class Cfg;
 }  // namespace rs::cfg
 
 namespace rs::service {
+
+struct TraceSpan;  // service/trace.hpp
 
 struct Request {
   std::uint64_t id = 0;
@@ -91,6 +94,10 @@ struct Request {
   /// in the result line (ops that emit one). The text is always computed
   /// and cached, so this flag does not split the cache key.
   bool want_ddg = false;
+  /// Time the front end spent parsing the protocol line for this request
+  /// (< 0 = not measured). Copied into the request's trace span when
+  /// tracing is enabled; never part of the cache key.
+  double parse_ms = -1;
 };
 
 /// The cacheable part of a response: everything except per-delivery state.
@@ -134,6 +141,11 @@ struct Response {
   double millis = 0;       // queue wait + compute (or lookup) time
   ddg::Fingerprint fingerprint;  // structural fingerprint of the input
   std::shared_ptr<const ResultPayload> payload;
+  /// Lifecycle trace span (EngineConfig::trace only). The engine fills the
+  /// phases it owns (queue, fingerprint, lookup, solve); the front end
+  /// delivering the response fills encode_ms/bytes and hands the span to
+  /// the TraceSink.
+  std::shared_ptr<TraceSpan> trace;
 };
 
 struct EngineConfig {
@@ -143,6 +155,11 @@ struct EngineConfig {
   /// Non-empty enables the persistent disk tier rooted here (created if
   /// absent). Cancelled and timed-out payloads are never persisted.
   std::string cache_dir;
+  /// Collect a per-request TraceSpan on every Response (service/trace.hpp).
+  /// Off by default: spans cost an allocation + a handful of clock reads
+  /// per request, which only pays off when a --trace-file sink consumes
+  /// them.
+  bool trace = false;
 };
 
 /// Wall-clock cap applied to requests that carry no budget_seconds.
@@ -180,6 +197,7 @@ struct EngineStats {
   StoreStats disk;  // persistent-tier counters (zero when disabled)
   double p50_ms = 0;
   double p95_ms = 0;
+  double p99_ms = 0;
   double max_ms = 0;
   /// Per-operation breakdown, one entry per operation that has completed
   /// at least one response on this engine (ordered by name).
@@ -190,6 +208,16 @@ struct EngineStats {
     const std::uint64_t total = cache_hits + coalesced + misses;
     return total == 0 ? 0.0
                       : static_cast<double>(cache_hits + coalesced) / total;
+  }
+
+  /// The summary-counter tiling invariant: every completed response was
+  /// served from exactly one bucket — a memory hit, a disk hit, a coalesce
+  /// (detached waiters included), or a computed miss (errors included).
+  /// Only meaningful on an idle engine: the buckets and `completed` are
+  /// updated in separate atomic steps, so a snapshot taken mid-request may
+  /// transiently disagree.
+  bool counters_tile() const {
+    return memory_hits + disk_hits + coalesced + misses == completed;
   }
 };
 
@@ -232,7 +260,15 @@ class AnalysisEngine {
   /// constant, not zero.
   void drain();
 
+  /// Aggregate view over the metrics registry (plus store/queue state).
   EngineStats stats() const;
+
+  /// The registry every engine/store/pool metric lives in — the single
+  /// source of truth behind stats(), the `stats` protocol verb and the
+  /// --metrics-json snapshot. Front ends may register their own metrics
+  /// here (serve.* names) so one snapshot covers the whole process.
+  support::MetricsRegistry& metrics() { return metrics_; }
+  const support::MetricsRegistry& metrics() const { return metrics_; }
 
   std::size_t thread_count() const { return pool_.thread_count(); }
 
@@ -254,23 +290,28 @@ class AnalysisEngine {
                    support::CancelToken token);
   SharedPayload compute(const Request& req, const ddg::Ddg& normalized,
                         const support::CancelToken& token);
-  void record_latency(double ms);
-  void record_op(const Operation* op, const Response& resp,
+  void record_op(const Operation* op, const Response& resp, bool counted_hit,
                  bool counted_miss);
 
   EngineConfig cfg_;
+  /// Declared before store_/pool_: both register their metrics here during
+  /// construction, and the registry must be destroyed last.
+  support::MetricsRegistry metrics_;
   TieredStore store_;
   support::ThreadPool pool_;
 
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> completed_{0};
-  std::atomic<std::uint64_t> errors_{0};
-  std::atomic<std::uint64_t> memory_hits_{0};
-  std::atomic<std::uint64_t> disk_hits_{0};
-  std::atomic<std::uint64_t> coalesced_{0};
-  std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> cancelled_{0};
-  std::atomic<std::uint64_t> timed_out_{0};
+  // Engine counters, registry-backed (engine.*). References are stable for
+  // the registry's lifetime; Counter::inc is one relaxed atomic RMW.
+  support::Counter& submitted_;
+  support::Counter& completed_;
+  support::Counter& errors_;
+  support::Counter& memory_hits_;
+  support::Counter& disk_hits_;
+  support::Counter& coalesced_;
+  support::Counter& misses_;
+  support::Counter& cancelled_;
+  support::Counter& timed_out_;
+  support::Histogram& latency_ms_;  // engine.latency_ms, hits included
 
   mutable std::mutex flights_mu_;
   std::atomic<std::uint64_t> next_seq_{1};
@@ -281,20 +322,17 @@ class AnalysisEngine {
                      CacheKeyHash>
       inflight_;
 
-  mutable std::mutex latency_mu_;
-  std::vector<double> latencies_;  // bounded ring, see record_latency()
-  std::size_t latency_next_ = 0;
-  double max_ms_ = 0;
-
-  /// Per-operation counters + a bounded latency ring each, keyed by the
-  /// operation's (process-lifetime-stable) registry pointer.
-  struct PerOpAcc {
-    OpStats counts;
-    std::vector<double> latencies;
-    std::size_t next = 0;
+  /// Per-operation registry entries (op.<name>.*), keyed by the operation's
+  /// (process-lifetime-stable) registry pointer. The mutex guards the map;
+  /// the metrics themselves are lock-free.
+  struct PerOpMetrics {
+    support::Counter* submitted = nullptr;
+    support::Counter* hits = nullptr;
+    support::Counter* misses = nullptr;
+    support::Histogram* ms = nullptr;
   };
   mutable std::mutex op_mu_;
-  std::map<const Operation*, PerOpAcc> per_op_;
+  std::map<const Operation*, PerOpMetrics> per_op_;
 };
 
 /// The cache key for a request: canonical fingerprint of the normalized DDG

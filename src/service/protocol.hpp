@@ -40,6 +40,8 @@
 //   cancel   <id>    cooperative cancel of a pending/running request; its
 //                    result line still arrives (stop=cancelled, not cached)
 //   drain            block until every previously submitted request is done
+//   stats            live engine telemetry as one line (see below); takes
+//                    no arguments and completes no work
 //
 // Payloads come in two kinds, matching Operation::payload_kind — the
 // parser rejects a mismatch. <payload> (single-DAG operations) is exactly
@@ -93,6 +95,18 @@
 // program positions never appear.
 //   cancelled id=<n> found=0|1               ack for a cancel line
 //   drained                                   ack for a drain line
+//   stats submitted=<n> completed=<n> errors=<n> memory_hits=<n>
+//         disk_hits=<n> coalesced=<n> misses=<n> cancelled=<n>
+//         timed_out=<n> queue_depth=<n> hit_rate=<f> entries=<n> bytes=<n>
+//         disk=0|1 p50_ms=<f> p95_ms=<f> p99_ms=<f> max_ms=<f> ops=<n>
+//         [op.<name>.submitted=<n> op.<name>.hits=<n> op.<name>.misses=<n>
+//          op.<name>.p50_ms=<f> ...]          ack for a stats line; per-op
+//         groups are name-sorted, so the key schema is deterministic for a
+//         given operation mix (only the values change between snapshots),
+//         and the per-op slices tile the aggregate buckets:
+//         sum(op.*.submitted) == completed over resolved operations, and
+//         memory_hits + disk_hits + coalesced + misses == completed on an
+//         idle engine (EngineStats::counters_tile)
 //
 // `stop=` is the stop-cause taxonomy of support::SolveStats: proven (search
 // exhausted), limit (node/round cap), timeout (budget deadline), cancelled
@@ -132,8 +146,8 @@ struct ProtocolOptions {
 };
 
 /// One parsed protocol line: either an operation submission, or a control
-/// verb (cancel/drain) targeting the engine itself.
-enum class CommandKind { Submit, Cancel, Drain };
+/// verb (cancel/drain/stats) targeting the engine itself.
+enum class CommandKind { Submit, Cancel, Drain, Stats };
 
 struct Command {
   CommandKind kind = CommandKind::Submit;
@@ -161,6 +175,11 @@ std::string render_cancel_ack(std::uint64_t id, bool found);
 
 /// Ack line for a drain verb: "drained".
 std::string render_drain_ack();
+
+/// Ack line for a stats verb: live engine telemetry rendered with the
+/// deterministic key order documented above (aggregate counters, latency
+/// quantiles, then name-sorted per-op groups).
+std::string render_stats_line(const EngineStats& st);
 
 /// Splits a protocol line into its key=value fields with values unescaped.
 /// The leading command token appears under the empty key "". Bare tokens map

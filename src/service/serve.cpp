@@ -1,6 +1,7 @@
 #include "service/serve.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <deque>
 #include <future>
 #include <sstream>
@@ -9,6 +10,7 @@
 
 #include "support/assert.hpp"
 #include "support/fs.hpp"
+#include "support/metrics.hpp"
 #include "support/timer.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -20,11 +22,13 @@
 
 namespace rs::service {
 
-/// One ordered response slot: either a pre-rendered line (ack / parse
-/// error) or the future of a submitted request.
+/// One ordered response slot: a pre-rendered line (ack / parse error), the
+/// future of a submitted request, or a deferred stats snapshot (rendered
+/// at emission time, so it reflects everything answered before it).
 struct Slot {
   std::string pre;
   std::future<Response> fut;
+  bool stats = false;
 };
 
 struct SocketServer::Conn {
@@ -45,14 +49,42 @@ struct SocketServer::Conn {
   /// discard the error line before the peer could read it).
   bool discard_input = false;
   bool dead = false;         // unrecoverable socket error: drop now
+  /// True while the slot cap keeps this connection out of the POLLIN set;
+  /// each false->true edge counts one serve.backpressure_stalls.
+  bool read_paused = false;
   /// Reset whenever bytes reach the peer; during drain, a connection is
   /// only given up on after kDrainGraceSeconds without *progress*, so a
   /// slow-but-reading peer still gets its full result lines.
   support::Timer last_progress;
 };
 
+namespace {
+
+/// Trace spans are engine-produced; a configured trace_file turns them on.
+EngineConfig with_trace_enabled(EngineConfig engine, bool trace) {
+  if (trace) engine.trace = true;
+  return engine;
+}
+
+}  // namespace
+
 SocketServer::SocketServer(const ServeConfig& cfg)
-    : cfg_(cfg), engine_(cfg.engine), listener_(cfg.host, cfg.port) {
+    : cfg_(cfg),
+      engine_(with_trace_enabled(cfg.engine, !cfg.trace_file.empty())),
+      listener_(cfg.host, cfg.port),
+      connections_(engine_.metrics().counter("serve.connections")),
+      open_conns_(engine_.metrics().gauge("serve.open_conns")),
+      requests_(engine_.metrics().counter("serve.requests")),
+      responses_(engine_.metrics().counter("serve.responses")),
+      parse_errors_(engine_.metrics().counter("serve.parse_errors")),
+      bytes_in_(engine_.metrics().counter("serve.bytes_in")),
+      bytes_out_(engine_.metrics().counter("serve.bytes_out")),
+      backpressure_stalls_(
+          engine_.metrics().counter("serve.backpressure_stalls")),
+      slow_requests_(engine_.metrics().counter("serve.slow_requests")) {
+  if (!cfg_.trace_file.empty()) {
+    trace_sink_ = std::make_unique<TraceSink>(cfg_.trace_file);
+  }
   if (!cfg_.port_file.empty()) {
     RS_REQUIRE(support::write_file_atomic(cfg_.port_file,
                                           std::to_string(port()) + "\n"),
@@ -65,8 +97,17 @@ SocketServer::~SocketServer() {
 }
 
 ServeStats SocketServer::serve_stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  ServeStats out;
+  out.connections = connections_.value();
+  out.requests = requests_.value();
+  out.parse_errors = parse_errors_.value();
+  out.responses = responses_.value();
+  out.bytes_in = bytes_in_.value();
+  out.bytes_out = bytes_out_.value();
+  out.backpressure_stalls = backpressure_stalls_.value();
+  out.slow_requests = slow_requests_.value();
+  out.open_conns = open_conns_.value();
+  return out;
 }
 
 void SocketServer::accept_new() {
@@ -83,8 +124,8 @@ void SocketServer::accept_new() {
     auto conn = std::make_unique<Conn>();
     conn->fd = fd;
     conns_.push_back(std::move(conn));
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.connections;
+    connections_.inc();
+    open_conns_.add(1);
   }
 }
 
@@ -103,6 +144,7 @@ void SocketServer::read_conn(Conn& c) {
     if (c.discard_input) c.in_buf.clear();
     if (n > 0) {
       budget -= n;
+      bytes_in_.inc(static_cast<std::uint64_t>(n));
       continue;
     }
     if (n == 0) c.closed_read = true;
@@ -120,23 +162,21 @@ void SocketServer::emit_error_line(Conn& c, const std::string& msg) {
   Slot slot;
   slot.pre = os.str();
   c.slots.push_back(std::move(slot));
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.parse_errors;
+  parse_errors_.inc();
 }
 
 void SocketServer::handle_line(Conn& c, const std::string& line) {
   if (is_blank_or_comment(line)) return;
   Slot slot;
   try {
+    support::Timer parse;
     Command cmd = parse_command_line(line, next_id_, cfg_.protocol);
     switch (cmd.kind) {
       case CommandKind::Submit:
         ++next_id_;
+        cmd.request.parse_ms = parse.millis();
         slot.fut = engine_.submit(std::move(cmd.request));
-        {
-          std::lock_guard<std::mutex> lock(stats_mu_);
-          ++stats_.requests;
-        }
+        requests_.inc();
         break;
       case CommandKind::Cancel:
         slot.pre = render_cancel_ack(cmd.cancel_id,
@@ -147,6 +187,9 @@ void SocketServer::handle_line(Conn& c, const std::string& line) {
         // drain barrier: by the time this ack renders, every prior request
         // on the connection has had its result line rendered first.
         slot.pre = render_drain_ack();
+        break;
+      case CommandKind::Stats:
+        slot.stats = true;  // snapshot taken when the slot is emitted
         break;
     }
   } catch (const std::exception& e) {
@@ -207,21 +250,38 @@ void SocketServer::pump_ready(Conn& c) {
     // so it starts when the write buffer goes from empty to non-empty —
     // waiting on our own solver is not the peer's stall.
     if (c.out_empty()) c.last_progress.reset();
-    if (s.pre.empty()) {
+    if (s.stats) {
+      c.out_buf += render_stats_line(engine_.stats());
+      c.out_buf += '\n';
+    } else if (s.pre.empty()) {
       if (s.fut.wait_for(std::chrono::seconds(0)) !=
           std::future_status::ready) {
         return;  // preserve request order: stop at the first unresolved
       }
       const Response resp = s.fut.get();
-      c.out_buf += render_response(resp);
+      support::Timer encode;
+      const std::string line = render_response(resp);
+      c.out_buf += line;
       c.out_buf += '\n';
+      if (cfg_.slow_ms > 0 && resp.millis >= cfg_.slow_ms) {
+        slow_requests_.inc();
+        std::fprintf(stderr,
+                     "rsat serve: slow request id=%llu name=%s ms=%.3f "
+                     "cached=%d\n",
+                     static_cast<unsigned long long>(resp.id),
+                     resp.name.c_str(), resp.millis, resp.cache_hit ? 1 : 0);
+      }
+      if (resp.trace != nullptr && trace_sink_ != nullptr) {
+        resp.trace->encode_ms = encode.millis();
+        resp.trace->bytes = line.size() + 1;
+        trace_sink_->write(*resp.trace);
+      }
     } else {
       c.out_buf += s.pre;
       c.out_buf += '\n';
     }
     c.slots.pop_front();
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.responses;
+    responses_.inc();
   }
 }
 
@@ -231,6 +291,7 @@ void SocketServer::flush_conn(Conn& c) {
         c.fd, std::string_view(c.out_buf).substr(c.out_off));
     if (n > 0) {
       c.out_off += static_cast<std::size_t>(n);
+      bytes_out_.inc(static_cast<std::uint64_t>(n));
       c.last_progress.reset();
       continue;
     }
@@ -279,6 +340,12 @@ void SocketServer::run(const std::function<bool()>& should_stop) {
           (c.discard_input ||
            c.slots.size() < cfg_.max_pending_per_conn)) {
         events |= POLLIN;
+        c.read_paused = false;
+      } else if (!draining && !c.closed_read && !c.read_paused) {
+        // Slot cap reached: this connection leaves the POLLIN set until
+        // responses flush. Count the edge, not the (per-iteration) state.
+        c.read_paused = true;
+        backpressure_stalls_.inc();
       }
       if (!c.out_empty()) events |= POLLOUT;
       if (events == 0) continue;
@@ -324,6 +391,7 @@ void SocketServer::run(const std::function<bool()>& should_stop) {
       if (c.dead || (c.closed_read && answered) || (draining && answered) ||
           stalled) {
         support::close_fd(c.fd);
+        open_conns_.sub(1);
         return true;
       }
       return false;
@@ -334,6 +402,7 @@ void SocketServer::run(const std::function<bool()>& should_stop) {
   // All result lines are out (or their peers gone); let solver threads
   // finish their cancelled epilogues before the engine is reused/queried.
   engine_.wait_idle();
+  if (trace_sink_ != nullptr) trace_sink_->flush();
 #else
   static_cast<void>(should_stop);
   RS_REQUIRE(false, "rsat serve requires POSIX sockets");

@@ -16,6 +16,10 @@
 //    share one engine, one store, and one id namespace — an explicit
 //    cancel id= therefore reaches a matching request on any connection).
 //  * cancel answers immediately with its ack.
+//  * stats answers with a live telemetry line (render_stats_line); like
+//    every ack it is emitted in order behind this connection's earlier
+//    slots, so the snapshot reflects at least everything the connection
+//    already saw answered.
 //  * drain's ack is emitted in order *behind this connection's* earlier
 //    requests, so when the client reads "drained" everything it submitted
 //    before the drain has already been answered. Other connections are
@@ -42,6 +46,7 @@
 
 #include "service/engine.hpp"
 #include "service/protocol.hpp"
+#include "service/trace.hpp"
 #include "support/socket.hpp"
 
 namespace rs::service {
@@ -58,13 +63,27 @@ struct ServeConfig {
   std::string port_file;
   /// Unanswered-request cap per connection before reads pause.
   std::size_t max_pending_per_conn = 256;
+  /// When non-empty, enables engine trace spans and streams one JSONL
+  /// event per request to this file (service/trace.hpp).
+  std::string trace_file;
+  /// > 0 logs every request slower than this (wall-clock submit->respond)
+  /// to stderr and counts it as serve.slow_requests.
+  double slow_ms = 0;
 };
 
+/// Snapshot view over the server's serve.* registry counters (the same
+/// registry AnalysisEngine::metrics() exposes, so the `stats` verb, the
+/// exit summary, and --metrics-json all read one source of truth).
 struct ServeStats {
   std::uint64_t connections = 0;   // accepted over the server's lifetime
   std::uint64_t requests = 0;      // analyze/reduce submissions
   std::uint64_t parse_errors = 0;  // lines answered with status=error
   std::uint64_t responses = 0;     // result/ack lines written
+  std::uint64_t bytes_in = 0;      // payload bytes received
+  std::uint64_t bytes_out = 0;     // payload bytes sent
+  std::uint64_t backpressure_stalls = 0;  // read-pause edges (slot cap hit)
+  std::uint64_t slow_requests = 0;  // responses over ServeConfig::slow_ms
+  std::int64_t open_conns = 0;      // currently connected peers
 };
 
 class SocketServer {
@@ -102,6 +121,9 @@ class SocketServer {
 
   ServeStats serve_stats() const;
 
+  /// Non-null when ServeConfig::trace_file is set.
+  const TraceSink* trace_sink() const { return trace_sink_.get(); }
+
  private:
   struct Conn;
 
@@ -116,6 +138,7 @@ class SocketServer {
   ServeConfig cfg_;
   AnalysisEngine engine_;
   support::ListenSocket listener_;
+  std::unique_ptr<TraceSink> trace_sink_;
   std::atomic<bool> stop_{false};
   std::uint64_t next_id_ = 1;
   /// Loop iterations left to skip polling the listener after an accept
@@ -123,8 +146,18 @@ class SocketServer {
   int accept_backoff_ = 0;
   std::vector<std::unique_ptr<Conn>> conns_;
 
-  mutable std::mutex stats_mu_;
-  ServeStats stats_;
+  // serve.* registry entries (registered in the engine's registry so the
+  // whole process shares one metrics namespace). All owned by engine_'s
+  // registry; cached here once at construction.
+  support::Counter& connections_;
+  support::Gauge& open_conns_;
+  support::Counter& requests_;
+  support::Counter& responses_;
+  support::Counter& parse_errors_;
+  support::Counter& bytes_in_;
+  support::Counter& bytes_out_;
+  support::Counter& backpressure_stalls_;
+  support::Counter& slow_requests_;
 };
 
 }  // namespace rs::service

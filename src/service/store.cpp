@@ -8,6 +8,8 @@
 #include "service/engine.hpp"
 #include "support/assert.hpp"
 #include "support/fs.hpp"
+#include "support/metrics.hpp"
+#include "support/timer.hpp"
 
 namespace rs::service {
 
@@ -22,8 +24,14 @@ const char* store_tier_token(StoreTier t) {
 
 // ---------------------------------------------------------------- memory
 
-MemoryStore::MemoryStore(const Config& cfg)
+MemoryStore::MemoryStore(const Config& cfg, support::MetricsRegistry* metrics)
     : enabled_(cfg.max_bytes > 0 && cfg.max_entries > 0) {
+  if (metrics != nullptr) {
+    m_hits_ = &metrics->counter("store.mem.hits");
+    m_misses_ = &metrics->counter("store.mem.misses");
+    m_insertions_ = &metrics->counter("store.mem.insertions");
+    m_evictions_ = &metrics->counter("store.mem.evictions");
+  }
   const int shards = std::max(1, cfg.shards);
   // Ceil-divide so the summed capacity is never below the configured one.
   shard_max_bytes_ = (cfg.max_bytes + shards - 1) / shards;
@@ -45,9 +53,11 @@ StoreHit MemoryStore::get(const CacheKey& key) {
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
+    if (m_misses_ != nullptr) m_misses_->inc();
     return {};
   }
   ++shard.hits;
+  if (m_hits_ != nullptr) m_hits_->inc();
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return {it->second->value, StoreTier::Memory};
 }
@@ -73,6 +83,7 @@ void MemoryStore::put(const CacheKey& key,
     shard.index[key] = shard.lru.begin();
     shard.bytes += bytes;
     ++shard.insertions;
+    if (m_insertions_ != nullptr) m_insertions_->inc();
   }
   evict_locked(shard);
 }
@@ -85,6 +96,7 @@ void MemoryStore::evict_locked(Shard& shard) {
     shard.index.erase(victim.key);
     shard.lru.pop_back();
     ++shard.evictions;
+    if (m_evictions_ != nullptr) m_evictions_->inc();
   }
 }
 
@@ -113,8 +125,19 @@ void MemoryStore::clear() {
 
 // ------------------------------------------------------------------ disk
 
-DiskStore::DiskStore(const Config& cfg) : cfg_(cfg) {
+DiskStore::DiskStore(const Config& cfg, support::MetricsRegistry* metrics)
+    : cfg_(cfg) {
   RS_REQUIRE(!cfg_.dir.empty(), "DiskStore needs a cache directory");
+  if (metrics != nullptr) {
+    d_hits_ = &metrics->counter("store.disk.hits");
+    d_misses_ = &metrics->counter("store.disk.misses");
+    d_insertions_ = &metrics->counter("store.disk.insertions");
+    d_corrupt_ = &metrics->counter("store.disk.corrupt");
+    d_write_errors_ = &metrics->counter("store.disk.write_errors");
+    d_bytes_ = &metrics->counter("store.disk.bytes_written");
+    d_read_ms_ = &metrics->histogram("store.disk.read_ms");
+    d_write_ms_ = &metrics->histogram("store.disk.write_ms");
+  }
   RS_REQUIRE(support::create_directories(cfg_.dir),
              "cannot create cache directory " + cfg_.dir);
   // Create the 256 fan-out directories up front so the write path is a
@@ -134,13 +157,17 @@ std::string DiskStore::entry_path(const CacheKey& key) const {
 }
 
 StoreHit DiskStore::get(const CacheKey& key) {
+  support::Timer timer;
   std::string text;
   if (!support::read_file_to_string(entry_path(key), &text)) {
+    if (d_read_ms_ != nullptr) d_read_ms_->observe(timer.millis());
+    if (d_misses_ != nullptr) d_misses_->inc();
     std::lock_guard<std::mutex> lock(mu_);
     ++misses_;
     return {};
   }
   std::shared_ptr<const ResultPayload> payload = decode_payload(text);
+  if (d_read_ms_ != nullptr) d_read_ms_->observe(timer.millis());
   std::lock_guard<std::mutex> lock(mu_);
   if (payload == nullptr) {
     // Truncated, version-mismatched or corrupt entry: a miss, never a
@@ -148,9 +175,12 @@ StoreHit DiskStore::get(const CacheKey& key) {
     // put overwrites it (atomically), so there is no delete race either.
     ++corrupt_;
     ++misses_;
+    if (d_corrupt_ != nullptr) d_corrupt_->inc();
+    if (d_misses_ != nullptr) d_misses_->inc();
     return {};
   }
   ++hits_;
+  if (d_hits_ != nullptr) d_hits_->inc();
   return {std::move(payload), StoreTier::Disk};
 }
 
@@ -163,14 +193,19 @@ void DiskStore::put(const CacheKey& key,
   const std::string encoded = encode_payload(*value);
   // Fan-out dirs exist since construction; a failure here (deleted dir,
   // full disk) is the documented best-effort degradation.
+  support::Timer timer;
   const bool ok = support::write_file_atomic(path, encoded);
+  if (d_write_ms_ != nullptr) d_write_ms_->observe(timer.millis());
   std::lock_guard<std::mutex> lock(mu_);
   if (!ok) {
     ++write_errors_;
+    if (d_write_errors_ != nullptr) d_write_errors_->inc();
     return;
   }
   ++insertions_;
   bytes_written_ += encoded.size();
+  if (d_insertions_ != nullptr) d_insertions_->inc();
+  if (d_bytes_ != nullptr) d_bytes_->inc(encoded.size());
 }
 
 StoreStats DiskStore::stats() const {
@@ -203,9 +238,11 @@ void DiskStore::clear() {
 // ---------------------------------------------------------------- tiered
 
 TieredStore::TieredStore(std::unique_ptr<MemoryStore> memory,
-                         std::unique_ptr<DiskStore> disk)
+                         std::unique_ptr<DiskStore> disk,
+                         support::MetricsRegistry* metrics)
     : memory_(std::move(memory)), disk_(std::move(disk)) {
   RS_REQUIRE(memory_ != nullptr, "TieredStore needs a memory tier");
+  if (metrics != nullptr) promotions_ = &metrics->counter("store.promotions");
 }
 
 StoreHit TieredStore::get(const CacheKey& key) {
@@ -215,6 +252,7 @@ StoreHit TieredStore::get(const CacheKey& key) {
   if (hit.payload != nullptr) {
     // Promote: the next lookup of this key is an in-memory hit.
     memory_->put(key, hit.payload, hit.payload->bytes());
+    if (promotions_ != nullptr) promotions_->inc();
   }
   return hit;
 }

@@ -45,6 +45,12 @@
 #include "ddg/canon.hpp"
 #include "support/hash.hpp"
 
+namespace rs::support {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}  // namespace rs::support
+
 namespace rs::service {
 
 struct ResultPayload;  // defined in service/engine.hpp
@@ -110,7 +116,10 @@ class MemoryStore : public ResultStore {
   };
 
   MemoryStore() : MemoryStore(Config{}) {}
-  explicit MemoryStore(const Config& cfg);
+  /// When `metrics` is non-null, mirrors hit/miss/insert/evict counters to
+  /// store.mem.* in the registry (which must outlive the store).
+  explicit MemoryStore(const Config& cfg,
+                       support::MetricsRegistry* metrics = nullptr);
 
   /// False when configured with zero capacity; get() then always misses
   /// and put() is a no-op.
@@ -144,6 +153,12 @@ class MemoryStore : public ResultStore {
   std::size_t shard_max_bytes_;
   std::size_t shard_max_entries_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Cached registry entries (null when unmetered): store.mem.*.
+  support::Counter* m_hits_ = nullptr;
+  support::Counter* m_misses_ = nullptr;
+  support::Counter* m_insertions_ = nullptr;
+  support::Counter* m_evictions_ = nullptr;
 };
 
 /// Fingerprint-sharded on-disk tier speaking the versioned payload codec.
@@ -159,7 +174,10 @@ class DiskStore : public ResultStore {
     std::string dir;
   };
 
-  explicit DiskStore(const Config& cfg);
+  /// When `metrics` is non-null, mirrors counters to store.disk.* and times
+  /// entry reads/writes into store.disk.{read,write}_ms histograms.
+  explicit DiskStore(const Config& cfg,
+                     support::MetricsRegistry* metrics = nullptr);
 
   StoreHit get(const CacheKey& key) override;
   void put(const CacheKey& key, std::shared_ptr<const ResultPayload> value,
@@ -180,15 +198,27 @@ class DiskStore : public ResultStore {
   std::uint64_t hits_ = 0, misses_ = 0, insertions_ = 0, corrupt_ = 0,
                 write_errors_ = 0;
   std::size_t bytes_written_ = 0;
+
+  // Cached registry entries (null when unmetered): store.disk.*.
+  support::Counter* d_hits_ = nullptr;
+  support::Counter* d_misses_ = nullptr;
+  support::Counter* d_insertions_ = nullptr;
+  support::Counter* d_corrupt_ = nullptr;
+  support::Counter* d_write_errors_ = nullptr;
+  support::Counter* d_bytes_ = nullptr;
+  support::Histogram* d_read_ms_ = nullptr;
+  support::Histogram* d_write_ms_ = nullptr;
 };
 
 /// Memory over optional disk, promote on hit, write-through on put (with
 /// the timeout-payload persistence exception documented above).
 class TieredStore : public ResultStore {
  public:
-  /// `disk` may be null (memory-only deployment).
+  /// `disk` may be null (memory-only deployment). When `metrics` is
+  /// non-null, disk->memory promotions are counted as store.promotions.
   TieredStore(std::unique_ptr<MemoryStore> memory,
-              std::unique_ptr<DiskStore> disk);
+              std::unique_ptr<DiskStore> disk,
+              support::MetricsRegistry* metrics = nullptr);
 
   StoreHit get(const CacheKey& key) override;
   void put(const CacheKey& key, std::shared_ptr<const ResultPayload> value,
@@ -213,6 +243,7 @@ class TieredStore : public ResultStore {
  private:
   std::unique_ptr<MemoryStore> memory_;
   std::unique_ptr<DiskStore> disk_;
+  support::Counter* promotions_ = nullptr;
 };
 
 }  // namespace rs::service

@@ -2,12 +2,21 @@
 
 #include <atomic>
 
+#include "support/metrics.hpp"
+
 namespace rs::support {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, MetricsRegistry* metrics) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
+  }
+  if (metrics != nullptr) {
+    queue_depth_ = &metrics->gauge("pool.queue_depth");
+    active_ = &metrics->gauge("pool.active");
+    tasks_done_ = &metrics->counter("pool.tasks");
+    queue_wait_ms_ = &metrics->histogram("pool.queue_wait_ms");
+    task_ms_ = &metrics->histogram("pool.task_ms");
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
@@ -27,9 +36,10 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
-    queue_.push(std::move(task));
+    queue_.push(Task{std::move(task), Timer{}});
     ++in_flight_;
   }
+  if (queue_depth_ != nullptr) queue_depth_->add(1);
   cv_task_.notify_one();
 }
 
@@ -60,7 +70,7 @@ void ThreadPool::parallel_for(std::size_t n,
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -68,7 +78,14 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    if (queue_depth_ != nullptr) queue_depth_->sub(1);
+    if (queue_wait_ms_ != nullptr) queue_wait_ms_->observe(task.queued.millis());
+    if (active_ != nullptr) active_->add(1);
+    Timer run;
+    task.fn();
+    if (active_ != nullptr) active_->sub(1);
+    if (task_ms_ != nullptr) task_ms_->observe(run.millis());
+    if (tasks_done_ != nullptr) tasks_done_->inc();
     {
       std::lock_guard lock(mutex_);
       --in_flight_;

@@ -1,6 +1,13 @@
 // Minimal fixed-size thread pool for embarrassingly parallel experiment
 // sweeps (one task per (DAG, R) instance). Results are collected by index so
 // output tables are deterministic regardless of scheduling order.
+//
+// When constructed with a MetricsRegistry the pool reports:
+//   pool.queue_depth (gauge)     tasks enqueued but not yet picked up
+//   pool.active (gauge)          tasks currently executing
+//   pool.tasks (counter)         tasks completed since construction
+//   pool.queue_wait_ms (histogram)  submit -> worker pickup
+//   pool.task_ms (histogram)        task execution time
 #pragma once
 
 #include <condition_variable>
@@ -11,12 +18,22 @@
 #include <thread>
 #include <vector>
 
+#include "support/timer.hpp"
+
 namespace rs::support {
+
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
 
 class ThreadPool {
  public:
   /// Spawns `threads` workers; 0 means hardware_concurrency (min 1).
-  explicit ThreadPool(std::size_t threads = 0);
+  /// When `metrics` is non-null the pool registers its gauges/histograms
+  /// there; the registry must outlive the pool.
+  explicit ThreadPool(std::size_t threads = 0,
+                      MetricsRegistry* metrics = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -35,15 +52,28 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    Timer queued;  // started at submit; read at pickup for queue_wait_ms
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+
+  // Cached registry entries (null when unmetered). Resolved once in the
+  // constructor so the hot path never touches the registry mutex.
+  Gauge* queue_depth_ = nullptr;
+  Gauge* active_ = nullptr;
+  Counter* tasks_done_ = nullptr;
+  Histogram* queue_wait_ms_ = nullptr;
+  Histogram* task_ms_ = nullptr;
 };
 
 }  // namespace rs::support

@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
 # End-to-end exercise of `rsat serve`:
-#   1. start on an ephemeral port with a persistent --cache-dir,
-#   2. drive analyze / cancel / drain through a client socket (/dev/tcp),
-#   3. SIGINT: the server drains and exits 0 with a summary,
+#   1. start on an ephemeral port with a persistent --cache-dir plus the
+#      telemetry artifacts (--trace-file, --metrics-json),
+#   2. drive analyze / cancel / drain / stats through a client socket
+#      (/dev/tcp),
+#   3. SIGINT: the server drains and exits 0 with a summary, a schema-valid
+#      JSONL trace (every line carries the documented required keys), and a
+#      metrics JSON whose counters tile,
 #   4. restart with the same --cache-dir: the same request must be served
 #      from the disk tier (cached=1 with an empty memory store, and the
-#      summary reports a disk hit).
+#      summary reports a disk hit), and the stats verb's key schema must be
+#      byte-stable between the cold and warm sessions.
 # Usage: serve_e2e.sh /path/to/rsat
 set -u
 
@@ -25,7 +30,9 @@ fail() {
 start_server() { # $1 = log path
   rm -f "$WORK/port"
   "$RSAT" serve --port 0 --port-file "$WORK/port" \
-      --cache-dir "$WORK/cache" --threads 2 2>"$1" &
+      --cache-dir "$WORK/cache" --threads 2 \
+      --trace-file "$1.trace.jsonl" --metrics-json "$1.metrics.json" \
+      2>"$1" &
   SERVER_PID=$!
   for _ in $(seq 1 300); do
     [ -s "$WORK/port" ] && break
@@ -57,31 +64,78 @@ request() { # $1 = request lines (\n-separated), $2 = expected reply count
 
 line_n() { printf '%s' "$REPLY" | sed -n "${1}p"; }
 
-# --- first server: cold compute, cancel ack, drain ack ---------------------
+# Validates one session's telemetry artifacts: every trace line is a JSON
+# object carrying the documented required keys, the metrics JSON parses and
+# its engine.* counters tile, and the expected event count matches.
+check_telemetry() { # $1 = log path, $2 = expected trace events
+  python3 - "$1.trace.jsonl" "$1.metrics.json" "$2" <<'EOF' || fail "telemetry artifacts invalid (see above)"
+import json, sys
+trace_path, metrics_path, expect = sys.argv[1], sys.argv[2], int(sys.argv[3])
+required = ["ev", "ts", "id", "op", "name", "fp", "ok", "cached", "tier",
+            "stop", "nodes", "total_ms"]
+events = 0
+with open(trace_path) as f:
+    for n, line in enumerate(f, 1):
+        ev = json.loads(line)  # every line must parse as one JSON object
+        missing = [k for k in required if k not in ev]
+        assert not missing, f"line {n} missing keys {missing}: {line!r}"
+        assert ev["ev"] == "request", f"line {n} bad ev: {ev['ev']}"
+        assert ev["tier"] in ("mem", "disk", "none"), ev["tier"]
+        events += 1
+assert events == expect, f"expected {expect} trace events, found {events}"
+m = json.load(open(metrics_path))
+c = m["counters"]
+tiles = (c["engine.memory_hits"] + c["engine.disk_hits"]
+         + c["engine.coalesced"] + c["engine.misses"])
+assert tiles == c["engine.completed"], \
+    f"counters do not tile: {tiles} != {c['engine.completed']}"
+assert c["serve.requests"] == events, (c["serve.requests"], events)
+assert m["histograms"]["engine.latency_ms"]["count"] == events
+EOF
+}
+
+# Key schema of a stats line (the sorted key set, values stripped).
+stats_schema() { printf '%s' "$1" | tr ' ' '\n' | sed 's/=.*//' | sort; }
+
+# --- first server: cold compute, cancel ack, drain ack, stats verb ---------
 start_server "$WORK/log1"
-request 'analyze kernel=fir8\ncancel 999\ndrain\n' 3
+request 'analyze kernel=fir8\ncancel 999\ndrain\nstats\n' 4
 line_n 1 | grep -q 'status=ok kind=analyze name=fir8' ||
   fail "unexpected analyze result: $(line_n 1)"
 line_n 1 | grep -q 'cached=0' || fail "first analyze should be a cold miss"
 [ "$(line_n 2)" = "cancelled id=999 found=0" ] ||
   fail "unexpected cancel ack: $(line_n 2)"
 [ "$(line_n 3)" = "drained" ] || fail "unexpected drain ack: $(line_n 3)"
+line_n 4 | grep -q '^stats submitted=1 completed=1 .* misses=1 ' ||
+  fail "unexpected stats ack: $(line_n 4)"
+line_n 4 | grep -q ' op\.analyze\.submitted=1 ' ||
+  fail "stats ack missing the per-op slice: $(line_n 4)"
 COLD_RESULT="$(line_n 1)"
+COLD_STATS="$(line_n 4)"
 stop_server "$WORK/log1"
 grep -q 'interrupted, drained' "$WORK/log1" ||
   fail "SIGINT summary missing the drain marker"
+check_telemetry "$WORK/log1" 1
 
 # --- restart with the same cache dir: must hit the disk tier ---------------
 start_server "$WORK/log2"
-request 'analyze kernel=fir8\n' 1
+request 'analyze kernel=fir8\nstats\n' 2
 line_n 1 | grep -q 'cached=1' ||
   fail "restart did not serve from the disk tier: $(line_n 1)"
 # Byte-identical modulo the delivery fields (cached=, ms=).
 strip() { printf '%s\n' "$1" | tr ' ' '\n' | grep -v -e '^cached=' -e '^ms=' | tr '\n' ' '; }
 [ "$(strip "$COLD_RESULT")" = "$(strip "$(line_n 1)")" ] ||
   fail "disk-served line differs beyond cached=/ms=: $COLD_RESULT vs $(line_n 1)"
+# Same operation mix -> byte-stable stats key schema across cold/warm runs.
+line_n 2 | grep -q ' disk_hits=1 ' ||
+  fail "warm stats did not count the disk hit: $(line_n 2)"
+[ "$(stats_schema "$COLD_STATS")" = "$(stats_schema "$(line_n 2)")" ] ||
+  fail "stats key schema drifted between cold and warm sessions"
 stop_server "$WORK/log2"
 grep -q '1 disk hits' "$WORK/log2" ||
   fail "restart summary did not report the disk hit"
+check_telemetry "$WORK/log2" 1
+grep -q '"tier":"disk"' "$WORK/log2.trace.jsonl" ||
+  fail "restart trace event did not attribute the disk tier"
 
 echo "PASS serve_e2e"

@@ -1,0 +1,355 @@
+// Telemetry spine: the metrics registry primitives (support/metrics.hpp)
+// and the trace span / JSONL sink (service/trace.hpp), including the
+// engine-integration contract (EngineConfig::trace -> Response::trace).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ddg/kernels.hpp"
+#include "service/engine.hpp"
+#include "service/ops/analyze.hpp"
+#include "service/trace.hpp"
+#include "support/metrics.hpp"
+
+namespace rs::support {
+namespace {
+
+TEST(Counter, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("t.counter");
+  constexpr int kThreads = 8;
+  constexpr int kIncs = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncs; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIncs);
+}
+
+TEST(Gauge, ConcurrentAddSubBalancesToZero) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("t.gauge");
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < 50000; ++i) {
+        g.add(3);
+        g.sub(3);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(g.value(), 0);
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+}
+
+TEST(Histogram, QuantilesWithinBucketErrorOfExactRanks) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("t.hist");
+  for (int v = 1; v <= 1000; ++v) h.observe(static_cast<double>(v));
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_NEAR(h.mean(), 500.5, 1e-9);
+  // Bucket midpoints are within ~9% relative error of the true rank value
+  // (kSubBuckets = 8); allow 15% slack for the rank falling at bucket edges.
+  EXPECT_NEAR(h.quantile(0.5), 500.0, 75.0);
+  EXPECT_NEAR(h.quantile(0.95), 950.0, 145.0);
+  EXPECT_NEAR(h.quantile(0.99), 990.0, 150.0);
+  // Quantiles are clamped to the exact observed range and ordered.
+  EXPECT_GE(h.quantile(0.0), h.min());
+  EXPECT_LE(h.quantile(1.0), h.max());
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.95));
+  EXPECT_LE(h.quantile(0.95), h.quantile(0.99));
+}
+
+TEST(Histogram, EmptyReportsZeroes) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("t.empty");
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, UnderflowAndOverflowStayWithinObservedRange) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("t.extreme");
+  h.observe(1e-9);  // below 2^kMinExp: underflow bucket
+  h.observe(1e12);  // above 2^kMaxExp: overflow bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-9);
+  EXPECT_DOUBLE_EQ(h.max(), 1e12);
+  EXPECT_GE(h.quantile(0.01), h.min());
+  EXPECT_LE(h.quantile(0.99), h.max());
+  // The overflow bucket reports the exact observed max, not a midpoint.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1e12);
+}
+
+TEST(Histogram, ConcurrentObserversLoseNoSamples) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("t.conc");
+  constexpr int kThreads = 8;
+  constexpr int kObs = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kObs; ++i) {
+        h.observe(0.5 + static_cast<double>((t * kObs + i) % 100));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kObs);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 99.5);
+}
+
+TEST(Registry, ReferencesAreStableAndNamespacesIndependent) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("same.name");
+  Counter& b = reg.counter("same.name");
+  EXPECT_EQ(&a, &b);  // find-or-create returns the same object
+  // The three metric kinds have independent namespaces.
+  Gauge& g = reg.gauge("same.name");
+  Histogram& h = reg.histogram("same.name");
+  a.inc(5);
+  g.set(-3);
+  h.observe(1.0);
+  EXPECT_EQ(reg.counters().at("same.name"), 5u);
+  EXPECT_EQ(reg.gauges().at("same.name"), -3);
+  EXPECT_EQ(reg.histograms().at("same.name").count, 1u);
+}
+
+TEST(Registry, ConcurrentLookupAndUseIsSafe) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < 1000; ++i) {
+        reg.counter("shared.c").inc();
+        reg.histogram("shared.h").observe(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counters().at("shared.c"), 8000u);
+  EXPECT_EQ(reg.histograms().at("shared.h").count, 8000u);
+}
+
+TEST(Registry, ToJsonIsByteStableAndSorted) {
+  MetricsRegistry reg;
+  reg.counter("z.last").inc(2);
+  reg.counter("a.first").inc(1);
+  reg.gauge("mid").set(4);
+  reg.histogram("lat").observe(2.0);
+  const std::string j1 = reg.to_json();
+  const std::string j2 = reg.to_json();
+  EXPECT_EQ(j1, j2);  // byte-stable for fixed values
+  // Name-sorted within each section.
+  EXPECT_LT(j1.find("\"a.first\":1"), j1.find("\"z.last\":2"));
+  EXPECT_NE(j1.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(j1.find("\"gauges\":{\"mid\":4}"), std::string::npos);
+  EXPECT_NE(j1.find("\"histograms\":{\"lat\":{\"count\":1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace rs::support
+
+namespace rs::service {
+namespace {
+
+/// Minimal structural JSONL check without a JSON parser: balanced braces on
+/// one line, and every required key present in order of first appearance.
+void expect_required_keys(const std::string& line) {
+  EXPECT_FALSE(line.empty());
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  std::size_t pos = 0;
+  for (const char* key :
+       {"\"ev\":", "\"ts\":", "\"id\":", "\"op\":", "\"name\":", "\"fp\":",
+        "\"ok\":", "\"cached\":", "\"tier\":", "\"stop\":", "\"nodes\":"}) {
+    const std::size_t at = line.find(key, pos);
+    ASSERT_NE(at, std::string::npos) << key << " missing in " << line;
+    pos = at;
+  }
+  EXPECT_NE(line.find("\"total_ms\":"), std::string::npos);
+}
+
+TEST(TraceRender, RequiredKeysAlwaysPresent) {
+  TraceSpan span;
+  span.id = 7;
+  span.op = "analyze";
+  span.name = "k1";
+  span.fp = "abcd";
+  const std::string line = render_trace_json(span, 1234.5);
+  expect_required_keys(line);
+  EXPECT_NE(line.find("\"ev\":\"request\""), std::string::npos);
+  EXPECT_NE(line.find("\"ts\":1234.500000"), std::string::npos);
+  EXPECT_NE(line.find("\"id\":7"), std::string::npos);
+  // Unmeasured total_ms still renders (as 0); unmeasured phases do not.
+  EXPECT_NE(line.find("\"total_ms\":0.000"), std::string::npos);
+  EXPECT_EQ(line.find("\"solve_ms\":"), std::string::npos);
+  EXPECT_EQ(line.find("\"bytes\":"), std::string::npos);
+  EXPECT_EQ(line.find("\"err\":"), std::string::npos);
+}
+
+TEST(TraceRender, MeasuredPhasesAppearOmittedOnesDoNot) {
+  TraceSpan span;
+  span.queue_ms = 0.25;
+  span.solve_ms = 3.5;
+  span.total_ms = 4.0;
+  span.bytes = 128;
+  const std::string line = render_trace_json(span, 0);
+  EXPECT_NE(line.find("\"queue_ms\":0.250"), std::string::npos);
+  EXPECT_NE(line.find("\"solve_ms\":3.500"), std::string::npos);
+  EXPECT_NE(line.find("\"total_ms\":4.000"), std::string::npos);
+  EXPECT_NE(line.find("\"bytes\":128"), std::string::npos);
+  EXPECT_EQ(line.find("\"parse_ms\":"), std::string::npos);
+  EXPECT_EQ(line.find("\"lookup_ms\":"), std::string::npos);
+  EXPECT_EQ(line.find("\"encode_ms\":"), std::string::npos);
+}
+
+TEST(TraceRender, EscapesStringsAndCarriesErrors) {
+  TraceSpan span;
+  span.ok = false;
+  span.name = "a \"b\"\\c\nd\te";
+  span.error = std::string("ctl:") + '\x01';
+  const std::string line = render_trace_json(span, 0);
+  EXPECT_NE(line.find("\"name\":\"a \\\"b\\\"\\\\c\\nd\\te\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(line.find("\"err\":\"ctl:\\u0001\""), std::string::npos);
+}
+
+TEST(TraceSink, WritesOneLinePerEventAcrossThreads) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rs_test_trace.jsonl")
+          .string();
+  constexpr int kThreads = 4;
+  constexpr int kEvents = 200;
+  {
+    TraceSink sink(path);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&sink, t] {
+        for (int i = 0; i < kEvents; ++i) {
+          TraceSpan span;
+          span.id = static_cast<std::uint64_t>(t * kEvents + i + 1);
+          span.op = "analyze";
+          span.name = "w";
+          span.total_ms = 0.5;
+          sink.write(span);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(sink.written(), static_cast<std::uint64_t>(kThreads) * kEvents);
+    EXPECT_EQ(sink.dropped(), 0u);
+    sink.flush();
+  }
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    expect_required_keys(line);
+    ++lines;
+  }
+  EXPECT_EQ(lines, kThreads * kEvents);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceSink, DropsInsteadOfBlockingWhenBufferIsFull) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rs_test_trace_drop.jsonl")
+          .string();
+  TraceSink::Config cfg;
+  cfg.path = path;
+  // Threshold above the cap: nothing ever flushes, so the buffer fills and
+  // the sink must start dropping (never blocking).
+  cfg.flush_threshold = std::size_t{1} << 20;
+  cfg.max_buffer = 512;
+  std::uint64_t written = 0;
+  {
+    TraceSink sink(cfg);
+    TraceSpan span;
+    span.op = "analyze";
+    span.name = "drop-me";
+    for (int i = 0; i < 100; ++i) sink.write(span);
+    EXPECT_GT(sink.dropped(), 0u);
+    EXPECT_GT(sink.written(), 0u);
+    EXPECT_EQ(sink.written() + sink.dropped(), 100u);
+    written = sink.written();
+  }
+  // The destructor flushed exactly the accepted events.
+  std::ifstream in(path);
+  std::string line;
+  std::uint64_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, written);
+  EXPECT_LT(lines, 100u);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceEngine, SpansRideOnResponsesWhenEnabled) {
+  EngineConfig cfg;
+  cfg.threads = 1;
+  cfg.trace = true;
+  AnalysisEngine engine(cfg);
+  const auto dag = ddg::build_kernel("lin-ddot", ddg::superscalar_model());
+
+  Request first = make_analyze_request(dag);
+  first.id = 1;
+  first.name = "cold";
+  first.parse_ms = 0.125;
+  const Response cold = engine.run(first);
+  ASSERT_NE(cold.trace, nullptr);
+  EXPECT_EQ(cold.trace->id, 1u);
+  EXPECT_EQ(cold.trace->op, "analyze");
+  EXPECT_EQ(cold.trace->name, "cold");
+  EXPECT_EQ(cold.trace->fp, cold.fingerprint.hex());
+  EXPECT_TRUE(cold.trace->ok);
+  EXPECT_FALSE(cold.trace->cached);
+  EXPECT_STREQ(cold.trace->tier, "none");
+  EXPECT_DOUBLE_EQ(cold.trace->parse_ms, 0.125);
+  EXPECT_GE(cold.trace->queue_ms, 0.0);
+  EXPECT_GE(cold.trace->fp_ms, 0.0);
+  EXPECT_GE(cold.trace->lookup_ms, 0.0);
+  EXPECT_GE(cold.trace->solve_ms, 0.0);  // owners measure the solve
+  EXPECT_GE(cold.trace->total_ms, 0.0);
+
+  Request second = make_analyze_request(dag);
+  second.id = 2;
+  const Response warm = engine.run(second);
+  ASSERT_NE(warm.trace, nullptr);
+  EXPECT_TRUE(warm.trace->cached);
+  EXPECT_STREQ(warm.trace->tier, "mem");
+  EXPECT_LT(warm.trace->solve_ms, 0.0);  // cache hits never enter solve
+}
+
+TEST(TraceEngine, NoSpansWhenDisabled) {
+  EngineConfig cfg;
+  cfg.threads = 1;
+  AnalysisEngine engine(cfg);
+  const Response resp = engine.run(
+      make_analyze_request(ddg::build_kernel("lin-ddot",
+                                             ddg::superscalar_model())));
+  EXPECT_EQ(resp.trace, nullptr);
+}
+
+}  // namespace
+}  // namespace rs::service

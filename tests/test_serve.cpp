@@ -11,6 +11,7 @@
 #include <filesystem>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "ddg/generators.hpp"
 #include "ddg/io.hpp"
@@ -18,6 +19,7 @@
 #include "service/protocol.hpp"
 #include "service/serve.hpp"
 #include "support/fs.hpp"
+#include "support/parse.hpp"
 #include "support/random.hpp"
 #include "support/socket.hpp"
 #include "support/timer.hpp"
@@ -110,6 +112,93 @@ TEST(Serve, AnalyzeCancelDrainOverOneConnection) {
   EXPECT_EQ(ss.requests, 1u);
   EXPECT_EQ(ss.responses, 3u);
   EXPECT_EQ(ss.parse_errors, 0u);
+}
+
+TEST(Serve, StatsVerbReturnsLiveTilingTelemetry) {
+  ServeConfig cfg;
+  cfg.engine.threads = 2;
+  ServerFixture server(cfg);
+  LineClient client(server->port());
+
+  // stats is emitted in order behind earlier slots, so this snapshot must
+  // already see the analyze answered.
+  client.send("analyze kernel=lin-ddot\nstats\n");
+  EXPECT_EQ(service::parse_fields(client.next_line()).at("status"), "ok");
+  const std::string cold_line = client.next_line();
+  const auto cold = service::parse_fields(cold_line);
+  EXPECT_EQ(cold.at(""), "stats");
+  EXPECT_EQ(cold.at("completed"), "1");
+  EXPECT_EQ(cold.at("misses"), "1");
+  EXPECT_EQ(cold.at("op.analyze.submitted"), "1");
+  EXPECT_EQ(support::parse_ll(cold.at("memory_hits"), "k") +
+                support::parse_ll(cold.at("disk_hits"), "k") +
+                support::parse_ll(cold.at("coalesced"), "k") +
+                support::parse_ll(cold.at("misses"), "k"),
+            support::parse_ll(cold.at("completed"), "k"));
+
+  // Warm run over the same connection: identical key schema, fresh values.
+  client.send("analyze kernel=lin-ddot\nstats\n");
+  EXPECT_EQ(service::parse_fields(client.next_line()).at("cached"), "1");
+  const auto warm = service::parse_fields(client.next_line());
+  std::vector<std::string> cold_keys, warm_keys;
+  for (const auto& [k, v] : cold) cold_keys.push_back(k);
+  for (const auto& [k, v] : warm) warm_keys.push_back(k);
+  EXPECT_EQ(cold_keys, warm_keys);
+  EXPECT_EQ(warm.at("completed"), "2");
+  EXPECT_EQ(warm.at("memory_hits"), "1");
+  EXPECT_EQ(warm.at("op.analyze.hits"), "1");
+
+  // The ack counts as a response but not a request, and the engine stats
+  // behind the verb still tile after the session.
+  const auto ss = server->serve_stats();
+  EXPECT_EQ(ss.requests, 2u);
+  EXPECT_EQ(ss.responses, 4u);
+  EXPECT_TRUE(server->engine().stats().counters_tile());
+}
+
+TEST(Serve, TraceFileCapturesOneEventPerRequest) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "rs_serve_trace.jsonl";
+  std::filesystem::remove(path);
+  {
+    ServeConfig cfg;
+    cfg.engine.threads = 2;
+    cfg.trace_file = path.string();
+    ServerFixture server(cfg);
+    ASSERT_NE(server->trace_sink(), nullptr);
+    LineClient client(server->port());
+    client.send("analyze kernel=lin-ddot\nanalyze kernel=lin-ddot\ndrain\n");
+    EXPECT_EQ(service::parse_fields(client.next_line()).at("cached"), "0");
+    EXPECT_EQ(service::parse_fields(client.next_line()).at("cached"), "1");
+    EXPECT_EQ(client.next_line(), "drained");
+    EXPECT_EQ(server->trace_sink()->written(), 2u);
+    EXPECT_EQ(server->trace_sink()->dropped(), 0u);
+  }  // shutdown flushes the sink
+  std::string text;
+  ASSERT_TRUE(support::read_file_to_string(path.string(), &text));
+  // Two JSONL events: a miss with a solve phase, then a mem-tier hit
+  // without one; both carry the full required-key set and the wire cost.
+  std::size_t lines = 0, at = 0;
+  for (std::size_t nl = text.find('\n'); nl != std::string::npos;
+       nl = text.find('\n', at)) {
+    const std::string line = text.substr(at, nl - at);
+    at = nl + 1;
+    ++lines;
+    for (const char* key :
+         {"\"ev\":\"request\"", "\"ts\":", "\"op\":\"analyze\"", "\"fp\":",
+          "\"ok\":true", "\"tier\":", "\"stop\":\"proven\"", "\"nodes\":",
+          "\"parse_ms\":", "\"queue_ms\":", "\"encode_ms\":", "\"total_ms\":",
+          "\"bytes\":"}) {
+      EXPECT_NE(line.find(key), std::string::npos)
+          << key << " missing in " << line;
+    }
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(text.find("\"cached\":false"), std::string::npos);
+  EXPECT_NE(text.find("\"cached\":true"), std::string::npos);
+  EXPECT_NE(text.find("\"tier\":\"mem\""), std::string::npos);
+  EXPECT_NE(text.find("\"solve_ms\":"), std::string::npos);
+  std::filesystem::remove(path);
 }
 
 TEST(Serve, MalformedLineAnswersErrorAndConnectionSurvives) {

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <future>
 #include <set>
 #include <thread>
@@ -488,8 +489,141 @@ TEST(Engine, StatsTrackLatencyPercentiles) {
   const auto st = engine.stats();
   EXPECT_EQ(st.completed, 4u);
   EXPECT_GE(st.p95_ms, st.p50_ms);
-  EXPECT_GE(st.max_ms, st.p95_ms);
+  EXPECT_GE(st.p99_ms, st.p95_ms);
+  EXPECT_GE(st.max_ms, st.p99_ms);
   EXPECT_GT(st.max_ms, 0.0);
+}
+
+// Per-op slices of an EngineStats snapshot, summed for the tiling checks.
+struct OpSums {
+  std::uint64_t submitted = 0, hits = 0, misses = 0;
+};
+OpSums sum_per_op(const service::EngineStats& st) {
+  OpSums s;
+  for (const auto& [name, op] : st.per_op) {
+    s.submitted += op.submitted;
+    s.hits += op.hits;
+    s.misses += op.misses;
+  }
+  return s;
+}
+
+TEST(Engine, CountersTileAcrossMixedWorkload) {
+  const auto dir = std::filesystem::temp_directory_path() / "rs_tile_cache";
+  std::filesystem::remove_all(dir);
+  EngineConfig cfg;
+  cfg.threads = 4;
+  cfg.cache_dir = dir.string();
+  {
+    // Populate the disk tier, then restart so its hits land as disk_hits.
+    AnalysisEngine warmup(cfg);
+    warmup.run(service::parse_request_line("analyze kernel=lin-ddot", 1));
+  }
+  AnalysisEngine engine(cfg);
+  // Disk hit + memory hit on the same entry.
+  engine.run(service::parse_request_line("analyze kernel=lin-ddot", 1));
+  engine.run(service::parse_request_line("analyze kernel=lin-ddot", 2));
+  // Misses across two operations, plus concurrent duplicates (coalesces).
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 6; ++i) {
+    futs.push_back(engine.submit(
+        service::parse_request_line("reduce kernel=fir8 limits=16,16", 10)));
+  }
+  for (auto& f : futs) f.get();
+  // An error response must also land in exactly one bucket (a miss).
+  engine.run(service::make_reduce_request(
+      ddg::build_kernel("fir8", ddg::superscalar_model()), {4}));
+  engine.wait_idle();
+
+  const auto st = engine.stats();
+  EXPECT_EQ(st.completed, 9u);
+  // Whether a duplicate coalesces or lands as a memory hit is a race
+  // against the first solve; only the bucket *union* is deterministic.
+  EXPECT_GE(st.memory_hits, 1u);
+  EXPECT_EQ(st.disk_hits, 1u);
+  EXPECT_EQ(st.errors, 1u);
+  EXPECT_TRUE(st.counters_tile())
+      << st.memory_hits << " + " << st.disk_hits << " + " << st.coalesced
+      << " + " << st.misses << " != " << st.completed;
+  // Per-op slices tile the aggregates (ISSUE 6 satellite): hits cover the
+  // store tiers and coalesces, misses the computed solves, errors included.
+  const OpSums sums = sum_per_op(st);
+  EXPECT_EQ(sums.submitted, st.completed);
+  EXPECT_EQ(sums.hits, st.cache_hits + st.coalesced);
+  EXPECT_EQ(sums.misses, st.misses);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Engine, CountersTileAfterCancellations) {
+  EngineConfig cfg;
+  cfg.threads = 2;
+  AnalysisEngine engine(cfg);
+  // A slow solve plus a coalesced duplicate, both cancelled mid-flight:
+  // the owner counts as a miss, the detached waiter as a coalesce, and
+  // the buckets must still tile `completed`.
+  Request slow = service::parse_request_line(
+      "analyze kernel=liv-loop23 engine=exact budget=30", 1);
+  auto f1 = engine.submit(Request(slow));
+  auto f2 = engine.submit(Request(slow));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  engine.cancel_all();
+  f1.get();
+  f2.get();
+  engine.wait_idle();
+  const auto st = engine.stats();
+  EXPECT_EQ(st.completed, 2u);
+  EXPECT_TRUE(st.counters_tile())
+      << st.memory_hits << " + " << st.disk_hits << " + " << st.coalesced
+      << " + " << st.misses << " != " << st.completed;
+  const OpSums sums = sum_per_op(st);
+  EXPECT_EQ(sums.submitted, st.completed);
+  EXPECT_EQ(sums.hits + sums.misses, st.completed);
+}
+
+TEST(Protocol, ParsesStatsVerb) {
+  const service::Command c = service::parse_command_line("stats", 1);
+  EXPECT_EQ(c.kind, service::CommandKind::Stats);
+  using support::PreconditionError;
+  EXPECT_THROW(service::parse_command_line("stats now", 1),
+               PreconditionError);
+  EXPECT_THROW(service::parse_request_line("stats", 1), PreconditionError);
+}
+
+TEST(Protocol, StatsLineTilesAndKeepsSchemaStableColdVsWarm) {
+  AnalysisEngine engine{EngineConfig{}};
+  engine.run(service::parse_request_line("analyze kernel=lin-ddot", 1));
+  engine.run(service::parse_request_line("reduce kernel=fir8 limits=16,16",
+                                         2));
+  const std::string cold = service::render_stats_line(engine.stats());
+  const auto cf = service::parse_fields(cold);
+  EXPECT_EQ(cf.at(""), "stats");
+  EXPECT_EQ(cf.at("submitted"), "2");
+  EXPECT_EQ(cf.at("completed"), "2");
+  EXPECT_EQ(cf.at("misses"), "2");
+  EXPECT_EQ(cf.at("ops"), "2");
+  EXPECT_EQ(cf.at("op.analyze.submitted"), "1");
+  EXPECT_EQ(cf.at("op.reduce.submitted"), "1");
+  // The tiling invariant holds on the rendered line itself.
+  EXPECT_EQ(support::parse_ll(cf.at("memory_hits"), "k") +
+                support::parse_ll(cf.at("disk_hits"), "k") +
+                support::parse_ll(cf.at("coalesced"), "k") +
+                support::parse_ll(cf.at("misses"), "k"),
+            support::parse_ll(cf.at("completed"), "k"));
+
+  // Warm pass: same operation mix, so the key schema must be byte-stable —
+  // identical key sets, only values differ (the acceptance bar for
+  // machine consumers diffing cold vs warm snapshots).
+  engine.run(service::parse_request_line("analyze kernel=lin-ddot", 3));
+  engine.run(service::parse_request_line("reduce kernel=fir8 limits=16,16",
+                                         4));
+  const auto wf =
+      service::parse_fields(service::render_stats_line(engine.stats()));
+  std::vector<std::string> cold_keys, warm_keys;
+  for (const auto& [k, v] : cf) cold_keys.push_back(k);
+  for (const auto& [k, v] : wf) warm_keys.push_back(k);
+  EXPECT_EQ(cold_keys, warm_keys);
+  EXPECT_EQ(wf.at("memory_hits"), "2");
+  EXPECT_EQ(wf.at("op.analyze.hits"), "1");
 }
 
 // ---------------------------------------------------------------------------

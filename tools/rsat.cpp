@@ -20,16 +20,17 @@
 //   rsat dump <kernel> [--vliw]
 //       emit a built-in kernel in the .ddg text format.
 //   rsat batch [manifest] [--threads N] [--cache-mb M] [--cache-dir D]
-//       [--vliw]
+//       [--trace-file F] [--metrics-json F] [--vliw]
 //       stream protocol requests (stdin or manifest file) through the
 //       cached concurrent analysis engine; result lines on stdout, a
 //       summary with hit rate (split by memory/disk tier) and latency
-//       percentiles on stderr. Understands cancel/drain control verbs;
-//       Ctrl-C (SIGINT) stops reading, cancels in-flight solves
+//       percentiles on stderr. Understands cancel/drain/stats control
+//       verbs; Ctrl-C (SIGINT) stops reading, cancels in-flight solves
 //       cooperatively, prints every pending result plus the summary, and
 //       exits 0.
 //   rsat serve [--host H] [--port P] [--port-file F] [--threads N]
-//       [--cache-mb M] [--cache-dir D] [--vliw]
+//       [--cache-mb M] [--cache-dir D] [--trace-file F] [--metrics-json F]
+//       [--slow-ms T] [--vliw]
 //       poll-based TCP front end speaking the same line protocol, one
 //       stream per connection (port 0 = ephemeral; the bound port goes to
 //       stderr and --port-file). SIGINT cancels in-flight solves, flushes
@@ -41,6 +42,16 @@
 // solve seconds (0 = no deadline); S must be a finite non-negative number.
 // --stats prints aggregate solver statistics (nodes, prunes, simplex
 // iterations, stop cause).
+//
+// Observability (batch and serve; see README "Observability"):
+//   --trace-file F    one JSONL trace event per request (parse, queue,
+//                     fingerprint, store lookup, solve, encode phases plus
+//                     cache tier / stop cause / node count) to F
+//   --metrics-json F  full metrics-registry snapshot (counters, gauges,
+//                     histogram quantiles) written to F at exit
+//   --slow-ms T       serve only: log requests slower than T ms to stderr
+// The `stats` protocol verb returns the same registry live, as one
+// key=value line, over batch stdin or a serve connection.
 //
 // The .ddg text format is documented in src/ddg/io.hpp; the batch request/
 // result protocol in src/service/protocol.hpp.
@@ -55,6 +66,7 @@
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -72,8 +84,10 @@
 #include "service/operation.hpp"
 #include "service/protocol.hpp"
 #include "service/serve.hpp"
+#include "service/trace.hpp"
 #include "support/assert.hpp"
 #include "support/fs.hpp"
+#include "support/metrics.hpp"
 #include "support/parse.hpp"
 #include "support/timer.hpp"
 
@@ -100,13 +114,14 @@ int usage() {
         "  rsat dump <kernel> [--vliw]\n"
         "  rsat dumpprog <program> [--vliw]\n"
         "  rsat batch [manifest] [--threads N] [--cache-mb M] [--cache-dir D]\n"
-        "             [--vliw]\n"
+        "             [--trace-file F] [--metrics-json F] [--vliw]\n"
         "  rsat serve [--host H] [--port P] [--port-file F] [--threads N]\n"
-        "             [--cache-mb M] [--cache-dir D] [--vliw]\n"
+        "             [--cache-mb M] [--cache-dir D] [--trace-file F]\n"
+        "             [--metrics-json F] [--slow-ms T] [--vliw]\n"
         "\n"
         "operations (one-shot <op> and batch/serve request lines: "
      << rs::service::operation_names("|")
-     << "|cancel|drain):\n";
+     << "|cancel|drain|stats):\n";
   for (const rs::service::Operation* op : rs::service::operations()) {
     os << "  " << op->name();
     for (std::size_t pad = op->name().size(); pad < 9; ++pad) os << ' ';
@@ -331,6 +346,7 @@ void print_cache_summary(const rs::service::EngineStats& st,
                  static_cast<unsigned long long>(st.disk.write_errors));
   }
   // One row per operation actually exercised (EngineStats::per_op).
+  std::uint64_t op_hits = 0, op_misses = 0;
   for (const auto& [name, op] : st.per_op) {
     std::fprintf(stderr,
                  "op %s: %llu submitted, %llu hits, %llu misses, "
@@ -338,11 +354,52 @@ void print_cache_summary(const rs::service::EngineStats& st,
                  name.c_str(), static_cast<unsigned long long>(op.submitted),
                  static_cast<unsigned long long>(op.hits),
                  static_cast<unsigned long long>(op.misses), op.p50_ms);
+    op_hits += op.hits;
+    op_misses += op.misses;
   }
+  // Tiling invariants (both front ends print summaries only at idle, when
+  // they hold exactly): every completed response is exactly one of a
+  // memory hit, disk hit, coalesce, or miss, and the per-op slices sum to
+  // the aggregates. A violation is an accounting bug worth shouting about,
+  // not worth killing a server that just answered its workload over.
+  if (!st.counters_tile()) {
+    std::fprintf(stderr,
+                 "WARNING: cache counters do not tile: "
+                 "%llu mem + %llu disk + %llu coalesced + %llu misses != "
+                 "%llu completed\n",
+                 static_cast<unsigned long long>(st.memory_hits),
+                 static_cast<unsigned long long>(st.disk_hits),
+                 static_cast<unsigned long long>(st.coalesced),
+                 static_cast<unsigned long long>(st.misses),
+                 static_cast<unsigned long long>(st.completed));
+  }
+  if (op_hits != st.cache_hits + st.coalesced || op_misses != st.misses) {
+    std::fprintf(stderr,
+                 "WARNING: per-op slices do not tile the engine totals: "
+                 "hits %llu != %llu or misses %llu != %llu\n",
+                 static_cast<unsigned long long>(op_hits),
+                 static_cast<unsigned long long>(st.cache_hits + st.coalesced),
+                 static_cast<unsigned long long>(op_misses),
+                 static_cast<unsigned long long>(st.misses));
+  }
+}
+
+/// --metrics-json: the whole registry (engine.*, op.*, store.*, pool.*, and
+/// serve.* when serving) as one JSON object, written atomically at exit.
+void write_metrics_json(const rs::support::MetricsRegistry& metrics,
+                        const std::string& path) {
+  if (path.empty()) return;
+  if (!rs::support::write_file_atomic(path, metrics.to_json() + "\n")) {
+    std::fprintf(stderr, "warning: cannot write metrics json %s\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(stderr, "metrics json: %s\n", path.c_str());
 }
 
 int cmd_serve(int argc, char** argv) {
   rs::service::ServeConfig cfg;
+  std::string metrics_json;
   try {
     for (int i = 2; i < argc; ++i) {
       if (!std::strcmp(argv[i], "--host") && i + 1 < argc) {
@@ -365,6 +422,14 @@ int cmd_serve(int argc, char** argv) {
         cfg.engine.cache_dir = argv[++i];
         RS_REQUIRE(!cfg.engine.cache_dir.empty(),
                    "--cache-dir must not be empty");
+      } else if (!std::strcmp(argv[i], "--trace-file") && i + 1 < argc) {
+        cfg.trace_file = argv[++i];
+        RS_REQUIRE(!cfg.trace_file.empty(), "--trace-file must not be empty");
+      } else if (!std::strcmp(argv[i], "--metrics-json") && i + 1 < argc) {
+        metrics_json = argv[++i];
+        RS_REQUIRE(!metrics_json.empty(), "--metrics-json must not be empty");
+      } else if (!std::strcmp(argv[i], "--slow-ms") && i + 1 < argc) {
+        cfg.slow_ms = rs::support::parse_budget_seconds(argv[++i], "--slow-ms");
       } else if (!std::strcmp(argv[i], "--vliw")) {
         cfg.protocol.default_model = rs::ddg::vliw_model();
       } else {
@@ -408,15 +473,25 @@ int cmd_serve(int argc, char** argv) {
                static_cast<unsigned long long>(ss.parse_errors),
                g_interrupted ? " [interrupted, drained]" : "");
   print_cache_summary(st, cfg.engine.cache_dir);
-  std::fprintf(stderr, "latency: p50 %.3f ms, p95 %.3f ms, max %.3f ms\n",
-               st.p50_ms, st.p95_ms, st.max_ms);
+  std::fprintf(stderr,
+               "latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, max %.3f ms\n",
+               st.p50_ms, st.p95_ms, st.p99_ms, st.max_ms);
   std::fprintf(stderr, "wall: %.3f s, %zu threads\n", wall.seconds(),
                server.engine().thread_count());
+  if (const rs::service::TraceSink* sink = server.trace_sink()) {
+    std::fprintf(stderr, "trace: %llu events to %s (%llu dropped)\n",
+                 static_cast<unsigned long long>(sink->written()),
+                 sink->path().c_str(),
+                 static_cast<unsigned long long>(sink->dropped()));
+  }
+  write_metrics_json(server.engine().metrics(), metrics_json);
   return 0;
 }
 
 int cmd_batch(int argc, char** argv) {
   std::string manifest_path;
+  std::string trace_file;
+  std::string metrics_json;
   rs::service::EngineConfig cfg;
   rs::service::ProtocolOptions popts;
   try {
@@ -432,6 +507,12 @@ int cmd_batch(int argc, char** argv) {
       } else if (!std::strcmp(argv[i], "--cache-dir") && i + 1 < argc) {
         cfg.cache_dir = argv[++i];
         RS_REQUIRE(!cfg.cache_dir.empty(), "--cache-dir must not be empty");
+      } else if (!std::strcmp(argv[i], "--trace-file") && i + 1 < argc) {
+        trace_file = argv[++i];
+        RS_REQUIRE(!trace_file.empty(), "--trace-file must not be empty");
+      } else if (!std::strcmp(argv[i], "--metrics-json") && i + 1 < argc) {
+        metrics_json = argv[++i];
+        RS_REQUIRE(!metrics_json.empty(), "--metrics-json must not be empty");
       } else if (!std::strcmp(argv[i], "--vliw")) {
         popts.default_model = rs::ddg::vliw_model();
       } else if (argv[i][0] == '-') {
@@ -460,6 +541,17 @@ int cmd_batch(int argc, char** argv) {
   install_sigint_handler();
   mask_sigint(true);  // unmasked again after every helper thread exists
 
+  // Tracing asks the engine to carry a span on every Response; the printer
+  // (which renders the result line, the last phase of a request's life)
+  // stamps encode_ms/bytes and hands the span to the sink.
+  cfg.trace = !trace_file.empty();
+  std::unique_ptr<rs::service::TraceSink> trace_sink;
+  if (cfg.trace) {
+    rs::service::TraceSink::Config tc;
+    tc.path = trace_file;
+    trace_sink = std::make_unique<rs::service::TraceSink>(tc);
+  }
+
   rs::service::AnalysisEngine engine(cfg);
   const rs::support::Timer wall;
 
@@ -487,6 +579,7 @@ int cmd_batch(int argc, char** argv) {
   // waiting for EOF.
   struct Slot {
     std::string pre;
+    bool stats = false;  // render a fresh stats snapshot at emission time
     std::future<rs::service::Response> fut;
   };
   // Backpressure: each outstanding slot holds a parsed Request (with its
@@ -513,7 +606,12 @@ int cmd_batch(int argc, char** argv) {
         pending.pop_front();
         cv.notify_all();  // wake the reader if it hit the pending cap
       }
-      if (!slot.pre.empty()) {
+      if (slot.stats) {
+        // Rendered here, not at parse time: emission order means every
+        // request ahead of this line in the stream has already been printed,
+        // so the snapshot reflects at least all of them as completed.
+        std::puts(rs::service::render_stats_line(engine.stats()).c_str());
+      } else if (!slot.pre.empty()) {
         std::puts(slot.pre.c_str());
       } else {
         const rs::service::Response resp = slot.fut.get();
@@ -525,7 +623,14 @@ int cmd_batch(int argc, char** argv) {
             default: break;
           }
         }
-        std::puts(rs::service::render_response(resp).c_str());
+        const rs::support::Timer encode;
+        const std::string out_line = rs::service::render_response(resp);
+        if (trace_sink != nullptr && resp.trace != nullptr) {
+          resp.trace->encode_ms = encode.millis();
+          resp.trace->bytes = out_line.size() + 1;  // + '\n'
+          trace_sink->write(*resp.trace);
+        }
+        std::puts(out_line.c_str());
       }
       std::fflush(stdout);
     }
@@ -551,11 +656,13 @@ int cmd_batch(int argc, char** argv) {
     Slot slot;
     bool counts = true;  // control-verb acks are not requests
     try {
+      const rs::support::Timer parse;
       rs::service::Command cmd =
           rs::service::parse_command_line(line, next_id, popts);
       switch (cmd.kind) {
         case rs::service::CommandKind::Submit:
           ++next_id;
+          cmd.request.parse_ms = parse.millis();
           slot.fut = engine.submit(std::move(cmd.request));
           break;
         case rs::service::CommandKind::Cancel:
@@ -568,6 +675,10 @@ int cmd_batch(int argc, char** argv) {
           // completed; the printer drains concurrently.
           engine.wait_idle();
           slot.pre = rs::service::render_drain_ack();
+          counts = false;
+          break;
+        case rs::service::CommandKind::Stats:
+          slot.stats = true;  // printer snapshots the registry at emission
           counts = false;
           break;
       }
@@ -598,9 +709,11 @@ int cmd_batch(int argc, char** argv) {
   watcher_done.store(true);
   sigint_watcher.join();
   failed += parse_errors;
+  if (trace_sink != nullptr) trace_sink->flush();
 
   if (total == 0) {
     std::fprintf(stderr, "batch: 0 requests\n");
+    write_metrics_json(engine.metrics(), metrics_json);
     return 0;
   }
   const double wall_s = wall.seconds();
@@ -615,10 +728,18 @@ int cmd_batch(int argc, char** argv) {
                static_cast<unsigned long long>(timed_out),
                g_interrupted ? " [interrupted, drained]" : "");
   print_cache_summary(st, cfg.cache_dir);
-  std::fprintf(stderr, "latency: p50 %.3f ms, p95 %.3f ms, max %.3f ms\n",
-               st.p50_ms, st.p95_ms, st.max_ms);
+  std::fprintf(stderr,
+               "latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, max %.3f ms\n",
+               st.p50_ms, st.p95_ms, st.p99_ms, st.max_ms);
   std::fprintf(stderr, "wall: %.3f s (%.1f req/s), %zu threads\n", wall_s,
                static_cast<double>(total) / wall_s, engine.thread_count());
+  if (trace_sink != nullptr) {
+    std::fprintf(stderr, "trace: %llu events to %s (%llu dropped)\n",
+                 static_cast<unsigned long long>(trace_sink->written()),
+                 trace_sink->path().c_str(),
+                 static_cast<unsigned long long>(trace_sink->dropped()));
+  }
+  write_metrics_json(engine.metrics(), metrics_json);
   if (g_interrupted) return 0;  // drained cleanly after Ctrl-C
   return failed == 0 ? 0 : 1;
 }
