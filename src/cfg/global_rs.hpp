@@ -7,6 +7,13 @@
 // takes a `move_margin` subtracted from every limit — the paper's
 // suggestion of "decrementing R so the final allocation cannot exceed R
 // even if move operations have been inserted".
+//
+// Blocks are independent, so both entry points fan per-block solves onto
+// the Exec's thread pool (TaskGroup, nested-task submission — engine
+// workers participating in their own fan-out cannot deadlock the pool).
+// Results are collected by block index and aggregated in block order, so
+// rows, maxima, stats, and notes are byte-identical whether the blocks ran
+// serially or in parallel.
 #pragma once
 
 #include "cfg/cfg.hpp"
@@ -30,18 +37,24 @@ struct GlobalReport {
   bool all_proven = true;
   /// Aggregate over all blocks.
   support::SolveStats stats;
+  /// Race outcomes over all blocks (Portfolio engine only).
+  core::PortfolioTally portfolio;
+  /// Blocks fanned onto the pool (0 when the request ran serially).
+  int blocks_parallel = 0;
 };
 
 /// Computes RS of every expanded block and the global per-type maxima.
-/// Budget policy: each block gets an even share of the budget *remaining
-/// when it starts* (remaining / blocks-left), so a fast block's unused
-/// slack automatically flows to the later ones. Once the budget is
+/// Budget policy: the remaining budget is split evenly under the shared
+/// deadline — every block gets remaining / ceil(blocks / jobs) seconds
+/// measured when it starts, so concurrent blocks hold equal shares and a
+/// serial run gives each wave of one the same fraction. Once the budget is
 /// exhausted (or the context is cancelled) the remaining blocks are not
 /// solved at all — they report their stop cause per block instead of each
 /// burning solver setup against an expired deadline — so the report always
 /// carries one row per block, with per-block stop causes.
 GlobalReport analyze(const Cfg& cfg, const core::AnalyzeOptions& opts = {},
-                     const support::SolveContext& solve = {});
+                     const support::SolveContext& solve = {},
+                     const core::Exec& exec = {});
 
 struct GlobalReduceResult {
   /// Per-block register-safe DDGs (ready for per-block scheduling).
@@ -49,12 +62,18 @@ struct GlobalReduceResult {
   std::vector<core::PipelineResult> details;
   bool success = true;
   std::string note;
+  /// Race outcomes over all blocks (Portfolio engine only).
+  core::PortfolioTally portfolio;
+  /// Blocks fanned onto the pool (0 when the request ran serially).
+  int blocks_parallel = 0;
 };
 
 /// Runs the figure-1 pipeline on every block against limits[t]-move_margin.
+/// Same budget split and fan-out policy as analyze().
 GlobalReduceResult ensure_limits(const Cfg& cfg, const std::vector<int>& limits,
                                  int move_margin = 1,
                                  const core::PipelineOptions& opts = {},
-                                 const support::SolveContext& solve = {});
+                                 const support::SolveContext& solve = {},
+                                 const core::Exec& exec = {});
 
 }  // namespace rs::cfg

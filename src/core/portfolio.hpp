@@ -1,0 +1,107 @@
+// Portfolio solving: race complementary strategies for the same answer
+// under one parent SolveContext, keep the first *proven* result, cancel the
+// losers immediately (the algorithm-portfolio idiom from the combinatorial
+// register allocation literature — see PAPERS.md, Castañeda Lozano &
+// Schulte).
+//
+// Determinism contract — the reason this file exists instead of a ten-line
+// "first future wins" helper: result values must be byte-identical
+// regardless of which strategy happens to finish first on a given run.
+//
+//  * Winner policy. After every strategy settles, the winner is the first
+//    *proven* strategy in fixed priority order (Exact < Ilp < Greedy <
+//    Bisect); with no proof, the strategy with the best bound wins (ties
+//    again by priority). Proven strategies agree on the answer by
+//    definition, so which one raced ahead cannot change the result value.
+//  * Canonical stats. A winner's effort counters (nodes, prunes, ...) are
+//    race-timing-dependent — the loser was cancelled at a nondeterministic
+//    point and the winner's own counters depend on when it won. Result
+//    stats are therefore canonicalized: counters zeroed, stop cause kept.
+//    Real effort still reaches the parent context's stats sink and the
+//    metrics registry, where totals are allowed to vary run to run.
+//  * Cancellation. Each strategy runs under solve.with_token(child): same
+//    deadline, same stats sink, privately cancellable. The first proven
+//    strategy cancels the other children; parent cancellation is forwarded
+//    to all children from TaskGroup::wait's poll hook.
+//
+// With no pool (Exec{}) the race degrades to priority-order sequential
+// execution with early exit — identical winner policy, identical bytes.
+#pragma once
+
+#include "core/context.hpp"
+#include "core/exec.hpp"
+#include "core/greedy_k.hpp"
+#include "core/min_reg.hpp"
+#include "core/rs_exact.hpp"
+#include "core/rs_ilp.hpp"
+
+namespace rs::core {
+
+/// Fixed priority order for deterministic tie-breaks (lower wins).
+enum class Strategy {
+  Exact = 0,   // branch-and-bound over killing functions / upward ladder
+  Ilp = 1,     // the section-3 intLP
+  Greedy = 2,  // witnessed heuristic (never proven; latency floor)
+  Bisect = 3,  // binary search on R (minreg only)
+};
+inline constexpr int kStrategyCount = 4;
+
+/// Short stable token for metrics / trace keys: exact|ilp|greedy|bisect.
+const char* strategy_token(Strategy s);
+
+/// Race outcome counters, mergeable up the aggregation chain (per-type ->
+/// report -> per-block -> program). Timing-dependent by design: these feed
+/// observability, never result bytes.
+struct PortfolioTally {
+  long long races = 0;
+  long long wins[kStrategyCount] = {0, 0, 0, 0};
+  long long losers_cancelled = 0;  // strategies observed stopping on cancel
+
+  bool any() const { return races != 0; }
+
+  void merge(const PortfolioTally& o) {
+    races += o.races;
+    for (int i = 0; i < kStrategyCount; ++i) wins[i] += o.wins[i];
+    losers_cancelled += o.losers_cancelled;
+  }
+};
+
+struct PortfolioOptions {
+  GreedyOptions greedy;
+  RsExactOptions exact;
+  RsIlpOptions ilp;
+};
+
+struct PortfolioResult {
+  int rs = 0;
+  bool proven = false;
+  Strategy winner = Strategy::Exact;
+  sched::Schedule witness;    // schedule with RN == rs (winner's)
+  support::SolveStats stats;  // canonical: counters zeroed, stop kept
+  PortfolioTally tally;
+};
+
+/// Races greedy, exact branch-and-bound, and the intLP for RS_t(G).
+PortfolioResult rs_portfolio(const TypeContext& ctx,
+                             const PortfolioOptions& opts = {},
+                             const support::SolveContext& solve = {},
+                             const Exec& exec = {});
+
+struct MinRegRaceResult {
+  MinRegResult result;  // canonical stats: counters zeroed, stop kept
+  Strategy winner = Strategy::Exact;
+  PortfolioTally tally;
+};
+
+/// Races the upward ladder (minimize_register_need) against a binary search
+/// on R. Both witnesses at the minimal R come from the identical
+/// deterministic SrcSolver::feasible call, so the winning strategy cannot
+/// change the result value, the extension, or the emitted DDG bytes.
+MinRegRaceResult minreg_portfolio(const TypeContext& ctx,
+                                  sched::Time cp_budget,
+                                  const SrcOptions& opts,
+                                  ArcLatencyMode mode = ArcLatencyMode::General,
+                                  const support::SolveContext& solve = {},
+                                  const Exec& exec = {});
+
+}  // namespace rs::core

@@ -1,6 +1,7 @@
 #include "core/saturation.hpp"
 
 #include "core/greedy_k.hpp"
+#include "core/portfolio.hpp"
 #include "core/rs_exact.hpp"
 #include "core/rs_ilp.hpp"
 #include "graph/paths.hpp"
@@ -17,7 +18,7 @@ bool SaturationReport::fits(const std::vector<int>& limits) const {
 }
 
 SaturationReport analyze(const ddg::Ddg& ddg, const AnalyzeOptions& opts,
-                         const support::SolveContext& solve) {
+                         const support::SolveContext& solve, const Exec& exec) {
   SaturationReport report;
   for (ddg::RegType t = 0; t < ddg.type_count(); ++t) {
     // Even split of whatever budget is left over the types still to run.
@@ -53,6 +54,17 @@ SaturationReport analyze(const ddg::Ddg& ddg, const AnalyzeOptions& opts,
         ts.stats = res.solve_stats;
         break;
       }
+      case RsEngine::Portfolio: {
+        PortfolioOptions popts;
+        popts.greedy = opts.greedy;
+        const PortfolioResult res = rs_portfolio(ctx, popts, type_solve, exec);
+        ts.rs = res.rs;
+        ts.proven = res.proven;
+        ts.witness = res.witness;
+        ts.stats = res.stats;  // canonical: zeroed counters, stop kept
+        report.portfolio.merge(res.tally);
+        break;
+      }
     }
     report.stats.merge(ts.stats);
     report.per_type.push_back(std::move(ts));
@@ -60,12 +72,58 @@ SaturationReport analyze(const ddg::Ddg& ddg, const AnalyzeOptions& opts,
   return report;
 }
 
+namespace {
+
+// Verification step of the reduce pipeline, selected by the analyze engine:
+// the combinatorial branch-and-bound for Greedy and ExactCombinatorial (the
+// historical behavior, byte-identical), the intLP for ExactIlp, and the
+// strategy race for Portfolio. Proven engines agree on RS, so the choice
+// affects latency and stats, never the reduction decision.
+struct VerifyOutcome {
+  int rs = 0;
+  support::SolveStats stats;
+  PortfolioTally tally;
+};
+
+VerifyOutcome verify_rs(const TypeContext& ctx, const PipelineOptions& opts,
+                        const support::SolveContext& solve, const Exec& exec) {
+  VerifyOutcome v;
+  switch (opts.analyze.engine) {
+    case RsEngine::Greedy:
+    case RsEngine::ExactCombinatorial: {
+      const RsExactResult r = rs_exact(ctx, RsExactOptions{}, solve);
+      v.rs = r.rs;
+      v.stats = r.stats;
+      break;
+    }
+    case RsEngine::ExactIlp: {
+      const RsIlpResult r = rs_ilp(ctx, RsIlpOptions{}, solve);
+      v.rs = r.rs;
+      v.stats = r.solve_stats;
+      break;
+    }
+    case RsEngine::Portfolio: {
+      PortfolioOptions popts;
+      popts.greedy = opts.analyze.greedy;
+      const PortfolioResult r = rs_portfolio(ctx, popts, solve, exec);
+      v.rs = r.rs;
+      v.stats = r.stats;  // canonical: zeroed counters, stop kept
+      v.tally = r.tally;
+      break;
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
 PipelineResult ensure_limits(const ddg::Ddg& ddg, const std::vector<int>& limits,
                              const PipelineOptions& opts,
-                             const support::SolveContext& solve) {
+                             const support::SolveContext& solve,
+                             const Exec& exec) {
   RS_REQUIRE(static_cast<int>(limits.size()) == ddg.type_count(),
              "one register limit per type");
-  PipelineResult result{ddg, {}, true, {}, {}};
+  PipelineResult result{ddg, {}, true, {}, {}, {}};
 
   for (ddg::RegType t = 0; t < ddg.type_count(); ++t) {
     RS_REQUIRE(limits[t] >= 1, "need at least one register per type");
@@ -110,12 +168,13 @@ PipelineResult ensure_limits(const ddg::Ddg& ddg, const std::vector<int>& limits
     if (opts.verify && !opts.exact_reduction &&
         red.status == ReduceStatus::Reduced) {
       // The serialization heuristic stops on its own (lower-bound) RS
-      // estimate; confirm with the exact engine and tighten if needed.
+      // estimate; confirm with a proof-capable engine and tighten if
+      // needed.
       for (int extra = 0; extra < 4; ++extra) {
         TypeContext vctx(*red.extended, t);
-        const RsExactResult verify =
-            rs_exact(vctx, RsExactOptions{}, type_solve);
+        const VerifyOutcome verify = verify_rs(vctx, opts, type_solve, exec);
         red.stats.merge(verify.stats);
+        result.portfolio.merge(verify.tally);
         if (verify.rs <= limits[t]) {
           red.achieved_rs = verify.rs;
           break;

@@ -28,9 +28,13 @@ struct Search {
   long long prunes = 0;
   long long simplex_iterations = 0;
   bool maximize;
+  /// Mid-LP interruption (portfolio cancel, deadline): without it a long
+  /// relaxation pins the search until the next per-node limits_hit check.
+  std::function<bool()> lp_stop;
 
   Search(const Model& m, const MipOptions& o, const support::SolveContext& s)
       : model(m), opts(o), solve(s), simplex(m), maximize(m.maximize()) {
+    lp_stop = [this] { return this->solve.stop_requested(); };
     lo.resize(m.var_count());
     hi.resize(m.var_count());
     for (int j = 0; j < m.var_count(); ++j) {
@@ -80,7 +84,8 @@ struct Search {
       return;
     }
     ++nodes;
-    const LpResult lp = simplex.solve_with_bounds(lo, hi, opts.lp_iteration_limit);
+    const LpResult lp =
+        simplex.solve_with_bounds(lo, hi, opts.lp_iteration_limit, lp_stop);
     simplex_iterations += lp.iterations;
     if (lp.status == LpStatus::Infeasible) return;
     if (lp.status != LpStatus::Optimal) {

@@ -124,13 +124,18 @@ struct Tableau {
 };
 
 /// Primal simplex loop under `phase_cost` (minimization).
-IterOutcome iterate(Tableau& t, int& iter_budget) {
+IterOutcome iterate(Tableau& t, int& iter_budget,
+                    const std::function<bool()>& stop) {
   const int ncols = static_cast<int>(t.cols.size());
   std::vector<double> y(t.m), w(t.m);
   int degenerate_run = 0;
   int since_refactor = 0;
 
   while (iter_budget > 0) {
+    // Every pivot is O(m^2) dense work, so a 64-pivot poll cadence makes
+    // the check (atomic load + clock) invisible while keeping cancellation
+    // latency far below one branch-and-bound node.
+    if ((iter_budget & 63) == 0 && stop && stop()) return IterOutcome::IterLimit;
     --iter_budget;
     // y = c_B Binv (skip zero basic costs).
     std::fill(y.begin(), y.end(), 0.0);
@@ -305,13 +310,16 @@ SimplexSolver::SimplexSolver(const Model& model)
   }
 }
 
-LpResult SimplexSolver::solve(int max_iterations) const {
-  return solve_with_bounds(lo_default_, hi_default_, max_iterations);
+LpResult SimplexSolver::solve(int max_iterations,
+                              const std::function<bool()>& stop) const {
+  return solve_with_bounds(lo_default_, hi_default_, max_iterations, stop);
 }
 
 LpResult SimplexSolver::solve_with_bounds(const std::vector<double>& lo,
                                           const std::vector<double>& hi,
-                                          int max_iterations) const {
+                                          int max_iterations,
+                                          const std::function<bool()>& stop)
+    const {
   RS_REQUIRE(static_cast<int>(lo.size()) == n_ &&
                  static_cast<int>(hi.size()) == n_,
              "bound override size mismatch");
@@ -392,7 +400,7 @@ LpResult SimplexSolver::solve_with_bounds(const std::vector<double>& lo,
       t.phase_cost[j] = 1.0;
     }
     int budget = max_iterations;
-    const IterOutcome outcome = iterate(t, budget);
+    const IterOutcome outcome = iterate(t, budget, stop);
     if (outcome == IterOutcome::IterLimit) {
       LpResult res;
       res.status = LpStatus::IterLimit;
@@ -418,7 +426,7 @@ LpResult SimplexSolver::solve_with_bounds(const std::vector<double>& lo,
   t.phase_cost.assign(t.cols.size(), 0.0);
   for (int j = 0; j < n_; ++j) t.phase_cost[j] = cost_[j];
   int budget = max_iterations;
-  const IterOutcome outcome = iterate(t, budget);
+  const IterOutcome outcome = iterate(t, budget, stop);
   LpResult res;
   res.iterations = max_iterations - budget;
   switch (outcome) {

@@ -12,6 +12,7 @@
 // column-compressed storage.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "lp/model.hpp"
@@ -36,13 +37,19 @@ class SimplexSolver {
  public:
   explicit SimplexSolver(const Model& model);
 
-  /// Solves with the model's own bounds.
-  LpResult solve(int max_iterations = 50000) const;
+  /// Solves with the model's own bounds. `stop` (when set) is polled every
+  /// few dozen pivots; firing aborts the solve with LpStatus::IterLimit —
+  /// the hook that lets a cancelled portfolio loser or an expired deadline
+  /// interrupt a long relaxation mid-solve instead of at the next
+  /// branch-and-bound node.
+  LpResult solve(int max_iterations = 50000,
+                 const std::function<bool()>& stop = {}) const;
 
   /// Solves with overridden structural bounds (size == var_count()).
   LpResult solve_with_bounds(const std::vector<double>& lo,
                              const std::vector<double>& hi,
-                             int max_iterations = 50000) const;
+                             int max_iterations = 50000,
+                             const std::function<bool()>& stop = {}) const;
 
  private:
   struct ColEntry {

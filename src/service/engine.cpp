@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "cfg/canon.hpp"
+#include "core/portfolio.hpp"
 #include "service/trace.hpp"
 #include "support/assert.hpp"
 
@@ -279,6 +280,9 @@ Response AnalysisEngine::process(Request req, support::Timer started,
           timed_out_.inc();
         }
       }
+      // Portfolio/fan-out observability: only computed solves race (cache
+      // hits carry an all-zero telemetry block).
+      if (payload->race.any()) record_race(req.op, payload->race);
       own_promise.set_value(payload);
       std::lock_guard<std::mutex> lock(flight_mu_);
       inflight_.erase(key);
@@ -327,6 +331,17 @@ Response AnalysisEngine::process(Request req, support::Timer started,
     span->tier = store_tier_token(resp.tier);
     span->stop = support::stop_cause_token(resp.payload->stats.stop);
     span->nodes = resp.payload->stats.nodes;
+    const ResultPayload::RaceTelemetry& race = resp.payload->race;
+    if (race.races > 0) {
+      // Modal winning strategy across this request's races (most types/
+      // blocks won; ties to the higher-priority strategy).
+      int best = 0;
+      for (int i = 1; i < 4; ++i) {
+        if (race.wins[i] > race.wins[best]) best = i;
+      }
+      span->winner = core::strategy_token(static_cast<core::Strategy>(best));
+    }
+    span->blocks_parallel = race.blocks_parallel;
     span->total_ms = resp.millis;
     resp.trace = std::move(span);
   }
@@ -343,8 +358,12 @@ AnalysisEngine::SharedPayload AnalysisEngine::compute(
   // normalized an unset budget to the engine default, so no request can
   // pin a worker past the structural node limits' worst case.
   const support::SolveContext solve(req.budget_seconds, token);
+  // Operations that fan out (portfolio races, per-block solves) borrow the
+  // engine's own pool via nested-task submission; this worker participates
+  // through TaskGroup::wait, so handing it our pool cannot deadlock.
+  const RunEnv env{&pool_, req.jobs};
   try {
-    req.op->run(req, normalized, solve, payload.get());
+    req.op->run(req, normalized, env, solve, payload.get());
   } catch (const std::exception& e) {
     payload->ok = false;
     payload->error = e.what();
@@ -352,6 +371,34 @@ AnalysisEngine::SharedPayload AnalysisEngine::compute(
     payload->out_ddg.clear();
   }
   return payload;
+}
+
+void AnalysisEngine::record_race(const Operation* op,
+                                 const ResultPayload::RaceTelemetry& race) {
+  // Lazy registry lookups (name-hashed, under the registry mutex) are fine
+  // here: this only runs on computed solves that actually raced, never on
+  // the cache-hit fast path.
+  const std::string prefix = "op." + std::string(op->name()) + ".";
+  if (race.races > 0) {
+    metrics_.counter(prefix + "portfolio.races")
+        .inc(static_cast<std::uint64_t>(race.races));
+    for (int i = 0; i < core::kStrategyCount; ++i) {
+      if (race.wins[i] > 0) {
+        metrics_
+            .counter(prefix + "portfolio.wins." +
+                     core::strategy_token(static_cast<core::Strategy>(i)))
+            .inc(static_cast<std::uint64_t>(race.wins[i]));
+      }
+    }
+    if (race.losers_cancelled > 0) {
+      metrics_.counter(prefix + "portfolio.cancelled")
+          .inc(static_cast<std::uint64_t>(race.losers_cancelled));
+    }
+  }
+  if (race.blocks_parallel > 0) {
+    metrics_.counter(prefix + "parallel_blocks")
+        .inc(static_cast<std::uint64_t>(race.blocks_parallel));
+  }
 }
 
 void AnalysisEngine::record_op(const Operation* op, const Response& resp,

@@ -38,10 +38,24 @@
 #include "ddg/ddg.hpp"
 #include "support/solve_context.hpp"
 
+namespace rs::support {
+class ThreadPool;
+}
+
 namespace rs::service {
 
 struct Request;        // service/engine.hpp
 struct ResultPayload;  // service/engine.hpp
+
+/// Execution resources the engine hands an operation's run(): the shared
+/// worker pool (for portfolio races and per-block fan-out, via nested-task
+/// submission) plus the request's jobs= concurrency cap. Null pool — the
+/// default — means "run serially"; operations must produce byte-identical
+/// results either way.
+struct RunEnv {
+  support::ThreadPool* pool = nullptr;
+  int jobs = 0;  // <= 0: pool thread count
+};
 
 /// What a request must carry as its input payload. Ddg operations consume
 /// one normalized DAG (kernel= | file=<x>.ddg | ddg=); Program operations
@@ -124,10 +138,11 @@ class Operation {
   virtual void digest_options(const Request& req, OptionDigest* d) const = 0;
 
   /// Executes the operation against the normalized DDG under `solve`
-  /// (deadline + cancel token). Fills out->stats/success/out_ddg/data; a
+  /// (deadline + cancel token), with `env` supplying the pool/jobs for
+  /// operations that fan out. Fills out->stats/success/out_ddg/data; a
   /// thrown exception becomes a status=error payload in the engine.
   virtual void run(const Request& req, const ddg::Ddg& normalized,
-                   const support::SolveContext& solve,
+                   const RunEnv& env, const support::SolveContext& solve,
                    ResultPayload* out) const = 0;
 
   /// Appends this operation's payload fields to an encoded record (storage

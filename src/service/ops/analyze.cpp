@@ -22,7 +22,7 @@ class AnalyzeOperation final : public Operation {
   // cache key (memory and disk) addressable.
   std::uint64_t digest_tag() const override { return 0; }
   std::string_view synopsis() const override {
-    return "[engine=greedy|exact|ilp]";
+    return "[engine=greedy|exact|ilp|portfolio]";
   }
   std::string_view example_options() const override { return ""; }
 
@@ -45,12 +45,13 @@ class AnalyzeOperation final : public Operation {
     d->add(static_cast<std::uint64_t>(o.greedy.refine_passes));
   }
 
-  void run(const Request& req, const ddg::Ddg& normalized,
+  void run(const Request& req, const ddg::Ddg& normalized, const RunEnv& env,
            const support::SolveContext& solve,
            ResultPayload* out) const override {
     const core::SaturationReport report =
-        core::analyze(normalized, opts_of(req).core, solve);
+        core::analyze(normalized, opts_of(req).core, solve, ops::exec_from(env));
     out->stats = report.stats;
+    ops::fill_race(report.portfolio, out);
     auto data = std::make_shared<AnalyzeData>();
     for (const core::TypeSaturation& t : report.per_type) {
       data->per_type.push_back(

@@ -56,8 +56,24 @@ inline core::RsEngine engine_from_token(const std::string& e) {
   if (e == "greedy") return core::RsEngine::Greedy;
   if (e == "exact") return core::RsEngine::ExactCombinatorial;
   if (e == "ilp") return core::RsEngine::ExactIlp;
-  RS_REQUIRE(false, "unknown engine '" + e + "' (greedy|exact|ilp)");
+  if (e == "portfolio") return core::RsEngine::Portfolio;
+  RS_REQUIRE(false, "unknown engine '" + e + "' (greedy|exact|ilp|portfolio)");
   return core::RsEngine::Greedy;
+}
+
+/// RunEnv to the core execution descriptor (pool + jobs cap).
+inline core::Exec exec_from(const RunEnv& env) {
+  return core::Exec{env.pool, env.jobs};
+}
+
+/// Copies a core tally into the payload's service-side telemetry block
+/// (kept as plain scalars so engine.hpp stays free of core solver types).
+inline void fill_race(const core::PortfolioTally& tally, ResultPayload* out) {
+  out->race.races = tally.races;
+  for (int i = 0; i < core::kStrategyCount; ++i) {
+    out->race.wins[i] = tally.wins[i];
+  }
+  out->race.losers_cancelled = tally.losers_cancelled;
 }
 
 }  // namespace rs::service::ops

@@ -23,13 +23,14 @@ class GlobalReduceOperation final : public Operation {
   std::uint64_t digest_tag() const override { return 6; }
   PayloadKind payload_kind() const override { return PayloadKind::Program; }
   std::string_view synopsis() const override {
-    return "limits=<n>[,<n>...] [margin=<n>] [exact=0|1] [verify=0|1]";
+    return "limits=<n>[,<n>...] [margin=<n>] "
+           "[engine=greedy|exact|ilp|portfolio] [exact=0|1] [verify=0|1]";
   }
   std::string_view example_options() const override { return "limits=6,6"; }
 
   bool accepts_option(std::string_view key) const override {
-    return key == "limits" || key == "margin" || key == "exact" ||
-           key == "verify";
+    return key == "limits" || key == "margin" || key == "engine" ||
+           key == "exact" || key == "verify";
   }
 
   void parse_options(const std::map<std::string, std::string>& fields,
@@ -44,6 +45,9 @@ class GlobalReduceOperation final : public Operation {
       opts->margin = support::parse_int(m->second, "margin");
       RS_REQUIRE(opts->margin >= 0, "margin= must be >= 0");
     }
+    if (const auto e = fields.find("engine"); e != fields.end()) {
+      opts->pipeline.analyze.engine = ops::engine_from_token(e->second);
+    }
     opts->pipeline.exact_reduction = ops::flag_from(fields, "exact", false);
     opts->pipeline.verify = ops::flag_from(fields, "verify", true);
     req->options = std::move(opts);
@@ -56,9 +60,15 @@ class GlobalReduceOperation final : public Operation {
     d->add(o.pipeline.verify ? 1 : 0);
     d->add(o.limits.size());
     for (const int l : o.limits) d->add(static_cast<std::uint64_t>(l) + 1);
+    // Appended conditionally so the default engine digests exactly as
+    // before engine= existed — every pre-portfolio cache entry keeps its
+    // key.
+    if (o.pipeline.analyze.engine != core::RsEngine::ExactCombinatorial) {
+      d->add(static_cast<std::uint64_t>(o.pipeline.analyze.engine) + 1);
+    }
   }
 
-  void run(const Request& req, const ddg::Ddg& normalized,
+  void run(const Request& req, const ddg::Ddg& normalized, const RunEnv& env,
            const support::SolveContext& solve,
            ResultPayload* out) const override {
     static_cast<void>(normalized);
@@ -69,8 +79,10 @@ class GlobalReduceOperation final : public Operation {
     RS_REQUIRE(static_cast<int>(o.limits.size()) == prog.type_count(),
                "need " + std::to_string(prog.type_count()) +
                    " register limits, got " + std::to_string(o.limits.size()));
-    const cfg::GlobalReduceResult result =
-        cfg::ensure_limits(prog, o.limits, o.margin, o.pipeline, solve);
+    const cfg::GlobalReduceResult result = cfg::ensure_limits(
+        prog, o.limits, o.margin, o.pipeline, solve, ops::exec_from(env));
+    ops::fill_race(result.portfolio, out);
+    out->race.blocks_parallel = result.blocks_parallel;
     out->success = result.success;
     if (!result.success) out->error = result.note;
     auto data = std::make_shared<GlobalReduceData>();

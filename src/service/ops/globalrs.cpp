@@ -51,7 +51,7 @@ class GlobalRsOperation final : public Operation {
   std::uint64_t digest_tag() const override { return 5; }
   PayloadKind payload_kind() const override { return PayloadKind::Program; }
   std::string_view synopsis() const override {
-    return "[engine=greedy|exact|ilp]";
+    return "[engine=greedy|exact|ilp|portfolio]";
   }
   std::string_view example_options() const override { return ""; }
 
@@ -74,16 +74,18 @@ class GlobalRsOperation final : public Operation {
     d->add(static_cast<std::uint64_t>(o.greedy.refine_passes));
   }
 
-  void run(const Request& req, const ddg::Ddg& normalized,
+  void run(const Request& req, const ddg::Ddg& normalized, const RunEnv& env,
            const support::SolveContext& solve,
            ResultPayload* out) const override {
     static_cast<void>(normalized);
     RS_REQUIRE(req.program != nullptr,
                "globalrs request carries no program payload");
     const cfg::Cfg& prog = *req.program;
-    const cfg::GlobalReport report = cfg::analyze(prog, opts_of(req).core,
-                                                  solve);
+    const cfg::GlobalReport report =
+        cfg::analyze(prog, opts_of(req).core, solve, ops::exec_from(env));
     out->stats = report.stats;
+    ops::fill_race(report.portfolio, out);
+    out->race.blocks_parallel = report.blocks_parallel;
     auto data = std::make_shared<GlobalRsData>();
     const std::vector<int> order = ops::canonical_block_order(prog);
     for (std::size_t i = 0; i < order.size(); ++i) {

@@ -42,8 +42,8 @@ class ReduceOperation final : public Operation {
   // Grandfathered from RequestKind::Reduce == 1 (see analyze.cpp).
   std::uint64_t digest_tag() const override { return 1; }
   std::string_view synopsis() const override {
-    return "limits=<n>[,<n>...] [engine=greedy|exact|ilp] [exact=0|1] "
-           "[verify=0|1] [emit=0|1]";
+    return "limits=<n>[,<n>...] [engine=greedy|exact|ilp|portfolio] "
+           "[exact=0|1] [verify=0|1] [emit=0|1]";
   }
   std::string_view example_options() const override { return "limits=6,6"; }
 
@@ -86,7 +86,7 @@ class ReduceOperation final : public Operation {
     for (const int l : o.limits) d->add(static_cast<std::uint64_t>(l) + 1);
   }
 
-  void run(const Request& req, const ddg::Ddg& normalized,
+  void run(const Request& req, const ddg::Ddg& normalized, const RunEnv& env,
            const support::SolveContext& solve,
            ResultPayload* out) const override {
     const ReduceOpOptions& o = opts_of(req);
@@ -94,9 +94,10 @@ class ReduceOperation final : public Operation {
                "need " + std::to_string(normalized.type_count()) +
                    " register limits, got " +
                    std::to_string(o.limits.size()));
-    const core::PipelineResult result =
-        core::ensure_limits(normalized, o.limits, o.pipeline, solve);
+    const core::PipelineResult result = core::ensure_limits(
+        normalized, o.limits, o.pipeline, solve, ops::exec_from(env));
     out->stats = result.stats;
+    ops::fill_race(result.portfolio, out);
     out->success = result.success;
     if (!result.success) out->error = result.note;
     auto data = std::make_shared<ReduceData>();

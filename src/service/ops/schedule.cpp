@@ -42,9 +42,10 @@ class ScheduleOperation final : public Operation {
     d->add(static_cast<std::uint64_t>(opts_of(req).issue_width));
   }
 
-  void run(const Request& req, const ddg::Ddg& normalized,
+  void run(const Request& req, const ddg::Ddg& normalized, const RunEnv& env,
            const support::SolveContext& solve,
            ResultPayload* out) const override {
+    static_cast<void>(env);    // polynomial single solve; nothing to race
     static_cast<void>(solve);  // polynomial; completes within any budget
     sched::Resources res;
     res.issue_width = opts_of(req).issue_width;

@@ -53,9 +53,10 @@ class SpillOperation final : public Operation {
     for (const int l : o.limits) d->add(static_cast<std::uint64_t>(l) + 1);
   }
 
-  void run(const Request& req, const ddg::Ddg& normalized,
+  void run(const Request& req, const ddg::Ddg& normalized, const RunEnv& env,
            const support::SolveContext& solve,
            ResultPayload* out) const override {
+    static_cast<void>(env);  // single-block sequential pipeline; no fan-out
     const SpillOpOptions& o = opts_of(req);
     RS_REQUIRE(static_cast<int>(o.limits.size()) == normalized.type_count(),
                "need " + std::to_string(normalized.type_count()) +

@@ -39,8 +39,8 @@ std::string read_file(const std::string& path) {
 /// the payload sources. Everything else is the operation's vocabulary.
 bool is_generic_key(const std::string& key) {
   return key.empty() || key == "id" || key == "name" || key == "budget" ||
-         key == "kernel" || key == "file" || key == "ddg" || key == "model" ||
-         key == "prog";
+         key == "jobs" || key == "kernel" || key == "file" || key == "ddg" ||
+         key == "model" || key == "prog";
 }
 
 bool ends_with(const std::string& s, const std::string& suffix) {
@@ -242,6 +242,13 @@ Request parse_request_line(const std::string& line, std::uint64_t default_id,
     // engine's default cap and create an unbounded-deadline request.
     req.budget_seconds = support::parse_budget_seconds(it->second, "budget");
     RS_REQUIRE(req.budget_seconds > 0, "budget= must be positive");
+  }
+  if (const auto it = fields.find("jobs"); it != fields.end()) {
+    // Execution knob, not a result parameter: jobs= is deliberately outside
+    // the request fingerprint, because results are byte-identical for any
+    // value (see the determinism contract in protocol.hpp).
+    req.jobs = support::parse_int(it->second, "jobs");
+    RS_REQUIRE(req.jobs > 0, "jobs= must be positive");
   }
 
   op->parse_options(fields, &req);

@@ -70,6 +70,16 @@ std::string render_trace_json(const TraceSpan& span, double ts) {
   out += "\"";
   std::snprintf(buf, sizeof buf, ",\"nodes\":%lld", span.nodes);
   out += buf;
+  if (span.winner != nullptr && span.winner[0] != '\0') {
+    out += ",\"winner\":\"";
+    out += span.winner;
+    out += "\"";
+  }
+  if (span.blocks_parallel > 0) {
+    std::snprintf(buf, sizeof buf, ",\"blocks_parallel\":%lld",
+                  span.blocks_parallel);
+    out += buf;
+  }
   append_ms(out, "parse_ms", span.parse_ms);
   append_ms(out, "queue_ms", span.queue_ms);
   append_ms(out, "fp_ms", span.fp_ms);

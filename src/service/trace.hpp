@@ -26,7 +26,9 @@
 // bytes/err appear when measured: a phase a request never entered (e.g.
 // solve_ms on a cache hit) is omitted rather than written as 0, so
 // consumers can tell "skipped" from "fast". tier is mem|disk|none; a
-// coalesced request reports cached=1 tier=none.
+// coalesced request reports cached=1 tier=none. Conditional solve keys:
+// winner (modal portfolio strategy, engine=portfolio solves only) and
+// blocks_parallel (blocks fanned onto the pool, program ops only).
 #pragma once
 
 #include <condition_variable>
@@ -49,6 +51,12 @@ struct TraceSpan {
   const char* tier = "none";    // store_tier_token of the serving tier
   const char* stop = "proven";  // stop_cause_token of the solve
   long long nodes = 0;
+  /// Modal winning strategy when the solve raced a portfolio
+  /// (exact|ilp|greedy|bisect); "" — and omitted from the event — when the
+  /// request raced nothing (fixed engine, cache hit).
+  const char* winner = "";
+  /// Blocks fanned onto the pool by a program op; 0 (omitted) otherwise.
+  long long blocks_parallel = 0;
   double parse_ms = -1;   // protocol parse (front end)
   double queue_ms = -1;   // submit -> worker pickup
   double fp_ms = -1;      // normalize + fingerprint

@@ -141,6 +141,15 @@ class SolveContext {
   /// sub_budget(remaining / ways). Unlimited parents stay unlimited.
   SolveContext split(int ways) const;
 
+  /// Child context observing `child` instead of this context's token, with
+  /// the same deadline and the same stats sink. The portfolio hook: each
+  /// racing strategy gets a privately cancellable context while effort still
+  /// aggregates at the parent. Parent cancellation does NOT propagate
+  /// automatically — the racer forwards it to the child tokens it holds.
+  SolveContext with_token(CancelToken child) const {
+    return SolveContext(std::move(child), sink_, deadline_);
+  }
+
   CancelToken token() const { return token_; }
   void request_cancel() const { token_.request_cancel(); }
 

@@ -1,6 +1,7 @@
 #include "support/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 
 #include "support/metrics.hpp"
 
@@ -43,6 +44,28 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_task_.notify_one();
 }
 
+void ThreadPool::submit_nested(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    nested_.push_back(Task{std::move(task), Timer{}});
+    ++in_flight_;
+  }
+  if (queue_depth_ != nullptr) queue_depth_->add(1);
+  cv_task_.notify_one();
+}
+
+bool ThreadPool::try_run_one() {
+  Task task;
+  {
+    std::lock_guard lock(mutex_);
+    if (nested_.empty()) return false;
+    task = std::move(nested_.front());
+    nested_.pop_front();
+  }
+  run_task(std::move(task));
+  return true;
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
@@ -73,24 +96,72 @@ void ThreadPool::worker_loop() {
     Task task;
     {
       std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop();
+      cv_task_.wait(lock, [this] {
+        return stopping_ || !queue_.empty() || !nested_.empty();
+      });
+      // Nested tasks first: finish fan-out of in-flight requests before
+      // starting new top-level ones.
+      if (!nested_.empty()) {
+        task = std::move(nested_.front());
+        nested_.pop_front();
+      } else if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop();
+      } else {
+        return;  // stopping_ and drained
+      }
     }
-    if (queue_depth_ != nullptr) queue_depth_->sub(1);
-    if (queue_wait_ms_ != nullptr) queue_wait_ms_->observe(task.queued.millis());
-    if (active_ != nullptr) active_->add(1);
-    Timer run;
-    task.fn();
-    if (active_ != nullptr) active_->sub(1);
-    if (task_ms_ != nullptr) task_ms_->observe(run.millis());
-    if (tasks_done_ != nullptr) tasks_done_->inc();
+    run_task(std::move(task));
+  }
+}
+
+void ThreadPool::run_task(Task task) {
+  if (queue_depth_ != nullptr) queue_depth_->sub(1);
+  if (queue_wait_ms_ != nullptr) queue_wait_ms_->observe(task.queued.millis());
+  if (active_ != nullptr) active_->add(1);
+  Timer run;
+  task.fn();
+  if (active_ != nullptr) active_->sub(1);
+  if (task_ms_ != nullptr) task_ms_->observe(run.millis());
+  if (tasks_done_ != nullptr) tasks_done_->inc();
+  {
+    std::lock_guard lock(mutex_);
+    --in_flight_;
+    if (in_flight_ == 0) cv_idle_.notify_all();
+  }
+}
+
+void TaskGroup::run(std::function<void()> task) {
+  if (pool_ == nullptr) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    ++pending_;
+  }
+  pool_->submit_nested([this, task = std::move(task)] {
+    task();
+    std::lock_guard lock(mu_);
+    if (--pending_ == 0) cv_.notify_all();
+  });
+}
+
+void TaskGroup::wait(const std::function<void()>& poll) {
+  if (pool_ == nullptr) return;  // everything ran inline
+  for (;;) {
     {
-      std::lock_guard lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) cv_idle_.notify_all();
+      std::lock_guard lock(mu_);
+      if (pending_ == 0) return;
     }
+    if (poll) poll();
+    // Prefer doing the group's own (or a sibling's) nested work over
+    // sleeping; the 1 ms nap only triggers while all nested tasks are
+    // already being executed by other threads.
+    if (pool_->try_run_one()) continue;
+    std::unique_lock lock(mu_);
+    if (pending_ == 0) return;
+    cv_.wait_for(lock, std::chrono::milliseconds(1));
   }
 }
 

@@ -2,6 +2,16 @@
 // sweeps (one task per (DAG, R) instance). Results are collected by index so
 // output tables are deterministic regardless of scheduling order.
 //
+// Two task classes share the workers:
+//
+//  * submit() — top-level work (whole service requests). FIFO.
+//  * submit_nested() — work fanned out from *inside* a running task (per-block
+//    solves, portfolio strategies). Workers drain nested tasks before starting
+//    new top-level ones, so in-flight requests finish ahead of queued ones,
+//    and TaskGroup::wait() lets the submitting thread execute nested tasks
+//    itself (try_run_one) instead of blocking — a pool whose every worker
+//    waits on nested work it could run cannot deadlock.
+//
 // When constructed with a MetricsRegistry the pool reports:
 //   pool.queue_depth (gauge)     tasks enqueued but not yet picked up
 //   pool.active (gauge)          tasks currently executing
@@ -12,6 +22,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -44,6 +55,17 @@ class ThreadPool {
   /// Enqueues a task. Tasks must not throw; wrap fallible work yourself.
   void submit(std::function<void()> task);
 
+  /// Enqueues a task spawned from inside a running task. Nested tasks are
+  /// drained ahead of top-level ones and are eligible for try_run_one(), so
+  /// a worker waiting on its own fan-out always has something useful to do.
+  void submit_nested(std::function<void()> task);
+
+  /// Runs one queued *nested* task on the calling thread (with full metric
+  /// and in-flight accounting) and returns true; returns false when no
+  /// nested task is queued. Top-level tasks are never stolen here — inlining
+  /// a foreign whole request under a waiter would serialize, not help.
+  bool try_run_one();
+
   /// Blocks until every submitted task has finished executing.
   void wait_idle();
 
@@ -58,9 +80,11 @@ class ThreadPool {
   };
 
   void worker_loop();
+  void run_task(Task task);
 
   std::vector<std::thread> workers_;
   std::queue<Task> queue_;
+  std::deque<Task> nested_;
   std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
@@ -74,6 +98,35 @@ class ThreadPool {
   Counter* tasks_done_ = nullptr;
   Histogram* queue_wait_ms_ = nullptr;
   Histogram* task_ms_ = nullptr;
+};
+
+/// Scoped fan-out of nested tasks with a participating wait. With a null
+/// pool run() executes inline, so serial and parallel callers share one code
+/// path. wait() loops {poll; try_run_one; brief sleep} instead of blocking,
+/// which is what makes nested submission deadlock-free: the waiter is itself
+/// a worker for the tasks it is waiting on.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  bool parallel() const { return pool_ != nullptr; }
+
+  /// Runs `task` on the pool (inline when no pool). Tasks must not throw.
+  void run(std::function<void()> task);
+
+  /// Blocks until every run() task has finished. `poll`, when given, is
+  /// invoked between attempts to execute queued work — the hook for
+  /// forwarding parent cancellation to child tokens mid-wait.
+  void wait(const std::function<void()>& poll = {});
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
 };
 
 }  // namespace rs::support

@@ -332,7 +332,7 @@ class OpCountOperation final : public Operation {
                      Request*) const override {}
   void digest_options(const Request&, service::OptionDigest*) const override {}
 
-  void run(const Request&, const ddg::Ddg& normalized,
+  void run(const Request&, const ddg::Ddg& normalized, const service::RunEnv&,
            const support::SolveContext&, ResultPayload* out) const override {
     auto data = std::make_shared<OpCountData>();
     data->ops = normalized.op_count();

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "support/assert.hpp"
@@ -183,6 +184,57 @@ TEST(ThreadPool, SubmitAndWaitIdle) {
 TEST(ThreadPool, ZeroTasksIsNoop) {
   ThreadPool pool(2);
   pool.parallel_for(0, [&](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, NestedSubmissionDoesNotDeadlock) {
+  // Regression: a pool task that fans its own subtasks onto the same pool
+  // and blocks on them would deadlock a single-worker pool (the only worker
+  // is the one waiting). TaskGroup::wait runs queued nested tasks on the
+  // waiting thread via try_run_one, so one worker suffices.
+  ThreadPool pool(1);
+  std::atomic<int> inner{0};
+  std::atomic<bool> outer_done{false};
+  pool.submit([&] {
+    TaskGroup group(&pool);
+    for (int i = 0; i < 8; ++i) group.run([&] { inner++; });
+    group.wait();
+    outer_done = true;
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(outer_done.load());
+  EXPECT_EQ(inner.load(), 8);
+}
+
+TEST(ThreadPool, TaskGroupSerialFallback) {
+  // A null pool degrades to inline execution — same code path callers use
+  // when no executor is configured.
+  TaskGroup group(nullptr);
+  EXPECT_FALSE(group.parallel());
+  int ran = 0;
+  group.run([&] { ran++; });
+  group.run([&] { ran++; });
+  group.wait();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(ThreadPool, TryRunOneOnlyTakesNestedTasks) {
+  // try_run_one must never steal a top-level request: an external waiter
+  // draining the queue would reorder request execution under the engine.
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  pool.submit([&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  std::atomic<int> top{0};
+  pool.submit([&] { top++; });  // queued behind the blocker
+  EXPECT_FALSE(pool.try_run_one());
+  EXPECT_EQ(top.load(), 0);
+  pool.submit_nested([&] { top += 10; });
+  EXPECT_TRUE(pool.try_run_one());
+  EXPECT_EQ(top.load(), 10);
+  release = true;
+  pool.wait_idle();
+  EXPECT_EQ(top.load(), 11);
 }
 
 }  // namespace
