@@ -26,6 +26,13 @@
 //
 // With no pool (Exec{}) the race degrades to priority-order sequential
 // execution with early exit — identical winner policy, identical bytes.
+//
+// Concurrency discipline: this layer is lock-free on purpose and so
+// carries no RSAT_GUARDED_BY annotations (support/thread_annotations.hpp).
+// Cross-strategy state is one shared atomic "first proven winner" slot plus
+// CancelTokens; per-strategy results land in slots owned by exactly one
+// task and are only read after TaskGroup::wait's barrier. Any future shared
+// mutable state here must use support::Mutex + the annotation vocabulary.
 #pragma once
 
 #include "core/context.hpp"

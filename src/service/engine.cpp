@@ -50,25 +50,25 @@ support::CancelToken AnalysisEngine::register_flight(std::uint64_t seq,
                                                      std::uint64_t id) {
   Flight flight;
   flight.id = id;
-  std::lock_guard<std::mutex> lock(flights_mu_);
+  support::LockGuard lock(flights_mu_);
   support::CancelToken token = flight.token;
   flights_.emplace(seq, std::move(flight));
   return token;
 }
 
 void AnalysisEngine::mark_started(std::uint64_t seq) {
-  std::lock_guard<std::mutex> lock(flights_mu_);
+  support::LockGuard lock(flights_mu_);
   const auto it = flights_.find(seq);
   if (it != flights_.end()) it->second.started = true;
 }
 
 void AnalysisEngine::forget_flight(std::uint64_t seq) {
-  std::lock_guard<std::mutex> lock(flights_mu_);
+  support::LockGuard lock(flights_mu_);
   flights_.erase(seq);
 }
 
 bool AnalysisEngine::cancel(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(flights_mu_);
+  support::LockGuard lock(flights_mu_);
   bool found = false;
   for (auto& [seq, flight] : flights_) {
     static_cast<void>(seq);
@@ -81,7 +81,7 @@ bool AnalysisEngine::cancel(std::uint64_t id) {
 }
 
 std::size_t AnalysisEngine::cancel_all() {
-  std::lock_guard<std::mutex> lock(flights_mu_);
+  support::LockGuard lock(flights_mu_);
   for (auto& [seq, flight] : flights_) {
     static_cast<void>(seq);
     flight.token.request_cancel();
@@ -91,7 +91,7 @@ std::size_t AnalysisEngine::cancel_all() {
 
 void AnalysisEngine::drain() {
   {
-    std::lock_guard<std::mutex> lock(flights_mu_);
+    support::LockGuard lock(flights_mu_);
     for (auto& [seq, flight] : flights_) {
       static_cast<void>(seq);
       if (!flight.started) flight.token.request_cancel();
@@ -197,7 +197,7 @@ Response AnalysisEngine::process(Request req, support::Timer started,
       resp.cache_hit = true;
       resp.tier = hit.tier;
     } else {
-      std::lock_guard<std::mutex> lock(flight_mu_);
+      support::LockGuard lock(flight_mu_);
       // Re-check under the lock: the owner publishes to the store *before*
       // erasing its in-flight entry, so a request that misses both here
       // raced nothing and can safely become the owner. Memory tier only —
@@ -284,7 +284,7 @@ Response AnalysisEngine::process(Request req, support::Timer started,
       // hits carry an all-zero telemetry block).
       if (payload->race.any()) record_race(req.op, payload->race);
       own_promise.set_value(payload);
-      std::lock_guard<std::mutex> lock(flight_mu_);
+      support::LockGuard lock(flight_mu_);
       inflight_.erase(key);
     }
   } catch (...) {
@@ -313,7 +313,7 @@ Response AnalysisEngine::process(Request req, support::Timer started,
       } catch (const std::future_error&) {
         // Already resolved before the failure; waiters are fine.
       }
-      std::lock_guard<std::mutex> lock(flight_mu_);
+      support::LockGuard lock(flight_mu_);
       inflight_.erase(key);
     }
   }
@@ -406,7 +406,7 @@ void AnalysisEngine::record_op(const Operation* op, const Response& resp,
   if (op == nullptr) return;  // failed before an operation was resolved
   PerOpMetrics m;
   {
-    std::lock_guard<std::mutex> lock(op_mu_);
+    support::LockGuard lock(op_mu_);
     auto it = per_op_.find(op);
     if (it == per_op_.end()) {
       const std::string prefix = "op." + std::string(op->name()) + ".";
@@ -456,7 +456,7 @@ EngineStats AnalysisEngine::stats() const {
   out.p99_ms = latency_ms_.quantile(0.99);
   out.max_ms = latency_ms_.max();
   {
-    std::lock_guard<std::mutex> lock(op_mu_);
+    support::LockGuard lock(op_mu_);
     for (const auto& [op, m] : per_op_) {
       OpStats slice;
       slice.submitted = m.submitted->value();

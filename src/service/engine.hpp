@@ -39,7 +39,6 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -49,7 +48,9 @@
 #include "service/operation.hpp"
 #include "service/store.hpp"
 #include "support/metrics.hpp"
+#include "support/mutex.hpp"
 #include "support/solve_context.hpp"
+#include "support/thread_annotations.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
@@ -252,11 +253,11 @@ class AnalysisEngine {
   /// Enqueues a request on the pool; the future resolves to its response.
   /// Never throws through the future: failures come back as payloads with
   /// ok == false.
-  std::future<Response> submit(Request req);
+  std::future<Response> submit(Request req) RSAT_EXCLUDES(flights_mu_);
 
   /// Runs a request synchronously on the caller's thread (same cache and
   /// single-flight path as submit()).
-  Response run(Request req);
+  Response run(Request req) RSAT_EXCLUDES(flights_mu_, flight_mu_);
 
   /// Blocks until every submitted request has completed.
   void wait_idle();
@@ -266,10 +267,13 @@ class AnalysisEngine {
   /// its solvers stop at the next poll, the payload reports stop ==
   /// Cancelled, and the result is not cached. Returns false when no
   /// in-flight request carries the id (already completed, or never seen).
-  bool cancel(std::uint64_t id);
+  /// RSAT_EXCLUDES: cancel verbs take the flight-table mutex themselves, so
+  /// they must never be called from code already holding it (a solver
+  /// callback running under register/mark/forget would self-deadlock).
+  bool cancel(std::uint64_t id) RSAT_EXCLUDES(flights_mu_);
 
   /// Cancels every in-flight request; returns how many were signalled.
-  std::size_t cancel_all();
+  std::size_t cancel_all() RSAT_EXCLUDES(flights_mu_);
 
   /// Graceful drain: cancels requests that have not *started* computing,
   /// lets already-running solves finish, and blocks until the queue is
@@ -278,10 +282,10 @@ class AnalysisEngine {
   /// normally, misses return at the first solver poll as Cancelled — so
   /// drain latency is the running solves plus a small per-queued-request
   /// constant, not zero.
-  void drain();
+  void drain() RSAT_EXCLUDES(flights_mu_);
 
   /// Aggregate view over the metrics registry (plus store/queue state).
-  EngineStats stats() const;
+  EngineStats stats() const RSAT_EXCLUDES(op_mu_);
 
   /// The registry every engine/store/pool metric lives in — the single
   /// source of truth behind stats(), the `stats` protocol verb and the
@@ -302,16 +306,22 @@ class AnalysisEngine {
     bool started = false;  // a worker has begun processing it
   };
 
-  support::CancelToken register_flight(std::uint64_t seq, std::uint64_t id);
-  void mark_started(std::uint64_t seq);
-  void forget_flight(std::uint64_t seq);
+  support::CancelToken register_flight(std::uint64_t seq, std::uint64_t id)
+      RSAT_EXCLUDES(flights_mu_);
+  void mark_started(std::uint64_t seq) RSAT_EXCLUDES(flights_mu_);
+  void forget_flight(std::uint64_t seq) RSAT_EXCLUDES(flights_mu_);
 
+  /// The whole request lifecycle. flight_mu_ (single-flight table) is
+  /// taken in short scopes around inflight_ only; the store probe, the
+  /// solve, and the payload publication all run with no engine-wide lock
+  /// held — declared here so a refactor cannot silently move work under
+  /// the single-flight mutex.
   Response process(Request req, support::Timer started,
-                   support::CancelToken token);
+                   support::CancelToken token) RSAT_EXCLUDES(flight_mu_);
   SharedPayload compute(const Request& req, const ddg::Ddg& normalized,
                         const support::CancelToken& token);
   void record_op(const Operation* op, const Response& resp, bool counted_hit,
-                 bool counted_miss);
+                 bool counted_miss) RSAT_EXCLUDES(op_mu_);
   void record_race(const Operation* op,
                    const ResultPayload::RaceTelemetry& race);
 
@@ -335,14 +345,15 @@ class AnalysisEngine {
   support::Counter& timed_out_;
   support::Histogram& latency_ms_;  // engine.latency_ms, hits included
 
-  mutable std::mutex flights_mu_;
+  mutable support::Mutex flights_mu_;
   std::atomic<std::uint64_t> next_seq_{1};
-  std::unordered_map<std::uint64_t, Flight> flights_;  // keyed by seq
+  std::unordered_map<std::uint64_t, Flight> flights_
+      RSAT_GUARDED_BY(flights_mu_);  // keyed by seq
 
-  mutable std::mutex flight_mu_;
+  mutable support::Mutex flight_mu_;
   std::unordered_map<CacheKey, std::shared_future<SharedPayload>,
                      CacheKeyHash>
-      inflight_;
+      inflight_ RSAT_GUARDED_BY(flight_mu_);
 
   /// Per-operation registry entries (op.<name>.*), keyed by the operation's
   /// (process-lifetime-stable) registry pointer. The mutex guards the map;
@@ -353,8 +364,8 @@ class AnalysisEngine {
     support::Counter* misses = nullptr;
     support::Histogram* ms = nullptr;
   };
-  mutable std::mutex op_mu_;
-  std::map<const Operation*, PerOpMetrics> per_op_;
+  mutable support::Mutex op_mu_;
+  std::map<const Operation*, PerOpMetrics> per_op_ RSAT_GUARDED_BY(op_mu_);
 };
 
 /// The cache key for a request: canonical fingerprint of the normalized DDG

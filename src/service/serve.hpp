@@ -40,7 +40,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -126,6 +125,15 @@ class SocketServer {
 
  private:
   struct Conn;
+
+  // Concurrency discipline: the server holds no mutex on purpose. All
+  // connection state (conns_, each Conn's buffers and slot queue, next_id_,
+  // accept_backoff_) is owned by the single thread inside run(); the only
+  // cross-thread channels are stop_ (an atomic flag set by shutdown()),
+  // the engine's futures (resolved on pool workers, only *read* here), and
+  // the lock-free metric references below. Adding a second network thread
+  // means introducing support::Mutex + RSAT_GUARDED_BY here first — do not
+  // reach for a bare std::mutex (lint rule `bare-mutex`).
 
   void accept_new();
   void read_conn(Conn& c);

@@ -49,7 +49,7 @@ MemoryStore::Shard& MemoryStore::shard_of(const CacheKey& key) {
 
 StoreHit MemoryStore::get(const CacheKey& key) {
   Shard& shard = shard_of(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  support::LockGuard lock(shard.mu);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
@@ -70,7 +70,7 @@ void MemoryStore::put(const CacheKey& key,
   if (!enabled_ || bytes > shard_max_bytes_) return;
   RS_REQUIRE(value != nullptr, "cannot cache a null payload");
   Shard& shard = shard_of(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  support::LockGuard lock(shard.mu);
   const auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     shard.bytes -= it->second->bytes;
@@ -103,7 +103,7 @@ void MemoryStore::evict_locked(Shard& shard) {
 StoreStats MemoryStore::stats() const {
   StoreStats out;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    support::LockGuard lock(shard->mu);
     out.hits += shard->hits;
     out.misses += shard->misses;
     out.insertions += shard->insertions;
@@ -116,7 +116,7 @@ StoreStats MemoryStore::stats() const {
 
 void MemoryStore::clear() {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    support::LockGuard lock(shard->mu);
     shard->lru.clear();
     shard->index.clear();
     shard->bytes = 0;
@@ -162,13 +162,13 @@ StoreHit DiskStore::get(const CacheKey& key) {
   if (!support::read_file_to_string(entry_path(key), &text)) {
     if (d_read_ms_ != nullptr) d_read_ms_->observe(timer.millis());
     if (d_misses_ != nullptr) d_misses_->inc();
-    std::lock_guard<std::mutex> lock(mu_);
+    support::LockGuard lock(mu_);
     ++misses_;
     return {};
   }
   std::shared_ptr<const ResultPayload> payload = decode_payload(text);
   if (d_read_ms_ != nullptr) d_read_ms_->observe(timer.millis());
-  std::lock_guard<std::mutex> lock(mu_);
+  support::LockGuard lock(mu_);
   if (payload == nullptr) {
     // Truncated, version-mismatched or corrupt entry: a miss, never a
     // crash or a poisoned payload. The entry stays on disk until the next
@@ -196,7 +196,7 @@ void DiskStore::put(const CacheKey& key,
   support::Timer timer;
   const bool ok = support::write_file_atomic(path, encoded);
   if (d_write_ms_ != nullptr) d_write_ms_->observe(timer.millis());
-  std::lock_guard<std::mutex> lock(mu_);
+  support::LockGuard lock(mu_);
   if (!ok) {
     ++write_errors_;
     if (d_write_errors_ != nullptr) d_write_errors_->inc();
@@ -209,7 +209,7 @@ void DiskStore::put(const CacheKey& key,
 }
 
 StoreStats DiskStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  support::LockGuard lock(mu_);
   StoreStats out;
   out.hits = hits_;
   out.misses = misses_;

@@ -37,13 +37,14 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "ddg/canon.hpp"
 #include "support/hash.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace rs::support {
 class Counter;
@@ -137,17 +138,26 @@ class MemoryStore : public ResultStore {
     std::shared_ptr<const ResultPayload> value;
     std::size_t bytes = 0;
   };
+  /// One independently locked LRU slice. Everything mutable in a shard is
+  /// guarded by its own mutex; concurrent workers only contend when their
+  /// keys land on the same shard.
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
+    mutable support::Mutex mu;
+    std::list<Entry> lru RSAT_GUARDED_BY(mu);  // front = most recently used
     std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
-        index;
-    std::size_t bytes = 0;
-    std::uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0;
+        index RSAT_GUARDED_BY(mu);
+    std::size_t bytes RSAT_GUARDED_BY(mu) = 0;
+    std::uint64_t hits RSAT_GUARDED_BY(mu) = 0;
+    std::uint64_t misses RSAT_GUARDED_BY(mu) = 0;
+    std::uint64_t insertions RSAT_GUARDED_BY(mu) = 0;
+    std::uint64_t evictions RSAT_GUARDED_BY(mu) = 0;
   };
 
+  /// Key->shard routing reads only construction-time-immutable state
+  /// (shards_ never changes size after the constructor), so it takes no
+  /// lock.
   Shard& shard_of(const CacheKey& key);
-  void evict_locked(Shard& shard);
+  void evict_locked(Shard& shard) RSAT_REQUIRES(shard.mu);
 
   bool enabled_;
   std::size_t shard_max_bytes_;
@@ -179,11 +189,18 @@ class DiskStore : public ResultStore {
   explicit DiskStore(const Config& cfg,
                      support::MetricsRegistry* metrics = nullptr);
 
-  StoreHit get(const CacheKey& key) override;
+  /// Counters-only mutex, I/O unlocked: get/put read and write entry files
+  /// with no lock held — disk latency is paid in parallel across workers —
+  /// and take mu_ only for the final counter updates. RSAT_EXCLUDES is that
+  /// pattern in the annotation vocabulary: callers provably cannot enter
+  /// the I/O path while holding the counters mutex, so the mutex can never
+  /// be held across a file operation.
+  StoreHit get(const CacheKey& key) override RSAT_EXCLUDES(mu_);
   void put(const CacheKey& key, std::shared_ptr<const ResultPayload> value,
-           std::size_t bytes) override;
-  StoreStats stats() const override;
-  /// Removes every entry file under the root (fan-out dirs stay).
+           std::size_t bytes) override RSAT_EXCLUDES(mu_);
+  StoreStats stats() const override RSAT_EXCLUDES(mu_);
+  /// Removes every entry file under the root (fan-out dirs stay). Pure
+  /// file I/O: touches no counter, takes no lock.
   void clear() override;
 
   const std::string& dir() const { return cfg_.dir; }
@@ -194,10 +211,13 @@ class DiskStore : public ResultStore {
 
  private:
   Config cfg_;
-  mutable std::mutex mu_;  // counters only; file I/O runs unlocked
-  std::uint64_t hits_ = 0, misses_ = 0, insertions_ = 0, corrupt_ = 0,
-                write_errors_ = 0;
-  std::size_t bytes_written_ = 0;
+  mutable support::Mutex mu_;  // counters only; file I/O runs unlocked
+  std::uint64_t hits_ RSAT_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ RSAT_GUARDED_BY(mu_) = 0;
+  std::uint64_t insertions_ RSAT_GUARDED_BY(mu_) = 0;
+  std::uint64_t corrupt_ RSAT_GUARDED_BY(mu_) = 0;
+  std::uint64_t write_errors_ RSAT_GUARDED_BY(mu_) = 0;
+  std::size_t bytes_written_ RSAT_GUARDED_BY(mu_) = 0;
 
   // Cached registry entries (null when unmetered): store.disk.*.
   support::Counter* d_hits_ = nullptr;

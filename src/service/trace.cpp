@@ -1,19 +1,14 @@
 #include "service/trace.hpp"
 
-#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 
 #include "support/assert.hpp"
+#include "support/timer.hpp"
 
 namespace rs::service {
 
 namespace {
-
-double now_unix_seconds() {
-  const auto now = std::chrono::system_clock::now().time_since_epoch();
-  return std::chrono::duration<double>(now).count();
-}
 
 void append_escaped(std::string& out, const std::string& s) {
   out += '"';
@@ -112,12 +107,12 @@ TraceSink::~TraceSink() { flush(); }
 
 void TraceSink::write(const TraceSpan& span) {
   // Render outside the lock: string building is the expensive part.
-  std::string line = render_trace_json(span, now_unix_seconds());
+  std::string line = render_trace_json(span, support::unix_now_seconds());
   line += '\n';
 
   std::string to_flush;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    support::LockGuard lock(mu_);
     if (buf_.size() + line.size() > cfg_.max_buffer) {
       // Flusher is stalled (or the buffer is misconfigured tiny): drop
       // rather than block the serving path.
@@ -135,16 +130,18 @@ void TraceSink::write(const TraceSpan& span) {
   // File I/O outside the lock; concurrent writers keep appending to buf_.
   out_.write(to_flush.data(), static_cast<std::streamsize>(to_flush.size()));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    support::LockGuard lock(mu_);
     flushing_ = false;
   }
   flushed_.notify_all();
 }
 
 void TraceSink::flush() {
-  std::unique_lock<std::mutex> lock(mu_);
+  support::UniqueLock lock(mu_);
   // Wait out any in-flight threshold flush so lines stay whole and ordered.
-  flushed_.wait(lock, [this] { return !flushing_; });
+  // Explicit loop (not a predicate lambda) so the guarded read of flushing_
+  // stays visible to the thread-safety analysis.
+  while (flushing_) flushed_.wait(lock);
   std::string to_flush;
   to_flush.swap(buf_);
   flushing_ = true;
@@ -160,12 +157,12 @@ void TraceSink::flush() {
 }
 
 std::uint64_t TraceSink::written() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  support::LockGuard lock(mu_);
   return written_;
 }
 
 std::uint64_t TraceSink::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  support::LockGuard lock(mu_);
   return dropped_;
 }
 

@@ -31,11 +31,12 @@
 // blocks_parallel (blocks fanned onto the pool, program ops only).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <string>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace rs::service {
 
@@ -94,25 +95,31 @@ class TraceSink {
   TraceSink& operator=(const TraceSink&) = delete;
 
   /// Renders and enqueues one event. Thread-safe; never blocks on file I/O
-  /// unless this thread is the one elected to flush.
-  void write(const TraceSpan& span);
+  /// unless this thread is the one elected to flush. RSAT_EXCLUDES encodes
+  /// the render-outside-lock discipline: write() acquires mu_ itself (for
+  /// the short buffer append only), so no caller may already hold it.
+  void write(const TraceSpan& span) RSAT_EXCLUDES(mu_);
 
   /// Drains the buffer to the file and flushes the stream.
-  void flush();
+  void flush() RSAT_EXCLUDES(mu_);
 
-  std::uint64_t written() const;
-  std::uint64_t dropped() const;
+  std::uint64_t written() const RSAT_EXCLUDES(mu_);
+  std::uint64_t dropped() const RSAT_EXCLUDES(mu_);
   const std::string& path() const { return cfg_.path; }
 
  private:
   Config cfg_;
+  /// Deliberately NOT guarded by mu_: the flusher-election protocol
+  /// (flushing_ flag) guarantees at most one thread touches out_ at a
+  /// time, and it does so with mu_ released so file I/O never serializes
+  /// writers. Single-owner-by-protocol, not by lock.
   std::ofstream out_;
-  mutable std::mutex mu_;
-  std::condition_variable flushed_;
-  std::string buf_;
-  bool flushing_ = false;
-  std::uint64_t written_ = 0;
-  std::uint64_t dropped_ = 0;
+  mutable support::Mutex mu_;
+  support::CondVar flushed_;
+  std::string buf_ RSAT_GUARDED_BY(mu_);
+  bool flushing_ RSAT_GUARDED_BY(mu_) = false;
+  std::uint64_t written_ RSAT_GUARDED_BY(mu_) = 0;
+  std::uint64_t dropped_ RSAT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace rs::service

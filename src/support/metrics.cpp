@@ -143,35 +143,35 @@ double Histogram::quantile(double q) const {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 std::map<std::string, std::uint64_t> MetricsRegistry::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::map<std::string, std::uint64_t> out;
   for (const auto& [name, c] : counters_) out[name] = c->value();
   return out;
 }
 
 std::map<std::string, std::int64_t> MetricsRegistry::gauges() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::map<std::string, std::int64_t> out;
   for (const auto& [name, g] : gauges_) out[name] = g->value();
   return out;
@@ -179,7 +179,7 @@ std::map<std::string, std::int64_t> MetricsRegistry::gauges() const {
 
 std::map<std::string, MetricsRegistry::HistogramView>
 MetricsRegistry::histograms() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::map<std::string, HistogramView> out;
   for (const auto& [name, h] : histograms_) {
     HistogramView v;

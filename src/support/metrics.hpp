@@ -36,8 +36,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace rs::support {
 
@@ -118,10 +120,14 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Finds or creates. The returned reference is stable until the registry
-  /// is destroyed (metrics are never removed).
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
-  Histogram& histogram(const std::string& name);
+  /// is destroyed (metrics are never removed). The mutex guards this name
+  /// lookup only — incrementing through a returned reference is lock-free,
+  /// which is why instrumentation sites resolve once and cache. RSAT_EXCLUDES
+  /// makes the other half of that contract compile-checked: lookups must
+  /// never run under the registry mutex (no re-entrant registration).
+  Counter& counter(const std::string& name) RSAT_EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name) RSAT_EXCLUDES(mu_);
+  Histogram& histogram(const std::string& name) RSAT_EXCLUDES(mu_);
 
   /// Point-in-time summary of one histogram.
   struct HistogramView {
@@ -131,20 +137,22 @@ class MetricsRegistry {
   };
 
   /// Name-sorted snapshots (per-metric consistent; see header comment).
-  std::map<std::string, std::uint64_t> counters() const;
-  std::map<std::string, std::int64_t> gauges() const;
-  std::map<std::string, HistogramView> histograms() const;
+  std::map<std::string, std::uint64_t> counters() const RSAT_EXCLUDES(mu_);
+  std::map<std::string, std::int64_t> gauges() const RSAT_EXCLUDES(mu_);
+  std::map<std::string, HistogramView> histograms() const RSAT_EXCLUDES(mu_);
 
   /// The whole registry as one JSON object:
   ///   {"counters":{...},"gauges":{...},"histograms":{"x":{"count":...}}}
   /// Keys are sorted, numeric formats fixed — byte-stable for given values.
-  std::string to_json() const;
+  std::string to_json() const RSAT_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;  // protects the maps, not the metrics
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;  // guards the name->metric maps, never the metrics
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      RSAT_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ RSAT_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      RSAT_GUARDED_BY(mu_);
 };
 
 }  // namespace rs::support

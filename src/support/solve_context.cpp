@@ -56,12 +56,12 @@ SolveContext SolveContext::split(int ways) const {
 }
 
 void SolveContext::record(const SolveStats& s) const {
-  std::lock_guard<std::mutex> lock(sink_->mu);
+  LockGuard lock(sink_->mu);
   sink_->stats.merge(s);
 }
 
 SolveStats SolveContext::stats() const {
-  std::lock_guard<std::mutex> lock(sink_->mu);
+  LockGuard lock(sink_->mu);
   return sink_->stats;
 }
 

@@ -32,8 +32,10 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace rs::support {
 
@@ -168,9 +170,12 @@ class SolveContext {
  private:
   using Clock = std::chrono::steady_clock;
 
+  /// Shared effort accumulator: written from every thread a request fans
+  /// onto (portfolio racers, per-block solves), read by observers while
+  /// the solve is still running.
   struct Sink {
-    std::mutex mu;
-    SolveStats stats;
+    Mutex mu;
+    SolveStats stats RSAT_GUARDED_BY(mu);
   };
 
   SolveContext(CancelToken token, std::shared_ptr<Sink> sink,

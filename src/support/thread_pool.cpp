@@ -27,7 +27,7 @@ ThreadPool::ThreadPool(std::size_t threads, MetricsRegistry* metrics) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     stopping_ = true;
   }
   cv_task_.notify_all();
@@ -36,7 +36,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     queue_.push(Task{std::move(task), Timer{}});
     ++in_flight_;
   }
@@ -46,7 +46,7 @@ void ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::submit_nested(std::function<void()> task) {
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     nested_.push_back(Task{std::move(task), Timer{}});
     ++in_flight_;
   }
@@ -57,7 +57,7 @@ void ThreadPool::submit_nested(std::function<void()> task) {
 bool ThreadPool::try_run_one() {
   Task task;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     if (nested_.empty()) return false;
     task = std::move(nested_.front());
     nested_.pop_front();
@@ -67,8 +67,10 @@ bool ThreadPool::try_run_one() {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  // Explicit wait loop (not a predicate lambda): the in_flight_ read must
+  // sit in this annotated body, where the analysis can see the lock held.
+  UniqueLock lock(mutex_);
+  while (in_flight_ != 0) cv_idle_.wait(lock);
 }
 
 void ThreadPool::parallel_for(std::size_t n,
@@ -95,10 +97,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] {
-        return stopping_ || !queue_.empty() || !nested_.empty();
-      });
+      UniqueLock lock(mutex_);
+      while (!stopping_ && queue_.empty() && nested_.empty()) {
+        cv_task_.wait(lock);
+      }
       // Nested tasks first: finish fan-out of in-flight requests before
       // starting new top-level ones.
       if (!nested_.empty()) {
@@ -125,7 +127,7 @@ void ThreadPool::run_task(Task task) {
   if (task_ms_ != nullptr) task_ms_->observe(run.millis());
   if (tasks_done_ != nullptr) tasks_done_->inc();
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     --in_flight_;
     if (in_flight_ == 0) cv_idle_.notify_all();
   }
@@ -137,12 +139,12 @@ void TaskGroup::run(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard lock(mu_);
+    LockGuard lock(mu_);
     ++pending_;
   }
   pool_->submit_nested([this, task = std::move(task)] {
     task();
-    std::lock_guard lock(mu_);
+    LockGuard lock(mu_);
     if (--pending_ == 0) cv_.notify_all();
   });
 }
@@ -151,7 +153,7 @@ void TaskGroup::wait(const std::function<void()>& poll) {
   if (pool_ == nullptr) return;  // everything ran inline
   for (;;) {
     {
-      std::lock_guard lock(mu_);
+      LockGuard lock(mu_);
       if (pending_ == 0) return;
     }
     if (poll) poll();
@@ -159,7 +161,7 @@ void TaskGroup::wait(const std::function<void()>& poll) {
     // sleeping; the 1 ms nap only triggers while all nested tasks are
     // already being executed by other threads.
     if (pool_->try_run_one()) continue;
-    std::unique_lock lock(mu_);
+    UniqueLock lock(mu_);
     if (pending_ == 0) return;
     cv_.wait_for(lock, std::chrono::milliseconds(1));
   }

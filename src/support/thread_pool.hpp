@@ -20,15 +20,15 @@
 //   pool.task_ms (histogram)        task execution time
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 #include "support/timer.hpp"
 
 namespace rs::support {
@@ -53,21 +53,22 @@ class ThreadPool {
   std::size_t thread_count() const { return workers_.size(); }
 
   /// Enqueues a task. Tasks must not throw; wrap fallible work yourself.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) RSAT_EXCLUDES(mutex_);
 
   /// Enqueues a task spawned from inside a running task. Nested tasks are
   /// drained ahead of top-level ones and are eligible for try_run_one(), so
   /// a worker waiting on its own fan-out always has something useful to do.
-  void submit_nested(std::function<void()> task);
+  void submit_nested(std::function<void()> task) RSAT_EXCLUDES(mutex_);
 
   /// Runs one queued *nested* task on the calling thread (with full metric
   /// and in-flight accounting) and returns true; returns false when no
   /// nested task is queued. Top-level tasks are never stolen here — inlining
   /// a foreign whole request under a waiter would serialize, not help.
-  bool try_run_one();
+  /// The task itself runs with mutex_ released.
+  bool try_run_one() RSAT_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished executing.
-  void wait_idle();
+  void wait_idle() RSAT_EXCLUDES(mutex_);
 
   /// Runs fn(i) for i in [0, n) across the pool and blocks until done.
   /// fn must be safe to invoke concurrently for distinct i.
@@ -79,17 +80,20 @@ class ThreadPool {
     Timer queued;  // started at submit; read at pickup for queue_wait_ms
   };
 
-  void worker_loop();
-  void run_task(Task task);
+  void worker_loop() RSAT_EXCLUDES(mutex_);
+  /// Runs one dequeued task. Deliberately unlocked while the task executes
+  /// (only the final in-flight bookkeeping takes mutex_): a task may itself
+  /// submit nested work or block in TaskGroup::wait.
+  void run_task(Task task) RSAT_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<Task> queue_;
-  std::deque<Task> nested_;
-  std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  Mutex mutex_;
+  std::queue<Task> queue_ RSAT_GUARDED_BY(mutex_);
+  std::deque<Task> nested_ RSAT_GUARDED_BY(mutex_);
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::size_t in_flight_ RSAT_GUARDED_BY(mutex_) = 0;
+  bool stopping_ RSAT_GUARDED_BY(mutex_) = false;
 
   // Cached registry entries (null when unmetered). Resolved once in the
   // constructor so the hot path never touches the registry mutex.
@@ -115,18 +119,19 @@ class TaskGroup {
   bool parallel() const { return pool_ != nullptr; }
 
   /// Runs `task` on the pool (inline when no pool). Tasks must not throw.
-  void run(std::function<void()> task);
+  void run(std::function<void()> task) RSAT_EXCLUDES(mu_);
 
   /// Blocks until every run() task has finished. `poll`, when given, is
   /// invoked between attempts to execute queued work — the hook for
-  /// forwarding parent cancellation to child tokens mid-wait.
-  void wait(const std::function<void()>& poll = {});
+  /// forwarding parent cancellation to child tokens mid-wait. Both the
+  /// poll hook and stolen tasks run with mu_ released.
+  void wait(const std::function<void()>& poll = {}) RSAT_EXCLUDES(mu_);
 
  private:
   ThreadPool* pool_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::size_t pending_ = 0;
+  Mutex mu_;
+  CondVar cv_;
+  std::size_t pending_ RSAT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace rs::support

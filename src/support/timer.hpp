@@ -1,10 +1,22 @@
 // Wall-clock stopwatch (latency measurement). Solver budgets and deadlines
 // live in support/solve_context.hpp.
+//
+// This header (with solve_context.hpp) is where the process reads clocks:
+// library code outside src/support/ never calls *_clock::now() directly
+// (tools/rsat_lint.py rule `raw-clock`), so time stays mockable and every
+// latency number is measured the same way.
 #pragma once
 
 #include <chrono>
 
 namespace rs::support {
+
+/// Fractional Unix seconds (wall clock) — event timestamps for trace
+/// sinks and log lines. Not monotonic; never use for latency math.
+inline double unix_now_seconds() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
 
 /// Monotonic stopwatch started at construction.
 class Timer {

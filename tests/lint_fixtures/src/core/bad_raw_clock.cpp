@@ -1,0 +1,26 @@
+// Fixture: every variant of a raw clock read outside src/support/ must
+// fire `raw-clock`. A clock call in a comment must NOT fire:
+// std::chrono::steady_clock::now() is fine right here.
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+double bad_steady() {
+  auto t = std::chrono::steady_clock::now();  // expect: raw-clock
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long bad_libc() {
+  long a = time(nullptr);     // expect: raw-clock
+  a += clock();               // expect: raw-clock
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);  // expect: raw-clock
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);  // expect: raw-clock
+  return a;
+}
+
+const char* not_a_clock() {
+  // A string literal mentioning ::now( must not fire.
+  return "calls ::now( in prose";
+}

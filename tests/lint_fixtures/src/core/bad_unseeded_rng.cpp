@@ -1,0 +1,15 @@
+// Fixture: nondeterministic RNG outside src/support/random.* must fire
+// `unseeded-rng` — results must be byte-identical across runs.
+#include <cstdlib>
+#include <random>
+
+int bad_roll() {
+  srand(42);              // expect: unseeded-rng (libc stream, platform-dependent)
+  int a = rand();         // expect: unseeded-rng
+  std::random_device rd;  // expect: unseeded-rng
+  std::mt19937 gen(rd()); // expect: unseeded-rng
+  return a + static_cast<int>(gen());
+}
+
+// std::mt19937 in a comment must NOT fire, nor "rand()" in a string:
+const char* rng_prose() { return "rand() is banned"; }

@@ -1,0 +1,22 @@
+// Fixture: raw std:: locking primitives outside src/support/mutex.hpp
+// must fire `bare-mutex` — the analysis cannot see locks it cannot name.
+#include <mutex>               // expect: bare-mutex
+#include <condition_variable>  // expect: bare-mutex
+
+struct BadServer {
+  std::mutex mu;                   // expect: bare-mutex
+  std::recursive_mutex rec;        // expect: bare-mutex
+  std::condition_variable cv;      // expect: bare-mutex
+  int guarded = 0;
+
+  void touch() {
+    std::lock_guard<std::mutex> lock(mu);  // expect: bare-mutex
+    ++guarded;
+  }
+  void wait_for_it() {
+    std::unique_lock<std::mutex> lock(mu);  // expect: bare-mutex
+    cv.wait(lock);
+  }
+};
+
+// In a comment, std::mutex must NOT fire.

@@ -1,0 +1,4 @@
+// Fixture: <iostream> in library code must fire `iostream`.
+#include <iostream>  // expect: iostream
+
+void shout() { std::cout << "library code must not do this\n"; }

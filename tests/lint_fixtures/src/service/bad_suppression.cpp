@@ -1,0 +1,13 @@
+// Fixture: suppressions with no justification, or naming an unknown rule,
+// must fire `bad-suppression` (the finding is reported as that rule).
+#include <ctime>
+
+long unjustified() {
+  return time(nullptr);  // rsat-lint: allow(raw-clock)
+}
+// expect: bad-suppression (empty justification) on the line above
+
+int typod() {
+  return 0;  // rsat-lint: allow(raw-clokc) typo'd rule names must not pass silently
+}
+// expect: bad-suppression (unknown rule) on the line above

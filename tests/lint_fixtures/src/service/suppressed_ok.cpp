@@ -1,0 +1,13 @@
+// Fixture: a justified suppression silences the rule — both same-line and
+// previous-line placements. Expect NO findings from this file.
+#include <ctime>
+
+long justified_same_line() {
+  return time(nullptr);  // rsat-lint: allow(raw-clock) fixture proves same-line suppression works
+}
+
+long justified_previous_line() {
+  // rsat-lint: allow(raw-clock) fixture proves previous-line suppression works
+  long t = time(nullptr);
+  return t;
+}

@@ -1,0 +1,8 @@
+// Fixture: src/support/ is the designated home of clock reads — the same
+// calls that fire raw-clock elsewhere must be clean here.
+#include <chrono>
+
+double support_owns_the_clock() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
