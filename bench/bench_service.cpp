@@ -15,9 +15,10 @@
 //    comparison, and the jobs=1 vs jobs=4 block-parallel globalrs pair).
 //    In this mode the process exits nonzero if tracing a cold solve costs
 //    more than kTelemetryOverheadBarPct ("telemetry stays off the hot
-//    path") or if the jobs=1 portfolio race is more than kPortfolioBarPct
-//    slower than the best fixed proving engine ("the race harness is
-//    free").
+//    path"), if solve-log record collection regresses the untraced cold
+//    path by more than the same bar ("the training corpus is free"), or if
+//    the jobs=1 portfolio race is more than kPortfolioBarPct slower than
+//    the best fixed proving engine ("the race harness is free").
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -301,14 +302,20 @@ double p50_of(std::vector<double> samples) {
 /// Drives `batch` synchronously through `engine` (no pool noise), appending
 /// one wall-clock latency sample per request. When `sink` is non-null the
 /// engine runs with trace spans on and every span is written — the fully
-/// instrumented path the overhead bar compares against.
+/// instrumented path the overhead bar compares against. `slog_sink` is the
+/// solve-log analogue: every record rendered and written.
 void run_batch_timed(AnalysisEngine& engine, const std::vector<Request>& batch,
-                     std::vector<double>* ms, rs::service::TraceSink* sink) {
+                     std::vector<double>* ms, rs::service::TraceSink* sink,
+                     rs::service::TraceSink* slog_sink = nullptr) {
   for (const Request& req : batch) {
     const rs::support::Timer t;
     const Response resp = engine.run(req);
     benchmark::DoNotOptimize(resp.payload->ok);
     if (sink != nullptr && resp.trace != nullptr) sink->write(*resp.trace);
+    if (slog_sink != nullptr && resp.solve_log != nullptr) {
+      slog_sink->write_line(rs::service::render_solve_log_json(
+          *resp.solve_log, rs::support::unix_now_seconds()));
+    }
     if (ms != nullptr) ms->push_back(t.millis());
   }
 }
@@ -388,17 +395,23 @@ int run_curated_json(const std::string& out_path) {
   }
 
   // Telemetry overhead: identical cold workloads, one with trace spans off
-  // (registry counters still on — they are unconditional), one with spans
-  // on and every span rendered + written to a real sink. Rounds alternate
-  // so drift hits both arms equally.
+  // (registry counters and the solver-interior profile still on — they are
+  // unconditional), one with spans on and every span rendered + written to
+  // a real sink. Rounds alternate so drift hits both arms equally; one
+  // sample per round = the whole batch's wall time (per-request samples
+  // over the mixed-size corpus are bimodal and gate on a coin flip — see
+  // the portfolio section).
+  constexpr int kOverheadRounds = 25;
   const std::string trace_path =
       (std::filesystem::temp_directory_path() / "rs_bench_trace.jsonl")
           .string();
   std::vector<double> plain_ms, traced_ms;
-  for (int r = 0; r < kRounds; ++r) {
+  for (int r = -1; r < kOverheadRounds; ++r) {
     {
       AnalysisEngine engine(EngineConfig{});
-      run_batch_timed(engine, corpus, &plain_ms, nullptr);
+      const rs::support::Timer t;
+      run_batch_timed(engine, corpus, nullptr, nullptr);
+      if (r >= 0) plain_ms.push_back(t.millis());
     }
     {
       EngineConfig cfg;
@@ -407,7 +420,9 @@ int run_curated_json(const std::string& out_path) {
       rs::service::TraceSink::Config tc;
       tc.path = trace_path;
       rs::service::TraceSink sink(tc);
-      run_batch_timed(engine, corpus, &traced_ms, &sink);
+      const rs::support::Timer t;
+      run_batch_timed(engine, corpus, nullptr, &sink);
+      if (r >= 0) traced_ms.push_back(t.millis());
     }
   }
   std::filesystem::remove(trace_path);
@@ -416,6 +431,43 @@ int run_curated_json(const std::string& out_path) {
   const double overhead_pct =
       plain_p50 > 0 ? 100.0 * (traced_p50 - plain_p50) / plain_p50 : 0;
   const bool within_bar = overhead_pct < kTelemetryOverheadBarPct;
+
+  // Solve-log overhead: the same alternating whole-batch design, logging
+  // off vs on (feature extraction + record render + write to a real sink).
+  // The log is the training corpus for adaptive strategy prediction; it
+  // only stays in production deployments if it is free on the untraced
+  // path.
+  constexpr int kSolveLogRounds = kOverheadRounds;
+  const std::string slog_path =
+      (std::filesystem::temp_directory_path() / "rs_bench_slog.jsonl")
+          .string();
+  std::vector<double> slog_off_ms, slog_on_ms;
+  for (int r = -1; r < kSolveLogRounds; ++r) {
+    {
+      AnalysisEngine engine(EngineConfig{});
+      const rs::support::Timer t;
+      run_batch_timed(engine, corpus, nullptr, nullptr);
+      if (r >= 0) slog_off_ms.push_back(t.millis());
+    }
+    {
+      EngineConfig cfg;
+      cfg.solve_log = true;
+      AnalysisEngine engine(cfg);
+      rs::service::TraceSink::Config sc;
+      sc.path = slog_path;
+      rs::service::TraceSink sink(sc);
+      const rs::support::Timer t;
+      run_batch_timed(engine, corpus, nullptr, nullptr, &sink);
+      if (r >= 0) slog_on_ms.push_back(t.millis());
+    }
+  }
+  std::filesystem::remove(slog_path);
+  const double slog_off_p50 = p50_of(slog_off_ms);
+  const double slog_on_p50 = p50_of(slog_on_ms);
+  const double slog_overhead_pct =
+      slog_off_p50 > 0 ? 100.0 * (slog_on_p50 - slog_off_p50) / slog_off_p50
+                       : 0;
+  const bool slog_within_bar = slog_overhead_pct < kTelemetryOverheadBarPct;
 
   // Portfolio vs fixed engines, two measurements with distinct jobs.
   //
@@ -582,13 +634,22 @@ int run_curated_json(const std::string& out_path) {
      << f(grs_jobs4_p50 > 0 ? grs_jobs1_p50 / grs_jobs4_p50 : 0) << "\n"
      << "  },\n"
      << "  \"telemetry\": {\n"
-     << "    \"plain_cold_p50_ms\": " << f(plain_p50) << ",\n"
-     << "    \"traced_cold_p50_ms\": " << f(traced_p50) << ",\n"
+     << "    \"rounds\": " << kOverheadRounds << ",\n"
+     << "    \"plain_cold_batch_p50_ms\": " << f(plain_p50) << ",\n"
+     << "    \"traced_cold_batch_p50_ms\": " << f(traced_p50) << ",\n"
      << "    \"overhead_pct\": " << f(overhead_pct) << ",\n"
      << "    \"bar_pct\": " << f(kTelemetryOverheadBarPct) << ",\n"
      << "    \"within_bar\": " << (within_bar ? "true" : "false") << ",\n"
      << "    \"counter_inc_ns\": " << f(counter_ns) << ",\n"
      << "    \"histogram_observe_ns\": " << f(histogram_ns) << "\n"
+     << "  },\n"
+     << "  \"solve_log\": {\n"
+     << "    \"rounds\": " << kSolveLogRounds << ",\n"
+     << "    \"off_cold_batch_p50_ms\": " << f(slog_off_p50) << ",\n"
+     << "    \"on_cold_batch_p50_ms\": " << f(slog_on_p50) << ",\n"
+     << "    \"overhead_pct\": " << f(slog_overhead_pct) << ",\n"
+     << "    \"bar_pct\": " << f(kTelemetryOverheadBarPct) << ",\n"
+     << "    \"within_bar\": " << (slog_within_bar ? "true" : "false") << "\n"
      << "  }\n"
      << "}\n";
   if (!rs::support::write_file_atomic(out_path, os.str())) {
@@ -597,16 +658,22 @@ int run_curated_json(const std::string& out_path) {
   }
   std::fprintf(stderr, "bench_service: wrote %s\n", out_path.c_str());
   std::fprintf(stderr,
-               "telemetry overhead: cold p50 %.4f ms plain vs %.4f ms traced "
+               "telemetry overhead: cold batch p50 %.4f ms plain vs %.4f ms "
+               "traced "
                "(%+.2f%%, bar %.1f%%) -> %s\n",
                plain_p50, traced_p50, overhead_pct, kTelemetryOverheadBarPct,
                within_bar ? "OK" : "FAIL");
+  std::fprintf(stderr,
+               "solve log overhead: cold batch p50 %.4f ms off vs %.4f ms on "
+               "(%+.2f%%, bar %.1f%%) -> %s\n",
+               slog_off_p50, slog_on_p50, slog_overhead_pct,
+               kTelemetryOverheadBarPct, slog_within_bar ? "OK" : "FAIL");
   std::fprintf(stderr,
                "portfolio: gated p50 %.4f ms vs exact %.4f ms (bar +%.1f%%) "
                "-> %s\n",
                gated_race_p50, gated_exact_p50, kPortfolioBarPct,
                portfolio_within_bar ? "OK" : "FAIL");
-  return within_bar && portfolio_within_bar ? 0 : 1;
+  return within_bar && slog_within_bar && portfolio_within_bar ? 0 : 1;
 }
 
 }  // namespace

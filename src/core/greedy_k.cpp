@@ -5,6 +5,7 @@
 #include "graph/topo.hpp"
 #include "graph/transitive.hpp"
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
 
 namespace rs::core {
 
@@ -121,6 +122,11 @@ RsEstimate greedy_k(const TypeContext& ctx, const GreedyOptions& opts,
 
   est.stats.solves = 1;
   est.stats.stop = interrupted ? solve.cause_now(false) : support::StopCause::Proven;
+  if (const support::SolverProfile* prof = solve.profile()) {
+    prof->greedy_refine_passes->inc(
+        static_cast<std::uint64_t>(est.stats.refine_passes));
+    prof->greedy_trials->inc(static_cast<std::uint64_t>(trials));
+  }
   solve.record(est.stats);
   est.rs = need->need;
   est.antichain = need->antichain;

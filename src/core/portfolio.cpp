@@ -8,6 +8,8 @@
 
 #include "graph/paths.hpp"
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
+#include "support/timer.hpp"
 
 namespace rs::core {
 
@@ -39,6 +41,10 @@ struct Attempt {
   bool proven = false;
   long long score = -1;
   StopCause stop = StopCause::Cancelled;
+  // Start/end offsets against the race-local timer (seconds; -1 = never
+  // started). Observability only — results never depend on these.
+  double start_s = -1;
+  double end_s = -1;
 };
 
 // Runs body(i) for every attempt — on the pool when exec provides one,
@@ -122,6 +128,35 @@ int pick_winner(const std::vector<Attempt>& attempts) {
   return win < 0 ? 0 : win;
 }
 
+// Flushes per-strategy race durations and loser-cancel latencies into the
+// solver profile after a race settles. Cancel latency is the gap between
+// the winner returning (the instant it cancelled the rest) and a cancelled
+// loser actually coming back — the responsiveness of mid-solve interruption.
+void flush_race_profile(const support::SolverProfile* prof,
+                        const std::vector<Attempt>& attempts, int win) {
+  if (prof == nullptr) return;
+  for (const Attempt& a : attempts) {
+    if (!a.ran || a.start_s < 0) continue;
+    support::Histogram* h = nullptr;
+    switch (a.strategy) {
+      case Strategy::Exact: h = prof->portfolio_attempt_exact_ms; break;
+      case Strategy::Ilp: h = prof->portfolio_attempt_ilp_ms; break;
+      case Strategy::Greedy: h = prof->portfolio_attempt_greedy_ms; break;
+      case Strategy::Bisect: h = prof->portfolio_attempt_bisect_ms; break;
+    }
+    if (h != nullptr) h->observe((a.end_s - a.start_s) * 1000.0);
+  }
+  const Attempt& w = attempts[static_cast<std::size_t>(win)];
+  if (!w.ran || !w.proven) return;  // nobody proved: no cancellation wave
+  for (std::size_t j = 0; j < attempts.size(); ++j) {
+    const Attempt& a = attempts[j];
+    if (static_cast<int>(j) == win || !a.ran) continue;
+    if (a.stop != StopCause::Cancelled) continue;
+    const double latency_ms = (a.end_s - w.end_s) * 1000.0;
+    if (latency_ms >= 0) prof->portfolio_cancel_latency_ms->observe(latency_ms);
+  }
+}
+
 PortfolioTally tally_of(const std::vector<Attempt>& attempts, int win) {
   PortfolioTally t;
   t.races = 1;
@@ -162,9 +197,11 @@ PortfolioResult rs_portfolio(const TypeContext& ctx,
   attempts[1].strategy = Strategy::Ilp;
   attempts[2].strategy = Strategy::Greedy;
 
+  const support::Timer race_timer;
   const auto body = [&](int i) {
     Attempt& a = attempts[static_cast<std::size_t>(i)];
     Candidate& c = results[static_cast<std::size_t>(i)];
+    a.start_s = race_timer.seconds();
     const support::SolveContext child = solve.with_token(a.token);
     switch (a.strategy) {
       case Strategy::Exact: {
@@ -194,9 +231,11 @@ PortfolioResult rs_portfolio(const TypeContext& ctx,
     a.ran = true;
     a.proven = c.proven;
     a.score = c.rs;
+    a.end_s = race_timer.seconds();
   };
 
   const int win = race(&attempts, body, solve, exec);
+  flush_race_profile(solve.profile(), attempts, win);
   const Attempt& wa = attempts[static_cast<std::size_t>(win)];
   const Candidate& wc = results[static_cast<std::size_t>(win)];
   out.rs = wc.rs;
@@ -312,9 +351,11 @@ MinRegRaceResult minreg_portfolio(const TypeContext& ctx, sched::Time cp_budget,
   attempts[0].strategy = Strategy::Exact;   // upward ladder
   attempts[1].strategy = Strategy::Bisect;  // binary search on R
 
+  const support::Timer race_timer;
   const auto body = [&](int i) {
     Attempt& a = attempts[static_cast<std::size_t>(i)];
     MinRegResult& r = results[static_cast<std::size_t>(i)];
+    a.start_s = race_timer.seconds();
     const support::SolveContext child = solve.with_token(a.token);
     r = a.strategy == Strategy::Exact
             ? minimize_register_need(ctx, cp_budget, opts, mode, child)
@@ -323,9 +364,11 @@ MinRegRaceResult minreg_portfolio(const TypeContext& ctx, sched::Time cp_budget,
     a.proven = r.proven;
     a.score = r.min_need;  // no-proof results are lower bounds
     a.stop = r.stats.stop;
+    a.end_s = race_timer.seconds();
   };
 
   const int win = race(&attempts, body, solve, exec);
+  flush_race_profile(solve.profile(), attempts, win);
   const Attempt& wa = attempts[static_cast<std::size_t>(win)];
   out.result = std::move(results[static_cast<std::size_t>(win)]);
   out.winner = wa.strategy;

@@ -8,6 +8,7 @@
 #include "graph/topo.hpp"
 #include "sched/lifetime.hpp"
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
 
 namespace rs::core {
 
@@ -145,6 +146,16 @@ ReduceResult reduce_greedy(const TypeContext& ctx, int R,
 
   ddg::Ddg current = ctx.ddg();
   int arcs_added = 0;
+  long long rounds_run = 0;
+  long long candidates_evaluated = 0;
+  // Flushed once on every exit path, next to the result handoff.
+  const auto flush_profile = [&] {
+    if (const support::SolverProfile* prof = solve.profile()) {
+      prof->reduce_rounds->inc(static_cast<std::uint64_t>(rounds_run));
+      prof->reduce_candidates->inc(
+          static_cast<std::uint64_t>(candidates_evaluated));
+    }
+  };
   for (int round = 0; round < opts.max_rounds; ++round) {
     if (solve.stop_requested()) {
       // Interrupted between serialization rounds: report the partially
@@ -155,8 +166,10 @@ ReduceResult reduce_greedy(const TypeContext& ctx, int R,
       result.critical_path = graph::critical_path(current.graph());
       result.arcs_added = arcs_added;
       result.extended = std::move(current);
+      flush_profile();
       return result;
     }
+    ++rounds_run;
     const TypeContext cur_ctx(current, ctx.type());
     const RsEstimate est = greedy_k(cur_ctx, opts.greedy, solve);
     result.stats.merge(est.stats);
@@ -167,6 +180,7 @@ ReduceResult reduce_greedy(const TypeContext& ctx, int R,
       result.critical_path = graph::critical_path(current.graph());
       result.arcs_added = arcs_added;
       result.extended = std::move(current);
+      flush_profile();
       return result;
     }
 
@@ -206,6 +220,7 @@ ReduceResult reduce_greedy(const TypeContext& ctx, int R,
       result.critical_path = graph::critical_path(current.graph());
       result.arcs_added = arcs_added;
       result.extended = std::move(current);
+      flush_profile();
       return result;
     }
     std::sort(candidates.begin(), candidates.end(),
@@ -241,6 +256,7 @@ ReduceResult reduce_greedy(const TypeContext& ctx, int R,
       }
     }
     RS_CHECK(best != nullptr);
+    candidates_evaluated += evaluated;
     std::set<std::pair<ddg::NodeId, ddg::NodeId>> dedup;
     for (const ArcSpec& a :
          pair_serialization_arcs(cur_ctx, best->i, best->j, opts.arc_mode)) {
@@ -256,6 +272,7 @@ ReduceResult reduce_greedy(const TypeContext& ctx, int R,
   result.critical_path = graph::critical_path(current.graph());
   result.arcs_added = arcs_added;
   result.extended = std::move(current);
+  flush_profile();
   return result;
 }
 

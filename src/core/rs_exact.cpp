@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
 
 namespace rs::core {
 
@@ -20,6 +21,8 @@ struct Search {
   bool node_limit_hit = false;
   long nodes = 0;
   long long prunes = 0;
+  long long expansions = 0;  // killing_need evaluations (antichain solves)
+  std::size_t max_depth = 0;
 
   Search(const TypeContext& c, const RsExactOptions& o,
          const support::SolveContext& s)
@@ -36,6 +39,7 @@ struct Search {
   }
 
   void accept_leaf() {
+    ++expansions;
     const auto need = killing_need(ctx, current);
     if (!need.has_value()) return;  // invalid completion
     if (need->need > best.rs) {
@@ -51,7 +55,9 @@ struct Search {
       return;
     }
     ++nodes;
+    max_depth = std::max(max_depth, depth);
     // Admissible bound: antichain of the partially constrained DV DAG.
+    ++expansions;
     const auto bound = killing_need(ctx, current);
     if (!bound.has_value()) return;  // cyclic extension: prune subtree
     if (bound->need <= best.rs) {
@@ -124,6 +130,10 @@ RsExactResult rs_exact(const TypeContext& ctx, const RsExactOptions& opts,
   result.stats.solves = 1;
   result.stats.stop = search.complete ? support::StopCause::Proven
                                       : solve.cause_now(search.node_limit_hit);
+  if (const support::SolverProfile* prof = solve.profile()) {
+    prof->exact_expansions->inc(static_cast<std::uint64_t>(search.expansions));
+    prof->exact_max_depth->observe(static_cast<double>(search.max_depth));
+  }
   solve.record(result.stats);
   result.stats.merge(greedy_stats);  // after record(): greedy recorded itself
   if (result.killing.complete()) {

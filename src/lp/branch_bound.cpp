@@ -5,6 +5,8 @@
 
 #include "lp/simplex.hpp"
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
+#include "support/timer.hpp"
 
 namespace rs::lp {
 
@@ -27,6 +29,9 @@ struct Search {
   long nodes = 0;
   long long prunes = 0;
   long long simplex_iterations = 0;
+  long long simplex_phase1_iterations = 0;
+  long long bound_improvements = 0;
+  int max_depth = 0;
   bool maximize;
   /// Mid-LP interruption (portfolio cancel, deadline): without it a long
   /// relaxation pins the search until the next per-node limits_hit check.
@@ -78,15 +83,17 @@ struct Search {
     return maximize ? b > best_obj + 1e-9 : b < best_obj - 1e-9;
   }
 
-  void dfs() {
+  void dfs(int depth) {
     if (limits_hit()) {
       complete = false;
       return;
     }
     ++nodes;
+    max_depth = std::max(max_depth, depth);
     const LpResult lp =
         simplex.solve_with_bounds(lo, hi, opts.lp_iteration_limit, lp_stop);
     simplex_iterations += lp.iterations;
+    simplex_phase1_iterations += lp.phase1_iterations;
     if (lp.status == LpStatus::Infeasible) return;
     if (lp.status != LpStatus::Optimal) {
       // Unbounded relaxations cannot be pruned soundly; our models are
@@ -128,6 +135,7 @@ struct Search {
           best_obj = obj;
           best_x = std::move(x);
           have_incumbent = true;
+          ++bound_improvements;
         }
       } else {
         // Rounding broke feasibility (numerically marginal basic solution);
@@ -145,12 +153,12 @@ struct Search {
 
     auto down = [&] {
       hi[branch_var] = floor_v;
-      if (lo[branch_var] <= hi[branch_var]) dfs();
+      if (lo[branch_var] <= hi[branch_var]) dfs(depth + 1);
       hi[branch_var] = save_hi;
     };
     auto up = [&] {
       lo[branch_var] = floor_v + 1.0;
-      if (lo[branch_var] <= hi[branch_var]) dfs();
+      if (lo[branch_var] <= hi[branch_var]) dfs(depth + 1);
       lo[branch_var] = save_lo;
     };
     if (down_first) {
@@ -168,7 +176,24 @@ struct Search {
 MipResult solve_mip(const Model& model, const MipOptions& options,
                     const support::SolveContext& solve) {
   Search search(model, options, solve);
-  search.dfs();
+  support::Timer timer;
+  search.dfs(0);
+  const double elapsed = timer.seconds();
+
+  if (const support::SolverProfile* prof = solve.profile()) {
+    prof->bb_nodes->inc(static_cast<std::uint64_t>(search.nodes));
+    prof->bb_bound_improvements->inc(
+        static_cast<std::uint64_t>(search.bound_improvements));
+    prof->bb_max_depth->observe(static_cast<double>(search.max_depth));
+    if (elapsed > 0 && search.nodes > 0) {
+      prof->bb_nodes_per_sec->observe(static_cast<double>(search.nodes) /
+                                      elapsed);
+    }
+    prof->simplex_phase1_iterations->inc(
+        static_cast<std::uint64_t>(search.simplex_phase1_iterations));
+    prof->simplex_phase2_iterations->inc(
+        static_cast<std::uint64_t>(search.simplex_iterations));
+  }
 
   MipResult result;
   result.nodes = search.nodes;

@@ -388,6 +388,7 @@ LpResult SimplexSolver::solve_with_bounds(const std::vector<double>& lo,
     t.status[sj] = below ? ColStatus::AtLower : ColStatus::AtUpper;
     t.basis[r] = aj;
   }
+  int phase1_used = 0;
   if (need_phase1) {
     // Basis changed structurally; rebuild the inverse and values.
     if (!t.refactorize()) {
@@ -401,9 +402,11 @@ LpResult SimplexSolver::solve_with_bounds(const std::vector<double>& lo,
     }
     int budget = max_iterations;
     const IterOutcome outcome = iterate(t, budget, stop);
+    phase1_used = max_iterations - budget;
     if (outcome == IterOutcome::IterLimit) {
       LpResult res;
       res.status = LpStatus::IterLimit;
+      res.phase1_iterations = phase1_used;
       return res;
     }
     RS_CHECK(outcome != IterOutcome::Unbounded);  // phase-1 cost bounded below
@@ -414,6 +417,7 @@ LpResult SimplexSolver::solve_with_bounds(const std::vector<double>& lo,
     if (infeas > 1e-6) {
       LpResult res;
       res.status = LpStatus::Infeasible;
+      res.phase1_iterations = phase1_used;
       return res;
     }
     // Freeze artificials at zero for phase 2.
@@ -429,6 +433,7 @@ LpResult SimplexSolver::solve_with_bounds(const std::vector<double>& lo,
   const IterOutcome outcome = iterate(t, budget, stop);
   LpResult res;
   res.iterations = max_iterations - budget;
+  res.phase1_iterations = phase1_used;
   switch (outcome) {
     case IterOutcome::Unbounded:
       res.status = LpStatus::Unbounded;

@@ -27,7 +27,11 @@ struct LpResult {
   double objective = 0.0;
   /// Structural variable values (model var order); empty unless Optimal.
   std::vector<double> x;
+  /// Phase-2 pivots (the optimizing pass; what callers budget against).
   int iterations = 0;
+  /// Phase-1 pivots spent driving artificial infeasibility to zero; 0 when
+  /// the initial basis was already feasible.
+  int phase1_iterations = 0;
 };
 
 /// Reusable solver: the constraint matrix is extracted from the model once;

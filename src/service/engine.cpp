@@ -4,11 +4,101 @@
 #include <chrono>
 
 #include "cfg/canon.hpp"
+#include "cfg/cfg.hpp"
 #include "core/portfolio.hpp"
+#include "graph/paths.hpp"
+#include "graph/topo.hpp"
 #include "service/trace.hpp"
 #include "support/assert.hpp"
 
 namespace rs::service {
+
+namespace {
+
+/// Modal winning strategy across a request's races (most types/blocks won;
+/// ties to the higher-priority strategy). "" when nothing raced.
+const char* modal_winner(const ResultPayload::RaceTelemetry& race) {
+  if (race.races <= 0) return "";
+  int best = 0;
+  for (int i = 1; i < core::kStrategyCount; ++i) {
+    if (race.wins[i] > race.wins[best]) best = i;
+  }
+  return core::strategy_token(static_cast<core::Strategy>(best));
+}
+
+/// Critical path (latency-weighted, as graph::critical_path) and peak
+/// level width (most operations sharing one unit-depth level) in a single
+/// topological sweep — this runs per request on the solve-log path, so the
+/// graph is walked once, not once per feature.
+void shape_features(const graph::Digraph& g, long long* cp, long long* width) {
+  *cp = 0;
+  *width = 0;
+  const auto order = graph::topo_order(g);
+  if (!order.has_value()) {  // circuit: cp still defined, depth levels not
+    *cp = graph::critical_path(g);
+    return;
+  }
+  const auto n = static_cast<std::size_t>(g.node_count());
+  if (n == 0) return;
+  std::vector<std::int64_t> dist(n, 0);
+  std::vector<int> level(n, 0);
+  int max_level = 0;
+  for (const graph::NodeId v : *order) {
+    for (const graph::EdgeId e : g.in_edges(v)) {
+      const graph::Edge& ed = g.edge(e);
+      dist[v] = std::max(dist[v], dist[ed.src] + ed.latency);
+      level[v] = std::max(level[v], level[ed.src] + 1);
+    }
+    *cp = std::max<long long>(*cp, dist[v]);
+    max_level = std::max(max_level, level[v]);
+  }
+  std::vector<long long> per_level(static_cast<std::size_t>(max_level) + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) ++per_level[level[v]];
+  *width = *std::max_element(per_level.begin(), per_level.end());
+}
+
+/// DDG operations report the normalized DAG: op/arc counts, critical path,
+/// peak level width, and per-type value counts.
+void fill_ddg_features(const ddg::Ddg& normalized, SolveLogRecord* rec) {
+  rec->ddg_ops = normalized.op_count();
+  rec->ddg_arcs = normalized.graph().edge_count();
+  shape_features(normalized.graph(), &rec->ddg_cp, &rec->ddg_width);
+  std::string types;
+  for (int t = 0; t < normalized.type_count(); ++t) {
+    if (t > 0) types += ',';
+    types += std::to_string(normalized.values_of_type(t).size());
+  }
+  rec->ddg_types = std::move(types);
+}
+
+/// Program operations report block-level aggregates: statement/operand
+/// counts, width = block count, cp = 0 (not computed across blocks), and
+/// per-type result counts.
+void fill_program_features(const cfg::Cfg& program, SolveLogRecord* rec) {
+  long long statements = 0;
+  long long operand_refs = 0;
+  std::vector<long long> per_type(
+      static_cast<std::size_t>(program.type_count()), 0);
+  for (int b = 0; b < program.block_count(); ++b) {
+    for (const cfg::Statement& s : program.block(b).statements) {
+      ++statements;
+      operand_refs += static_cast<long long>(s.operands.size());
+      if (!s.result.empty()) ++per_type[static_cast<std::size_t>(s.type)];
+    }
+  }
+  rec->ddg_ops = statements;
+  rec->ddg_arcs = operand_refs;
+  rec->ddg_cp = 0;
+  rec->ddg_width = program.block_count();
+  std::string types;
+  for (std::size_t t = 0; t < per_type.size(); ++t) {
+    if (t > 0) types += ',';
+    types += std::to_string(per_type[t]);
+  }
+  rec->ddg_types = std::move(types);
+}
+
+}  // namespace
 
 std::size_t ResultPayload::bytes() const {
   return sizeof(ResultPayload) + error.size() + out_ddg.size() +
@@ -42,7 +132,8 @@ AnalysisEngine::AnalysisEngine(const EngineConfig& cfg)
       misses_(metrics_.counter("engine.misses")),
       cancelled_(metrics_.counter("engine.cancelled")),
       timed_out_(metrics_.counter("engine.timed_out")),
-      latency_ms_(metrics_.histogram("engine.latency_ms")) {}
+      latency_ms_(metrics_.histogram("engine.latency_ms")),
+      profile_(support::make_solver_profile(metrics_)) {}
 
 AnalysisEngine::~AnalysisEngine() { pool_.wait_idle(); }
 
@@ -156,10 +247,16 @@ Response AnalysisEngine::process(Request req, support::Timer started,
     span->queue_ms = started.millis();
   }
 
+  // Solve-log collection is opt-in (EngineConfig::solve_log), independent
+  // of tracing: one allocation plus a single walk of the normalized input
+  // per request when on.
+  std::shared_ptr<SolveLogRecord> slog;
+
   SharedPayload payload;
   bool owner = false;
   bool counted_hit = false;   // mirrors the hit/coalesce counters (per-op)
   bool counted_miss = false;  // mirrors misses_ for the per-op slice
+  double solve_ms = -1;       // owner solves only (< 0 = no solve ran)
   std::promise<SharedPayload> own_promise;
   std::shared_future<SharedPayload> flight;
   CacheKey key;
@@ -182,6 +279,17 @@ Response AnalysisEngine::process(Request req, support::Timer started,
     if (span != nullptr) {
       span->fp_ms = phase.millis();
       span->fp = resp.fingerprint.hex();
+    }
+    if (cfg_.solve_log) {
+      slog = std::make_shared<SolveLogRecord>();
+      slog->id = req.id;
+      slog->op = req.op->name();
+      slog->fp = resp.fingerprint.hex();
+      if (req.program != nullptr) {
+        fill_program_features(*req.program, slog.get());
+      } else {
+        fill_ddg_features(normalized, slog.get());
+      }
     }
 
     // Fast path: probe the store (sharded memory LRU, then the disk tier)
@@ -260,7 +368,8 @@ Response AnalysisEngine::process(Request req, support::Timer started,
     if (owner) {
       phase.reset();
       payload = compute(req, normalized, token);
-      if (span != nullptr) span->solve_ms = phase.millis();
+      solve_ms = phase.millis();
+      if (span != nullptr) span->solve_ms = solve_ms;
       // Cancelled results are never stored: a cancel is an explicit "this
       // answer is unwanted", so the next identical request must recompute.
       // Timed-out results ARE cached in memory: the budget is part of the
@@ -331,19 +440,22 @@ Response AnalysisEngine::process(Request req, support::Timer started,
     span->tier = store_tier_token(resp.tier);
     span->stop = support::stop_cause_token(resp.payload->stats.stop);
     span->nodes = resp.payload->stats.nodes;
-    const ResultPayload::RaceTelemetry& race = resp.payload->race;
-    if (race.races > 0) {
-      // Modal winning strategy across this request's races (most types/
-      // blocks won; ties to the higher-priority strategy).
-      int best = 0;
-      for (int i = 1; i < 4; ++i) {
-        if (race.wins[i] > race.wins[best]) best = i;
-      }
-      span->winner = core::strategy_token(static_cast<core::Strategy>(best));
-    }
-    span->blocks_parallel = race.blocks_parallel;
+    span->winner = modal_winner(resp.payload->race);
+    span->blocks_parallel = resp.payload->race.blocks_parallel;
     span->total_ms = resp.millis;
     resp.trace = std::move(span);
+  }
+  if (slog != nullptr) {
+    slog->ok = resp.payload->ok;
+    slog->cached = resp.cache_hit;
+    slog->tier = store_tier_token(resp.tier);
+    slog->stop = support::stop_cause_token(resp.payload->stats.stop);
+    slog->nodes = resp.payload->stats.nodes;
+    slog->winner = modal_winner(resp.payload->race);
+    slog->parse_ms = req.parse_ms;
+    slog->solve_ms = solve_ms;
+    slog->total_ms = resp.millis;
+    resp.solve_log = std::move(slog);
   }
   return resp;
 }
@@ -357,7 +469,8 @@ AnalysisEngine::SharedPayload AnalysisEngine::compute(
   // thread through every solver layer below. process() has already
   // normalized an unset budget to the engine default, so no request can
   // pin a worker past the structural node limits' worst case.
-  const support::SolveContext solve(req.budget_seconds, token);
+  const support::SolveContext solve =
+      support::SolveContext(req.budget_seconds, token).with_profile(&profile_);
   // Operations that fan out (portfolio races, per-block solves) borrow the
   // engine's own pool via nested-task submission; this worker participates
   // through TaskGroup::wait, so handing it our pool cannot deadlock.

@@ -63,7 +63,8 @@ class Cfg;
 
 namespace rs::service {
 
-struct TraceSpan;  // service/trace.hpp
+struct TraceSpan;       // service/trace.hpp
+struct SolveLogRecord;  // service/trace.hpp
 
 struct Request {
   std::uint64_t id = 0;
@@ -167,6 +168,10 @@ struct Response {
   /// delivering the response fills encode_ms/bytes and hands the span to
   /// the TraceSink.
   std::shared_ptr<TraceSpan> trace;
+  /// Solve-log record (EngineConfig::solve_log only): canonical input
+  /// features plus the solve outcome. The front end delivering the
+  /// response renders it (render_solve_log_json) into the --solve-log sink.
+  std::shared_ptr<SolveLogRecord> solve_log;
 };
 
 struct EngineConfig {
@@ -181,6 +186,11 @@ struct EngineConfig {
   /// per request, which only pays off when a --trace-file sink consumes
   /// them.
   bool trace = false;
+  /// Collect a per-request SolveLogRecord on every Response — cheap
+  /// canonical input features plus the outcome, the training rows for
+  /// adaptive strategy prediction. Off by default: the feature pass walks
+  /// the normalized graph once per request (--solve-log enables it).
+  bool solve_log = false;
 };
 
 /// Wall-clock cap applied to requests that carry no budget_seconds.
@@ -344,6 +354,11 @@ class AnalysisEngine {
   support::Counter& cancelled_;
   support::Counter& timed_out_;
   support::Histogram& latency_ms_;  // engine.latency_ms, hits included
+  /// Solver-interior instrumentation (solver.* metrics), resolved once at
+  /// construction and threaded to every solve through the SolveContext.
+  /// All fields are registry-backed lock-free metrics, so sharing one
+  /// profile across workers is safe.
+  support::SolverProfile profile_;
 
   mutable support::Mutex flights_mu_;
   std::atomic<std::uint64_t> next_seq_{1};

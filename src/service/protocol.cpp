@@ -131,6 +131,11 @@ Command parse_command_line(const std::string& line, std::uint64_t default_id,
     cmd.kind = CommandKind::Stats;
     return cmd;
   }
+  if (tokens[0] == "metrics") {
+    RS_REQUIRE(tokens.size() == 1, "metrics takes no arguments");
+    cmd.kind = CommandKind::Metrics;
+    return cmd;
+  }
   if (tokens[0] == "cancel") {
     RS_REQUIRE(tokens.size() == 2, "cancel needs exactly one id");
     std::string id = tokens[1];
@@ -153,7 +158,8 @@ Request parse_request_line(const std::string& line, std::uint64_t default_id,
   const std::string& cmd = cmd_it->second;
   const Operation* op = find_operation(cmd);
   RS_REQUIRE(op != nullptr, "unknown request '" + cmd + "' (" +
-                                operation_names("|") + "|cancel|drain|stats)");
+                                operation_names("|") +
+                                "|cancel|drain|stats|metrics)");
 
   Request req;
   req.op = op;

@@ -44,6 +44,9 @@
 //   drain            block until every previously submitted request is done
 //   stats            live engine telemetry as one line (see below); takes
 //                    no arguments and completes no work
+//   metrics          full metrics registry in Prometheus text exposition
+//                    format (see below); takes no arguments and completes
+//                    no work
 //
 // Payloads come in two kinds, matching Operation::payload_kind — the
 // parser rejects a mismatch. <payload> (single-DAG operations) is exactly
@@ -130,7 +133,21 @@
 //         and the per-op slices tile the aggregate buckets:
 //         sum(op.*.submitted) == completed over resolved operations, and
 //         memory_hits + disk_hits + coalesced + misses == completed on an
-//         idle engine (EngineStats::counters_tile)
+//         idle engine (EngineStats::counters_tile). When serve runs with
+//         --slo-ms=<t>, the serve front end appends per-op latency-objective
+//         fields after the op groups: slo_ms=<t> slo.<name>.ok=<n>
+//         slo.<name>.breach=<n> ... (name-sorted; ok+breach counts
+//         completed responses against the objective, the error budget is
+//         breach/(ok+breach))
+//   # TYPE rsat_<name> counter|gauge|histogram   ack for a metrics line:
+//         the whole registry in Prometheus text exposition format —
+//         multi-line, name-sorted, counters suffixed _total, histograms as
+//         cumulative _bucket{le="..."} ladders (sparse: only non-empty
+//         native buckets, +Inf always present) plus _sum/_count — and
+//         terminated by a literal `# EOF` line so the line protocol can
+//         frame the multi-line body. Two consecutive idle scrapes are
+//         byte-identical modulo the counter values the scrape itself
+//         advances (serve.requests and friends)
 //
 // `stop=` is the stop-cause taxonomy of support::SolveStats: proven (search
 // exhausted), limit (node/round cap), timeout (budget deadline), cancelled
@@ -170,8 +187,8 @@ struct ProtocolOptions {
 };
 
 /// One parsed protocol line: either an operation submission, or a control
-/// verb (cancel/drain/stats) targeting the engine itself.
-enum class CommandKind { Submit, Cancel, Drain, Stats };
+/// verb (cancel/drain/stats/metrics) targeting the engine itself.
+enum class CommandKind { Submit, Cancel, Drain, Stats, Metrics };
 
 struct Command {
   CommandKind kind = CommandKind::Submit;

@@ -29,6 +29,7 @@ struct Slot {
   std::string pre;
   std::future<Response> fut;
   bool stats = false;
+  bool metrics = false;
 };
 
 struct SocketServer::Conn {
@@ -60,9 +61,12 @@ struct SocketServer::Conn {
 
 namespace {
 
-/// Trace spans are engine-produced; a configured trace_file turns them on.
-EngineConfig with_trace_enabled(EngineConfig engine, bool trace) {
+/// Trace spans and solve-log records are engine-produced; a configured
+/// trace_file / solve_log_file turns the matching collection on.
+EngineConfig with_collection_enabled(EngineConfig engine, bool trace,
+                                     bool solve_log) {
   if (trace) engine.trace = true;
+  if (solve_log) engine.solve_log = true;
   return engine;
 }
 
@@ -70,7 +74,8 @@ EngineConfig with_trace_enabled(EngineConfig engine, bool trace) {
 
 SocketServer::SocketServer(const ServeConfig& cfg)
     : cfg_(cfg),
-      engine_(with_trace_enabled(cfg.engine, !cfg.trace_file.empty())),
+      engine_(with_collection_enabled(cfg.engine, !cfg.trace_file.empty(),
+                                      !cfg.solve_log_file.empty())),
       listener_(cfg.host, cfg.port),
       connections_(engine_.metrics().counter("serve.connections")),
       open_conns_(engine_.metrics().gauge("serve.open_conns")),
@@ -84,6 +89,9 @@ SocketServer::SocketServer(const ServeConfig& cfg)
       slow_requests_(engine_.metrics().counter("serve.slow_requests")) {
   if (!cfg_.trace_file.empty()) {
     trace_sink_ = std::make_unique<TraceSink>(cfg_.trace_file);
+  }
+  if (!cfg_.solve_log_file.empty()) {
+    solve_log_sink_ = std::make_unique<TraceSink>(cfg_.solve_log_file);
   }
   if (!cfg_.port_file.empty()) {
     RS_REQUIRE(support::write_file_atomic(cfg_.port_file,
@@ -191,6 +199,9 @@ void SocketServer::handle_line(Conn& c, const std::string& line) {
       case CommandKind::Stats:
         slot.stats = true;  // snapshot taken when the slot is emitted
         break;
+      case CommandKind::Metrics:
+        slot.metrics = true;  // exposition rendered when the slot is emitted
+        break;
     }
   } catch (const std::exception& e) {
     emit_error_line(c, e.what());
@@ -252,7 +263,12 @@ void SocketServer::pump_ready(Conn& c) {
     if (c.out_empty()) c.last_progress.reset();
     if (s.stats) {
       c.out_buf += render_stats_line(engine_.stats());
+      if (cfg_.slo_ms > 0) c.out_buf += render_slo_fields();
       c.out_buf += '\n';
+    } else if (s.metrics) {
+      // Multi-line body; to_prometheus() frames it with a terminating
+      // "# EOF" line (and ends newline-terminated), so nothing to append.
+      c.out_buf += engine_.metrics().to_prometheus();
     } else if (s.pre.empty()) {
       if (s.fut.wait_for(std::chrono::seconds(0)) !=
           std::future_status::ready) {
@@ -276,6 +292,11 @@ void SocketServer::pump_ready(Conn& c) {
         resp.trace->bytes = line.size() + 1;
         trace_sink_->write(*resp.trace);
       }
+      if (resp.solve_log != nullptr && solve_log_sink_ != nullptr) {
+        solve_log_sink_->write_line(render_solve_log_json(
+            *resp.solve_log, support::unix_now_seconds()));
+      }
+      if (cfg_.slo_ms > 0) record_slo(resp);
     } else {
       c.out_buf += s.pre;
       c.out_buf += '\n';
@@ -283,6 +304,43 @@ void SocketServer::pump_ready(Conn& c) {
     c.slots.pop_front();
     responses_.inc();
   }
+}
+
+void SocketServer::record_slo(const Response& resp) {
+  // Error payloads that never resolved an operation have nowhere to count.
+  if (resp.payload == nullptr || resp.payload->op == nullptr) return;
+  const std::string name(resp.payload->op->name());
+  auto it = slo_.find(name);
+  if (it == slo_.end()) {
+    const std::string prefix = "slo." + name + ".";
+    SloMetrics fresh;
+    fresh.ok = &engine_.metrics().counter(prefix + "ok");
+    fresh.breach = &engine_.metrics().counter(prefix + "breach");
+    it = slo_.emplace(name, fresh).first;
+  }
+  (resp.millis > cfg_.slo_ms ? it->second.breach : it->second.ok)->inc();
+}
+
+std::string SocketServer::render_slo_fields() const {
+  char buf[96];
+  std::string out;
+  std::snprintf(buf, sizeof buf, " slo_ms=%.3f", cfg_.slo_ms);
+  out += buf;
+  for (const auto& [name, m] : slo_) {  // std::map: name-sorted
+    const std::uint64_t ok = m.ok->value();
+    const std::uint64_t breach = m.breach->value();
+    const double rate =
+        ok + breach == 0
+            ? 0.0
+            : static_cast<double>(breach) / static_cast<double>(ok + breach);
+    std::snprintf(buf, sizeof buf,
+                  " slo.%s.ok=%llu slo.%s.breach=%llu slo.%s.breach_rate=%.3f",
+                  name.c_str(), static_cast<unsigned long long>(ok),
+                  name.c_str(), static_cast<unsigned long long>(breach),
+                  name.c_str(), rate);
+    out += buf;
+  }
+  return out;
 }
 
 void SocketServer::flush_conn(Conn& c) {
@@ -403,6 +461,7 @@ void SocketServer::run(const std::function<bool()>& should_stop) {
   // finish their cancelled epilogues before the engine is reused/queried.
   engine_.wait_idle();
   if (trace_sink_ != nullptr) trace_sink_->flush();
+  if (solve_log_sink_ != nullptr) solve_log_sink_->flush();
 #else
   static_cast<void>(should_stop);
   RS_REQUIRE(false, "rsat serve requires POSIX sockets");

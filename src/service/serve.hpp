@@ -39,6 +39,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -65,9 +66,16 @@ struct ServeConfig {
   /// When non-empty, enables engine trace spans and streams one JSONL
   /// event per request to this file (service/trace.hpp).
   std::string trace_file;
+  /// When non-empty, enables engine solve-log records and streams one JSONL
+  /// record per request to this file (SolveLogRecord, service/trace.hpp).
+  std::string solve_log_file;
   /// > 0 logs every request slower than this (wall-clock submit->respond)
   /// to stderr and counts it as serve.slow_requests.
   double slow_ms = 0;
+  /// > 0 enables per-operation latency objectives: every completed response
+  /// counts as slo.<op>.ok or slo.<op>.breach (millis vs this bound), and
+  /// the `stats` verb gains slo_ms/slo.<op>.* error-budget fields.
+  double slo_ms = 0;
 };
 
 /// Snapshot view over the server's serve.* registry counters (the same
@@ -123,6 +131,9 @@ class SocketServer {
   /// Non-null when ServeConfig::trace_file is set.
   const TraceSink* trace_sink() const { return trace_sink_.get(); }
 
+  /// Non-null when ServeConfig::solve_log_file is set.
+  const TraceSink* solve_log_sink() const { return solve_log_sink_.get(); }
+
  private:
   struct Conn;
 
@@ -142,11 +153,17 @@ class SocketServer {
   void emit_error_line(Conn& c, const std::string& msg);
   void pump_ready(Conn& c);
   void flush_conn(Conn& c);
+  /// Counts one response against the --slo-ms objective (slo.<op>.*).
+  void record_slo(const Response& resp);
+  /// " slo_ms=... slo.<op>.ok=... slo.<op>.breach=... slo.<op>.breach_rate=..."
+  /// appended to the stats verb line when --slo-ms is set (name-sorted).
+  std::string render_slo_fields() const;
 
   ServeConfig cfg_;
   AnalysisEngine engine_;
   support::ListenSocket listener_;
   std::unique_ptr<TraceSink> trace_sink_;
+  std::unique_ptr<TraceSink> solve_log_sink_;
   std::atomic<bool> stop_{false};
   std::uint64_t next_id_ = 1;
   /// Loop iterations left to skip polling the listener after an accept
@@ -166,6 +183,16 @@ class SocketServer {
   support::Counter& bytes_out_;
   support::Counter& backpressure_stalls_;
   support::Counter& slow_requests_;
+
+  /// Per-operation SLO counters (slo.<op>.ok / slo.<op>.breach), lazily
+  /// registered on an op's first completed response. Owned by the single
+  /// network thread like all connection state; the counters themselves live
+  /// in the engine registry so stats/metrics snapshots see them.
+  struct SloMetrics {
+    support::Counter* ok = nullptr;
+    support::Counter* breach = nullptr;
+  };
+  std::map<std::string, SloMetrics> slo_;
 };
 
 }  // namespace rs::service

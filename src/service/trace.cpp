@@ -97,6 +97,50 @@ std::string render_trace_json(const TraceSpan& span, double ts) {
   return out;
 }
 
+std::string render_solve_log_json(const SolveLogRecord& rec, double ts) {
+  std::string out;
+  out.reserve(256);
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "{\"ev\":\"solve\",\"v\":1,\"ts\":%.6f,\"id\":%" PRIu64,
+                ts, rec.id);
+  out += buf;
+  out += ",\"op\":";
+  append_escaped(out, rec.op);
+  out += ",\"fp\":";
+  append_escaped(out, rec.fp);
+  std::snprintf(buf, sizeof buf,
+                ",\"ddg_ops\":%lld,\"ddg_arcs\":%lld,\"ddg_cp\":%lld"
+                ",\"ddg_width\":%lld",
+                rec.ddg_ops, rec.ddg_arcs, rec.ddg_cp, rec.ddg_width);
+  out += buf;
+  out += ",\"ddg_types\":";
+  append_escaped(out, rec.ddg_types);
+  out += ",\"ok\":";
+  out += rec.ok ? "true" : "false";
+  out += ",\"cached\":";
+  out += rec.cached ? "true" : "false";
+  out += ",\"tier\":\"";
+  out += rec.tier;
+  out += "\",\"stop\":\"";
+  out += rec.stop;
+  out += "\"";
+  std::snprintf(buf, sizeof buf, ",\"nodes\":%lld", rec.nodes);
+  out += buf;
+  if (rec.winner != nullptr && rec.winner[0] != '\0') {
+    out += ",\"winner\":\"";
+    out += rec.winner;
+    out += "\"";
+  }
+  append_ms(out, "parse_ms", rec.parse_ms);
+  append_ms(out, "solve_ms", rec.solve_ms);
+  // total_ms is a required key: render even when unmeasured (as 0).
+  std::snprintf(buf, sizeof buf, ",\"total_ms\":%.3f",
+                rec.total_ms < 0 ? 0.0 : rec.total_ms);
+  out += buf;
+  out += '}';
+  return out;
+}
+
 TraceSink::TraceSink(const Config& cfg) : cfg_(cfg) {
   out_.open(cfg_.path, std::ios::out | std::ios::trunc);
   RS_REQUIRE(out_.is_open(), "trace: cannot open trace file: " + cfg_.path);
@@ -107,7 +151,10 @@ TraceSink::~TraceSink() { flush(); }
 
 void TraceSink::write(const TraceSpan& span) {
   // Render outside the lock: string building is the expensive part.
-  std::string line = render_trace_json(span, support::unix_now_seconds());
+  write_line(render_trace_json(span, support::unix_now_seconds()));
+}
+
+void TraceSink::write_line(std::string line) {
   line += '\n';
 
   std::string to_flush;

@@ -73,6 +73,43 @@ struct TraceSpan {
 /// event timestamp in fractional Unix seconds (the sink stamps write time).
 std::string render_trace_json(const TraceSpan& span, double ts);
 
+/// One request's solve-log record (--solve-log): cheap canonical input
+/// features plus the solve outcome — the training corpus for the ROADMAP's
+/// adaptive strategy prediction. Schema-versioned ("v":1) and
+/// byte-stable-keyed like trace events; exactly one JSONL record is emitted
+/// per completed request by the front end that delivered it.
+///
+/// Feature semantics by payload kind: DDG operations report the normalized
+/// DAG (op/arc counts, critical path, peak unit-depth level width, per-type
+/// value counts); program operations report block-level aggregates
+/// (statement/operand counts, width = block count, cp = 0 — not computed).
+struct SolveLogRecord {
+  std::uint64_t id = 0;
+  std::string op;   // operation name; "" when it never resolved
+  std::string fp;   // hex fingerprint of the canonical input
+  // Input features (the ddg_* keys of the record).
+  long long ddg_ops = 0;    // operations (or program statements)
+  long long ddg_arcs = 0;   // arcs (or program operand references)
+  long long ddg_cp = 0;     // critical path of the normalized DAG
+  long long ddg_width = 0;  // peak ops per unit-depth level (or block count)
+  std::string ddg_types;    // per-type value counts, comma-joined by type
+  // Outcome.
+  bool ok = true;
+  bool cached = false;
+  const char* tier = "none";    // store_tier_token of the serving tier
+  const char* stop = "proven";  // stop_cause_token of the solve
+  long long nodes = 0;
+  /// Modal winning strategy for portfolio solves; "" (omitted) otherwise.
+  const char* winner = "";
+  double parse_ms = -1;  // omitted when unmeasured (< 0), like trace phases
+  double solve_ms = -1;
+  double total_ms = -1;  // always rendered (0 when unmeasured)
+};
+
+/// Renders the record as one JSON object (no trailing newline); `ts` as in
+/// render_trace_json. Key order is fixed and byte-stable.
+std::string render_solve_log_json(const SolveLogRecord& rec, double ts);
+
 /// Bounded, lock-light JSONL writer (see header comment).
 class TraceSink {
  public:
@@ -99,6 +136,13 @@ class TraceSink {
   /// the render-outside-lock discipline: write() acquires mu_ itself (for
   /// the short buffer append only), so no caller may already hold it.
   void write(const TraceSpan& span) RSAT_EXCLUDES(mu_);
+
+  /// Enqueues one pre-rendered JSONL line (no trailing newline — the sink
+  /// appends it). The write() path renders a TraceSpan and lands here; the
+  /// solve-log path (--solve-log) renders a SolveLogRecord and shares the
+  /// same bounded buffer/flush/drop machinery through a second sink
+  /// instance. Same locking contract as write().
+  void write_line(std::string line) RSAT_EXCLUDES(mu_);
 
   /// Drains the buffer to the file and flushes the stream.
   void flush() RSAT_EXCLUDES(mu_);

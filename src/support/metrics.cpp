@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <limits>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 namespace rs::support {
 
@@ -52,6 +54,13 @@ std::string fmt_double(double v) {
   return buf;
 }
 
+/// Prometheus metric name: dots become underscores under an rsat_ prefix.
+std::string prom_name(const std::string& name) {
+  std::string out = "rsat_";
+  for (const char c : name) out += c == '.' || c == '-' ? '_' : c;
+  return out;
+}
+
 }  // namespace
 
 Histogram::Histogram()
@@ -77,6 +86,21 @@ double Histogram::bucket_mid(int bucket) {
   const int exp = kMinExp + b / kSubBuckets;       // value in [2^exp, 2^(exp+1))
   const int sub = b % kSubBuckets;
   return std::ldexp(1.0 + (sub + 0.5) / kSubBuckets, exp);
+}
+
+std::uint64_t Histogram::bucket_count(int bucket) const {
+  return buckets_[bucket].load(std::memory_order_relaxed);
+}
+
+double Histogram::bucket_upper(int bucket) {
+  if (bucket <= 0) return std::ldexp(1.0, kMinExp);  // underflow upper edge
+  if (bucket >= kBucketCount - 1) {
+    return std::numeric_limits<double>::infinity();  // overflow bucket
+  }
+  const int b = bucket - 1;
+  const int exp = kMinExp + b / kSubBuckets;
+  const int sub = b % kSubBuckets;
+  return std::ldexp(1.0 + (sub + 1.0) / kSubBuckets, exp);
 }
 
 void Histogram::observe(double v) {
@@ -225,6 +249,94 @@ std::string MetricsRegistry::to_json() const {
   }
   os << "}}";
   return os.str();
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  const auto cs = counters();
+  const auto gs = gauges();
+  // Histograms need raw bucket access, not the summary view: snapshot the
+  // stable metric pointers under the lock, render outside it (metrics are
+  // never removed, so the pointers outlive the lock).
+  std::vector<std::pair<std::string, const Histogram*>> hs;
+  {
+    LockGuard lock(mu_);
+    hs.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) hs.emplace_back(name, h.get());
+  }
+
+  // One block per metric, keyed and emitted by mangled name so the whole
+  // body is name-sorted regardless of metric kind.
+  std::map<std::string, std::string> blocks;
+  for (const auto& [name, v] : cs) {
+    const std::string n = prom_name(name) + "_total";
+    std::string b;
+    b += "# TYPE " + n + " counter\n";
+    b += n + ' ' + std::to_string(v) + '\n';
+    blocks.emplace(n, std::move(b));
+  }
+  for (const auto& [name, v] : gs) {
+    const std::string n = prom_name(name);
+    std::string b;
+    b += "# TYPE " + n + " gauge\n";
+    b += n + ' ' + std::to_string(v) + '\n';
+    blocks.emplace(n, std::move(b));
+  }
+  for (const auto& [name, h] : hs) {
+    const std::string n = prom_name(name);
+    std::string b;
+    b += "# TYPE " + n + " histogram\n";
+    // Cumulative ladder over the non-empty native buckets only: a fully
+    // materialized 410-bucket ladder per histogram would dominate the
+    // scrape body while adding no information (Prometheus permits sparse
+    // `le` ladders as long as +Inf is present).
+    std::uint64_t cum = 0;
+    for (int i = 0; i < Histogram::kBucketCount - 1; ++i) {
+      const std::uint64_t c = h->bucket_count(i);
+      if (c == 0) continue;
+      cum += c;
+      b += n + "_bucket{le=\"" + fmt_double(Histogram::bucket_upper(i)) +
+           "\"} " + std::to_string(cum) + '\n';
+    }
+    cum += h->bucket_count(Histogram::kBucketCount - 1);
+    b += n + "_bucket{le=\"+Inf\"} " + std::to_string(cum) + '\n';
+    b += n + "_sum " + fmt_double(h->sum()) + '\n';
+    b += n + "_count " + std::to_string(h->count()) + '\n';
+    blocks.emplace(n, std::move(b));
+  }
+
+  std::string out;
+  for (const auto& [n, b] : blocks) out += b;
+  out += "# EOF\n";
+  return out;
+}
+
+SolverProfile make_solver_profile(MetricsRegistry& registry) {
+  SolverProfile p;
+  p.simplex_phase1_iterations =
+      &registry.counter("solver.simplex.phase1_iterations");
+  p.simplex_phase2_iterations =
+      &registry.counter("solver.simplex.phase2_iterations");
+  p.bb_nodes = &registry.counter("solver.bb.nodes");
+  p.bb_bound_improvements = &registry.counter("solver.bb.bound_improvements");
+  p.bb_max_depth = &registry.histogram("solver.bb.max_depth");
+  p.bb_nodes_per_sec = &registry.histogram("solver.bb.nodes_per_sec");
+  p.exact_expansions = &registry.counter("solver.exact.expansions");
+  p.exact_max_depth = &registry.histogram("solver.exact.max_depth");
+  p.greedy_refine_passes = &registry.counter("solver.greedy.refine_passes");
+  p.greedy_trials = &registry.counter("solver.greedy.trials");
+  p.reduce_rounds = &registry.counter("solver.reduce.rounds");
+  p.reduce_candidates = &registry.counter("solver.reduce.candidates");
+  p.portfolio_attempt_exact_ms =
+      &registry.histogram("solver.portfolio.attempt_exact_ms");
+  p.portfolio_attempt_ilp_ms =
+      &registry.histogram("solver.portfolio.attempt_ilp_ms");
+  p.portfolio_attempt_greedy_ms =
+      &registry.histogram("solver.portfolio.attempt_greedy_ms");
+  p.portfolio_attempt_bisect_ms =
+      &registry.histogram("solver.portfolio.attempt_bisect_ms");
+  p.portfolio_cancel_latency_ms =
+      &registry.histogram("solver.portfolio.cancel_latency_ms");
+  return p;
 }
 
 }  // namespace rs::support

@@ -92,6 +92,15 @@ class Histogram {
   /// matched bucket's midpoint clamped to [min(), max()]; 0 when empty.
   double quantile(double q) const;
 
+  /// Per-bucket observation count (relaxed snapshot). `bucket` must be in
+  /// [0, kBucketCount): 0 is the underflow bucket, kBucketCount-1 overflow.
+  std::uint64_t bucket_count(int bucket) const;
+  /// Exclusive upper edge of a bucket's value range: 2^kMinExp for the
+  /// underflow bucket, +infinity for the overflow bucket. Strictly
+  /// increasing in `bucket` — the cumulative `le` ladder used by the
+  /// Prometheus text exposition renderer.
+  static double bucket_upper(int bucket);
+
  private:
   static int bucket_of(double v);
   static double bucket_mid(int bucket);
@@ -146,6 +155,15 @@ class MetricsRegistry {
   /// Keys are sorted, numeric formats fixed — byte-stable for given values.
   std::string to_json() const RSAT_EXCLUDES(mu_);
 
+  /// The whole registry in Prometheus text exposition format: one `# TYPE`
+  /// line per metric, counters suffixed `_total`, histograms rendered as a
+  /// cumulative `_bucket{le="..."}` ladder over the non-empty native buckets
+  /// plus `+Inf`, `_sum` and `_count`. Metric names are prefixed `rsat_`
+  /// with dots mapped to underscores; blocks are name-sorted and the body
+  /// ends with a `# EOF` line so line-oriented protocol clients can frame
+  /// the multi-line response. Byte-stable for a given set of values.
+  std::string to_prometheus() const RSAT_EXCLUDES(mu_);
+
  private:
   mutable Mutex mu_;  // guards the name->metric maps, never the metrics
   std::map<std::string, std::unique_ptr<Counter>> counters_
@@ -154,5 +172,46 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_
       RSAT_GUARDED_BY(mu_);
 };
+
+/// Solver-interior instrumentation bundle: one pre-resolved metric pointer
+/// per solver-layer counter/histogram, attached once at the service boundary
+/// and threaded down the call chain via SolveContext::with_profile(). A null
+/// profile (or default-constructed bundle) means profiling is off. Solvers
+/// accumulate effort in stack locals and flush once per solve next to their
+/// SolveContext::record() call, so the per-node hot path pays nothing and a
+/// whole solve pays a handful of relaxed RMWs. The `solver.*` name literals
+/// live only in metrics.cpp (make_solver_profile), preserving the
+/// metric-literal lint invariant of one registration site per prefix.
+struct SolverProfile {
+  // lp/simplex.cpp (flushed by the branch-and-bound driver)
+  Counter* simplex_phase1_iterations = nullptr;
+  Counter* simplex_phase2_iterations = nullptr;
+  // lp/branch_bound.cpp
+  Counter* bb_nodes = nullptr;
+  Counter* bb_bound_improvements = nullptr;
+  Histogram* bb_max_depth = nullptr;
+  Histogram* bb_nodes_per_sec = nullptr;
+  // core/rs_exact.cpp
+  Counter* exact_expansions = nullptr;
+  Histogram* exact_max_depth = nullptr;
+  // core/greedy_k.cpp
+  Counter* greedy_refine_passes = nullptr;
+  Counter* greedy_trials = nullptr;
+  // core/reduce.cpp
+  Counter* reduce_rounds = nullptr;
+  Counter* reduce_candidates = nullptr;
+  // core/portfolio.cpp (per-strategy race duration + loser-cancel latency)
+  Histogram* portfolio_attempt_exact_ms = nullptr;
+  Histogram* portfolio_attempt_ilp_ms = nullptr;
+  Histogram* portfolio_attempt_greedy_ms = nullptr;
+  Histogram* portfolio_attempt_bisect_ms = nullptr;
+  Histogram* portfolio_cancel_latency_ms = nullptr;
+};
+
+/// Resolves the full `solver.*` metric family in `registry` once. The
+/// returned bundle's pointers stay valid for the registry's lifetime
+/// (metrics are never removed); callers resolve at construction and attach
+/// the bundle to each request's SolveContext.
+SolverProfile make_solver_profile(MetricsRegistry& registry);
 
 }  // namespace rs::support

@@ -47,7 +47,7 @@ SolveContext SolveContext::sub_budget(double seconds) const {
                            std::chrono::duration<double>(seconds));
     child = std::min(child, until);
   }
-  return SolveContext(token_, sink_, child);
+  return SolveContext(token_, sink_, child, profile_);
 }
 
 SolveContext SolveContext::split(int ways) const {

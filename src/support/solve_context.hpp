@@ -39,6 +39,8 @@
 
 namespace rs::support {
 
+struct SolverProfile;  // support/metrics.hpp
+
 enum class StopCause {
   Proven = 0,     // search completed; result is exact
   LimitHit = 1,   // node/round limit truncated the search
@@ -149,8 +151,21 @@ class SolveContext {
   /// aggregates at the parent. Parent cancellation does NOT propagate
   /// automatically — the racer forwards it to the child tokens it holds.
   SolveContext with_token(CancelToken child) const {
-    return SolveContext(std::move(child), sink_, deadline_);
+    return SolveContext(std::move(child), sink_, deadline_, profile_);
   }
+
+  /// Child context carrying the solver-interior instrumentation bundle (see
+  /// support/metrics.hpp). Attached once at the service boundary; every
+  /// child context (sub_budget, split, with_token, copies) inherits it.
+  /// `profile` may be null (profiling off) and must outlive every solve run
+  /// under the returned context.
+  SolveContext with_profile(const SolverProfile* profile) const {
+    return SolveContext(token_, sink_, deadline_, profile);
+  }
+
+  /// Solver-interior metric bundle, or null when profiling is off. Solvers
+  /// null-check once per solve and flush locally accumulated effort.
+  const SolverProfile* profile() const { return profile_; }
 
   CancelToken token() const { return token_; }
   void request_cancel() const { token_.request_cancel(); }
@@ -179,12 +194,17 @@ class SolveContext {
   };
 
   SolveContext(CancelToken token, std::shared_ptr<Sink> sink,
-               Clock::time_point deadline)
-      : token_(std::move(token)), sink_(std::move(sink)), deadline_(deadline) {}
+               Clock::time_point deadline,
+               const SolverProfile* profile = nullptr)
+      : token_(std::move(token)),
+        sink_(std::move(sink)),
+        deadline_(deadline),
+        profile_(profile) {}
 
   CancelToken token_;
   std::shared_ptr<Sink> sink_;
   Clock::time_point deadline_;
+  const SolverProfile* profile_ = nullptr;
 };
 
 }  // namespace rs::support

@@ -22,7 +22,7 @@ EXPECT = {
     "src/core/bad_raw_clock.cpp": {"raw-clock": 5},
     "src/service/bad_bare_mutex.cpp": {"bare-mutex": 7},
     "src/core/bad_unseeded_rng.cpp": {"unseeded-rng": 4},
-    "src/core/bad_metric_literal.cpp": {"metric-literal": 6},
+    "src/core/bad_metric_literal.cpp": {"metric-literal": 9},
     "src/service/bad_iostream.cpp": {"iostream": 1},
     "src/service/bad_suppression.cpp": {"bad-suppression": 2},
 }

@@ -3,6 +3,7 @@
 // engine-integration contract (EngineConfig::trace -> Response::trace).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -148,6 +149,110 @@ TEST(Registry, ConcurrentLookupAndUseIsSafe) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(reg.counters().at("shared.c"), 8000u);
   EXPECT_EQ(reg.histograms().at("shared.h").count, 8000u);
+}
+
+TEST(Histogram, BucketGeometryIsMonotoneAndCovering) {
+  // Underflow bucket tops out at 2^kMinExp; overflow is unbounded.
+  EXPECT_DOUBLE_EQ(Histogram::bucket_upper(0),
+                   std::ldexp(1.0, Histogram::kMinExp));
+  EXPECT_TRUE(std::isinf(Histogram::bucket_upper(Histogram::kBucketCount - 1)));
+  for (int b = 1; b + 1 < Histogram::kBucketCount; ++b) {
+    const double lo = Histogram::bucket_upper(b - 1);
+    const double hi = Histogram::bucket_upper(b);
+    EXPECT_LT(lo, hi) << "bucket " << b;
+    // Log-spaced with kSubBuckets per octave: adjacent edges never more
+    // than 9/8 apart, which is what bounds the midpoint quantile error.
+    EXPECT_LE(hi / lo, 9.0 / 8.0 + 1e-12) << "bucket " << b;
+  }
+}
+
+TEST(Histogram, BucketCountsTileObservations) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("t.tile");
+  const double values[] = {1e-9, 0.25, 1.0, 1.5, 333.0, 1e12};
+  for (double v : values) h.observe(v);
+  std::uint64_t total = 0;
+  for (int b = 0; b < Histogram::kBucketCount; ++b) total += h.bucket_count(b);
+  EXPECT_EQ(total, h.count());
+  // Each observation sits in the first bucket whose upper edge covers it.
+  for (double v : values) {
+    int b = 0;
+    while (b + 1 < Histogram::kBucketCount && v >= Histogram::bucket_upper(b)) {
+      ++b;
+    }
+    EXPECT_GE(h.bucket_count(b), 1u) << "value " << v << " bucket " << b;
+  }
+}
+
+TEST(Histogram, QuantileMidpointErrorStaysWithinDocumentedBound) {
+  // Property: with kSubBuckets = 8 a bucket's midpoint is within ~9%
+  // relative error of any value in the bucket (exact bound 1/17 ≈ 5.9%
+  // inside an octave, smaller across octave edges). Sweep a geometric
+  // range so the probe value crosses every sub-bucket phase and many
+  // exponent boundaries; the flanking outliers keep the median off the
+  // min/max clamp so the midpoint path is what answers the query.
+  for (double v = 1e-4; v < 1e7; v *= 1.33) {
+    MetricsRegistry reg;
+    Histogram& h = reg.histogram("t.q");
+    h.observe(v / 4);
+    h.observe(v * 4);
+    for (int i = 0; i < 8; ++i) h.observe(v);
+    const double q = h.quantile(0.5);
+    EXPECT_LE(std::abs(q - v) / v, 0.09) << "value " << v << " got " << q;
+  }
+}
+
+TEST(Registry, ToPrometheusRendersSortedTypedTerminated) {
+  MetricsRegistry reg;
+  reg.counter("z.last").inc(2);
+  reg.counter("a.first-part").inc(1);
+  reg.gauge("mid.depth").set(-4);
+  reg.histogram("lat.ms").observe(2.0);
+  reg.histogram("lat.ms").observe(3.0);
+  const std::string p1 = reg.to_prometheus();
+  EXPECT_EQ(p1, reg.to_prometheus());  // byte-stable for fixed values
+  // Names are mangled (prefix + [._-] -> _), counters suffixed _total,
+  // every family typed.
+  EXPECT_NE(p1.find("# TYPE rsat_a_first_part_total counter\n"
+                    "rsat_a_first_part_total 1\n"),
+            std::string::npos);
+  EXPECT_NE(p1.find("# TYPE rsat_mid_depth gauge\nrsat_mid_depth -4\n"),
+            std::string::npos);
+  EXPECT_NE(p1.find("# TYPE rsat_lat_ms histogram\n"), std::string::npos);
+  // Global name sort: a_* before lat_* before mid_* before z_*.
+  EXPECT_LT(p1.find("rsat_a_first_part_total"), p1.find("rsat_lat_ms"));
+  EXPECT_LT(p1.find("rsat_lat_ms"), p1.find("rsat_mid_depth"));
+  EXPECT_LT(p1.find("rsat_mid_depth"), p1.find("rsat_z_last_total"));
+  // Histogram ladder is cumulative and closes with +Inf == _count.
+  EXPECT_NE(p1.find("rsat_lat_ms_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(p1.find("rsat_lat_ms_sum 5\n"), std::string::npos);
+  EXPECT_NE(p1.find("rsat_lat_ms_count 2\n"), std::string::npos);
+  // The exposition frames itself for line-oriented transports.
+  EXPECT_EQ(p1.substr(p1.size() - 6), "# EOF\n");
+}
+
+TEST(Registry, ToPrometheusHistogramLadderIsCumulative) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("t.ladder");
+  for (int i = 1; i <= 64; ++i) h.observe(static_cast<double>(i));
+  const std::string p = reg.to_prometheus();
+  // Walk every bucket sample line; cumulative counts never decrease.
+  std::uint64_t prev = 0;
+  std::size_t at = 0;
+  int lines = 0;
+  const std::string needle = "rsat_t_ladder_bucket{le=\"";
+  while ((at = p.find(needle, at)) != std::string::npos) {
+    const std::size_t sp = p.find(' ', at);
+    ASSERT_NE(sp, std::string::npos);
+    const std::uint64_t cum = std::stoull(p.substr(sp + 1));
+    EXPECT_GE(cum, prev);
+    prev = cum;
+    ++lines;
+    at = sp;
+  }
+  EXPECT_GT(lines, 2);  // sparse ladder: non-empty buckets plus +Inf
+  EXPECT_EQ(prev, 64u);  // +Inf closes at the total count
 }
 
 TEST(Registry, ToJsonIsByteStableAndSorted) {
@@ -339,6 +444,92 @@ TEST(TraceEngine, SpansRideOnResponsesWhenEnabled) {
   EXPECT_TRUE(warm.trace->cached);
   EXPECT_STREQ(warm.trace->tier, "mem");
   EXPECT_LT(warm.trace->solve_ms, 0.0);  // cache hits never enter solve
+}
+
+TEST(SolveLogRender, KeyOrderIsByteStableAndSchemaVersioned) {
+  SolveLogRecord rec;
+  rec.id = 42;
+  rec.op = "analyze";
+  rec.fp = "cafe";
+  rec.ddg_ops = 10;
+  rec.ddg_arcs = 17;
+  rec.ddg_cp = 11;
+  rec.ddg_width = 4;
+  rec.ddg_types = "4,5";
+  rec.ok = true;
+  rec.nodes = 2;
+  rec.parse_ms = 0.5;
+  rec.solve_ms = 1.25;
+  rec.total_ms = 2.0;
+  const std::string line = render_solve_log_json(rec, 1234.5);
+  EXPECT_EQ(line, render_solve_log_json(rec, 1234.5));  // byte-stable
+  // Keys appear in the documented order (the training-corpus contract).
+  std::size_t pos = 0;
+  for (const char* key :
+       {"\"ev\":\"solve\"", "\"v\":1", "\"ts\":1234.500000", "\"id\":42",
+        "\"op\":\"analyze\"", "\"fp\":\"cafe\"", "\"ddg_ops\":10",
+        "\"ddg_arcs\":17", "\"ddg_cp\":11", "\"ddg_width\":4",
+        "\"ddg_types\":\"4,5\"", "\"ok\":true", "\"cached\":false",
+        "\"tier\":\"none\"", "\"stop\":\"proven\"", "\"nodes\":2",
+        "\"parse_ms\":0.500", "\"solve_ms\":1.250", "\"total_ms\":2.000"}) {
+    const std::size_t at = line.find(key, pos);
+    ASSERT_NE(at, std::string::npos) << key << " missing in " << line;
+    pos = at;
+  }
+  // No winner for a non-portfolio solve; unmeasured phases are omitted.
+  EXPECT_EQ(line.find("\"winner\":"), std::string::npos);
+  SolveLogRecord bare;
+  const std::string sparse = render_solve_log_json(bare, 0);
+  EXPECT_EQ(sparse.find("\"parse_ms\":"), std::string::npos);
+  EXPECT_EQ(sparse.find("\"solve_ms\":"), std::string::npos);
+  EXPECT_NE(sparse.find("\"total_ms\":0.000"), std::string::npos);
+  SolveLogRecord won;
+  won.winner = "greedy";
+  EXPECT_NE(render_solve_log_json(won, 0).find("\"winner\":\"greedy\""),
+            std::string::npos);
+}
+
+TEST(SolveLogEngine, RecordsRideOnResponsesWhenEnabled) {
+  EngineConfig cfg;
+  cfg.threads = 1;
+  cfg.solve_log = true;
+  AnalysisEngine engine(cfg);
+  const auto dag = ddg::build_kernel("lin-ddot", ddg::superscalar_model());
+
+  Request first = make_analyze_request(dag);
+  first.id = 9;
+  const Response cold = engine.run(first);
+  ASSERT_NE(cold.solve_log, nullptr);
+  EXPECT_EQ(cold.solve_log->id, 9u);
+  EXPECT_EQ(cold.solve_log->op, "analyze");
+  EXPECT_EQ(cold.solve_log->fp, cold.fingerprint.hex());
+  EXPECT_TRUE(cold.solve_log->ok);
+  EXPECT_FALSE(cold.solve_log->cached);
+  // Cheap canonical features match the normalized DAG.
+  EXPECT_EQ(cold.solve_log->ddg_ops, static_cast<long long>(dag.op_count()));
+  EXPECT_GT(cold.solve_log->ddg_arcs, 0);
+  EXPECT_GT(cold.solve_log->ddg_cp, 0);
+  EXPECT_GT(cold.solve_log->ddg_width, 0);
+  EXPECT_FALSE(cold.solve_log->ddg_types.empty());
+  EXPECT_GE(cold.solve_log->solve_ms, 0.0);
+
+  Request second = make_analyze_request(dag);
+  second.id = 10;
+  const Response warm = engine.run(second);
+  ASSERT_NE(warm.solve_log, nullptr);
+  EXPECT_TRUE(warm.solve_log->cached);
+  EXPECT_STREQ(warm.solve_log->tier, "mem");
+  EXPECT_LT(warm.solve_log->solve_ms, 0.0);  // cache hits never enter solve
+}
+
+TEST(SolveLogEngine, NoRecordsWhenDisabled) {
+  EngineConfig cfg;
+  cfg.threads = 1;
+  AnalysisEngine engine(cfg);
+  const Response resp = engine.run(
+      make_analyze_request(ddg::build_kernel("lin-ddot",
+                                             ddg::superscalar_model())));
+  EXPECT_EQ(resp.solve_log, nullptr);
 }
 
 TEST(TraceEngine, NoSpansWhenDisabled) {

@@ -201,6 +201,146 @@ TEST(Serve, TraceFileCapturesOneEventPerRequest) {
   std::filesystem::remove(path);
 }
 
+/// Reads one full `metrics` scrape: every line through the "# EOF" frame.
+std::vector<std::string> read_scrape(LineClient& client) {
+  std::vector<std::string> lines;
+  for (;;) {
+    const std::string line = client.next_line();
+    if (line.empty()) break;  // timeout — caller's EXPECTs will flag it
+    lines.push_back(line);
+    if (line == "# EOF") break;
+  }
+  return lines;
+}
+
+/// A sample line with its value dropped, comment lines verbatim — what must
+/// stay byte-identical between two scrapes of one process.
+std::string scrape_shape(const std::string& line) {
+  if (!line.empty() && line.front() == '#') return line;
+  const std::size_t sp = line.rfind(' ');
+  return sp == std::string::npos ? line : line.substr(0, sp);
+}
+
+TEST(Serve, MetricsVerbRendersStablePrometheusExposition) {
+  ServeConfig cfg;
+  cfg.engine.threads = 2;
+  ServerFixture server(cfg);
+  LineClient client(server->port());
+
+  // A cold scrape parses but is smaller: op.* families register lazily on
+  // the first solve and sparse histogram ladders grow with observations.
+  client.send("metrics\n");
+  const std::vector<std::string> cold = read_scrape(client);
+  ASSERT_FALSE(cold.empty());
+  EXPECT_EQ(cold.back(), "# EOF");
+
+  // Warm the engine, then scrape twice in a row: consecutive warm scrapes
+  // are byte-identical in shape — same families, same sample lines — with
+  // only values free to differ (the scrape itself counts as a request).
+  client.send("analyze kernel=lin-ddot\nmetrics\nmetrics\n");
+  EXPECT_EQ(service::parse_fields(client.next_line()).at("status"), "ok");
+  const std::vector<std::string> warm = read_scrape(client);
+  const std::vector<std::string> warm2 = read_scrape(client);
+  ASSERT_EQ(warm.size(), warm2.size());
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    EXPECT_EQ(scrape_shape(warm[i]), scrape_shape(warm2[i])) << "line " << i;
+  }
+  EXPECT_GT(warm.size(), cold.size());
+
+  // Exposition-format sanity over the warm scrape: every line is a typed
+  // family header or a `name value` sample, names sorted, counters total'd.
+  std::string prev_family;
+  for (const std::string& line : warm) {
+    if (line == "# EOF") break;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string family = line.substr(7, line.find(' ', 7) - 7);
+      EXPECT_LT(prev_family, family);  // global name sort
+      prev_family = family;
+      continue;
+    }
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    EXPECT_EQ(line.find(' '), sp) << line;  // exactly `name value`
+  }
+  const std::string all = [&warm] {
+    std::string s;
+    for (const auto& l : warm) s += l + "\n";
+    return s;
+  }();
+  EXPECT_NE(all.find("# TYPE rsat_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(all.find("rsat_engine_completed_total 1"), std::string::npos);
+  EXPECT_NE(all.find("rsat_solver_"), std::string::npos);
+}
+
+TEST(Serve, SloObjectivesCountBreachesAndExtendStats) {
+  ServeConfig cfg;
+  cfg.engine.threads = 2;
+  cfg.slo_ms = 1e-6;  // unmeetable: every completed response is a breach
+  ServerFixture server(cfg);
+  LineClient client(server->port());
+
+  client.send("analyze kernel=lin-ddot\nanalyze kernel=lin-ddot\nstats\n");
+  EXPECT_EQ(service::parse_fields(client.next_line()).at("cached"), "0");
+  EXPECT_EQ(service::parse_fields(client.next_line()).at("cached"), "1");
+  const auto cold = service::parse_fields(client.next_line());
+  EXPECT_EQ(cold.at("slo_ms"), "0.000");  // %.3f of 1e-6
+  EXPECT_EQ(cold.at("slo.analyze.ok"), "0");
+  EXPECT_EQ(cold.at("slo.analyze.breach"), "2");
+  EXPECT_EQ(cold.at("slo.analyze.breach_rate"), "1.000");
+
+  // Warm stats: identical key schema (the SLO fields are part of it now).
+  client.send("stats\n");
+  const auto warm = service::parse_fields(client.next_line());
+  std::vector<std::string> cold_keys, warm_keys;
+  for (const auto& [k, v] : cold) cold_keys.push_back(k);
+  for (const auto& [k, v] : warm) warm_keys.push_back(k);
+  EXPECT_EQ(cold_keys, warm_keys);
+  EXPECT_TRUE(server->engine().stats().counters_tile());
+}
+
+TEST(Serve, SolveLogFileCapturesOneRecordPerRequest) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "rs_serve_slog.jsonl";
+  std::filesystem::remove(path);
+  {
+    ServeConfig cfg;
+    cfg.engine.threads = 2;
+    cfg.solve_log_file = path.string();
+    ServerFixture server(cfg);
+    ASSERT_NE(server->solve_log_sink(), nullptr);
+    LineClient client(server->port());
+    client.send("analyze kernel=lin-ddot\nanalyze kernel=lin-ddot\ndrain\n");
+    EXPECT_EQ(service::parse_fields(client.next_line()).at("cached"), "0");
+    EXPECT_EQ(service::parse_fields(client.next_line()).at("cached"), "1");
+    EXPECT_EQ(client.next_line(), "drained");
+    EXPECT_EQ(server->solve_log_sink()->written(), 2u);
+    EXPECT_EQ(server->solve_log_sink()->dropped(), 0u);
+  }  // shutdown flushes the sink
+  std::string text;
+  ASSERT_TRUE(support::read_file_to_string(path.string(), &text));
+  std::size_t lines = 0, at = 0;
+  for (std::size_t nl = text.find('\n'); nl != std::string::npos;
+       nl = text.find('\n', at)) {
+    const std::string line = text.substr(at, nl - at);
+    at = nl + 1;
+    ++lines;
+    for (const char* key :
+         {"\"ev\":\"solve\"", "\"v\":1", "\"ts\":", "\"op\":\"analyze\"",
+          "\"fp\":", "\"ddg_ops\":", "\"ddg_arcs\":", "\"ddg_cp\":",
+          "\"ddg_width\":", "\"ddg_types\":", "\"ok\":true", "\"tier\":",
+          "\"stop\":\"proven\"", "\"nodes\":", "\"total_ms\":"}) {
+      EXPECT_NE(line.find(key), std::string::npos)
+          << key << " missing in " << line;
+    }
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(text.find("\"cached\":false"), std::string::npos);
+  EXPECT_NE(text.find("\"cached\":true"), std::string::npos);
+  EXPECT_NE(text.find("\"tier\":\"mem\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
 TEST(Serve, MalformedLineAnswersErrorAndConnectionSurvives) {
   ServerFixture server;
   LineClient client(server->port());

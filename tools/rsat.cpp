@@ -20,21 +20,27 @@
 //   rsat dump <kernel> [--vliw]
 //       emit a built-in kernel in the .ddg text format.
 //   rsat batch [manifest] [--threads N] [--cache-mb M] [--cache-dir D]
-//       [--trace-file F] [--metrics-json F] [--vliw]
+//       [--trace-file F] [--solve-log F] [--metrics-json F] [--vliw]
 //       stream protocol requests (stdin or manifest file) through the
 //       cached concurrent analysis engine; result lines on stdout, a
 //       summary with hit rate (split by memory/disk tier) and latency
-//       percentiles on stderr. Understands cancel/drain/stats control
-//       verbs; Ctrl-C (SIGINT) stops reading, cancels in-flight solves
-//       cooperatively, prints every pending result plus the summary, and
-//       exits 0.
+//       percentiles on stderr. Understands cancel/drain/stats/metrics
+//       control verbs; Ctrl-C (SIGINT) stops reading, cancels in-flight
+//       solves cooperatively, prints every pending result plus the
+//       summary, and exits 0.
 //   rsat serve [--host H] [--port P] [--port-file F] [--threads N]
-//       [--cache-mb M] [--cache-dir D] [--trace-file F] [--metrics-json F]
-//       [--slow-ms T] [--vliw]
+//       [--cache-mb M] [--cache-dir D] [--trace-file F] [--solve-log F]
+//       [--metrics-json F] [--metrics-interval-s N] [--slow-ms T]
+//       [--slo-ms T] [--vliw]
 //       poll-based TCP front end speaking the same line protocol, one
 //       stream per connection (port 0 = ephemeral; the bound port goes to
 //       stderr and --port-file). SIGINT cancels in-flight solves, flushes
 //       every pending result line, then shuts down cleanly.
+//   rsat top --port P [--host H] [--interval-s N] [--once]
+//       poll a running serve's `stats` verb and render a refreshing
+//       per-operation terminal table (requests, hit/miss split, p50, SLO
+//       error budget when the server runs with --slo-ms). --once prints a
+//       single snapshot without clearing the screen and exits.
 //
 // --cache-dir D enables the persistent on-disk result tier under D (shared
 // by batch and serve; entries survive restarts and are keyed by the
@@ -47,11 +53,24 @@
 //   --trace-file F    one JSONL trace event per request (parse, queue,
 //                     fingerprint, store lookup, solve, encode phases plus
 //                     cache tier / stop cause / node count) to F
+//   --solve-log F     one JSONL solve-log record per request to F: cheap
+//                     canonical input features (ops, arcs, critical path,
+//                     width, type mix) plus the outcome (engine/winner,
+//                     stop cause, nodes, per-phase ms, cache tier) — the
+//                     training corpus for adaptive strategy prediction
 //   --metrics-json F  full metrics-registry snapshot (counters, gauges,
 //                     histogram quantiles) written to F at exit
+//   --metrics-interval-s N  serve only: atomically rewrite --metrics-json
+//                     every N seconds (temp + rename), so a crashed serve
+//                     still leaves a recent snapshot on disk
 //   --slow-ms T       serve only: log requests slower than T ms to stderr
+//   --slo-ms T        serve only: per-op latency objective; completed
+//                     responses count as slo.<op>.ok or slo.<op>.breach
+//                     and the stats verb gains slo.* error-budget fields
 // The `stats` protocol verb returns the same registry live, as one
-// key=value line, over batch stdin or a serve connection.
+// key=value line, over batch stdin or a serve connection; the `metrics`
+// verb returns it in Prometheus text exposition format (terminated by a
+// literal `# EOF` line).
 //
 // The .ddg text format is documented in src/ddg/io.hpp; the batch request/
 // result protocol in src/service/protocol.hpp.
@@ -66,6 +85,7 @@
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -89,6 +109,7 @@
 #include "support/fs.hpp"
 #include "support/metrics.hpp"
 #include "support/parse.hpp"
+#include "support/socket.hpp"
 #include "support/timer.hpp"
 
 namespace {
@@ -114,14 +135,18 @@ int usage() {
         "  rsat dump <kernel> [--vliw]\n"
         "  rsat dumpprog <program> [--vliw]\n"
         "  rsat batch [manifest] [--threads N] [--cache-mb M] [--cache-dir D]\n"
-        "             [--trace-file F] [--metrics-json F] [--vliw]\n"
+        "             [--trace-file F] [--solve-log F] [--metrics-json F]\n"
+        "             [--vliw]\n"
         "  rsat serve [--host H] [--port P] [--port-file F] [--threads N]\n"
         "             [--cache-mb M] [--cache-dir D] [--trace-file F]\n"
-        "             [--metrics-json F] [--slow-ms T] [--vliw]\n"
+        "             [--solve-log F] [--metrics-json F]\n"
+        "             [--metrics-interval-s N] [--slow-ms T] [--slo-ms T]\n"
+        "             [--vliw]\n"
+        "  rsat top   --port P [--host H] [--interval-s N] [--once]\n"
         "\n"
         "operations (one-shot <op> and batch/serve request lines: "
      << rs::service::operation_names("|")
-     << "|cancel|drain|stats):\n";
+     << "|cancel|drain|stats|metrics):\n";
   for (const rs::service::Operation* op : rs::service::operations()) {
     os << "  " << op->name();
     for (std::size_t pad = op->name().size(); pad < 9; ++pad) os << ' ';
@@ -400,6 +425,7 @@ void write_metrics_json(const rs::support::MetricsRegistry& metrics,
 int cmd_serve(int argc, char** argv) {
   rs::service::ServeConfig cfg;
   std::string metrics_json;
+  double metrics_interval_s = 0;
   try {
     for (int i = 2; i < argc; ++i) {
       if (!std::strcmp(argv[i], "--host") && i + 1 < argc) {
@@ -425,17 +451,32 @@ int cmd_serve(int argc, char** argv) {
       } else if (!std::strcmp(argv[i], "--trace-file") && i + 1 < argc) {
         cfg.trace_file = argv[++i];
         RS_REQUIRE(!cfg.trace_file.empty(), "--trace-file must not be empty");
+      } else if (!std::strcmp(argv[i], "--solve-log") && i + 1 < argc) {
+        cfg.solve_log_file = argv[++i];
+        RS_REQUIRE(!cfg.solve_log_file.empty(),
+                   "--solve-log must not be empty");
       } else if (!std::strcmp(argv[i], "--metrics-json") && i + 1 < argc) {
         metrics_json = argv[++i];
         RS_REQUIRE(!metrics_json.empty(), "--metrics-json must not be empty");
+      } else if (!std::strcmp(argv[i], "--metrics-interval-s") &&
+                 i + 1 < argc) {
+        metrics_interval_s = rs::support::parse_budget_seconds(
+            argv[++i], "--metrics-interval-s");
+        RS_REQUIRE(metrics_interval_s > 0,
+                   "--metrics-interval-s must be > 0");
       } else if (!std::strcmp(argv[i], "--slow-ms") && i + 1 < argc) {
         cfg.slow_ms = rs::support::parse_budget_seconds(argv[++i], "--slow-ms");
+      } else if (!std::strcmp(argv[i], "--slo-ms") && i + 1 < argc) {
+        cfg.slo_ms = rs::support::parse_budget_seconds(argv[++i], "--slo-ms");
+        RS_REQUIRE(cfg.slo_ms > 0, "--slo-ms must be > 0");
       } else if (!std::strcmp(argv[i], "--vliw")) {
         cfg.protocol.default_model = rs::ddg::vliw_model();
       } else {
         RS_REQUIRE(false, std::string("unknown serve flag ") + argv[i]);
       }
     }
+    RS_REQUIRE(metrics_interval_s == 0 || !metrics_json.empty(),
+               "--metrics-interval-s requires --metrics-json");
   } catch (const rs::support::PreconditionError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return usage();
@@ -450,6 +491,30 @@ int cmd_serve(int argc, char** argv) {
 #endif
   mask_sigint(true);  // engine workers spawn inside SocketServer
   rs::service::SocketServer server(cfg);
+
+  // --metrics-interval-s: periodic atomic re-snapshot of --metrics-json
+  // (write_file_atomic = temp + rename), so a crashed or SIGKILLed serve
+  // leaves a recent metrics file on disk instead of nothing. Spawned while
+  // SIGINT is still masked so only the main thread sees the interrupt.
+  std::atomic<bool> snapshot_stop{false};
+  std::thread snapshot_thread;
+  if (metrics_interval_s > 0) {
+    snapshot_thread = std::thread([&server, &snapshot_stop, &metrics_json,
+                                   metrics_interval_s] {
+      double since_write_s = 0;
+      while (!snapshot_stop.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        since_write_s += 0.1;
+        if (since_write_s + 1e-9 < metrics_interval_s) continue;
+        since_write_s = 0;
+        if (!rs::support::write_file_atomic(
+                metrics_json, server.engine().metrics().to_json() + "\n")) {
+          std::fprintf(stderr, "warning: cannot write metrics json %s\n",
+                       metrics_json.c_str());
+        }
+      }
+    });
+  }
   mask_sigint(false);
 
   std::fprintf(stderr, "serve: listening on %s:%d\n", cfg.host.c_str(),
@@ -461,6 +526,8 @@ int cmd_serve(int argc, char** argv) {
 
   const rs::support::Timer wall;
   server.run([] { return g_interrupted != 0; });
+  snapshot_stop.store(true);
+  if (snapshot_thread.joinable()) snapshot_thread.join();
 
   const rs::service::ServeStats ss = server.serve_stats();
   const rs::service::EngineStats st = server.engine().stats();
@@ -484,6 +551,12 @@ int cmd_serve(int argc, char** argv) {
                  sink->path().c_str(),
                  static_cast<unsigned long long>(sink->dropped()));
   }
+  if (const rs::service::TraceSink* sink = server.solve_log_sink()) {
+    std::fprintf(stderr, "solve log: %llu records to %s (%llu dropped)\n",
+                 static_cast<unsigned long long>(sink->written()),
+                 sink->path().c_str(),
+                 static_cast<unsigned long long>(sink->dropped()));
+  }
   write_metrics_json(server.engine().metrics(), metrics_json);
   return 0;
 }
@@ -491,6 +564,7 @@ int cmd_serve(int argc, char** argv) {
 int cmd_batch(int argc, char** argv) {
   std::string manifest_path;
   std::string trace_file;
+  std::string solve_log_file;
   std::string metrics_json;
   rs::service::EngineConfig cfg;
   rs::service::ProtocolOptions popts;
@@ -510,6 +584,9 @@ int cmd_batch(int argc, char** argv) {
       } else if (!std::strcmp(argv[i], "--trace-file") && i + 1 < argc) {
         trace_file = argv[++i];
         RS_REQUIRE(!trace_file.empty(), "--trace-file must not be empty");
+      } else if (!std::strcmp(argv[i], "--solve-log") && i + 1 < argc) {
+        solve_log_file = argv[++i];
+        RS_REQUIRE(!solve_log_file.empty(), "--solve-log must not be empty");
       } else if (!std::strcmp(argv[i], "--metrics-json") && i + 1 < argc) {
         metrics_json = argv[++i];
         RS_REQUIRE(!metrics_json.empty(), "--metrics-json must not be empty");
@@ -551,6 +628,13 @@ int cmd_batch(int argc, char** argv) {
     tc.path = trace_file;
     trace_sink = std::make_unique<rs::service::TraceSink>(tc);
   }
+  // The solve log shares the sink machinery: one pre-rendered JSONL record
+  // per request, written by the printer at delivery time.
+  cfg.solve_log = !solve_log_file.empty();
+  std::unique_ptr<rs::service::TraceSink> solve_log_sink;
+  if (cfg.solve_log) {
+    solve_log_sink = std::make_unique<rs::service::TraceSink>(solve_log_file);
+  }
 
   rs::service::AnalysisEngine engine(cfg);
   const rs::support::Timer wall;
@@ -579,7 +663,8 @@ int cmd_batch(int argc, char** argv) {
   // waiting for EOF.
   struct Slot {
     std::string pre;
-    bool stats = false;  // render a fresh stats snapshot at emission time
+    bool stats = false;    // render a fresh stats snapshot at emission time
+    bool metrics = false;  // render the Prometheus exposition at emission
     std::future<rs::service::Response> fut;
   };
   // Backpressure: each outstanding slot holds a parsed Request (with its
@@ -611,6 +696,9 @@ int cmd_batch(int argc, char** argv) {
         // request ahead of this line in the stream has already been printed,
         // so the snapshot reflects at least all of them as completed.
         std::puts(rs::service::render_stats_line(engine.stats()).c_str());
+      } else if (slot.metrics) {
+        // Multi-line body, framed by its terminating "# EOF" line.
+        std::fputs(engine.metrics().to_prometheus().c_str(), stdout);
       } else if (!slot.pre.empty()) {
         std::puts(slot.pre.c_str());
       } else {
@@ -629,6 +717,10 @@ int cmd_batch(int argc, char** argv) {
           resp.trace->encode_ms = encode.millis();
           resp.trace->bytes = out_line.size() + 1;  // + '\n'
           trace_sink->write(*resp.trace);
+        }
+        if (solve_log_sink != nullptr && resp.solve_log != nullptr) {
+          solve_log_sink->write_line(rs::service::render_solve_log_json(
+              *resp.solve_log, rs::support::unix_now_seconds()));
         }
         std::puts(out_line.c_str());
       }
@@ -681,6 +773,10 @@ int cmd_batch(int argc, char** argv) {
           slot.stats = true;  // printer snapshots the registry at emission
           counts = false;
           break;
+        case rs::service::CommandKind::Metrics:
+          slot.metrics = true;  // printer renders the exposition at emission
+          counts = false;
+          break;
       }
     } catch (const std::exception& e) {
       std::ostringstream os;
@@ -710,6 +806,7 @@ int cmd_batch(int argc, char** argv) {
   sigint_watcher.join();
   failed += parse_errors;
   if (trace_sink != nullptr) trace_sink->flush();
+  if (solve_log_sink != nullptr) solve_log_sink->flush();
 
   if (total == 0) {
     std::fprintf(stderr, "batch: 0 requests\n");
@@ -739,9 +836,138 @@ int cmd_batch(int argc, char** argv) {
                  trace_sink->path().c_str(),
                  static_cast<unsigned long long>(trace_sink->dropped()));
   }
+  if (solve_log_sink != nullptr) {
+    std::fprintf(stderr, "solve log: %llu records to %s (%llu dropped)\n",
+                 static_cast<unsigned long long>(solve_log_sink->written()),
+                 solve_log_sink->path().c_str(),
+                 static_cast<unsigned long long>(solve_log_sink->dropped()));
+  }
   write_metrics_json(engine.metrics(), metrics_json);
   if (g_interrupted) return 0;  // drained cleanly after Ctrl-C
   return failed == 0 ? 0 : 1;
+}
+
+/// One `rsat top` frame: the stats verb line rendered as a summary header
+/// plus a per-operation table (and SLO columns when the server reports
+/// slo_ms). Parsing reuses the protocol's own field splitter, so the view
+/// cannot drift from what the stats verb actually emits.
+void render_top_frame(const std::string& stats_line, const std::string& where,
+                      bool clear) {
+  const std::map<std::string, std::string> f =
+      rs::service::parse_fields(stats_line);
+  const auto field = [&f](const std::string& key) -> std::string {
+    const auto it = f.find(key);
+    return it == f.end() ? std::string("0") : it->second;
+  };
+  if (clear) std::fputs("\033[2J\033[H", stdout);  // clear + home
+  std::printf("rsat top — %s\n", where.c_str());
+  std::printf(
+      "submitted %s  completed %s  errors %s  queue %s  hit_rate %s\n",
+      field("submitted").c_str(), field("completed").c_str(),
+      field("errors").c_str(), field("queue_depth").c_str(),
+      field("hit_rate").c_str());
+  std::printf("latency ms: p50 %s  p95 %s  p99 %s  max %s\n",
+              field("p50_ms").c_str(), field("p95_ms").c_str(),
+              field("p99_ms").c_str(), field("max_ms").c_str());
+  const bool slo = f.count("slo_ms") != 0;
+  if (slo) std::printf("slo_ms %s\n", field("slo_ms").c_str());
+  std::printf("\n%-14s %10s %10s %10s %10s", "op", "submitted", "hits",
+              "misses", "p50_ms");
+  if (slo) std::printf(" %10s %10s %12s", "slo_ok", "slo_breach", "breach_rate");
+  std::printf("\n");
+  // Every op with a stats group has an op.<name>.submitted key; the map is
+  // sorted, so rows come out name-ordered like the line itself.
+  for (const auto& [key, value] : f) {
+    static_cast<void>(value);
+    const std::string prefix = "op.";
+    const std::string suffix = ".submitted";
+    if (key.rfind(prefix, 0) != 0 || key.size() <= prefix.size() + suffix.size() ||
+        key.compare(key.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    const std::string name =
+        key.substr(prefix.size(), key.size() - prefix.size() - suffix.size());
+    std::printf("%-14s %10s %10s %10s %10s", name.c_str(),
+                field("op." + name + ".submitted").c_str(),
+                field("op." + name + ".hits").c_str(),
+                field("op." + name + ".misses").c_str(),
+                field("op." + name + ".p50_ms").c_str());
+    if (slo) {
+      std::printf(" %10s %10s %12s", field("slo." + name + ".ok").c_str(),
+                  field("slo." + name + ".breach").c_str(),
+                  field("slo." + name + ".breach_rate").c_str());
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+/// `rsat top`: poll a running serve's stats verb over one persistent
+/// connection and render a refreshing per-op table.
+int cmd_top(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = -1;
+  double interval_s = 2.0;
+  bool once = false;
+  try {
+    for (int i = 2; i < argc; ++i) {
+      if (!std::strcmp(argv[i], "--host") && i + 1 < argc) {
+        host = argv[++i];
+      } else if (!std::strcmp(argv[i], "--port") && i + 1 < argc) {
+        port = rs::support::parse_int(argv[++i], "--port");
+        RS_REQUIRE(port >= 0 && port <= 65535, "--port must be in [0, 65535]");
+      } else if (!std::strcmp(argv[i], "--interval-s") && i + 1 < argc) {
+        interval_s =
+            rs::support::parse_budget_seconds(argv[++i], "--interval-s");
+        RS_REQUIRE(interval_s > 0, "--interval-s must be > 0");
+      } else if (!std::strcmp(argv[i], "--once")) {
+        once = true;
+      } else {
+        RS_REQUIRE(false, std::string("unknown top flag ") + argv[i]);
+      }
+    }
+    RS_REQUIRE(port >= 0, "rsat top requires --port");
+  } catch (const rs::support::PreconditionError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return usage();
+  }
+
+  const int fd = rs::support::connect_tcp(host, port);
+  const std::string where = host + ":" + std::to_string(port);
+  std::string buf;
+  int ret = 0;
+  for (;;) {
+    if (!rs::support::send_all(fd, "stats\n")) {
+      std::fprintf(stderr, "rsat top: connection lost to %s\n", where.c_str());
+      ret = 1;
+      break;
+    }
+    std::size_t nl;
+    bool lost = false;
+    while ((nl = buf.find('\n')) == std::string::npos) {
+      const long n = rs::support::recv_some(fd, &buf);
+      if (n == 0 || n == -2) {
+        lost = true;
+        break;
+      }
+      if (n == -1) {  // connect_tcp is blocking, but stay robust to EAGAIN
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    if (lost) {
+      std::fprintf(stderr, "rsat top: connection lost to %s\n", where.c_str());
+      ret = 1;
+      break;
+    }
+    const std::string line = buf.substr(0, nl);
+    buf.erase(0, nl + 1);
+    render_top_frame(line, where, !once);
+    if (once) break;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<long long>(interval_s * 1000)));
+  }
+  rs::support::close_fd(fd);
+  return ret;
 }
 
 int cmd_dump(int argc, char** argv) {
@@ -802,6 +1028,7 @@ int main(int argc, char** argv) {
     if (cmd == "dumpprog") return cmd_dumpprog(argc, argv);
     if (cmd == "batch") return cmd_batch(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "top") return cmd_top(argc, argv);
     return usage();
   } catch (const rs::support::PreconditionError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -27,8 +27,9 @@ repo's determinism and observability contracts — hold by construction:
                   generator.
 
   metric-literal  Metric-name string literals ("engine.*", "op.*",
-                  "store.*", "pool.*", "serve.*") and trace-event phase
-                  keys may appear only in their subsystem's single
+                  "store.*", "pool.*", "serve.*", "solver.*", "slo.*"),
+                  trace-event phase keys, and solve-log feature keys may
+                  appear only in their subsystem's single
                   registration/render site. One site per name means
                   grep-for-the-literal finds the writer, and a renamed
                   metric cannot silently fork into two spellings.
@@ -78,14 +79,23 @@ METRIC_SITES = {
     "store.": "src/service/store.cpp",
     "pool.": "src/support/thread_pool.cpp",
     "serve.": "src/service/serve.cpp",
+    "solver.": "src/support/metrics.cpp",
+    "slo.": "src/service/serve.cpp",
 }
 METRIC_RE = re.compile(
-    r"(engine|op|store|pool|serve)\.[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*\Z")
+    r"(engine|op|store|pool|serve|solver|slo)"
+    r"\.[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*\Z")
 
 # Trace-event phase keys rendered by render_trace_json; single site below.
 TRACE_KEYS = frozenset({
     "parse_ms", "queue_ms", "fp_ms", "lookup_ms", "solve_ms", "encode_ms",
     "total_ms", "blocks_parallel",
+})
+# Solve-log feature keys rendered by render_solve_log_json; same site.
+# Keeping the spelling in one file is what makes the JSONL schema-stable
+# enough to train on (ROADMAP: adaptive strategy prediction).
+SOLVE_LOG_KEYS = frozenset({
+    "ddg_ops", "ddg_arcs", "ddg_cp", "ddg_width", "ddg_types",
 })
 TRACE_SITE = "src/service/trace.cpp"
 
@@ -257,6 +267,10 @@ def lint_file(root, relpath):
         elif content in TRACE_KEYS and relpath != TRACE_SITE:
             report("metric-literal", lineno,
                    'trace phase key "%s" outside the render site %s'
+                   % (content, TRACE_SITE))
+        elif content in SOLVE_LOG_KEYS and relpath != TRACE_SITE:
+            report("metric-literal", lineno,
+                   'solve-log key "%s" outside the render site %s'
                    % (content, TRACE_SITE))
 
     # Unknown rule names in allow() comments are errors too: a typo'd
